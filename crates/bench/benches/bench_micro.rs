@@ -1,0 +1,111 @@
+//! Microbenchmarks for the hot paths of the simulator and the paper's
+//! scheduler: engine tick throughput, the density-band admission structure,
+//! DAG generation + unfolding, and the PRNG.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dagsched_core::{AlgoParams, JobId, Rng64, Speed};
+use dagsched_dag::{gen, UnfoldState};
+use dagsched_engine::{simulate, SimConfig};
+use dagsched_sched::{bands::DensityBands, GreedyDensity, SchedulerS};
+use dagsched_workload::WorkloadGen;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(20);
+    let inst = WorkloadGen::standard(16, 200, 7).generate().unwrap();
+    let work: u64 = inst.jobs().iter().map(|j| j.work().units()).sum();
+    g.throughput(Throughput::Elements(work));
+    g.bench_function("simulate/greedy/200jobs", |b| {
+        b.iter(|| {
+            let mut s = GreedyDensity::new(16);
+            simulate(&inst, &mut s, &SimConfig::default())
+                .unwrap()
+                .total_profit
+        })
+    });
+    g.bench_function("simulate/schedS/200jobs", |b| {
+        b.iter(|| {
+            let mut s = SchedulerS::with_epsilon(16, 1.0);
+            simulate(&inst, &mut s, &SimConfig::default())
+                .unwrap()
+                .total_profit
+        })
+    });
+    g.bench_function("simulate/schedS/speed3-2", |b| {
+        let cfg = SimConfig::at_speed(Speed::new(3, 2).unwrap());
+        b.iter(|| {
+            let mut s = SchedulerS::with_epsilon(16, 1.0);
+            simulate(&inst, &mut s, &cfg).unwrap().total_profit
+        })
+    });
+    g.finish();
+}
+
+fn bench_bands(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bands");
+    let params = AlgoParams::from_epsilon(1.0).unwrap();
+    // A realistically full structure: ~64 jobs across 4 decades of density.
+    let mut bands = DensityBands::new(params.c(), 0.9 * 512.0);
+    let mut rng = Rng64::seed_from(3);
+    for i in 0..64u32 {
+        let d = 10f64.powf(rng.gen_f64_range(-2.0, 2.0));
+        bands.insert(JobId(i), d, 1 + rng.gen_range(8) as u32);
+    }
+    g.bench_function("fits/64jobs", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            bands.fits(0.5 + (i % 100) as f64 / 25.0, 4)
+        })
+    });
+    g.bench_function("insert+remove/64jobs", |b| {
+        b.iter_batched(
+            || bands.clone(),
+            |mut bd| {
+                bd.insert(JobId(999), 1.5, 3);
+                bd.remove(JobId(999))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_dag(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dag");
+    g.bench_function("gen/fig1/m64", |b| b.iter(|| gen::fig1(64, 100, 1)));
+    g.bench_function("gen/layered", |b| {
+        let mut rng = Rng64::seed_from(9);
+        b.iter(|| gen::layered_random(&mut rng, 8, (4, 16), (1, 9), 0.3))
+    });
+    let spec = gen::fig1(16, 200, 1).into_shared();
+    g.throughput(Throughput::Elements(spec.total_work().units()));
+    g.bench_function("unfold/fig1-drain", |b| {
+        b.iter_batched(
+            || UnfoldState::new(spec.clone(), 1),
+            |mut st| {
+                while !st.is_complete() {
+                    let nodes = st.ready_prefix(16);
+                    for n in nodes {
+                        st.advance(n, u64::MAX);
+                    }
+                }
+                st.completed_nodes()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(1));
+    let mut rng = Rng64::seed_from(1);
+    g.bench_function("next_u64", |b| b.iter(|| rng.next_u64()));
+    g.bench_function("poisson_30", |b| b.iter(|| rng.poisson(30.0)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_bands, bench_dag, bench_rng);
+criterion_main!(benches);

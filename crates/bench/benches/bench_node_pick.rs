@@ -1,0 +1,19 @@
+//! Criterion target regenerating the `node_pick` experiment on its quick grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("node_pick");
+    g.sample_size(10);
+    g.bench_function("quick", |b| {
+        b.iter(|| {
+            let tables = dagsched_experiments::node_pick::run(true);
+            dagsched_bench::assert_tables(&tables);
+            tables
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion target regenerating the `profit_general` experiment on its quick grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("profit_general");
+    g.sample_size(10);
+    g.bench_function("quick", |b| {
+        b.iter(|| {
+            let tables = dagsched_experiments::profit_general::run(true);
+            dagsched_bench::assert_tables(&tables);
+            tables
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

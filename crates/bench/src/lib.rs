@@ -1,0 +1,19 @@
+//! # dagsched-bench
+//!
+//! Criterion benchmark harness. One bench target per paper artifact
+//! (`bench_fig1` … `bench_ablation` run the quick-grid experiment end to
+//! end, so `cargo bench` regenerates a reduced version of every table), plus
+//! `bench_micro` for the hot paths: engine ticks, the density-band admission
+//! structure, DAG generation/unfolding and the PRNG.
+
+#![warn(missing_docs)]
+
+/// Convenience used by the per-experiment benches: assert the experiment
+/// produced at least one non-empty table (so a benchmark cannot silently
+/// measure a no-op).
+pub fn assert_tables(tables: &[dagsched_metrics::Table]) {
+    assert!(!tables.is_empty());
+    for t in tables {
+        assert!(!t.is_empty(), "{} is empty", t.title());
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Errors raised by dagsched crates.
+///
+/// The workspace is a simulator, not a service: errors indicate *misuse*
+/// (invalid construction parameters, malformed instances) rather than runtime
+/// faults, so a single flat enum keeps matching simple for callers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// A [`Speed`](crate::Speed) with a zero numerator or denominator.
+    InvalidSpeed {
+        /// Offending numerator.
+        num: u32,
+        /// Offending denominator.
+        den: u32,
+    },
+    /// Algorithm parameters violating the paper's constraints
+    /// (e.g. `δ ≥ ε/2` or a non-positive charging margin).
+    InvalidParams(String),
+    /// A DAG failed validation (cycle, dangling edge, zero-work node, ...).
+    InvalidDag(String),
+    /// A workload instance failed validation (unsorted arrivals, bad profit
+    /// function, zero processors, ...).
+    InvalidInstance(String),
+    /// A scheduler returned an allocation the engine cannot honour
+    /// (over-subscribed processors, unknown job, ...).
+    InvalidAllocation(String),
+    /// Text (de)serialization of an instance failed.
+    Codec(String),
+    /// An experiment/bound computation was asked for something unsupported
+    /// (e.g. exact OPT on an instance that is too large).
+    Unsupported(String),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::InvalidSpeed { num, den } => {
+                write!(f, "invalid speed {num}/{den}: both parts must be positive")
+            }
+            SchedError::InvalidParams(msg) => write!(f, "invalid algorithm parameters: {msg}"),
+            SchedError::InvalidDag(msg) => write!(f, "invalid DAG: {msg}"),
+            SchedError::InvalidInstance(msg) => write!(f, "invalid instance: {msg}"),
+            SchedError::InvalidAllocation(msg) => write!(f, "invalid allocation: {msg}"),
+            SchedError::Codec(msg) => write!(f, "codec error: {msg}"),
+            SchedError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SchedError::InvalidSpeed { num: 0, den: 3 };
+        assert!(e.to_string().contains("0/3"));
+        let e = SchedError::InvalidDag("cycle through n2".into());
+        assert!(e.to_string().contains("cycle through n2"));
+        let e = SchedError::InvalidParams("delta too large".into());
+        assert!(e.to_string().contains("delta too large"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<SchedError>();
+    }
+}

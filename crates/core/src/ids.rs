@@ -1,0 +1,85 @@
+//! Identifiers for jobs and DAG nodes.
+//!
+//! Both are `u32` newtypes: a job index within an instance, and a node index
+//! *within one job's DAG*. Keeping them distinct types prevents the classic
+//! bug of indexing a job table with a node id (and vice versa), at zero cost.
+
+use std::fmt;
+
+/// Identifier of a job within an [`Instance`](https://docs.rs/dagsched-workload).
+///
+/// Ids are dense: workload generators assign `0..n` in arrival order, and the
+/// engine uses them to index per-job state vectors directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u32);
+
+/// Identifier of a node within a single job's DAG (dense, `0..num_nodes`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl JobId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for JobId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        JobId(v)
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_and_display() {
+        assert_eq!(JobId(3).index(), 3);
+        assert_eq!(NodeId(9).index(), 9);
+        assert_eq!(JobId(3).to_string(), "J3");
+        assert_eq!(NodeId(9).to_string(), "n9");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(JobId(2) < JobId(10));
+        assert!(NodeId(0) < NodeId(1));
+    }
+
+    #[test]
+    fn from_u32() {
+        assert_eq!(JobId::from(5u32), JobId(5));
+        assert_eq!(NodeId::from(7u32), NodeId(7));
+    }
+}

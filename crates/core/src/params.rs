@@ -1,0 +1,381 @@
+//! The paper's constants (Tables 1–3) and allotment formulas.
+//!
+//! Theorem 2 parameterizes scheduler **S** by a constant `ε > 0` and derives:
+//!
+//! | symbol | definition | role |
+//! |--------|------------|------|
+//! | `δ`    | any value `< ε/2` | freshness slack |
+//! | `c`    | `≥ 1 + 1/(δε)`    | density band width |
+//! | `b`    | `√((1+2δ)/(1+ε)) < 1` | capacity head-room factor |
+//! | `a`    | `1 + (1+2δ)/(ε−2δ)`   | processor-step inflation (Lemma 3) |
+//!
+//! Per job the algorithm computes an allotment
+//! `n_i = (W_i−L_i)/(D_i/(1+2δ) − L_i)`, a budgeted execution time
+//! `x_i = (W_i−L_i)/n_i + L_i` and a density `v_i = p_i/(x_i n_i)`.
+//!
+//! ### A note on the charging margin
+//!
+//! Lemma 5 lower-bounds the credit each started job keeps by
+//! `(1−b)/b − 1/((c−1)δ)` and the paper identifies `(1−b)/b` with `ε`.
+//! That identification only holds up to constants (for `ε = 1, δ = 1/4`,
+//! `(1−b)/b ≈ 0.155`). We therefore expose the *exact* margin
+//! [`AlgoParams::charge_margin`] and, in [`AlgoParams::from_epsilon`], pick
+//! `c` large enough that the exact margin is at least half of `(1−b)/b`,
+//! which keeps every downstream bound positive for all `ε ∈ (0, 2]`.
+
+use crate::error::SchedError;
+
+/// Validated constants `(ε, δ, c)` with the derived `b` and `a`.
+///
+/// Construct with [`AlgoParams::new`] for full control or
+/// [`AlgoParams::from_epsilon`] for the paper's recommended settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlgoParams {
+    epsilon: f64,
+    delta: f64,
+    c: f64,
+    b: f64,
+    a: f64,
+}
+
+impl AlgoParams {
+    /// Create parameters, validating every constraint from Table 1.
+    ///
+    /// Requirements: `ε > 0`, `0 < δ < ε/2`, `c ≥ 1 + 1/(δε)`, and the exact
+    /// charging margin `(1−b)/b − 1/((c−1)δ)` must be positive.
+    pub fn new(epsilon: f64, delta: f64, c: f64) -> Result<AlgoParams, SchedError> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(SchedError::InvalidParams(format!(
+                "epsilon must be positive and finite, got {epsilon}"
+            )));
+        }
+        if !delta.is_finite() || delta <= 0.0 || delta >= epsilon / 2.0 {
+            return Err(SchedError::InvalidParams(format!(
+                "delta must satisfy 0 < delta < epsilon/2 = {}, got {delta}",
+                epsilon / 2.0
+            )));
+        }
+        if !c.is_finite() || c < 1.0 + 1.0 / (delta * epsilon) {
+            return Err(SchedError::InvalidParams(format!(
+                "c must be >= 1 + 1/(delta*epsilon) = {}, got {c}",
+                1.0 + 1.0 / (delta * epsilon)
+            )));
+        }
+        let b = ((1.0 + 2.0 * delta) / (1.0 + epsilon)).sqrt();
+        debug_assert!(b < 1.0, "delta < epsilon/2 implies b < 1");
+        let a = 1.0 + (1.0 + 2.0 * delta) / (epsilon - 2.0 * delta);
+        let params = AlgoParams {
+            epsilon,
+            delta,
+            c,
+            b,
+            a,
+        };
+        if params.charge_margin() <= 0.0 {
+            return Err(SchedError::InvalidParams(format!(
+                "charging margin (1-b)/b - 1/((c-1)delta) = {} is not positive; \
+                 increase c (need c > {})",
+                params.charge_margin(),
+                1.0 + b / ((1.0 - b) * delta)
+            )));
+        }
+        Ok(params)
+    }
+
+    /// The paper's recommended instantiation for a given `ε`:
+    /// `δ = ε/4` and the smallest `c` that (a) satisfies `c ≥ 1 + 1/(δε)`
+    /// and (b) leaves half of the `(1−b)/b` credit as charging margin.
+    pub fn from_epsilon(epsilon: f64) -> Result<AlgoParams, SchedError> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(SchedError::InvalidParams(format!(
+                "epsilon must be positive and finite, got {epsilon}"
+            )));
+        }
+        let delta = epsilon / 4.0;
+        let b = ((1.0 + 2.0 * delta) / (1.0 + epsilon)).sqrt();
+        let c_paper = 1.0 + 1.0 / (delta * epsilon);
+        // Margin (1-b)/b - 1/((c-1)δ) >= (1-b)/(2b)  <=>  c >= 1 + 2b/((1-b)δ).
+        let c_margin = 1.0 + 2.0 * b / ((1.0 - b) * delta);
+        AlgoParams::new(epsilon, delta, c_paper.max(c_margin))
+    }
+
+    /// The deadline-slack constant `ε` of Theorem 2.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The freshness constant `δ < ε/2`.
+    #[inline]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The density band width `c`.
+    #[inline]
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// The capacity head-room factor `b = √((1+2δ)/(1+ε)) < 1`.
+    #[inline]
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// The processor-step inflation `a = 1 + (1+2δ)/(ε−2δ)` (Lemma 3).
+    #[inline]
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Exact Lemma 5 credit margin `(1−b)/b − 1/((c−1)δ)`.
+    ///
+    /// `‖C‖ ≥ charge_margin() · ‖R‖`: completed profit is at least this
+    /// fraction of started profit. Guaranteed positive by construction.
+    pub fn charge_margin(&self) -> f64 {
+        (1.0 - self.b) / self.b - 1.0 / ((self.c - 1.0) * self.delta)
+    }
+
+    /// Lemma 9 factor: `‖C^O‖ ≤ opt_vs_started() · ‖R‖` (throughput case).
+    pub fn opt_vs_started(&self) -> f64 {
+        1.0 + self.a * self.c * (1.0 + 2.0 * self.delta) / (self.delta * self.b * (1.0 - self.b))
+    }
+
+    /// The end-to-end competitive ratio of Lemma 10 / Theorem 2
+    /// (throughput): `‖C^O‖ ≤ ratio · ‖C‖`. This is the `O(1/ε⁶)` constant.
+    pub fn throughput_competitive_ratio(&self) -> f64 {
+        self.opt_vs_started() / self.charge_margin()
+    }
+
+    /// Lemma 21 factor for the general-profit case (the `2(1+2δ)` variant).
+    pub fn profit_opt_vs_started(&self) -> f64 {
+        1.0 + self.a * self.c * 2.0 * (1.0 + 2.0 * self.delta)
+            / (self.delta * self.b * (1.0 - self.b))
+    }
+
+    /// Lemma 22 competitive ratio for general profit functions (Theorem 3).
+    pub fn profit_competitive_ratio(&self) -> f64 {
+        self.profit_opt_vs_started() / self.charge_margin()
+    }
+
+    /// `δ`-good threshold: a job is δ-good iff `D_i ≥ (1+2δ) x_i`.
+    #[inline]
+    pub fn good_factor(&self) -> f64 {
+        1.0 + 2.0 * self.delta
+    }
+
+    /// `δ`-fresh threshold: at time `t`, fresh iff `d_i − t ≥ (1+δ) x_i`.
+    #[inline]
+    pub fn fresh_factor(&self) -> f64 {
+        1.0 + self.delta
+    }
+
+    /// The paper's fractional allotment
+    /// `n_i = (W_i − L_i) / (D_i/(1+2δ) − L_i)`.
+    ///
+    /// Returns `None` if the denominator is non-positive, i.e. the deadline is
+    /// too tight even for infinite parallelism under the (1+2δ) contraction —
+    /// such a job cannot be δ-good and is rejected by the scheduler.
+    /// A fully sequential job (`W == L`) yields `Some(0.0)`; callers allocate
+    /// `max(1, ceil(n))` actual processors.
+    pub fn raw_allotment(&self, work: f64, span: f64, rel_deadline: f64) -> Option<f64> {
+        let denom = rel_deadline / self.good_factor() - span;
+        if denom <= 0.0 {
+            return None;
+        }
+        Some((work - span) / denom)
+    }
+
+    /// Budgeted execution time `x_i = (W_i − L_i)/n_i + L_i` for an integral
+    /// allotment `n_i ≥ 1` (Observation 2: `n_i` dedicated processors finish
+    /// the job within `x_i` ticks regardless of node order).
+    pub fn x_time(work: f64, span: f64, allotment: u32) -> f64 {
+        debug_assert!(allotment >= 1);
+        (work - span) / allotment as f64 + span
+    }
+
+    /// Lower bound on any 1-speed schedule's completion time for a DAG job:
+    /// `max{L, W/m}` — and the paper's stronger per-job benchmark
+    /// `(W−L)/m + L` which any greedy (work-conserving) schedule achieves.
+    pub fn brent_time(work: f64, span: f64, m: u32) -> f64 {
+        (work - span) / m as f64 + span
+    }
+
+    /// Theorem 2's deadline condition: `D_i ≥ (1+ε)((W−L)/m + L)`.
+    pub fn theorem2_min_deadline(&self, work: f64, span: f64, m: u32) -> f64 {
+        (1.0 + self.epsilon) * Self::brent_time(work, span, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(eps: f64) -> AlgoParams {
+        AlgoParams::from_epsilon(eps).unwrap()
+    }
+
+    #[test]
+    fn from_epsilon_satisfies_all_table1_constraints() {
+        for eps in [0.1, 0.25, 0.5, 1.0, 1.5, 2.0, 4.0] {
+            let p = params(eps);
+            assert!(
+                p.delta() > 0.0 && p.delta() < eps / 2.0,
+                "delta for eps={eps}"
+            );
+            assert!(
+                p.c() >= 1.0 + 1.0 / (p.delta() * eps) - 1e-9,
+                "c for eps={eps}"
+            );
+            assert!(p.b() > 0.0 && p.b() < 1.0, "b in (0,1) for eps={eps}");
+            let b_expected = ((1.0 + 2.0 * p.delta()) / (1.0 + eps)).sqrt();
+            assert!((p.b() - b_expected).abs() < 1e-12);
+            let a_expected = 1.0 + (1.0 + 2.0 * p.delta()) / (eps - 2.0 * p.delta());
+            assert!((p.a() - a_expected).abs() < 1e-12);
+            assert!(p.charge_margin() > 0.0, "margin positive for eps={eps}");
+            assert!(
+                p.charge_margin() >= (1.0 - p.b()) / p.b() / 2.0 - 1e-9,
+                "margin is at least half of (1-b)/b for eps={eps}"
+            );
+        }
+    }
+
+    #[test]
+    fn new_rejects_bad_inputs() {
+        assert!(AlgoParams::new(0.0, 0.1, 100.0).is_err());
+        assert!(AlgoParams::new(-1.0, 0.1, 100.0).is_err());
+        assert!(AlgoParams::new(f64::NAN, 0.1, 100.0).is_err());
+        assert!(AlgoParams::new(1.0, 0.5, 100.0).is_err(), "delta = eps/2");
+        assert!(AlgoParams::new(1.0, 0.6, 100.0).is_err(), "delta > eps/2");
+        assert!(AlgoParams::new(1.0, 0.0, 100.0).is_err(), "delta = 0");
+        // c below the paper's floor 1 + 1/(delta*eps) = 5.
+        assert!(AlgoParams::new(1.0, 0.25, 4.9).is_err());
+        // c at the floor but margin non-positive: eps=1, delta=0.25 gives
+        // b ~ .866, (1-b)/b ~ .1547, need 1/((c-1)*.25) < .1547 => c > 26.86.
+        assert!(AlgoParams::new(1.0, 0.25, 10.0).is_err());
+        assert!(AlgoParams::new(1.0, 0.25, 30.0).is_ok());
+        assert!(AlgoParams::from_epsilon(0.0).is_err());
+        assert!(AlgoParams::from_epsilon(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn competitive_ratio_grows_as_inverse_poly_of_epsilon() {
+        // Theorem 2 gives O(1/eps^6): the ratio must be monotone decreasing
+        // in eps and bounded by K/eps^6 for a single constant K over a sweep.
+        let mut prev = f64::INFINITY;
+        let mut k_max: f64 = 0.0;
+        for eps in [0.1, 0.2, 0.4, 0.8, 1.0, 1.6, 2.0] {
+            let p = params(eps);
+            let ratio = p.throughput_competitive_ratio();
+            assert!(ratio.is_finite() && ratio > 1.0);
+            assert!(ratio < prev, "ratio should shrink as eps grows");
+            prev = ratio;
+            k_max = k_max.max(ratio * eps.powi(6));
+        }
+        // K exists (finite); sanity: the eps=0.1 point dominates.
+        assert!(k_max.is_finite());
+        let p = params(0.1);
+        assert!(p.throughput_competitive_ratio() <= k_max / 0.1f64.powi(6) + 1.0);
+    }
+
+    #[test]
+    fn profit_ratio_dominates_throughput_ratio() {
+        for eps in [0.25, 0.5, 1.0, 2.0] {
+            let p = params(eps);
+            assert!(
+                p.profit_competitive_ratio() > p.throughput_competitive_ratio(),
+                "the 2(1+2δ) variant is strictly weaker"
+            );
+        }
+    }
+
+    /// Lemma 1: if `D ≥ (1+ε)((W−L)/m + L)` then `n_i ≤ b²m` (as a real).
+    #[test]
+    fn lemma1_allotment_bound() {
+        let p = params(0.5);
+        for m in [2u32, 4, 16, 64] {
+            for (w, l) in [
+                (1000.0, 10.0),
+                (1000.0, 999.0),
+                (64.0, 1.0),
+                (5000.0, 2500.0),
+            ] {
+                let d = p.theorem2_min_deadline(w, l, m);
+                let n = p.raw_allotment(w, l, d).expect("deadline is feasible");
+                assert!(
+                    n <= p.b() * p.b() * m as f64 + 1e-9,
+                    "n={n} > b^2 m={} for W={w} L={l} m={m}",
+                    p.b() * p.b() * m as f64
+                );
+            }
+        }
+    }
+
+    /// Lemma 2: every job with the Theorem-2 deadline is δ-good,
+    /// i.e. `x_i (1+2δ) ≤ D_i`, using the *fractional* allotment.
+    #[test]
+    fn lemma2_delta_good() {
+        let p = params(1.0);
+        for m in [2u32, 8, 32] {
+            for (w, l) in [(300.0, 3.0), (100.0, 50.0), (10.0, 9.0)] {
+                let d = p.theorem2_min_deadline(w, l, m);
+                let n = p.raw_allotment(w, l, d).unwrap();
+                // fractional x = (W-L)/n + L (guard n=0 for sequential jobs)
+                let x = if n > 0.0 { (w - l) / n + l } else { l };
+                assert!(
+                    x * p.good_factor() <= d + 1e-6,
+                    "x(1+2δ)={} > D={d}",
+                    x * p.good_factor()
+                );
+            }
+        }
+    }
+
+    /// Lemma 3: `x_i n_i ≤ a W_i` with the fractional allotment.
+    #[test]
+    fn lemma3_processor_step_inflation() {
+        let p = params(0.75);
+        for m in [4u32, 12] {
+            for (w, l) in [(400.0, 4.0), (400.0, 100.0), (400.0, 399.0)] {
+                let d = p.theorem2_min_deadline(w, l, m);
+                let n = p.raw_allotment(w, l, d).unwrap();
+                let xn = if n > 0.0 { (w - l) + n * l } else { l };
+                assert!(
+                    xn <= p.a() * w + 1e-6,
+                    "x*n = {xn} exceeds aW = {}",
+                    p.a() * w
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn raw_allotment_edge_cases() {
+        let p = params(0.5);
+        // Deadline too tight: denominator <= 0.
+        assert_eq!(p.raw_allotment(100.0, 50.0, 50.0), None);
+        // Fully sequential job: zero fractional allotment.
+        let d = p.theorem2_min_deadline(50.0, 50.0, 8);
+        assert_eq!(p.raw_allotment(50.0, 50.0, d), Some(0.0));
+        // Embarrassingly parallel job gets close to b^2 m.
+        let d = p.theorem2_min_deadline(1000.0, 1.0, 10);
+        let n = p.raw_allotment(1000.0, 1.0, d).unwrap();
+        assert!(n > 1.0);
+    }
+
+    #[test]
+    fn brent_time_and_x_time() {
+        assert_eq!(AlgoParams::brent_time(100.0, 10.0, 10), 19.0);
+        assert_eq!(AlgoParams::x_time(100.0, 10.0, 5), 28.0);
+        // With allotment 1, x = W.
+        assert_eq!(AlgoParams::x_time(100.0, 10.0, 1), 100.0);
+    }
+
+    #[test]
+    fn good_and_fresh_factors() {
+        let p = params(1.0);
+        assert!((p.good_factor() - 1.5).abs() < 1e-12); // 1 + 2*0.25
+        assert!((p.fresh_factor() - 1.25).abs() < 1e-12); // 1 + 0.25
+    }
+}

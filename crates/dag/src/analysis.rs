@@ -1,0 +1,202 @@
+//! Structural analysis of DAG jobs beyond work and span.
+//!
+//! The headline tool is the **parallelism profile**: the number of nodes
+//! executing at each instant of an ideal (infinitely parallel, unit-speed)
+//! execution. Its length is the span, its integral is the work, and its
+//! peak is the maximum exploitable parallelism — the quantity that decides
+//! whether scheduler S's fixed allotment `n_i` fits a job well.
+
+use crate::spec::DagJobSpec;
+use crate::unfold::UnfoldState;
+use dagsched_core::{NodeId, Work};
+use std::sync::Arc;
+
+/// Per-tick executing-node counts of the ideal greedy execution
+/// (all ready nodes advance one unit per tick).
+///
+/// Guarantees: `profile.len() == span` and `profile.iter().sum() == work`.
+pub fn parallelism_profile(spec: &Arc<DagJobSpec>) -> Vec<u64> {
+    let mut st = UnfoldState::new(spec.clone(), 1);
+    let mut profile = Vec::with_capacity(spec.span().units() as usize);
+    while !st.is_complete() {
+        let ready: Vec<NodeId> = st.ready_iter().collect();
+        profile.push(ready.len() as u64);
+        for n in ready {
+            st.advance(n, 1);
+        }
+    }
+    profile
+}
+
+/// The peak of the parallelism profile — the maximum number of nodes that
+/// can usefully run at once.
+pub fn max_parallelism(spec: &Arc<DagJobSpec>) -> u64 {
+    parallelism_profile(spec).into_iter().max().unwrap_or(0)
+}
+
+/// In-/out-degree statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegreeStats {
+    /// Largest number of predecessors of any node.
+    pub max_in: u32,
+    /// Largest number of successors of any node.
+    pub max_out: u32,
+    /// Nodes with no predecessors.
+    pub sources: u32,
+    /// Nodes with no successors.
+    pub sinks: u32,
+}
+
+/// Compute degree statistics.
+pub fn degree_stats(spec: &DagJobSpec) -> DegreeStats {
+    let n = spec.num_nodes() as u32;
+    let mut max_in = 0;
+    let mut max_out = 0;
+    let mut sources = 0;
+    let mut sinks = 0;
+    for i in 0..n {
+        let v = NodeId(i);
+        let ind = spec.pred_count(v);
+        let outd = spec.successors(v).len() as u32;
+        max_in = max_in.max(ind);
+        max_out = max_out.max(outd);
+        if ind == 0 {
+            sources += 1;
+        }
+        if outd == 0 {
+            sinks += 1;
+        }
+    }
+    DegreeStats {
+        max_in,
+        max_out,
+        sources,
+        sinks,
+    }
+}
+
+/// Longest work-weighted path *ending* at each node (inclusive); the
+/// complement of [`DagJobSpec::height`]. A node lies on a critical path
+/// iff `depth(v) + height(v) − work(v) == span`.
+pub fn depths(spec: &DagJobSpec) -> Vec<Work> {
+    let mut depth = vec![0u64; spec.num_nodes()];
+    for &v in spec.topo_order() {
+        let w = spec.node_work(v).units();
+        let base = depth[v.index()].max(w);
+        depth[v.index()] = base;
+        for &s in spec.successors(v) {
+            let cand = base + spec.node_work(s).units();
+            if cand > depth[s.index()] {
+                depth[s.index()] = cand;
+            }
+        }
+    }
+    depth.into_iter().map(Work).collect()
+}
+
+/// Ids of all critical-path nodes.
+pub fn critical_nodes(spec: &DagJobSpec) -> Vec<NodeId> {
+    let d = depths(spec);
+    let span = spec.span().units();
+    (0..spec.num_nodes() as u32)
+        .map(NodeId)
+        .filter(|&v| {
+            d[v.index()].units() + spec.height(v).units() - spec.node_work(v).units() == span
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn profile_invariants_for_primitives() {
+        for dag in [
+            gen::chain(6, 2).into_shared(),
+            gen::block(9, 3).into_shared(),
+            gen::diamond(4, 2).into_shared(),
+            gen::fig1(4, 10, 1).into_shared(),
+            gen::fork_join(3, 5, 2).into_shared(),
+        ] {
+            let p = parallelism_profile(&dag);
+            assert_eq!(p.len() as u64, dag.span().units(), "profile length = span");
+            assert_eq!(
+                p.iter().sum::<u64>(),
+                dag.total_work().units(),
+                "profile integral = work"
+            );
+            assert!(p.iter().all(|&c| c >= 1), "never idle before completion");
+        }
+    }
+
+    #[test]
+    fn chain_profile_is_flat_one() {
+        let dag = gen::chain(5, 3).into_shared();
+        assert_eq!(parallelism_profile(&dag), vec![1; 15]);
+        assert_eq!(max_parallelism(&dag), 1);
+    }
+
+    #[test]
+    fn block_profile_is_width_then_done() {
+        let dag = gen::block(7, 2).into_shared();
+        assert_eq!(parallelism_profile(&dag), vec![7, 7]);
+        assert_eq!(max_parallelism(&dag), 7);
+    }
+
+    #[test]
+    fn fig1_profile_shape() {
+        // Chain (len c) beside a block of (m-1)c unit nodes: for the first
+        // tick everything is ready; block drains in one tick under infinite
+        // processors, then the chain continues alone.
+        let dag = gen::fig1(4, 5, 1).into_shared();
+        let p = parallelism_profile(&dag);
+        assert_eq!(p[0], 1 + 15); // chain head + whole block
+        assert!(p[1..].iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn degree_stats_for_diamond() {
+        let dag = gen::diamond(6, 2);
+        let s = degree_stats(&dag);
+        assert_eq!(s.max_out, 6);
+        assert_eq!(s.max_in, 6);
+        assert_eq!(s.sources, 1);
+        assert_eq!(s.sinks, 1);
+        let s = degree_stats(&gen::block(4, 1));
+        assert_eq!(s.sources, 4);
+        assert_eq!(s.sinks, 4);
+        assert_eq!(s.max_in, 0);
+        assert_eq!(s.max_out, 0);
+    }
+
+    #[test]
+    fn depths_mirror_heights() {
+        let dag = gen::fig2(4, 8, 2);
+        let d = depths(&dag);
+        // depth of head = its own work; depth of any block node = span.
+        assert_eq!(d[0], Work(2));
+        assert_eq!(d[5].units(), dag.span().units());
+        // depth + height − work is at most span everywhere.
+        for i in 0..dag.num_nodes() as u32 {
+            let v = NodeId(i);
+            let through = d[v.index()].units() + dag.height(v).units() - dag.node_work(v).units();
+            assert!(through <= dag.span().units());
+        }
+    }
+
+    #[test]
+    fn critical_nodes_of_fig1_are_the_chain() {
+        let dag = gen::fig1(4, 6, 1);
+        let crit = critical_nodes(&dag);
+        // The chain occupies ids 0..6.
+        assert_eq!(crit, (0..6).map(NodeId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn critical_nodes_of_a_block_are_all() {
+        let dag = gen::block(5, 2);
+        assert_eq!(critical_nodes(&dag).len(), 5);
+    }
+}

@@ -1,0 +1,337 @@
+//! HPC task-graph generators: the DAG shapes produced by real parallel
+//! linear-algebra and stencil codes (the programs the paper's introduction
+//! motivates — Cilk/TBB/OpenMP task graphs).
+//!
+//! * [`cholesky`] — right-looking tiled Cholesky factorization
+//!   (POTRF/TRSM/SYRK/GEMM over a `T×T` lower-triangular tile grid);
+//! * [`lu`] — tiled LU without pivoting (GETRF/TRSM/GEMM);
+//! * [`stencil`] — a 1-D stencil iterated over time steps (each cell
+//!   depends on its neighbours in the previous step);
+//! * [`wavefront`] — a 2-D dependency sweep (Smith-Waterman-like): node
+//!   `(i, j)` depends on `(i−1, j)` and `(i, j−1)`.
+//!
+//! Every generator documents its exact node count and (where closed-form)
+//! span, and the tests pin both.
+
+use crate::spec::{DagBuilder, DagJobSpec};
+use dagsched_core::{NodeId, Work};
+
+/// Relative kernel costs for the factorization generators, in work units
+/// per node. The defaults approximate tile-flop ratios (`GEMM` dominating).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelCosts {
+    /// Diagonal factorization kernel (POTRF/GETRF).
+    pub factor: u64,
+    /// Triangular solve kernel (TRSM).
+    pub solve: u64,
+    /// Symmetric rank-k / trailing update on the diagonal (SYRK).
+    pub update_diag: u64,
+    /// General update (GEMM).
+    pub update: u64,
+}
+
+impl Default for KernelCosts {
+    fn default() -> KernelCosts {
+        KernelCosts {
+            factor: 1,
+            solve: 3,
+            update_diag: 3,
+            update: 6,
+        }
+    }
+}
+
+/// Tiled Cholesky factorization DAG over a `tiles × tiles` matrix.
+///
+/// Node counts: `T` POTRF, `T(T−1)/2` TRSM, `T(T−1)/2` SYRK and
+/// `T(T−1)(T−2)/6` GEMM nodes. The critical path alternates
+/// POTRF→TRSM→SYRK along the diagonal.
+///
+/// # Panics
+/// If `tiles == 0`.
+pub fn cholesky(tiles: u32, costs: KernelCosts) -> DagJobSpec {
+    assert!(tiles >= 1, "need at least one tile");
+    let t = tiles as usize;
+    let mut b = DagBuilder::new();
+    // last_write[i][j] for the lower triangle (i >= j).
+    let mut last: Vec<Vec<Option<NodeId>>> = vec![vec![None; t]; t];
+    let dep = |b: &mut DagBuilder, from: Option<NodeId>, to: NodeId| {
+        if let Some(f) = from {
+            b.add_edge(f, to).expect("builder accepts valid edges");
+        }
+    };
+    for k in 0..t {
+        let potrf = b.add_node(Work(costs.factor));
+        dep(&mut b, last[k][k], potrf);
+        last[k][k] = Some(potrf);
+        for row in last.iter_mut().take(t).skip(k + 1) {
+            let trsm = b.add_node(Work(costs.solve));
+            dep(&mut b, Some(potrf), trsm);
+            dep(&mut b, row[k], trsm);
+            row[k] = Some(trsm);
+        }
+        for i in (k + 1)..t {
+            for j in (k + 1)..=i {
+                let node = if j == i {
+                    let syrk = b.add_node(Work(costs.update_diag));
+                    dep(&mut b, last[i][k], syrk); // TRSM(i,k)
+                    syrk
+                } else {
+                    let gemm = b.add_node(Work(costs.update));
+                    dep(&mut b, last[i][k], gemm); // TRSM(i,k)
+                    dep(&mut b, last[j][k], gemm); // TRSM(j,k)
+                    gemm
+                };
+                dep(&mut b, last[i][j], node);
+                last[i][j] = Some(node);
+            }
+        }
+    }
+    b.build().expect("cholesky DAG is acyclic by construction")
+}
+
+/// Tiled LU factorization (no pivoting) over a `tiles × tiles` matrix.
+///
+/// Node counts: `T` GETRF, `T(T−1)` TRSM (row + column panels) and
+/// `Σ_{k<T} (T−1−k)²` GEMM nodes.
+///
+/// # Panics
+/// If `tiles == 0`.
+pub fn lu(tiles: u32, costs: KernelCosts) -> DagJobSpec {
+    assert!(tiles >= 1, "need at least one tile");
+    let t = tiles as usize;
+    let mut b = DagBuilder::new();
+    let mut last: Vec<Vec<Option<NodeId>>> = vec![vec![None; t]; t];
+    let dep = |b: &mut DagBuilder, from: Option<NodeId>, to: NodeId| {
+        if let Some(f) = from {
+            b.add_edge(f, to).expect("builder accepts valid edges");
+        }
+    };
+    for k in 0..t {
+        let getrf = b.add_node(Work(costs.factor));
+        dep(&mut b, last[k][k], getrf);
+        last[k][k] = Some(getrf);
+        // Column panel below and row panel right of the diagonal tile.
+        #[allow(clippy::needless_range_loop)] // i indexes both last[i][k] and last[k][i]
+        for i in (k + 1)..t {
+            let col = b.add_node(Work(costs.solve));
+            dep(&mut b, Some(getrf), col);
+            dep(&mut b, last[i][k], col);
+            last[i][k] = Some(col);
+
+            let row_panel = b.add_node(Work(costs.solve));
+            dep(&mut b, Some(getrf), row_panel);
+            dep(&mut b, last[k][i], row_panel);
+            last[k][i] = Some(row_panel);
+        }
+        // Trailing submatrix updates.
+        for i in (k + 1)..t {
+            for j in (k + 1)..t {
+                let gemm = b.add_node(Work(costs.update));
+                dep(&mut b, last[i][k], gemm);
+                dep(&mut b, last[k][j], gemm);
+                dep(&mut b, last[i][j], gemm);
+                last[i][j] = Some(gemm);
+            }
+        }
+    }
+    b.build().expect("LU DAG is acyclic by construction")
+}
+
+/// A 1-D stencil of `width` cells iterated for `steps` time steps: cell
+/// `(x, s)` depends on `(x−1, s−1)`, `(x, s−1)` and `(x+1, s−1)`.
+///
+/// `width·steps` nodes; span = `steps·node_work` exactly.
+///
+/// # Panics
+/// If any dimension is zero.
+pub fn stencil(width: u32, steps: u32, node_work: u64) -> DagJobSpec {
+    assert!(width >= 1 && steps >= 1 && node_work >= 1);
+    let (w, s) = (width as usize, steps as usize);
+    let mut b = DagBuilder::with_capacity(w * s, 3 * w * s);
+    let mut prev_row: Vec<NodeId> = Vec::with_capacity(w);
+    for step in 0..s {
+        let row: Vec<NodeId> = (0..w).map(|_| b.add_node(Work(node_work))).collect();
+        if step > 0 {
+            for (x, &node) in row.iter().enumerate() {
+                for dx in [-1i64, 0, 1] {
+                    let nx = x as i64 + dx;
+                    if (0..w as i64).contains(&nx) {
+                        b.add_edge(prev_row[nx as usize], node)
+                            .expect("valid stencil edge");
+                    }
+                }
+            }
+        }
+        prev_row = row;
+    }
+    b.build().expect("stencil DAG is acyclic by construction")
+}
+
+/// A 2-D wavefront over an `rows × cols` grid: node `(i, j)` depends on its
+/// upper and left neighbours.
+///
+/// `rows·cols` nodes; span = `(rows + cols − 1)·node_work` exactly.
+///
+/// # Panics
+/// If any dimension is zero.
+pub fn wavefront(rows: u32, cols: u32, node_work: u64) -> DagJobSpec {
+    assert!(rows >= 1 && cols >= 1 && node_work >= 1);
+    let (r, c) = (rows as usize, cols as usize);
+    let mut b = DagBuilder::with_capacity(r * c, 2 * r * c);
+    let mut grid: Vec<Vec<NodeId>> = Vec::with_capacity(r);
+    for i in 0..r {
+        let mut row = Vec::with_capacity(c);
+        for j in 0..c {
+            let node = b.add_node(Work(node_work));
+            if i > 0 {
+                b.add_edge(grid[i - 1][j], node).expect("valid edge");
+            }
+            if j > 0 {
+                b.add_edge(row[j - 1], node).expect("valid edge");
+            }
+            row.push(node);
+        }
+        grid.push(row);
+    }
+    b.build().expect("wavefront DAG is acyclic by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t64(t: u64) -> u64 {
+        t
+    }
+
+    #[test]
+    fn cholesky_node_counts_and_work() {
+        for tiles in [1u64, 2, 3, 5, 8] {
+            let d = cholesky(tiles as u32, KernelCosts::default());
+            let potrf = tiles;
+            let trsm = tiles * (tiles - 1) / 2;
+            let syrk = tiles * (tiles - 1) / 2;
+            let gemm = tiles * (tiles - 1) * tiles.saturating_sub(2) / 6;
+            assert_eq!(
+                d.num_nodes() as u64,
+                potrf + trsm + syrk + gemm,
+                "tiles={tiles}"
+            );
+            let c = KernelCosts::default();
+            assert_eq!(
+                d.total_work().units(),
+                potrf * c.factor + trsm * c.solve + syrk * c.update_diag + gemm * c.update
+            );
+            assert!(d.span() <= d.total_work());
+        }
+    }
+
+    #[test]
+    fn cholesky_critical_path_alternates_diagonal_kernels() {
+        // For T >= 2 the span includes at least one POTRF + TRSM + SYRK per
+        // diagonal step after the first: span >= factor + (T-1)(solve +
+        // update_diag + factor) with default costs... pin the exact value
+        // for small T where it's easy to verify by hand.
+        let c = KernelCosts::default();
+        let d = cholesky(2, c);
+        // POTRF(0) -> TRSM(1,0) -> SYRK(1,0) -> POTRF(1): 1+3+3+1 = 8.
+        assert_eq!(d.span(), Work(8));
+        let d = cholesky(3, c);
+        // One more TRSM/SYRK/POTRF round: 8 + 3 + 3 + 1 = 15... plus GEMM
+        // paths; the diagonal chain dominates: POTRF0,TRSM,SYRK,POTRF1,
+        // TRSM,SYRK,POTRF2 = 1+3+3+1+3+3+1 = 15. GEMM path: POTRF0, TRSM(2,0),
+        // GEMM(2,1,0), ... check machine result is 15 or higher via GEMM.
+        assert!(d.span().units() >= 15, "span {}", d.span());
+    }
+
+    #[test]
+    fn cholesky_parallelism_grows_with_tiles() {
+        let small = cholesky(3, KernelCosts::default());
+        let large = cholesky(10, KernelCosts::default());
+        assert!(large.parallelism() > small.parallelism());
+        assert!(large.parallelism() > 4.0, "{}", large.parallelism());
+    }
+
+    #[test]
+    fn lu_node_counts() {
+        for tiles in [1u64, 2, 4, 6] {
+            let d = lu(tiles as u32, KernelCosts::default());
+            let getrf = tiles;
+            let trsm = tiles * (tiles - 1); // row + col panels
+            let gemm: u64 = (0..tiles).map(|k| (tiles - 1 - k) * (tiles - 1 - k)).sum();
+            assert_eq!(d.num_nodes() as u64, getrf + trsm + gemm, "tiles={tiles}");
+            assert!(d.span() <= d.total_work());
+        }
+    }
+
+    #[test]
+    fn lu_single_tile_is_one_node() {
+        let d = lu(1, KernelCosts::default());
+        assert_eq!(d.num_nodes(), 1);
+        assert_eq!(d.total_work(), Work(1));
+    }
+
+    #[test]
+    fn stencil_span_is_exactly_steps() {
+        for (w, s, g) in [(1u32, 1u32, 2u64), (8, 5, 3), (16, 10, 1)] {
+            let d = stencil(w, s, g);
+            assert_eq!(d.num_nodes(), (w * s) as usize);
+            assert_eq!(d.span().units(), t64(s as u64) * g, "w={w} s={s}");
+            assert_eq!(d.total_work().units(), (w * s) as u64 * g);
+            // Parallelism ≈ width.
+            assert!((d.parallelism() - w as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wavefront_span_is_the_antidiagonal() {
+        for (r, c, g) in [(1u32, 1u32, 1u64), (4, 6, 2), (10, 10, 1)] {
+            let d = wavefront(r, c, g);
+            assert_eq!(d.num_nodes(), (r * c) as usize);
+            assert_eq!(d.span().units(), (r + c - 1) as u64 * g);
+            assert_eq!(d.sources().len(), 1, "only the corner starts ready");
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(
+            cholesky(5, KernelCosts::default()),
+            cholesky(5, KernelCosts::default())
+        );
+        assert_eq!(lu(4, KernelCosts::default()), lu(4, KernelCosts::default()));
+        assert_eq!(stencil(6, 4, 2), stencil(6, 4, 2));
+        assert_eq!(wavefront(5, 7, 1), wavefront(5, 7, 1));
+    }
+
+    #[test]
+    fn custom_costs_flow_through() {
+        let costs = KernelCosts {
+            factor: 10,
+            solve: 20,
+            update_diag: 30,
+            update: 40,
+        };
+        let d = cholesky(2, costs);
+        // 1 POTRF(k=0) + 1 TRSM + 1 SYRK + 1 POTRF(k=1) = 10+20+30+10.
+        assert_eq!(d.total_work(), Work(70));
+        assert_eq!(d.span(), Work(70), "T=2 cholesky is a pure chain");
+    }
+
+    #[test]
+    fn unfolding_an_hpc_dag_exposes_wavefront_parallelism() {
+        use crate::unfold::UnfoldState;
+        let d = wavefront(4, 4, 1).into_shared();
+        let mut st = UnfoldState::new(d, 1);
+        // Execute in BFS order; the ready set size follows the antidiagonal
+        // profile 1,2,3,4,3,2,1.
+        let mut max_ready = 0;
+        while !st.is_complete() {
+            max_ready = max_ready.max(st.ready_count());
+            let n = st.ready_prefix(1)[0];
+            st.advance(n, u64::MAX);
+        }
+        assert_eq!(max_ready, 4);
+    }
+}

@@ -1,0 +1,402 @@
+//! Immutable, validated DAG job descriptions.
+
+use dagsched_core::{NodeId, Result, SchedError, Work};
+use std::sync::Arc;
+
+/// A validated DAG job: node processing times plus precedence edges, with the
+/// quantities the theory needs precomputed at construction.
+///
+/// Immutable by design — the engine shares one spec (via [`Arc`]) across the
+/// algorithm run, the optimal-bound computation, and any number of replays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagJobSpec {
+    node_work: Vec<Work>,
+    /// Successor adjacency, sorted per node.
+    succs: Vec<Vec<NodeId>>,
+    /// Number of predecessors per node.
+    pred_count: Vec<u32>,
+    /// Total work `W` = Σ node works.
+    total_work: Work,
+    /// Critical-path length `L` (work-weighted longest path).
+    span: Work,
+    /// A topological order of all nodes.
+    topo: Vec<NodeId>,
+    /// `height[v]` = work-weighted longest path starting at `v` (inclusive).
+    /// A node is on a critical path iff its *depth + height* equals `L`;
+    /// the adversarial node-pick policy prefers low heights.
+    heights: Vec<Work>,
+}
+
+impl DagJobSpec {
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.node_work.len()
+    }
+
+    /// Processing time of one node.
+    #[inline]
+    pub fn node_work(&self, node: NodeId) -> Work {
+        self.node_work[node.index()]
+    }
+
+    /// All node processing times, indexed by [`NodeId`].
+    #[inline]
+    pub fn node_works(&self) -> &[Work] {
+        &self.node_work
+    }
+
+    /// Total work `W`.
+    #[inline]
+    pub fn total_work(&self) -> Work {
+        self.total_work
+    }
+
+    /// Critical-path length (span) `L`.
+    #[inline]
+    pub fn span(&self) -> Work {
+        self.span
+    }
+
+    /// Average parallelism `W / L` (≥ 1 for any non-empty DAG).
+    pub fn parallelism(&self) -> f64 {
+        self.total_work.as_f64() / self.span.as_f64()
+    }
+
+    /// Successors of a node (sorted).
+    #[inline]
+    pub fn successors(&self, node: NodeId) -> &[NodeId] {
+        &self.succs[node.index()]
+    }
+
+    /// Number of predecessors of a node.
+    #[inline]
+    pub fn pred_count(&self, node: NodeId) -> u32 {
+        self.pred_count[node.index()]
+    }
+
+    /// A topological order over all nodes.
+    #[inline]
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Longest work-weighted path starting at `node` (inclusive of its work).
+    #[inline]
+    pub fn height(&self, node: NodeId) -> Work {
+        self.heights[node.index()]
+    }
+
+    /// Nodes with no predecessors, in id order (the initial ready set).
+    pub fn sources(&self) -> Vec<NodeId> {
+        (0..self.num_nodes() as u32)
+            .map(NodeId)
+            .filter(|n| self.pred_count[n.index()] == 0)
+            .collect()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+
+    /// Wrap in an [`Arc`] for sharing with the engine.
+    pub fn into_shared(self) -> Arc<DagJobSpec> {
+        Arc::new(self)
+    }
+}
+
+/// Incremental construction of a [`DagJobSpec`].
+///
+/// ```
+/// use dagsched_dag::DagBuilder;
+/// use dagsched_core::Work;
+///
+/// let mut b = DagBuilder::new();
+/// let src = b.add_node(Work(2));
+/// let mid = b.add_node(Work(3));
+/// let snk = b.add_node(Work(1));
+/// b.add_edge(src, mid).unwrap();
+/// b.add_edge(mid, snk).unwrap();
+/// let dag = b.build().unwrap();
+/// assert_eq!(dag.total_work(), Work(6));
+/// assert_eq!(dag.span(), Work(6)); // a pure chain: span == work
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct DagBuilder {
+    node_work: Vec<Work>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl DagBuilder {
+    /// An empty builder.
+    pub fn new() -> DagBuilder {
+        DagBuilder::default()
+    }
+
+    /// A builder with preallocated capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> DagBuilder {
+        DagBuilder {
+            node_work: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Add a node with the given processing time and return its id.
+    pub fn add_node(&mut self, work: Work) -> NodeId {
+        let id = NodeId(self.node_work.len() as u32);
+        self.node_work.push(work);
+        id
+    }
+
+    /// Add a precedence edge `from → to` (`to` cannot start before `from`
+    /// completes).
+    ///
+    /// # Errors
+    /// Rejects self-loops and ids that have not been created yet. Duplicate
+    /// edges and cycles are detected at [`build`](Self::build) time.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<()> {
+        let n = self.node_work.len() as u32;
+        if from.0 >= n || to.0 >= n {
+            return Err(SchedError::InvalidDag(format!(
+                "edge {from}->{to} references a node >= {n}"
+            )));
+        }
+        if from == to {
+            return Err(SchedError::InvalidDag(format!("self-loop on {from}")));
+        }
+        self.edges.push((from, to));
+        Ok(())
+    }
+
+    /// Current number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.node_work.len()
+    }
+
+    /// Validate and finalize.
+    ///
+    /// # Errors
+    /// * empty DAG,
+    /// * a node with zero work (the model's nodes are non-empty instruction
+    ///   sequences; zero-work nodes would make "processor steps" ill-defined),
+    /// * duplicate edges,
+    /// * cycles (reported with a witness node).
+    pub fn build(self) -> Result<DagJobSpec> {
+        let n = self.node_work.len();
+        if n == 0 {
+            return Err(SchedError::InvalidDag(
+                "a job needs at least one node".into(),
+            ));
+        }
+        if let Some(i) = self.node_work.iter().position(|w| w.is_zero()) {
+            return Err(SchedError::InvalidDag(format!("node n{i} has zero work")));
+        }
+        let mut succs: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut pred_count = vec![0u32; n];
+        {
+            let mut sorted = self.edges.clone();
+            sorted.sort_unstable();
+            if sorted.windows(2).any(|w| w[0] == w[1]) {
+                return Err(SchedError::InvalidDag("duplicate edge".into()));
+            }
+            for (from, to) in sorted {
+                succs[from.index()].push(to);
+                pred_count[to.index()] += 1;
+            }
+        }
+
+        // Kahn's algorithm: topological order + cycle detection.
+        let mut indeg = pred_count.clone();
+        let mut queue: Vec<NodeId> = (0..n as u32)
+            .map(NodeId)
+            .filter(|v| indeg[v.index()] == 0)
+            .collect();
+        let mut topo = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            topo.push(v);
+            for &s in &succs[v.index()] {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if topo.len() != n {
+            let witness = (0..n).find(|&i| indeg[i] > 0).unwrap();
+            return Err(SchedError::InvalidDag(format!(
+                "cycle detected (through n{witness})"
+            )));
+        }
+
+        // Heights (longest path from node, inclusive) in reverse topo order;
+        // span = max height. u64 work sums cannot overflow for realistic
+        // instances but we use checked adds to fail loudly.
+        let mut heights = vec![Work::ZERO; n];
+        for &v in topo.iter().rev() {
+            let best_succ = succs[v.index()]
+                .iter()
+                .map(|s| heights[s.index()].units())
+                .max()
+                .unwrap_or(0);
+            let h = self.node_work[v.index()]
+                .units()
+                .checked_add(best_succ)
+                .ok_or_else(|| SchedError::InvalidDag("work overflow on path".into()))?;
+            heights[v.index()] = Work(h);
+        }
+        let span = Work(heights.iter().map(|h| h.units()).max().unwrap_or(0));
+        let total = self
+            .node_work
+            .iter()
+            .try_fold(0u64, |acc, w| acc.checked_add(w.units()))
+            .ok_or_else(|| SchedError::InvalidDag("total work overflow".into()))?;
+
+        Ok(DagJobSpec {
+            node_work: self.node_work,
+            succs,
+            pred_count,
+            total_work: Work(total),
+            span,
+            topo,
+            heights,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(b: &mut DagBuilder, w: u64) -> NodeId {
+        b.add_node(Work(w))
+    }
+
+    #[test]
+    fn single_node() {
+        let mut b = DagBuilder::new();
+        node(&mut b, 5);
+        let d = b.build().unwrap();
+        assert_eq!(d.num_nodes(), 1);
+        assert_eq!(d.total_work(), Work(5));
+        assert_eq!(d.span(), Work(5));
+        assert_eq!(d.parallelism(), 1.0);
+        assert_eq!(d.sources(), vec![NodeId(0)]);
+        assert_eq!(d.num_edges(), 0);
+    }
+
+    #[test]
+    fn chain_span_equals_work() {
+        let mut b = DagBuilder::new();
+        let ids: Vec<_> = (0..4).map(|_| node(&mut b, 3)).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        let d = b.build().unwrap();
+        assert_eq!(d.total_work(), Work(12));
+        assert_eq!(d.span(), Work(12));
+        assert_eq!(d.height(ids[0]), Work(12));
+        assert_eq!(d.height(ids[3]), Work(3));
+        assert_eq!(d.topo_order(), &ids[..]);
+    }
+
+    #[test]
+    fn independent_block_span_is_max_node() {
+        let mut b = DagBuilder::new();
+        node(&mut b, 2);
+        node(&mut b, 7);
+        node(&mut b, 3);
+        let d = b.build().unwrap();
+        assert_eq!(d.total_work(), Work(12));
+        assert_eq!(d.span(), Work(7));
+        assert!((d.parallelism() - 12.0 / 7.0).abs() < 1e-12);
+        assert_eq!(d.sources().len(), 3);
+    }
+
+    #[test]
+    fn diamond_heights_and_span() {
+        // s(1) -> a(4), b(2) -> t(1): span = 1+4+1 = 6.
+        let mut b = DagBuilder::new();
+        let s = node(&mut b, 1);
+        let a = node(&mut b, 4);
+        let bb = node(&mut b, 2);
+        let t = node(&mut b, 1);
+        for (f, g) in [(s, a), (s, bb), (a, t), (bb, t)] {
+            b.add_edge(f, g).unwrap();
+        }
+        let d = b.build().unwrap();
+        assert_eq!(d.span(), Work(6));
+        assert_eq!(d.height(s), Work(6));
+        assert_eq!(d.height(a), Work(5));
+        assert_eq!(d.height(bb), Work(3));
+        assert_eq!(d.height(t), Work(1));
+        assert_eq!(d.pred_count(t), 2);
+        assert_eq!(d.successors(s), &[a, bb]);
+    }
+
+    #[test]
+    fn rejects_empty_zero_work_self_loop_dup_and_oob() {
+        assert!(DagBuilder::new().build().is_err());
+
+        let mut b = DagBuilder::new();
+        b.add_node(Work(0));
+        assert!(b.build().is_err());
+
+        let mut b = DagBuilder::new();
+        let a = node(&mut b, 1);
+        assert!(b.add_edge(a, a).is_err());
+        assert!(b.add_edge(a, NodeId(5)).is_err());
+
+        let mut b = DagBuilder::new();
+        let a = node(&mut b, 1);
+        let c = node(&mut b, 1);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(a, c).unwrap();
+        assert!(matches!(b.build(), Err(SchedError::InvalidDag(m)) if m.contains("duplicate")));
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let mut b = DagBuilder::new();
+        let x = node(&mut b, 1);
+        let y = node(&mut b, 1);
+        let z = node(&mut b, 1);
+        b.add_edge(x, y).unwrap();
+        b.add_edge(y, z).unwrap();
+        b.add_edge(z, x).unwrap();
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, SchedError::InvalidDag(m) if m.contains("cycle")));
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let mut b = DagBuilder::new();
+        let ids: Vec<_> = (0..6).map(|_| node(&mut b, 1)).collect();
+        // Edges chosen so id order != topo necessity: 5 -> 0, 3 -> 1.
+        b.add_edge(ids[5], ids[0]).unwrap();
+        b.add_edge(ids[3], ids[1]).unwrap();
+        let d = b.build().unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 6];
+            for (i, v) in d.topo_order().iter().enumerate() {
+                p[v.index()] = i;
+            }
+            p
+        };
+        assert!(pos[5] < pos[0]);
+        assert!(pos[3] < pos[1]);
+    }
+
+    #[test]
+    fn with_capacity_builds_same_result() {
+        let mut b = DagBuilder::with_capacity(2, 1);
+        let x = node(&mut b, 1);
+        let y = node(&mut b, 2);
+        b.add_edge(x, y).unwrap();
+        let d = b.build().unwrap();
+        assert_eq!(d.span(), Work(3));
+    }
+}

@@ -1,0 +1,408 @@
+//! Runtime unfolding of a DAG job.
+//!
+//! The semi-non-clairvoyant model lets a scheduler observe, at any instant,
+//! only the job's *ready* nodes (plus `W`, `L` from arrival). [`UnfoldState`]
+//! is that runtime view: it tracks per-node remaining work, maintains the
+//! ready set as the DAG unfolds, and answers the aggregate queries
+//! (remaining work/span) that *clairvoyant* components — the adversarial
+//! node picker and the offline bounds — are allowed to use.
+//!
+//! Work here is in **engine-scaled units**: the engine multiplies node works
+//! by [`Speed::work_scale`](dagsched_core::Speed::work_scale) so rational
+//! speeds stay exact; [`UnfoldState::new`] applies that scale.
+
+use crate::spec::DagJobSpec;
+use dagsched_core::{NodeId, Work};
+use std::sync::Arc;
+
+const NIL: u32 = u32::MAX;
+
+/// An intrusive doubly-linked list over node ids, preserving insertion (FIFO)
+/// order with O(1) insert/remove — the ready set can be huge (a parallel
+/// block has `W − L` simultaneously-ready nodes) and nodes leave it from
+/// arbitrary positions as they complete.
+#[derive(Debug, Clone)]
+struct ReadyList {
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
+    /// Membership flags (a node enters at most once, but guard misuse).
+    member: Vec<bool>,
+}
+
+impl ReadyList {
+    fn new(capacity: usize) -> ReadyList {
+        ReadyList {
+            next: vec![NIL; capacity],
+            prev: vec![NIL; capacity],
+            head: NIL,
+            tail: NIL,
+            len: 0,
+            member: vec![false; capacity],
+        }
+    }
+
+    fn push_back(&mut self, v: NodeId) {
+        let i = v.0;
+        debug_assert!(!self.member[i as usize], "node already in ready list");
+        self.member[i as usize] = true;
+        self.prev[i as usize] = self.tail;
+        self.next[i as usize] = NIL;
+        if self.tail == NIL {
+            self.head = i;
+        } else {
+            self.next[self.tail as usize] = i;
+        }
+        self.tail = i;
+        self.len += 1;
+    }
+
+    fn remove(&mut self, v: NodeId) {
+        let i = v.0;
+        debug_assert!(self.member[i as usize], "node not in ready list");
+        self.member[i as usize] = false;
+        let (p, n) = (self.prev[i as usize], self.next[i as usize]);
+        if p == NIL {
+            self.head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NIL {
+            self.tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+        self.len -= 1;
+    }
+
+    fn contains(&self, v: NodeId) -> bool {
+        self.member[v.index()]
+    }
+
+    fn iter(&self) -> ReadyIter<'_> {
+        ReadyIter {
+            list: self,
+            cur: self.head,
+        }
+    }
+}
+
+struct ReadyIter<'a> {
+    list: &'a ReadyList,
+    cur: u32,
+}
+
+impl Iterator for ReadyIter<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        if self.cur == NIL {
+            return None;
+        }
+        let v = NodeId(self.cur);
+        self.cur = self.list.next[self.cur as usize];
+        Some(v)
+    }
+}
+
+/// Mutable execution state of one DAG job.
+#[derive(Debug, Clone)]
+pub struct UnfoldState {
+    spec: Arc<DagJobSpec>,
+    /// Remaining scaled work per node.
+    remaining: Vec<Work>,
+    /// Unfinished-predecessor counts.
+    waiting_preds: Vec<u32>,
+    ready: ReadyList,
+    completed_nodes: usize,
+    /// Total remaining scaled work across all nodes.
+    remaining_total: Work,
+    scale: u64,
+}
+
+impl UnfoldState {
+    /// Start executing `spec` with node works scaled by `scale`
+    /// (the engine passes `speed.work_scale()`; use 1 for unit speed).
+    ///
+    /// # Panics
+    /// If any scaled work overflows `u64`.
+    pub fn new(spec: Arc<DagJobSpec>, scale: u64) -> UnfoldState {
+        assert!(scale >= 1, "scale must be at least 1");
+        let n = spec.num_nodes();
+        let remaining: Vec<Work> = spec
+            .node_works()
+            .iter()
+            .map(|w| w.checked_scale(scale).expect("scaled work overflows u64"))
+            .collect();
+        let remaining_total = Work(remaining.iter().map(|w| w.units()).sum());
+        let waiting_preds: Vec<u32> = (0..n as u32).map(|i| spec.pred_count(NodeId(i))).collect();
+        let mut ready = ReadyList::new(n);
+        for s in spec.sources() {
+            ready.push_back(s);
+        }
+        UnfoldState {
+            spec,
+            remaining,
+            waiting_preds,
+            ready,
+            completed_nodes: 0,
+            remaining_total,
+            scale,
+        }
+    }
+
+    /// The immutable spec this state executes.
+    #[inline]
+    pub fn spec(&self) -> &Arc<DagJobSpec> {
+        &self.spec
+    }
+
+    /// The work scale factor applied at construction.
+    #[inline]
+    pub fn scale(&self) -> u64 {
+        self.scale
+    }
+
+    /// Number of currently ready (executable, unfinished) nodes.
+    #[inline]
+    pub fn ready_count(&self) -> usize {
+        self.ready.len
+    }
+
+    /// Iterate ready nodes in FIFO (readiness) order.
+    pub fn ready_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.ready.iter()
+    }
+
+    /// First `k` ready nodes in FIFO order (fewer if not that many).
+    pub fn ready_prefix(&self, k: usize) -> Vec<NodeId> {
+        self.ready.iter().take(k).collect()
+    }
+
+    /// Is the node currently ready?
+    #[inline]
+    pub fn is_ready(&self, node: NodeId) -> bool {
+        self.ready.contains(node)
+    }
+
+    /// Remaining scaled work of one node.
+    #[inline]
+    pub fn node_remaining(&self, node: NodeId) -> Work {
+        self.remaining[node.index()]
+    }
+
+    /// Total remaining scaled work of the job.
+    #[inline]
+    pub fn remaining_total(&self) -> Work {
+        self.remaining_total
+    }
+
+    /// All nodes complete?
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.completed_nodes == self.spec.num_nodes()
+    }
+
+    /// Number of completed nodes.
+    #[inline]
+    pub fn completed_nodes(&self) -> usize {
+        self.completed_nodes
+    }
+
+    /// Execute `budget` scaled work units of a **ready** node.
+    ///
+    /// Returns `(consumed, completed)`. On completion the node leaves the
+    /// ready set and each successor whose predecessors are now all complete
+    /// joins it (in successor-id order, keeping unfolding deterministic).
+    ///
+    /// # Panics
+    /// If `node` is not ready (engine bug: scheduling a non-ready or
+    /// finished node would violate the model).
+    pub fn advance(&mut self, node: NodeId, budget: u64) -> (u64, bool) {
+        assert!(
+            self.ready.contains(node),
+            "advance() on non-ready node {node}"
+        );
+        let consumed = self.remaining[node.index()].deplete(budget);
+        self.remaining_total -= Work(consumed);
+        if self.remaining[node.index()].is_zero() {
+            self.ready.remove(node);
+            self.completed_nodes += 1;
+            for &s in self.spec.successors(node) {
+                let w = &mut self.waiting_preds[s.index()];
+                debug_assert!(*w > 0);
+                *w -= 1;
+                if *w == 0 {
+                    self.ready.push_back(s);
+                }
+            }
+            (consumed, true)
+        } else {
+            (consumed, false)
+        }
+    }
+
+    /// Remaining span: the work-weighted longest path over *unfinished* work,
+    /// in scaled units. Counts partially-executed nodes at their remaining
+    /// work. O(V + E); for clairvoyant components and tests only — a
+    /// semi-non-clairvoyant scheduler must not call this.
+    pub fn remaining_span(&self) -> Work {
+        let mut best = vec![0u64; self.spec.num_nodes()];
+        let mut span = 0u64;
+        for &v in self.spec.topo_order().iter().rev() {
+            let tail = self
+                .spec
+                .successors(v)
+                .iter()
+                .map(|s| best[s.index()])
+                .max();
+            let h = self.remaining[v.index()].units() + tail.unwrap_or(0);
+            best[v.index()] = h;
+            span = span.max(h);
+        }
+        Work(span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DagBuilder;
+
+    fn chain(lens: &[u64]) -> Arc<DagJobSpec> {
+        let mut b = DagBuilder::new();
+        let ids: Vec<_> = lens.iter().map(|&w| b.add_node(Work(w))).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        b.build().unwrap().into_shared()
+    }
+
+    fn diamond() -> Arc<DagJobSpec> {
+        let mut b = DagBuilder::new();
+        let s = b.add_node(Work(1));
+        let a = b.add_node(Work(4));
+        let c = b.add_node(Work(2));
+        let t = b.add_node(Work(1));
+        b.add_edge(s, a).unwrap();
+        b.add_edge(s, c).unwrap();
+        b.add_edge(a, t).unwrap();
+        b.add_edge(c, t).unwrap();
+        b.build().unwrap().into_shared()
+    }
+
+    #[test]
+    fn initial_state_exposes_sources_only() {
+        let st = UnfoldState::new(diamond(), 1);
+        assert_eq!(st.ready_count(), 1);
+        assert_eq!(st.ready_prefix(10), vec![NodeId(0)]);
+        assert!(!st.is_complete());
+        assert_eq!(st.remaining_total(), Work(8));
+        assert_eq!(st.remaining_span(), Work(6));
+    }
+
+    #[test]
+    fn unfolds_diamond_and_completes() {
+        let mut st = UnfoldState::new(diamond(), 1);
+        let (c, done) = st.advance(NodeId(0), 5);
+        assert_eq!((c, done), (1, true), "consumes only the node's work");
+        // Both branches become ready, in successor order.
+        assert_eq!(st.ready_prefix(10), vec![NodeId(1), NodeId(2)]);
+        assert!(st.is_ready(NodeId(2)));
+        // Partially execute the long branch: stays ready.
+        let (c, done) = st.advance(NodeId(1), 3);
+        assert_eq!((c, done), (3, false));
+        assert!(st.is_ready(NodeId(1)));
+        // Finish the short branch; sink not ready yet (one pred left).
+        st.advance(NodeId(2), 2);
+        assert!(!st.is_ready(NodeId(3)));
+        // Finish the long branch; sink becomes ready.
+        let (_, done) = st.advance(NodeId(1), 1);
+        assert!(done);
+        assert_eq!(st.ready_prefix(10), vec![NodeId(3)]);
+        st.advance(NodeId(3), 1);
+        assert!(st.is_complete());
+        assert_eq!(st.ready_count(), 0);
+        assert_eq!(st.remaining_total(), Work::ZERO);
+        assert_eq!(st.remaining_span(), Work::ZERO);
+        assert_eq!(st.completed_nodes(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-ready")]
+    fn advancing_non_ready_node_panics() {
+        let mut st = UnfoldState::new(diamond(), 1);
+        st.advance(NodeId(3), 1);
+    }
+
+    #[test]
+    fn scaling_multiplies_work() {
+        let st = UnfoldState::new(chain(&[3, 4]), 5);
+        assert_eq!(st.remaining_total(), Work(35));
+        assert_eq!(st.node_remaining(NodeId(0)), Work(15));
+        assert_eq!(st.remaining_span(), Work(35));
+        assert_eq!(st.scale(), 5);
+    }
+
+    #[test]
+    fn chain_progress_is_sequential() {
+        let mut st = UnfoldState::new(chain(&[2, 2, 2]), 1);
+        assert_eq!(st.ready_count(), 1);
+        st.advance(NodeId(0), 2);
+        assert_eq!(st.ready_prefix(3), vec![NodeId(1)]);
+        st.advance(NodeId(1), 2);
+        st.advance(NodeId(2), 2);
+        assert!(st.is_complete());
+    }
+
+    #[test]
+    fn remaining_span_shrinks_with_critical_progress() {
+        let mut st = UnfoldState::new(diamond(), 1);
+        st.advance(NodeId(0), 1);
+        assert_eq!(st.remaining_span(), Work(5)); // 4 + 1 through the long branch
+        st.advance(NodeId(1), 3);
+        // 1 left on a (+1 sink = 2), but branch c is untouched: 2 + 1 = 3.
+        assert_eq!(st.remaining_span(), Work(3));
+        st.advance(NodeId(2), 2); // finish c: critical path now through a
+        assert_eq!(st.remaining_span(), Work(2));
+    }
+
+    #[test]
+    fn ready_list_fifo_order_with_interleaved_removal() {
+        // Block of 5 independent nodes: ready in id order.
+        let mut b = DagBuilder::new();
+        for _ in 0..5 {
+            b.add_node(Work(2));
+        }
+        let mut st = UnfoldState::new(b.build().unwrap().into_shared(), 1);
+        assert_eq!(st.ready_prefix(5), (0..5).map(NodeId).collect::<Vec<_>>());
+        // Complete the middle one; order of the rest is preserved.
+        st.advance(NodeId(2), 2);
+        assert_eq!(
+            st.ready_prefix(5),
+            vec![NodeId(0), NodeId(1), NodeId(3), NodeId(4)]
+        );
+        // Partial progress does not reorder.
+        st.advance(NodeId(0), 1);
+        assert_eq!(st.ready_prefix(2), vec![NodeId(0), NodeId(1)]);
+        // Complete head and tail.
+        st.advance(NodeId(0), 1);
+        st.advance(NodeId(4), 2);
+        assert_eq!(st.ready_prefix(5), vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn work_conservation_across_unfolding() {
+        let mut st = UnfoldState::new(diamond(), 3);
+        let total = st.remaining_total().units();
+        let mut consumed = 0;
+        // Drive to completion with odd-sized budgets.
+        while !st.is_complete() {
+            let node = st.ready_prefix(1)[0];
+            let (c, _) = st.advance(node, 5);
+            consumed += c;
+        }
+        assert_eq!(consumed, total, "every scaled unit accounted exactly once");
+    }
+}

@@ -1,0 +1,199 @@
+//! Node-pick policies: which ready nodes run when a job is granted
+//! processors.
+//!
+//! The paper's scheduler "arbitrarily picks `n_i` ready nodes" — the
+//! analysis must hold for *any* choice, so the engine owns the choice and
+//! makes it pluggable:
+//!
+//! * [`NodePick::Fifo`] / [`NodePick::Lifo`] — readiness order (the neutral
+//!   defaults);
+//! * [`NodePick::Random`] — seeded uniform choice;
+//! * [`NodePick::AdversarialLowHeight`] — a *clairvoyant adversary* that
+//!   runs nodes furthest from the critical path first. On the Figure 1 DAG
+//!   this executes the whole parallel block before touching the chain,
+//!   producing the `(W−L)/m + L` worst case of Theorem 1;
+//! * [`NodePick::CriticalPathFirst`] — the clairvoyant *friendly* policy
+//!   (longest-path-first list scheduling), used by the offline baselines.
+
+use dagsched_core::{NodeId, Rng64};
+use dagsched_dag::UnfoldState;
+
+/// Strategy for choosing among ready nodes. See module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodePick {
+    /// Oldest-ready-first (deterministic, structure-oblivious).
+    Fifo,
+    /// Newest-ready-first (deterministic, structure-oblivious).
+    Lifo,
+    /// Uniformly random among ready nodes, from the given seed.
+    Random(u64),
+    /// Clairvoyant adversary: smallest height (longest-path-to-sink) first,
+    /// i.e. postpone the critical path as long as possible.
+    AdversarialLowHeight,
+    /// Clairvoyant ally: greatest height first (LPF list scheduling).
+    CriticalPathFirst,
+}
+
+/// Per-simulation picker state (the RNG for [`NodePick::Random`]).
+#[derive(Debug)]
+pub struct Picker {
+    policy: NodePick,
+    rng: Rng64,
+}
+
+impl Picker {
+    /// Instantiate the policy.
+    pub fn new(policy: NodePick) -> Picker {
+        let seed = match policy {
+            NodePick::Random(s) => s,
+            _ => 0,
+        };
+        Picker {
+            policy,
+            rng: Rng64::seed_from(seed),
+        }
+    }
+
+    /// Choose up to `k` distinct ready nodes of `state`, excluding any in
+    /// `busy` (nodes already claimed by another processor this tick).
+    ///
+    /// `busy` is a dense bool map indexed by node id.
+    pub fn pick(&mut self, state: &UnfoldState, busy: &[bool], k: usize) -> Vec<NodeId> {
+        if k == 0 {
+            return Vec::new();
+        }
+        match self.policy {
+            NodePick::Fifo => state
+                .ready_iter()
+                .filter(|n| !busy[n.index()])
+                .take(k)
+                .collect(),
+            NodePick::Lifo => {
+                let mut all: Vec<NodeId> =
+                    state.ready_iter().filter(|n| !busy[n.index()]).collect();
+                all.reverse();
+                all.truncate(k);
+                all
+            }
+            NodePick::Random(_) => {
+                // Reservoir sample of size k over the eligible nodes, then
+                // restore a deterministic order (by reservoir fill order).
+                let mut reservoir: Vec<NodeId> = Vec::with_capacity(k);
+                for (i, n) in state.ready_iter().filter(|n| !busy[n.index()]).enumerate() {
+                    if i < k {
+                        reservoir.push(n);
+                    } else {
+                        let j = self.rng.gen_range(i as u64 + 1) as usize;
+                        if j < k {
+                            reservoir[j] = n;
+                        }
+                    }
+                }
+                reservoir
+            }
+            NodePick::AdversarialLowHeight | NodePick::CriticalPathFirst => {
+                let spec = state.spec().clone();
+                let adversarial = self.policy == NodePick::AdversarialLowHeight;
+                let mut all: Vec<NodeId> =
+                    state.ready_iter().filter(|n| !busy[n.index()]).collect();
+                // Stable tie-break on id keeps runs deterministic.
+                all.sort_by_key(|n| {
+                    let h = spec.height(*n).units();
+                    let key = if adversarial { h } else { u64::MAX - h };
+                    (key, n.0)
+                });
+                all.truncate(k);
+                all
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_core::Work;
+    use dagsched_dag::{gen, DagBuilder};
+
+    /// Fig.1-like: node 0..3 a chain, nodes 4..9 an independent block.
+    fn fig1ish() -> UnfoldState {
+        UnfoldState::new(gen::fig1(2, 4, 1).into_shared(), 1)
+    }
+
+    fn no_busy(state: &UnfoldState) -> Vec<bool> {
+        vec![false; state.spec().num_nodes()]
+    }
+
+    #[test]
+    fn fifo_takes_readiness_order() {
+        let st = fig1ish();
+        let busy = no_busy(&st);
+        let picked = Picker::new(NodePick::Fifo).pick(&st, &busy, 3);
+        // Initial ready set: chain head (0) then block nodes (4, 5, ...).
+        assert_eq!(picked, vec![NodeId(0), NodeId(4), NodeId(5)]);
+    }
+
+    #[test]
+    fn lifo_takes_reverse_order() {
+        let st = fig1ish();
+        let busy = no_busy(&st);
+        let picked = Picker::new(NodePick::Lifo).pick(&st, &busy, 2);
+        assert_eq!(picked, vec![NodeId(7), NodeId(6)]);
+    }
+
+    #[test]
+    fn adversary_avoids_the_chain() {
+        let st = fig1ish();
+        let busy = no_busy(&st);
+        let picked = Picker::new(NodePick::AdversarialLowHeight).pick(&st, &busy, 4);
+        // Chain head has height 4; block nodes height 1 — adversary takes
+        // blocks first.
+        assert!(!picked.contains(&NodeId(0)), "{picked:?}");
+        assert_eq!(picked.len(), 4);
+    }
+
+    #[test]
+    fn critical_path_first_takes_the_chain_head() {
+        let st = fig1ish();
+        let busy = no_busy(&st);
+        let picked = Picker::new(NodePick::CriticalPathFirst).pick(&st, &busy, 1);
+        assert_eq!(picked, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn busy_nodes_are_excluded() {
+        let st = fig1ish();
+        let mut busy = no_busy(&st);
+        busy[0] = true;
+        busy[4] = true;
+        let picked = Picker::new(NodePick::Fifo).pick(&st, &busy, 2);
+        assert_eq!(picked, vec![NodeId(5), NodeId(6)]);
+    }
+
+    #[test]
+    fn pick_caps_at_available() {
+        let mut b = DagBuilder::new();
+        b.add_node(Work(1));
+        b.add_node(Work(1));
+        let st = UnfoldState::new(b.build().unwrap().into_shared(), 1);
+        let busy = vec![false; 2];
+        let picked = Picker::new(NodePick::Fifo).pick(&st, &busy, 10);
+        assert_eq!(picked.len(), 2);
+        let picked = Picker::new(NodePick::Fifo).pick(&st, &busy, 0);
+        assert!(picked.is_empty());
+    }
+
+    #[test]
+    fn random_is_seed_deterministic_and_distinct() {
+        let st = fig1ish();
+        let busy = no_busy(&st);
+        let a = Picker::new(NodePick::Random(9)).pick(&st, &busy, 3);
+        let b = Picker::new(NodePick::Random(9)).pick(&st, &busy, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        let mut dedup = a.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3, "picked nodes are distinct");
+    }
+}

@@ -1,0 +1,129 @@
+//! The semi-non-clairvoyant scheduler interface.
+//!
+//! This trait is the enforcement point of the paper's information model:
+//! everything a scheduler can learn about a job flows through [`JobInfo`]
+//! (arrival-time knowledge: `W`, `L`, the profit function) and
+//! [`TickView`] (per-tick knowledge: which started jobs are alive and how
+//! many ready nodes each has). The DAG structure itself is never exposed.
+
+use dagsched_core::{JobId, Time, Work};
+use dagsched_workload::StepProfitFn;
+
+/// What a semi-non-clairvoyant scheduler learns when a job arrives.
+#[derive(Debug, Clone)]
+pub struct JobInfo {
+    /// The job's id (index into the instance).
+    pub id: JobId,
+    /// Release time `r_i`.
+    pub arrival: Time,
+    /// Total work `W_i`.
+    pub work: Work,
+    /// Critical-path length `L_i`.
+    pub span: Work,
+    /// The profit function `p_i(·)` over relative completion time.
+    pub profit: StepProfitFn,
+}
+
+impl JobInfo {
+    /// Relative deadline for throughput (single-step) jobs.
+    pub fn rel_deadline(&self) -> Option<Time> {
+        self.profit.as_deadline().map(|(d, _)| d)
+    }
+
+    /// Absolute deadline for throughput jobs.
+    pub fn abs_deadline(&self) -> Option<Time> {
+        self.rel_deadline()
+            .map(|d| self.arrival.saturating_add(d.ticks()))
+    }
+}
+
+/// Per-tick view of the system state offered to [`OnlineScheduler::allocate`].
+///
+/// `jobs` holds `(id, ready_count)` for every job that has arrived, is not
+/// finished, and has not expired — in arrival order.
+#[derive(Debug)]
+pub struct TickView<'a> {
+    /// Machine size.
+    pub m: u32,
+    /// Current tick.
+    pub now: Time,
+    jobs: &'a [(JobId, u32)],
+}
+
+impl<'a> TickView<'a> {
+    /// Construct a view (used by the engine and by scheduler unit tests).
+    pub fn new(m: u32, now: Time, jobs: &'a [(JobId, u32)]) -> TickView<'a> {
+        TickView { m, now, jobs }
+    }
+
+    /// Alive jobs as `(id, ready_node_count)`, in arrival order.
+    pub fn jobs(&self) -> &[(JobId, u32)] {
+        self.jobs
+    }
+
+    /// Ready-node count of one job (`None` if it is not alive).
+    pub fn ready_count(&self, id: JobId) -> Option<u32> {
+        self.jobs.iter().find(|(j, _)| *j == id).map(|(_, r)| *r)
+    }
+}
+
+/// A processor assignment for one tick: `(job, processor count)` pairs.
+///
+/// The engine validates that the job is alive, every count is ≥ 1 and the
+/// total does not exceed `m`. Assigning more processors than a job has
+/// ready nodes is legal — the surplus idles (exactly the paper's model,
+/// where S always hands a job its full allotment `n_i`).
+pub type Allocation = Vec<(JobId, u32)>;
+
+/// An online scheduler driving the engine.
+///
+/// The engine calls the three event hooks as the simulation unfolds and
+/// [`allocate`](OnlineScheduler::allocate) once per tick. Implementations
+/// must be deterministic given their construction parameters — all
+/// experiment reproducibility rests on that.
+pub trait OnlineScheduler {
+    /// Human-readable name for reports.
+    fn name(&self) -> String;
+
+    /// A new job arrived (called before `allocate` of the same tick).
+    fn on_arrival(&mut self, job: &JobInfo, now: Time);
+
+    /// A job completed during the previous tick (called before `allocate`).
+    fn on_completion(&mut self, id: JobId, now: Time);
+
+    /// A deadline job can no longer earn above its tail and was abandoned.
+    fn on_expiry(&mut self, id: JobId, now: Time);
+
+    /// Decide this tick's processor assignment.
+    fn allocate(&mut self, view: &TickView<'_>) -> Allocation;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_info_deadline_accessors() {
+        let info = JobInfo {
+            id: JobId(2),
+            arrival: Time(7),
+            work: Work(30),
+            span: Work(5),
+            profit: StepProfitFn::deadline(Time(13), 4),
+        };
+        assert_eq!(info.rel_deadline(), Some(Time(13)));
+        assert_eq!(info.abs_deadline(), Some(Time(20)));
+    }
+
+    #[test]
+    fn tick_view_lookup() {
+        let jobs = vec![(JobId(0), 3u32), (JobId(2), 0)];
+        let view = TickView::new(4, Time(9), &jobs);
+        assert_eq!(view.ready_count(JobId(0)), Some(3));
+        assert_eq!(view.ready_count(JobId(2)), Some(0));
+        assert_eq!(view.ready_count(JobId(1)), None);
+        assert_eq!(view.jobs().len(), 2);
+        assert_eq!(view.m, 4);
+        assert_eq!(view.now, Time(9));
+    }
+}

@@ -1,0 +1,638 @@
+//! The discrete-time execution engine.
+
+use crate::pick::{NodePick, Picker};
+use crate::result::{JobStatus, SimResult};
+use crate::sched_api::{JobInfo, OnlineScheduler, TickView};
+use crate::trace::Trace;
+use dagsched_core::{JobId, Result, SchedError, Speed, Time};
+use dagsched_dag::UnfoldState;
+use dagsched_workload::Instance;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Processor speed (resource augmentation).
+    pub speed: Speed,
+    /// How ready nodes are chosen when a job gets processors.
+    pub pick: NodePick,
+    /// Whether a processor finishing a node mid-tick may continue on another
+    /// ready node of the same job within the same tick. With carry-over, a
+    /// chain of unit nodes advances exactly `speed` work per tick
+    /// (Observation 1); without it, node granularity quantizes progress.
+    pub carryover: bool,
+    /// Hard stop; `None` derives a bound that any work-conserving schedule
+    /// fits in (last useful time + total work + 1).
+    pub horizon: Option<Time>,
+    /// Record every tick's allocation into [`SimResult::trace`]. Costs
+    /// memory proportional to simulated ticks; off by default.
+    pub record_trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            speed: Speed::ONE,
+            pick: NodePick::Fifo,
+            carryover: true,
+            horizon: None,
+            record_trace: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Default configuration at the given speed.
+    pub fn at_speed(speed: Speed) -> SimConfig {
+        SimConfig {
+            speed,
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// Per-alive-job engine bookkeeping.
+struct Live {
+    state: UnfoldState,
+    /// Nodes claimed by a processor in the current tick (dense by node id);
+    /// cleared via `dirty` after the tick.
+    busy: Vec<bool>,
+    dirty: Vec<u32>,
+}
+
+/// Run `sched` on `inst` under `cfg`.
+///
+/// # Errors
+/// [`SchedError::InvalidAllocation`] if the scheduler ever over-subscribes
+/// processors, allocates to a job that is not alive, allocates zero
+/// processors, or repeats a job within one tick. Engine-model violations are
+/// bugs and surface as panics, not errors.
+pub fn simulate(
+    inst: &Instance,
+    sched: &mut dyn OnlineScheduler,
+    cfg: &SimConfig,
+) -> Result<SimResult> {
+    let m = inst.m();
+    let jobs = inst.jobs();
+    let n = jobs.len();
+    let scale = cfg.speed.work_scale();
+    let units = cfg.speed.units_per_tick();
+    let horizon = cfg.horizon.unwrap_or_else(|| auto_horizon(inst));
+
+    let mut live: Vec<Option<Live>> = Vec::with_capacity(n);
+    live.resize_with(n, || None);
+    let mut outcomes = vec![JobStatus::Unfinished; n];
+    let mut alive: Vec<JobId> = Vec::new();
+    let mut picker = Picker::new(cfg.pick.clone());
+
+    let mut next_arrival = 0usize;
+    let mut t = jobs[0].arrival;
+    let mut ticks_simulated = 0u64;
+    let mut total_profit = 0u64;
+    let mut units_processed = 0u64;
+
+    let mut view_jobs: Vec<(JobId, u32)> = Vec::new();
+    let mut completions: Vec<JobId> = Vec::new();
+    let mut trace = cfg.record_trace.then(Trace::new);
+
+    while (next_arrival < n || !alive.is_empty()) && t < horizon {
+        // Skip idle gaps between arrival waves.
+        if alive.is_empty() && jobs[next_arrival].arrival > t {
+            t = jobs[next_arrival].arrival;
+        }
+
+        // 1. Arrivals.
+        while next_arrival < n && jobs[next_arrival].arrival <= t {
+            let job = &jobs[next_arrival];
+            let state = UnfoldState::new(job.dag.clone(), scale);
+            let nodes = state.spec().num_nodes();
+            live[job.id.index()] = Some(Live {
+                state,
+                busy: vec![false; nodes],
+                dirty: Vec::new(),
+            });
+            alive.push(job.id);
+            sched.on_arrival(
+                &JobInfo {
+                    id: job.id,
+                    arrival: job.arrival,
+                    work: job.work(),
+                    span: job.span(),
+                    profit: job.profit.clone(),
+                },
+                t,
+            );
+            next_arrival += 1;
+        }
+
+        // 2. Expiry: zero-tail jobs that can no longer earn anything even if
+        // they complete this very tick (completion time would be t+1).
+        let mut expired: Vec<JobId> = Vec::new();
+        alive.retain(|&id| {
+            let job = &jobs[id.index()];
+            if job.profit.tail_value() == 0 && t >= job.last_useful_abs() {
+                outcomes[id.index()] = JobStatus::Expired { at: t };
+                live[id.index()] = None;
+                expired.push(id);
+                false
+            } else {
+                true
+            }
+        });
+        for id in expired {
+            sched.on_expiry(id, t);
+        }
+
+        // 3. Ask the scheduler.
+        view_jobs.clear();
+        for &id in &alive {
+            let l = live[id.index()].as_ref().expect("alive implies live");
+            view_jobs.push((id, l.state.ready_count() as u32));
+        }
+        let alloc = sched.allocate(&TickView::new(m, t, &view_jobs));
+
+        // 4. Validate.
+        let mut used: u64 = 0;
+        let mut granted = vec![false; n];
+        for &(id, k) in &alloc {
+            if id.index() >= n || live[id.index()].is_none() {
+                return Err(SchedError::InvalidAllocation(format!(
+                    "tick {t}: job {id} is not alive"
+                )));
+            }
+            if k == 0 {
+                return Err(SchedError::InvalidAllocation(format!(
+                    "tick {t}: zero processors for {id}"
+                )));
+            }
+            if granted[id.index()] {
+                return Err(SchedError::InvalidAllocation(format!(
+                    "tick {t}: duplicate allocation for {id}"
+                )));
+            }
+            granted[id.index()] = true;
+            used += k as u64;
+            if used > m as u64 {
+                return Err(SchedError::InvalidAllocation(format!(
+                    "tick {t}: {used} processors allocated but m = {m}"
+                )));
+            }
+        }
+
+        if let Some(tr) = trace.as_mut() {
+            tr.push(t, &alloc);
+        }
+
+        // 5. Execute.
+        completions.clear();
+        for &(id, k) in &alloc {
+            let l = live[id.index()].as_mut().expect("validated alive");
+            // Nodes that become ready *during* this tick may only be
+            // continued by the processor whose completion unlocked them —
+            // any other processor has already spent this tick's time.
+            // They are marked busy globally and kept in a per-processor
+            // continuation list.
+            let mut continuations: Vec<_> = Vec::new();
+            for _ in 0..k {
+                let mut budget = units;
+                continuations.clear();
+                while budget > 0 {
+                    let node = match continuations.pop() {
+                        Some(n) => n,
+                        None => {
+                            let picked = picker.pick(&l.state, &l.busy, 1);
+                            match picked.first() {
+                                Some(&n) => {
+                                    l.busy[n.index()] = true;
+                                    l.dirty.push(n.0);
+                                    n
+                                }
+                                None => break,
+                            }
+                        }
+                    };
+                    let (consumed, done) = l.state.advance(node, budget);
+                    units_processed += consumed;
+                    budget -= consumed;
+                    if !done {
+                        break;
+                    }
+                    // Lock newly-ready successors for the rest of the tick;
+                    // this processor may continue into them if allowed.
+                    let spec = l.state.spec().clone();
+                    for &s in spec.successors(node) {
+                        if l.state.is_ready(s) && !l.busy[s.index()] {
+                            l.busy[s.index()] = true;
+                            l.dirty.push(s.0);
+                            if cfg.carryover {
+                                continuations.push(s);
+                            }
+                        }
+                    }
+                    if !cfg.carryover {
+                        break;
+                    }
+                }
+            }
+            for d in l.dirty.drain(..) {
+                l.busy[d as usize] = false;
+            }
+            if l.state.is_complete() {
+                completions.push(id);
+            }
+        }
+
+        // 6. Completions take effect at t+1.
+        let t_done = t.after(1);
+        for &id in &completions {
+            let job = &jobs[id.index()];
+            let rel = Time(t_done.since(job.arrival));
+            let profit = job.profit.eval(rel);
+            total_profit += profit;
+            outcomes[id.index()] = JobStatus::Completed { at: t_done, profit };
+            live[id.index()] = None;
+            alive.retain(|&a| a != id);
+            sched.on_completion(id, t_done);
+        }
+
+        t = t_done;
+        ticks_simulated += 1;
+    }
+
+    Ok(SimResult {
+        scheduler: sched.name(),
+        outcomes,
+        total_profit,
+        scaled_units_processed: units_processed,
+        work_scale: scale,
+        ticks_simulated,
+        end_time: t,
+        trace,
+    })
+}
+
+/// A horizon every work-conserving schedule fits in: after the last useful
+/// moment of any job, one processor could still drain all remaining work.
+fn auto_horizon(inst: &Instance) -> Time {
+    let stats = inst.stats();
+    stats
+        .horizon
+        .saturating_add(stats.total_work.as_ticks())
+        .saturating_add(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched_api::Allocation;
+    use dagsched_core::{JobId, Work};
+    use dagsched_dag::gen;
+    use dagsched_workload::{Instance, JobSpec, StepProfitFn};
+    use std::sync::Arc;
+
+    /// Work-conserving FIFO-by-arrival test scheduler: hands each alive job
+    /// as many processors as it has ready nodes, in arrival order.
+    struct Greedy;
+
+    impl OnlineScheduler for Greedy {
+        fn name(&self) -> String {
+            "greedy-test".into()
+        }
+        fn on_arrival(&mut self, _job: &JobInfo, _now: Time) {}
+        fn on_completion(&mut self, _id: JobId, _now: Time) {}
+        fn on_expiry(&mut self, _id: JobId, _now: Time) {}
+        fn allocate(&mut self, view: &TickView<'_>) -> Allocation {
+            let mut left = view.m;
+            let mut out = Vec::new();
+            for &(id, ready) in view.jobs() {
+                if left == 0 {
+                    break;
+                }
+                let k = ready.min(left);
+                if k > 0 {
+                    out.push((id, k));
+                    left -= k;
+                }
+            }
+            out
+        }
+    }
+
+    /// A scheduler that emits a fixed allocation once (for validation tests).
+    struct Fixed(Option<Allocation>);
+
+    impl OnlineScheduler for Fixed {
+        fn name(&self) -> String {
+            "fixed".into()
+        }
+        fn on_arrival(&mut self, _job: &JobInfo, _now: Time) {}
+        fn on_completion(&mut self, _id: JobId, _now: Time) {}
+        fn on_expiry(&mut self, _id: JobId, _now: Time) {}
+        fn allocate(&mut self, _view: &TickView<'_>) -> Allocation {
+            self.0.take().unwrap_or_default()
+        }
+    }
+
+    fn one_job(
+        dag: Arc<dagsched_dag::DagJobSpec>,
+        arrival: u64,
+        d: u64,
+        p: u64,
+        m: u32,
+    ) -> Instance {
+        Instance::new(
+            m,
+            vec![JobSpec::new(
+                JobId(0),
+                Time(arrival),
+                dag,
+                StepProfitFn::deadline(Time(d), p),
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_node_completes_on_time() {
+        let inst = one_job(gen::single(4).into_shared(), 0, 10, 7, 1);
+        let r = simulate(&inst, &mut Greedy, &SimConfig::default()).unwrap();
+        assert_eq!(
+            r.outcomes[0],
+            JobStatus::Completed {
+                at: Time(4),
+                profit: 7
+            }
+        );
+        assert_eq!(r.total_profit, 7);
+        assert_eq!(r.work_processed(), 4);
+        assert_eq!(r.ticks_simulated, 4);
+    }
+
+    #[test]
+    fn block_uses_all_processors() {
+        // 8 unit nodes, m = 4: two ticks.
+        let inst = one_job(gen::block(8, 1).into_shared(), 0, 10, 1, 4);
+        let r = simulate(&inst, &mut Greedy, &SimConfig::default()).unwrap();
+        assert_eq!(r.makespan(), Some(Time(2)));
+    }
+
+    #[test]
+    fn speed_two_with_carryover_halves_chain_time() {
+        // Chain of 10 unit nodes at speed 2: Observation 1 says span drops at
+        // rate 2 → 5 ticks.
+        let inst = one_job(gen::chain(10, 1).into_shared(), 0, 100, 1, 1);
+        let cfg = SimConfig::at_speed(Speed::integer(2).unwrap());
+        let r = simulate(&inst, &mut Greedy, &cfg).unwrap();
+        assert_eq!(r.makespan(), Some(Time(5)));
+        assert_eq!(r.work_processed(), 10);
+    }
+
+    #[test]
+    fn speed_two_without_carryover_is_quantized() {
+        // Without carry-over, each tick finishes exactly one unit node:
+        // the leftover speed is wasted -> 10 ticks.
+        let inst = one_job(gen::chain(10, 1).into_shared(), 0, 100, 1, 1);
+        let cfg = SimConfig {
+            speed: Speed::integer(2).unwrap(),
+            carryover: false,
+            ..SimConfig::default()
+        };
+        let r = simulate(&inst, &mut Greedy, &cfg).unwrap();
+        assert_eq!(r.makespan(), Some(Time(10)));
+    }
+
+    #[test]
+    fn rational_speed_is_exact() {
+        // Speed 3/2 on a 9-unit node: scaled work 18, 3 units/tick → 6 ticks
+        // (vs 9 at unit speed: exactly 1.5x).
+        let inst = one_job(gen::single(9).into_shared(), 0, 100, 1, 1);
+        let cfg = SimConfig::at_speed(Speed::new(3, 2).unwrap());
+        let r = simulate(&inst, &mut Greedy, &cfg).unwrap();
+        assert_eq!(r.makespan(), Some(Time(6)));
+        assert_eq!(r.work_processed(), 9);
+        assert_eq!(r.work_scale, 2);
+    }
+
+    #[test]
+    fn deadline_boundary_is_inclusive() {
+        // 4 work, deadline 4: completes exactly at rel time 4 → paid.
+        let inst = one_job(gen::single(4).into_shared(), 3, 4, 9, 1);
+        let r = simulate(&inst, &mut Greedy, &SimConfig::default()).unwrap();
+        assert_eq!(
+            r.outcomes[0],
+            JobStatus::Completed {
+                at: Time(7),
+                profit: 9
+            }
+        );
+        // Deadline 3: cannot make it; expires and earns nothing.
+        let inst = one_job(gen::single(4).into_shared(), 3, 3, 9, 1);
+        let r = simulate(&inst, &mut Greedy, &SimConfig::default()).unwrap();
+        assert_eq!(r.outcomes[0], JobStatus::Expired { at: Time(6) });
+        assert_eq!(r.total_profit, 0);
+    }
+
+    #[test]
+    fn expiry_frees_processors_for_other_jobs() {
+        // Job 0: hopeless (work 100, deadline 1). Job 1: fine.
+        let inst = Instance::new(
+            1,
+            vec![
+                JobSpec::new(
+                    JobId(0),
+                    Time(0),
+                    gen::single(100).into_shared(),
+                    StepProfitFn::deadline(Time(1), 50),
+                ),
+                JobSpec::new(
+                    JobId(1),
+                    Time(0),
+                    gen::single(5).into_shared(),
+                    StepProfitFn::deadline(Time(100), 3),
+                ),
+            ],
+        )
+        .unwrap();
+        let r = simulate(&inst, &mut Greedy, &SimConfig::default()).unwrap();
+        assert!(matches!(r.outcomes[0], JobStatus::Expired { .. }));
+        assert!(r.outcomes[1].is_completed());
+        assert_eq!(r.total_profit, 3);
+    }
+
+    #[test]
+    fn idle_gaps_are_skipped() {
+        let inst = Instance::new(
+            1,
+            vec![
+                JobSpec::new(
+                    JobId(0),
+                    Time(0),
+                    gen::single(2).into_shared(),
+                    StepProfitFn::deadline(Time(10), 1),
+                ),
+                JobSpec::new(
+                    JobId(1),
+                    Time(1_000_000),
+                    gen::single(2).into_shared(),
+                    StepProfitFn::deadline(Time(10), 1),
+                ),
+            ],
+        )
+        .unwrap();
+        let r = simulate(&inst, &mut Greedy, &SimConfig::default()).unwrap();
+        assert_eq!(r.total_profit, 2);
+        assert!(
+            r.ticks_simulated < 100,
+            "engine iterated {} ticks; the million-tick gap must be skipped",
+            r.ticks_simulated
+        );
+        assert_eq!(r.makespan(), Some(Time(1_000_002)));
+    }
+
+    #[test]
+    fn validation_rejects_bad_allocations() {
+        let inst = one_job(gen::single(5).into_shared(), 0, 50, 1, 2);
+        // Over-subscription.
+        let err = simulate(
+            &inst,
+            &mut Fixed(Some(vec![(JobId(0), 3)])),
+            &SimConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchedError::InvalidAllocation(_)));
+        // Unknown job.
+        let err = simulate(
+            &inst,
+            &mut Fixed(Some(vec![(JobId(7), 1)])),
+            &SimConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchedError::InvalidAllocation(_)));
+        // Zero processors.
+        let err = simulate(
+            &inst,
+            &mut Fixed(Some(vec![(JobId(0), 0)])),
+            &SimConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchedError::InvalidAllocation(_)));
+        // Duplicate.
+        let err = simulate(
+            &inst,
+            &mut Fixed(Some(vec![(JobId(0), 1), (JobId(0), 1)])),
+            &SimConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchedError::InvalidAllocation(_)));
+    }
+
+    #[test]
+    fn lazy_scheduler_hits_horizon_with_unfinished_jobs() {
+        let inst = one_job(
+            gen::single(5).into_shared(),
+            0,
+            1_000, // far deadline
+            1,
+            1,
+        );
+        // Never allocates anything.
+        struct Idle;
+        impl OnlineScheduler for Idle {
+            fn name(&self) -> String {
+                "idle".into()
+            }
+            fn on_arrival(&mut self, _j: &JobInfo, _t: Time) {}
+            fn on_completion(&mut self, _i: JobId, _t: Time) {}
+            fn on_expiry(&mut self, _i: JobId, _t: Time) {}
+            fn allocate(&mut self, _v: &TickView<'_>) -> Allocation {
+                Vec::new()
+            }
+        }
+        let r = simulate(&inst, &mut Idle, &SimConfig::default()).unwrap();
+        // The job expires at its last useful time rather than running
+        // forever; nothing was processed.
+        assert!(matches!(r.outcomes[0], JobStatus::Expired { at } if at == Time(1_000)));
+        assert_eq!(r.work_processed(), 0);
+    }
+
+    #[test]
+    fn over_allocation_beyond_ready_nodes_idles() {
+        // A chain on m=4 with a greedy scheduler that asks ready.min(m):
+        // ready is always 1, so exactly 1 processor works; makespan = W.
+        let inst = one_job(gen::chain(6, 2).into_shared(), 0, 100, 1, 4);
+        let r = simulate(&inst, &mut Greedy, &SimConfig::default()).unwrap();
+        assert_eq!(r.makespan(), Some(Time(12)));
+        assert_eq!(r.work_processed(), 12);
+    }
+
+    #[test]
+    fn fig1_adversarial_vs_friendly_realizes_theorem1_gap() {
+        // m = 4, chain_len = 40: W = 160, L = 40 = W/m.
+        let m = 4;
+        let dag = gen::fig1(m, 40, 1).into_shared();
+        let w = dag.total_work().as_ticks();
+        let l = dag.span().as_ticks();
+        let inst = one_job(dag, 0, 10_000, 1, m);
+
+        // Adversarial picking: block first, then the chain sequentially.
+        let cfg = SimConfig {
+            pick: NodePick::AdversarialLowHeight,
+            ..SimConfig::default()
+        };
+        let r = simulate(&inst, &mut Greedy, &cfg).unwrap();
+        let expect_worst = (w - l) / m as u64 + l; // 30 + 40 = 70
+        assert_eq!(r.makespan(), Some(Time(expect_worst)));
+
+        // Friendly (critical-path-first): chain runs from the start → W/m.
+        let cfg = SimConfig {
+            pick: NodePick::CriticalPathFirst,
+            ..SimConfig::default()
+        };
+        let r = simulate(&inst, &mut Greedy, &cfg).unwrap();
+        assert_eq!(r.makespan(), Some(Time(w / m as u64)));
+    }
+
+    #[test]
+    fn multi_step_profit_pays_by_completion_time() {
+        let f = StepProfitFn::steps(vec![(Time(3), 10), (Time(6), 4)], 0).unwrap();
+        let mk = |work: u64| {
+            Instance::new(
+                1,
+                vec![JobSpec::new(
+                    JobId(0),
+                    Time(0),
+                    gen::single(work).into_shared(),
+                    f.clone(),
+                )],
+            )
+            .unwrap()
+        };
+        // Completes at 3 → 10; at 5 → 4; can't by 6 → expires, 0.
+        let r = simulate(&mk(3), &mut Greedy, &SimConfig::default()).unwrap();
+        assert_eq!(r.total_profit, 10);
+        let r = simulate(&mk(5), &mut Greedy, &SimConfig::default()).unwrap();
+        assert_eq!(r.total_profit, 4);
+        let r = simulate(&mk(9), &mut Greedy, &SimConfig::default()).unwrap();
+        assert_eq!(r.total_profit, 0);
+        assert!(matches!(r.outcomes[0], JobStatus::Expired { .. }));
+    }
+
+    #[test]
+    fn work_conservation_over_random_instances() {
+        use dagsched_workload::WorkloadGen;
+        for seed in 0..5 {
+            let inst = WorkloadGen::standard(4, 25, seed).generate().unwrap();
+            let r = simulate(&inst, &mut Greedy, &SimConfig::default()).unwrap();
+            // Work processed equals the sum of work of completed jobs plus
+            // partial progress of expired/unfinished ones: bounded by total.
+            let total: Work = inst.jobs().iter().map(|j| j.work()).sum();
+            assert!(r.work_processed() <= total.units());
+            let completed_work: u64 = inst
+                .jobs()
+                .iter()
+                .filter(|j| r.outcomes[j.id.index()].is_completed())
+                .map(|j| j.work().units())
+                .sum();
+            assert!(r.work_processed() >= completed_work);
+        }
+    }
+}

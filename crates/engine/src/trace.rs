@@ -1,0 +1,251 @@
+//! Execution traces and schedule-quality metrics.
+//!
+//! When [`SimConfig::record_trace`](crate::SimConfig) is set, the engine
+//! records every tick's allocation. [`Trace`] post-processes that record
+//! into the quantities the paper's future-work section cares about —
+//! preemption counts, processor utilization, per-job response times — and
+//! the Gantt-style dump used by the examples.
+
+use dagsched_core::{JobId, Time};
+
+/// One tick's processor assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceTick {
+    /// The tick this record covers.
+    pub at: Time,
+    /// `(job, processors granted)`, in the order the scheduler listed them.
+    pub alloc: Vec<(JobId, u32)>,
+}
+
+/// A full execution trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    ticks: Vec<TraceTick>,
+}
+
+/// Aggregate schedule-quality metrics derived from a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Ticks with at least one processor busy.
+    pub busy_ticks: u64,
+    /// Σ processors granted over all ticks.
+    pub processor_ticks: u64,
+    /// Mean fraction of `m` granted over busy ticks.
+    pub mean_utilization: f64,
+    /// Number of *preemptions*: a job held processors at tick `t`, was
+    /// alive, but held none at the next recorded tick (its final tick
+    /// before completion does not count).
+    pub preemptions: u64,
+    /// Number of *allotment changes*: consecutive ticks where a job's
+    /// processor count changed (excluding 0↔k transitions counted above).
+    pub resize_events: u64,
+    /// Distinct jobs that ever ran.
+    pub jobs_run: usize,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Record one tick (engine hook).
+    pub fn push(&mut self, at: Time, alloc: &[(JobId, u32)]) {
+        self.ticks.push(TraceTick {
+            at,
+            alloc: alloc.to_vec(),
+        });
+    }
+
+    /// The raw per-tick records.
+    pub fn ticks(&self) -> &[TraceTick] {
+        &self.ticks
+    }
+
+    /// Number of recorded ticks.
+    pub fn len(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// True iff nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ticks.is_empty()
+    }
+
+    /// First tick at which a job held processors.
+    pub fn first_start(&self, id: JobId) -> Option<Time> {
+        self.ticks
+            .iter()
+            .find(|t| t.alloc.iter().any(|(j, _)| *j == id))
+            .map(|t| t.at)
+    }
+
+    /// Total processor-ticks granted to one job.
+    pub fn processor_ticks_of(&self, id: JobId) -> u64 {
+        self.ticks
+            .iter()
+            .flat_map(|t| t.alloc.iter())
+            .filter(|(j, _)| *j == id)
+            .map(|(_, k)| *k as u64)
+            .sum()
+    }
+
+    /// Compute aggregate statistics for a machine of `m` processors.
+    ///
+    /// `completions` maps jobs to their completion times so the final
+    /// descheduling of a finished job is not counted as a preemption.
+    pub fn stats(&self, m: u32, completions: &[(JobId, Time)]) -> TraceStats {
+        use std::collections::HashMap;
+        let done: HashMap<JobId, Time> = completions.iter().copied().collect();
+        let mut busy_ticks = 0u64;
+        let mut processor_ticks = 0u64;
+        let mut util_sum = 0.0f64;
+        let mut preemptions = 0u64;
+        let mut resize_events = 0u64;
+        let mut jobs: std::collections::HashSet<JobId> = std::collections::HashSet::new();
+
+        let mut prev: HashMap<JobId, u32> = HashMap::new();
+        for (i, t) in self.ticks.iter().enumerate() {
+            let granted: u64 = t.alloc.iter().map(|(_, k)| *k as u64).sum();
+            if granted > 0 {
+                busy_ticks += 1;
+                util_sum += granted as f64 / m as f64;
+            }
+            processor_ticks += granted;
+            let cur: HashMap<JobId, u32> = t.alloc.iter().copied().collect();
+            for &id in cur.keys() {
+                jobs.insert(id);
+            }
+            // Compare against the previous tick only if it is adjacent in
+            // simulated time (idle gaps are skipped by the engine).
+            if i > 0 && self.ticks[i - 1].at.after(1) == t.at {
+                for (&id, &k_prev) in &prev {
+                    match cur.get(&id) {
+                        None => {
+                            // Deschedule: preemption unless it completed at
+                            // exactly this boundary.
+                            if done.get(&id) != Some(&t.at) {
+                                preemptions += 1;
+                            }
+                        }
+                        Some(&k_cur) if k_cur != k_prev => resize_events += 1,
+                        Some(_) => {}
+                    }
+                }
+            }
+            prev = cur;
+        }
+        TraceStats {
+            busy_ticks,
+            processor_ticks,
+            mean_utilization: if busy_ticks > 0 {
+                util_sum / busy_ticks as f64
+            } else {
+                0.0
+            },
+            preemptions,
+            resize_events,
+            jobs_run: jobs.len(),
+        }
+    }
+
+    /// A compact textual Gantt-like dump (one line per tick), for debugging
+    /// and the examples. Only the first `max_ticks` ticks are rendered.
+    pub fn render(&self, max_ticks: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for t in self.ticks.iter().take(max_ticks) {
+            let _ = write!(out, "t={:<6}", t.at.ticks());
+            for (j, k) in &t.alloc {
+                let _ = write!(out, " {j}x{k}");
+            }
+            let _ = writeln!(out);
+        }
+        if self.ticks.len() > max_ticks {
+            let _ = writeln!(out, "... ({} more ticks)", self.ticks.len() - max_ticks);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(v: u32) -> JobId {
+        JobId(v)
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let tr = Trace::new();
+        assert!(tr.is_empty());
+        let s = tr.stats(4, &[]);
+        assert_eq!(s.busy_ticks, 0);
+        assert_eq!(s.preemptions, 0);
+        assert_eq!(s.mean_utilization, 0.0);
+        assert_eq!(s.jobs_run, 0);
+    }
+
+    #[test]
+    fn utilization_and_processor_ticks() {
+        let mut tr = Trace::new();
+        tr.push(Time(0), &[(j(0), 4)]);
+        tr.push(Time(1), &[(j(0), 2)]);
+        tr.push(Time(2), &[]);
+        let s = tr.stats(4, &[]);
+        assert_eq!(s.busy_ticks, 2);
+        assert_eq!(s.processor_ticks, 6);
+        assert!((s.mean_utilization - 0.75).abs() < 1e-12); // (1.0 + 0.5)/2
+        assert_eq!(s.jobs_run, 1);
+    }
+
+    #[test]
+    fn preemption_vs_completion_vs_resize() {
+        let mut tr = Trace::new();
+        tr.push(Time(0), &[(j(0), 2), (j(1), 1)]);
+        tr.push(Time(1), &[(j(0), 1)]); // j1 descheduled, j0 resized
+        tr.push(Time(2), &[(j(2), 1)]); // j0 descheduled
+                                        // j0 completed at the t=2 boundary -> not a preemption; j1 was
+                                        // preempted at t=1.
+        let s = tr.stats(4, &[(j(0), Time(2))]);
+        assert_eq!(s.preemptions, 1);
+        assert_eq!(s.resize_events, 1);
+        assert_eq!(s.jobs_run, 3);
+    }
+
+    #[test]
+    fn idle_gaps_do_not_create_phantom_preemptions() {
+        let mut tr = Trace::new();
+        tr.push(Time(0), &[(j(0), 1)]);
+        // Next recorded tick is far in the future (engine skipped the gap):
+        tr.push(Time(100), &[(j(1), 1)]);
+        let s = tr.stats(2, &[]);
+        assert_eq!(s.preemptions, 0, "non-adjacent ticks are not compared");
+    }
+
+    #[test]
+    fn per_job_queries() {
+        let mut tr = Trace::new();
+        tr.push(Time(5), &[(j(0), 2)]);
+        tr.push(Time(6), &[(j(0), 2), (j(1), 1)]);
+        assert_eq!(tr.first_start(j(0)), Some(Time(5)));
+        assert_eq!(tr.first_start(j(1)), Some(Time(6)));
+        assert_eq!(tr.first_start(j(9)), None);
+        assert_eq!(tr.processor_ticks_of(j(0)), 4);
+        assert_eq!(tr.processor_ticks_of(j(1)), 1);
+        assert_eq!(tr.len(), 2);
+    }
+
+    #[test]
+    fn render_is_bounded() {
+        let mut tr = Trace::new();
+        for t in 0..10 {
+            tr.push(Time(t), &[(j(0), 1)]);
+        }
+        let out = tr.render(3);
+        assert_eq!(out.lines().count(), 4, "{out}");
+        assert!(out.contains("7 more ticks"));
+        assert!(out.contains("t=0"));
+    }
+}

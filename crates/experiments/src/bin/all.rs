@@ -1,0 +1,17 @@
+//! Run every experiment in DESIGN.md §5 and print all tables (the source of
+//! the numbers recorded in EXPERIMENTS.md). `--quick` shrinks the grids,
+//! `--csv` adds machine-readable output.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let start = std::time::Instant::now();
+    for t in dagsched_experiments::run_all(quick) {
+        println!("{}", t.render());
+        if csv {
+            println!("{}", t.to_csv());
+        }
+    }
+    eprintln!("[all experiments done in {:.1?}]", start.elapsed());
+}

@@ -1,0 +1,14 @@
+//! Binary for the `profit_general` experiment; pass `--quick` for the reduced grid
+//! and `--csv` to print machine-readable output as well.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    for t in dagsched_experiments::profit_general::run(quick) {
+        println!("{}", t.render());
+        if csv {
+            println!("{}", t.to_csv());
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Generate, inspect and replay workload instances via the text codec.
+//! See `instances help` for usage.
+
+use std::io::Read as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match dagsched_experiments::cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}\n\n{}", dagsched_experiments::cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let needs_stdin = matches!(
+        cmd,
+        dagsched_experiments::cli::Command::Info | dagsched_experiments::cli::Command::Run { .. }
+    );
+    let mut input = String::new();
+    if needs_stdin {
+        if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+            eprintln!("cannot read stdin: {e}");
+            std::process::exit(2);
+        }
+    }
+    match dagsched_experiments::cli::execute(&cmd, &input) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Shared experiment machinery: a scheduler factory and sweep helpers.
+
+use dagsched_core::{AlgoParams, Speed};
+use dagsched_engine::{parallel_map, simulate, OnlineScheduler, SimConfig, SimResult};
+use dagsched_sched::{
+    baselines::SNoAdmission, Edf, Fifo, GreedyDensity, LeastLaxity, RandomOrder, SchedulerS,
+    SchedulerSProfit,
+};
+use dagsched_workload::Instance;
+
+/// A constructible scheduler description (plain data, so sweeps are lists).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedKind {
+    /// The paper's Section 3 scheduler with the recommended constants.
+    S {
+        /// Deadline-slack constant ε.
+        epsilon: f64,
+    },
+    /// S with a speed hint (Corollary 1's reduction): the engine runs it at
+    /// that speed and S computes allotments from `W/s`, `L/s`.
+    SHinted {
+        /// Deadline-slack constant ε.
+        epsilon: f64,
+        /// The engine speed S should assume.
+        hint: f64,
+    },
+    /// The paper's Section 5 general-profit scheduler.
+    SProfit {
+        /// Deadline-slack constant ε.
+        epsilon: f64,
+    },
+    /// The work-conserving extension of S (paper future work): identical
+    /// admission and priorities, spare processors backfilled.
+    SWc {
+        /// Deadline-slack constant ε.
+        epsilon: f64,
+    },
+    /// Ablation: S without admission control.
+    SNoAdmit {
+        /// Deadline-slack constant ε.
+        epsilon: f64,
+    },
+    /// Ablation: S with explicit constants (δ, c overrides).
+    SCustom {
+        /// Deadline-slack constant ε.
+        epsilon: f64,
+        /// Freshness constant override.
+        delta: f64,
+        /// Band width override.
+        c: f64,
+    },
+    /// Earliest-deadline-first.
+    Edf,
+    /// EDF with demand-bound admission control.
+    EdfAc,
+    /// First-in-first-out.
+    Fifo,
+    /// Highest density (p/W) first.
+    Hdf,
+    /// Least laxity first.
+    Llf,
+    /// Random priority order per tick.
+    Random {
+        /// Shuffle seed.
+        seed: u64,
+    },
+}
+
+impl SchedKind {
+    /// Short label for table rows.
+    pub fn label(&self) -> String {
+        match self {
+            SchedKind::S { epsilon } => format!("S(e={epsilon})"),
+            SchedKind::SHinted { epsilon, hint } => format!("S(e={epsilon},s={hint:.2})"),
+            SchedKind::SProfit { epsilon } => format!("S-prof(e={epsilon})"),
+            SchedKind::SWc { epsilon } => format!("S-wc(e={epsilon})"),
+            SchedKind::SNoAdmit { .. } => "S-noadmit".into(),
+            SchedKind::SCustom { delta, c, .. } => format!("S(d={delta:.3},c={c:.1})"),
+            SchedKind::Edf => "EDF".into(),
+            SchedKind::EdfAc => "EDF-AC".into(),
+            SchedKind::Fifo => "FIFO".into(),
+            SchedKind::Hdf => "HDF".into(),
+            SchedKind::Llf => "LLF".into(),
+            SchedKind::Random { .. } => "RANDOM".into(),
+        }
+    }
+
+    /// Instantiate for a machine of `m` processors.
+    pub fn build(&self, m: u32) -> Box<dyn OnlineScheduler> {
+        match *self {
+            SchedKind::S { epsilon } => Box::new(SchedulerS::with_epsilon(m, epsilon)),
+            SchedKind::SHinted { epsilon, hint } => {
+                Box::new(SchedulerS::with_epsilon(m, epsilon).with_speed_hint(hint))
+            }
+            SchedKind::SProfit { epsilon } => Box::new(SchedulerSProfit::with_epsilon(m, epsilon)),
+            SchedKind::SWc { epsilon } => {
+                Box::new(SchedulerS::with_epsilon(m, epsilon).work_conserving())
+            }
+            SchedKind::SNoAdmit { epsilon } => Box::new(SNoAdmission::new(
+                m,
+                AlgoParams::from_epsilon(epsilon).expect("valid epsilon"),
+            )),
+            SchedKind::SCustom { epsilon, delta, c } => Box::new(SchedulerS::new(
+                m,
+                AlgoParams::new(epsilon, delta, c).expect("valid custom params"),
+            )),
+            SchedKind::Edf => Box::new(Edf::new(m)),
+            SchedKind::EdfAc => Box::new(dagsched_sched::EdfAc::new(m)),
+            SchedKind::Fifo => Box::new(Fifo::new(m)),
+            SchedKind::Hdf => Box::new(GreedyDensity::new(m)),
+            SchedKind::Llf => Box::new(LeastLaxity::new(m)),
+            SchedKind::Random { seed } => Box::new(RandomOrder::new(m, seed)),
+        }
+    }
+}
+
+/// Run one scheduler on one instance (unit speed, default engine config).
+pub fn run_on(inst: &Instance, kind: &SchedKind) -> SimResult {
+    run_on_cfg(inst, kind, &SimConfig::default())
+}
+
+/// Run one scheduler on one instance with an explicit engine config.
+pub fn run_on_cfg(inst: &Instance, kind: &SchedKind, cfg: &SimConfig) -> SimResult {
+    let mut sched = kind.build(inst.m());
+    simulate(inst, sched.as_mut(), cfg).expect("schedulers in this crate emit valid allocations")
+}
+
+/// Run one scheduler at a given speed.
+pub fn run_at_speed(inst: &Instance, kind: &SchedKind, speed: Speed) -> SimResult {
+    run_on_cfg(inst, kind, &SimConfig::at_speed(speed))
+}
+
+/// Parallel map over seeds (the basic sweep building block).
+pub fn over_seeds<R: Send>(seeds: &[u64], f: impl Fn(u64) -> R + Sync) -> Vec<R> {
+    parallel_map(
+        seeds.to_vec(),
+        dagsched_engine::runner::default_threads(),
+        |s| f(*s),
+    )
+}
+
+/// The seed list for an experiment: `quick` keeps tests fast.
+pub fn seeds(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![1, 2, 3]
+    } else {
+        (1..=12).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_workload::WorkloadGen;
+
+    #[test]
+    fn every_kind_builds_and_runs() {
+        let inst = WorkloadGen::standard(4, 20, 5).generate().unwrap();
+        for kind in [
+            SchedKind::S { epsilon: 1.0 },
+            SchedKind::SWc { epsilon: 1.0 },
+            SchedKind::SProfit { epsilon: 1.0 },
+            SchedKind::SNoAdmit { epsilon: 1.0 },
+            SchedKind::SCustom {
+                epsilon: 1.0,
+                delta: 0.25,
+                c: 40.0,
+            },
+            SchedKind::Edf,
+            SchedKind::EdfAc,
+            SchedKind::Fifo,
+            SchedKind::Hdf,
+            SchedKind::Llf,
+            SchedKind::Random { seed: 7 },
+        ] {
+            let r = run_on(&inst, &kind);
+            assert_eq!(r.outcomes.len(), 20, "{}", kind.label());
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn over_seeds_matches_sequential() {
+        let par = over_seeds(&[1, 2, 3, 4], |s| s * s);
+        assert_eq!(par, vec![1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn seed_lists() {
+        assert_eq!(seeds(true).len(), 3);
+        assert_eq!(seeds(false).len(), 12);
+    }
+}

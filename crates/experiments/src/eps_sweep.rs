@@ -1,0 +1,138 @@
+//! **E3** — Theorem 2: empirical competitiveness vs deadline slack `ε`.
+//!
+//! Workloads whose deadlines satisfy `D_i ≥ (1+ε)((W−L)/m + L)` are run
+//! through scheduler S at unit speed; the earned profit is compared, per
+//! seed, against the exact subset upper bound on OPT (so the reported ratio
+//! is conservative — the true competitive ratio can only be smaller).
+//!
+//! Expected shape: the measured ratio is a *small constant* (single digits)
+//! across the whole sweep and grows mildly as `ε` shrinks or overload rises,
+//! while the worst-case guarantee `O(1/ε⁶)` is astronomically larger —
+//! i.e. the algorithm is far better in the average case than its bound,
+//! but the bound's direction (worse for small `ε`) is visible.
+
+use crate::common::{over_seeds, run_on, seeds, SchedKind};
+use dagsched_core::Speed;
+use dagsched_metrics::{stats::geo_mean, table::f, Table};
+use dagsched_opt::exact_subset_ub;
+use dagsched_workload::{
+    ArrivalProcess, DagFamily, DeadlinePolicy, ProfitPolicy, ProfitShape, WorkloadGen,
+};
+
+/// One instance of the E3 family.
+pub fn instance(
+    m: u32,
+    n_jobs: usize,
+    eps: f64,
+    load: f64,
+    seed: u64,
+) -> dagsched_workload::Instance {
+    let family = DagFamily::standard_mix((1, 6));
+    // Mean work of the standard mix is roughly 60; load control is
+    // approximate, which is fine — the UB comparison is per-instance.
+    let gen = WorkloadGen {
+        m,
+        n_jobs,
+        seed,
+        arrivals: ArrivalProcess::poisson_for_load(load, 60.0, m),
+        family,
+        deadlines: DeadlinePolicy::SlackFactor(1.0 + eps),
+        profits: ProfitPolicy::UniformDensity { lo: 1.0, hi: 4.0 },
+        shape: ProfitShape::Deadline,
+    };
+    gen.generate().expect("valid workload")
+}
+
+/// Build the E3 table.
+pub fn run(quick: bool) -> Vec<Table> {
+    let m = 8u32;
+    let n_jobs = 18; // small enough for the exact OPT bound
+    let eps_grid = [0.25, 0.5, 1.0, 2.0];
+    let loads = if quick {
+        vec![2.0]
+    } else {
+        vec![1.0, 2.0, 4.0]
+    };
+    let seed_list = seeds(quick);
+
+    let mut t = Table::new(
+        "E3: S vs exact OPT upper bound, by deadline slack eps and load (m=8)",
+        &[
+            "eps",
+            "load",
+            "profit_S (mean)",
+            "OPT_UB (mean)",
+            "ratio UB/S (geo)",
+            "worst ratio",
+            "theory O(1/e^6)",
+        ],
+    );
+    for &eps in &eps_grid {
+        for &load in &loads {
+            let rows = over_seeds(&seed_list, |seed| {
+                let inst = instance(m, n_jobs, eps, load, seed);
+                let r = run_on(&inst, &SchedKind::S { epsilon: eps });
+                let ub = exact_subset_ub(&inst, Speed::ONE, 24).expect("n_jobs <= 24");
+                (r.total_profit, ub)
+            });
+            let profits: Vec<f64> = rows.iter().map(|(p, _)| *p as f64).collect();
+            let ubs: Vec<f64> = rows.iter().map(|(_, u)| *u as f64).collect();
+            let ratios: Vec<f64> = rows
+                .iter()
+                .filter(|(p, u)| *p > 0 && *u > 0)
+                .map(|(p, u)| *u as f64 / *p as f64)
+                .collect();
+            let geo = geo_mean(&ratios).unwrap_or(f64::NAN);
+            let worst = ratios.iter().cloned().fold(0.0f64, f64::max);
+            let theory = dagsched_core::AlgoParams::from_epsilon(eps)
+                .expect("valid eps")
+                .throughput_competitive_ratio();
+            t.row(vec![
+                f(eps, 2),
+                f(load, 1),
+                f(profits.iter().sum::<f64>() / profits.len() as f64, 1),
+                f(ubs.iter().sum::<f64>() / ubs.len() as f64, 1),
+                f(geo, 2),
+                f(worst, 2),
+                format!("{theory:.0}"),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_are_small_constants_and_below_theory() {
+        let tables = run(true);
+        let t = &tables[0];
+        assert!(t.len() >= 4);
+        for i in 0..t.len() {
+            let geo: f64 = t.cell(i, 4).parse().unwrap();
+            let worst: f64 = t.cell(i, 5).parse().unwrap();
+            let theory: f64 = t.cell(i, 6).parse().unwrap();
+            assert!(geo >= 1.0 - 1e-9, "UB/S cannot be below 1");
+            assert!(
+                worst <= 25.0,
+                "row {i}: empirical ratio {worst} implausibly large"
+            );
+            assert!(
+                worst <= theory,
+                "row {i}: measured {worst} exceeds the worst-case bound {theory}"
+            );
+        }
+    }
+
+    #[test]
+    fn instances_satisfy_theorem2_condition() {
+        let inst = instance(8, 18, 0.5, 2.0, 1);
+        for j in inst.jobs() {
+            let brent = j.brent_bound(8);
+            let d = j.rel_deadline().unwrap().as_f64();
+            assert!(d >= 1.5 * brent - 1.0);
+        }
+    }
+}

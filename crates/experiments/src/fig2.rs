@@ -1,0 +1,89 @@
+//! **F2** — Figure 2: deadlines below `(W−L)/m + L` are unreasonable.
+//!
+//! The Figure 2 job is a chain followed by a parallel block that depends on
+//! it, every node of size `ε` (the *grain* `g`). Its span is
+//! `L = chain + g`. Even a fully clairvoyant scheduler needs
+//!
+//! > `(W−L)/m + L − ε(1 − 1/m)`,
+//!
+//! i.e. it undercuts the `(W−L)/m + L` benchmark by only `ε(1−1/m)`, which
+//! vanishes with the grain. The table sweeps `g` (holding `W` and the chain
+//! work fixed) and reports the clairvoyant makespan, the span-based
+//! benchmark, and the gap against the paper's closed form `ε(1−1/m)` —
+//! justifying Corollary 2's assumption that deadlines of at least
+//! `(W−L)/m + L` are "reasonable".
+
+use dagsched_core::Speed;
+use dagsched_dag::gen;
+use dagsched_metrics::{table::f, Table};
+use dagsched_opt::lpf_makespan;
+
+/// Build the Figure-2 table.
+pub fn run(quick: bool) -> Vec<Table> {
+    let m = 8u32;
+    // Chain work 128, block work 1024, so W = 1152 regardless of grain.
+    let (chain_work, block_work) = (128u64, 1024u64);
+    let grains: &[u64] = if quick {
+        &[32, 8, 1]
+    } else {
+        &[64, 32, 16, 8, 4, 2, 1]
+    };
+
+    let mut t = Table::new(
+        "F2: Figure 2 clairvoyant makespan vs node grain (m=8, W=1152)",
+        &[
+            "grain",
+            "span L",
+            "makespan",
+            "benchmark (W-L)/m+L",
+            "gap",
+            "theory gap e(1-1/m)",
+        ],
+    );
+    for &g in grains {
+        let chain_nodes = (chain_work / g) as u32;
+        let block_nodes = (block_work / g) as u32;
+        let dag = gen::fig2(chain_nodes, block_nodes, g).into_shared();
+        let w = dag.total_work().as_f64();
+        let span = dag.span().as_f64(); // chain + one block node
+        let ms = lpf_makespan(dag, m, Speed::ONE).expect("valid run");
+        let benchmark = (w - span) / m as f64 + span;
+        let gap = benchmark - ms.as_f64();
+        let theory_gap = g as f64 * (1.0 - 1.0 / m as f64);
+        t.row(vec![
+            g.to_string(),
+            f(span, 0),
+            ms.to_string(),
+            f(benchmark, 1),
+            f(gap, 1),
+            f(theory_gap, 1),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_matches_closed_form_and_vanishes_with_grain() {
+        let tables = run(false);
+        let t = &tables[0];
+        let mut prev_gap = f64::INFINITY;
+        for i in 0..t.len() {
+            let gap: f64 = t.cell(i, 4).parse().unwrap();
+            let theory: f64 = t.cell(i, 5).parse().unwrap();
+            assert!(
+                (gap - theory).abs() <= 0.2,
+                "row {i}: gap {gap} vs closed form {theory}"
+            );
+            assert!(gap >= -1e-9, "clairvoyant cannot beat the adjusted bound");
+            assert!(gap <= prev_gap + 1e-9, "gap must shrink with the grain");
+            prev_gap = gap;
+        }
+        // Finest grain (g = 1): the benchmark is essentially tight.
+        let last_gap: f64 = t.cell(t.len() - 1, 4).parse().unwrap();
+        assert!(last_gap <= 1.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! **E11** — sporadic DAG task sets: the related-work bridge.
+//!
+//! The real-time literature the paper departs from asks "can *all*
+//! deadlines be met?" (schedulability); the paper asks "how much profit
+//! can be earned when they can't?" (throughput). This experiment sweeps
+//! total utilization and shows both regimes on the same task sets:
+//!
+//! * the **federated** schedulability test's acceptance rate, and the
+//!   deadline-miss count of accepted sets in simulation (must be zero);
+//! * the completion rate of **S** and **EDF** on *every* set, including
+//!   the ones federated scheduling rejects — where throughput scheduling
+//!   keeps earning while hard-real-time simply declines.
+
+use crate::common::{over_seeds, seeds};
+use dagsched_core::{Rng64, Time};
+use dagsched_dag::gen;
+use dagsched_engine::{simulate, SimConfig};
+use dagsched_metrics::{table::f, Table};
+use dagsched_sched::{federated_assignment, Edf, FederatedScheduler, SchedulerS};
+use dagsched_workload::sporadic::{SporadicTask, SporadicTaskSet};
+
+/// Build a random task set with total utilization near `target_util·m`.
+pub fn task_set(m: u32, target_util: f64, seed: u64) -> SporadicTaskSet {
+    let mut rng = Rng64::seed_from(seed);
+    let mut tasks = Vec::new();
+    let mut util = 0.0;
+    let budget = target_util * m as f64;
+    while util < budget && tasks.len() < 40 {
+        // Mix of light blocks/fork-joins and occasional heavy wide jobs.
+        let heavy = rng.gen_bool(0.25);
+        let dag = if heavy {
+            gen::block(rng.gen_range_inclusive(16, 40) as u32, 2).into_shared()
+        } else {
+            gen::fork_join(
+                rng.gen_range_inclusive(1, 2) as u32,
+                rng.gen_range_inclusive(2, 5) as u32,
+                rng.gen_range_inclusive(1, 3),
+            )
+            .into_shared()
+        };
+        let w = dag.total_work().as_f64();
+        let l = dag.span().as_f64();
+        // Deadline: between the greedy bound and 3x it; period ≥ deadline.
+        let brent = (w - l) / m as f64 + l;
+        let d = (rng.gen_f64_range(1.2, 3.0) * brent).ceil() as u64;
+        let period = d + rng.gen_range_inclusive(0, d);
+        util += w / period as f64;
+        tasks.push(SporadicTask {
+            dag,
+            period,
+            rel_deadline: Time(d),
+            profit: w as u64,
+            jitter: period / 8,
+        });
+    }
+    SporadicTaskSet {
+        m,
+        tasks,
+        horizon: Time(1_500),
+        seed: seed ^ 0xABCD,
+    }
+}
+
+/// Build the E11 table.
+pub fn run(quick: bool) -> Vec<Table> {
+    let m = 8u32;
+    let utils: Vec<f64> = if quick {
+        vec![0.3, 0.9]
+    } else {
+        vec![0.2, 0.4, 0.6, 0.8, 1.0, 1.4]
+    };
+    let seed_list = seeds(quick);
+
+    let mut t = Table::new(
+        "E11: sporadic DAG task sets by normalized utilization (m=8)",
+        &[
+            "util/m",
+            "fed accepts",
+            "fed misses",
+            "S completion %",
+            "EDF completion %",
+        ],
+    );
+    for &u in &utils {
+        let rows = over_seeds(&seed_list, |seed| {
+            let set = task_set(m, u, seed);
+            let (inst, task_of_job) = set.generate().expect("valid set");
+            let n = inst.len();
+            let fed = federated_assignment(&set).map(|a| {
+                let mut sched = FederatedScheduler::new(a, task_of_job.clone());
+                let r = simulate(&inst, &mut sched, &SimConfig::default()).expect("valid");
+                n - r.completed() // misses
+            });
+            let mut s = SchedulerS::with_epsilon(m, 1.0).work_conserving();
+            let rs = simulate(&inst, &mut s, &SimConfig::default()).expect("valid");
+            let mut e = Edf::new(m);
+            let re = simulate(&inst, &mut e, &SimConfig::default()).expect("valid");
+            (
+                fed,
+                rs.completed() as f64 / n as f64,
+                re.completed() as f64 / n as f64,
+            )
+        });
+        let n = rows.len() as f64;
+        let accepted = rows.iter().filter(|(f, _, _)| f.is_some()).count();
+        let misses: usize = rows.iter().filter_map(|(f, _, _)| *f).sum();
+        t.row(vec![
+            f(u, 1),
+            format!("{accepted}/{}", rows.len()),
+            misses.to_string(),
+            f(100.0 * rows.iter().map(|r| r.1).sum::<f64>() / n, 1),
+            f(100.0 * rows.iter().map(|r| r.2).sum::<f64>() / n, 1),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn federated_accepts_low_util_and_never_misses() {
+        let tables = run(true);
+        let t = &tables[0];
+        // Low-utilization row: everything accepted, zero misses.
+        let accepts: &str = t.cell(0, 1);
+        let misses: usize = t.cell(0, 2).parse().unwrap();
+        assert_eq!(misses, 0, "accepted sets must not miss deadlines");
+        assert!(
+            accepts.starts_with("3/"),
+            "low util should be accepted: {accepts}"
+        );
+        // High-utilization row: acceptance drops, throughput schedulers
+        // still complete a meaningful fraction.
+        let last = t.len() - 1;
+        let s_rate: f64 = t.cell(last, 3).parse().unwrap();
+        assert!(s_rate > 20.0, "S completion collapsed: {s_rate}%");
+    }
+
+    #[test]
+    fn task_set_utilization_tracks_target() {
+        for u in [0.3, 0.8] {
+            let set = task_set(8, u, 5);
+            let total = set.total_utilization() / 8.0;
+            assert!(
+                total >= u * 0.8 && total <= u * 1.6,
+                "target {u}, got {total}"
+            );
+        }
+    }
+}

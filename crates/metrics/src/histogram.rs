@@ -1,0 +1,180 @@
+//! Fixed-bucket and logarithmic histograms for distribution reporting
+//! (response times, job sizes, deadline slacks).
+
+use std::fmt::Write as _;
+
+/// A histogram over `u64` samples with geometric (powers-of-`base`)
+/// buckets: bucket `k` covers `[base^k, base^{k+1})`, with a dedicated
+/// zero bucket. Suits the heavy-tailed quantities this workspace measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    base: f64,
+    zero: u64,
+    counts: Vec<u64>,
+    total: u64,
+    min: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// Create with the given bucket base (> 1); base 2 is the usual choice.
+    pub fn new(base: f64) -> LogHistogram {
+        assert!(base > 1.0, "bucket base must exceed 1");
+        LogHistogram {
+            base,
+            zero: 0,
+            counts: Vec::new(),
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.total += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if value == 0 {
+            self.zero += 1;
+            return;
+        }
+        let bucket = (value as f64).log(self.base).floor() as usize;
+        if bucket >= self.counts.len() {
+            self.counts.resize(bucket + 1, 0);
+        }
+        self.counts[bucket] += 1;
+    }
+
+    /// Record many samples.
+    pub fn extend(&mut self, values: impl IntoIterator<Item = u64>) {
+        for v in values {
+            self.record(v);
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest / largest recorded sample (`None` if empty).
+    pub fn range(&self) -> Option<(u64, u64)> {
+        (self.total > 0).then_some((self.min, self.max))
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) approximated at bucket resolution:
+    /// returns the *lower bound* of the bucket holding the quantile sample.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = self.zero;
+        if rank <= seen {
+            return Some(0);
+        }
+        for (k, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if rank <= seen {
+                return Some(self.base.powi(k as i32) as u64);
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Render as an ASCII bar chart, widest bucket normalized to `width`
+    /// characters.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = String::new();
+        if self.total == 0 {
+            let _ = writeln!(out, "(empty histogram)");
+            return out;
+        }
+        let peak = self
+            .counts
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(self.zero);
+        let bar = |count: u64| {
+            let len = if peak == 0 {
+                0
+            } else {
+                (count as f64 / peak as f64 * width as f64).round() as usize
+            };
+            "#".repeat(len)
+        };
+        if self.zero > 0 {
+            let _ = writeln!(out, "{:>12} {:>7} {}", "0", self.zero, bar(self.zero));
+        }
+        for (k, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let lo = self.base.powi(k as i32) as u64;
+            let _ = writeln!(out, "{lo:>12} {c:>7} {}", bar(c));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_ranges() {
+        let mut h = LogHistogram::new(2.0);
+        h.extend([0, 1, 2, 3, 4, 100]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.range(), Some((0, 100)));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::new(2.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.range(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert!(h.render(20).contains("empty"));
+    }
+
+    #[test]
+    fn quantiles_at_bucket_resolution() {
+        let mut h = LogHistogram::new(2.0);
+        // 50 samples at 1, 50 at 64.
+        h.extend(std::iter::repeat_n(1u64, 50));
+        h.extend(std::iter::repeat_n(64u64, 50));
+        assert_eq!(h.quantile(0.25), Some(1));
+        assert_eq!(h.quantile(0.75), Some(64));
+        assert_eq!(h.quantile(1.0), Some(64));
+        assert_eq!(h.quantile(2.0), None, "out-of-range q");
+    }
+
+    #[test]
+    fn zero_bucket_and_quantile() {
+        let mut h = LogHistogram::new(2.0);
+        h.extend([0, 0, 0, 8]);
+        assert_eq!(h.quantile(0.5), Some(0));
+        assert_eq!(h.quantile(1.0), Some(8));
+    }
+
+    #[test]
+    fn render_shows_buckets_with_bars() {
+        let mut h = LogHistogram::new(2.0);
+        h.extend([1, 1, 1, 1, 16]);
+        let out = h.render(8);
+        assert!(out.contains("########"), "{out}");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        assert!(lines[1].trim_start().starts_with("16"));
+    }
+
+    #[test]
+    #[should_panic(expected = "base must exceed")]
+    fn rejects_base_one() {
+        let _ = LogHistogram::new(1.0);
+    }
+}

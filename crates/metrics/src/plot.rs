@@ -1,0 +1,121 @@
+//! Minimal ASCII line/scatter plots for the figure-shaped experiments.
+//!
+//! Terminal-native "figures": the F1b speed sweep and the E4 ramp are
+//! genuinely curves, and a picture of the knee communicates more than rows.
+//! One character column per x sample, `height` rows of resolution.
+
+use std::fmt::Write as _;
+
+/// A named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Sample points (x ascending is conventional but not required).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Construct a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+}
+
+/// Render one or more series as an ASCII chart with the given plot-area
+/// size. Each series draws with its own glyph (`*`, `o`, `x`, `+`, …).
+pub fn render(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    let glyphs = ['*', 'o', 'x', '+', '@', '#'];
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    if all.is_empty() || width < 2 || height < 2 {
+        let _ = writeln!(out, "(no data)");
+        return out;
+    }
+    let (mut x_lo, mut x_hi) = (f64::MAX, f64::MIN);
+    let (mut y_lo, mut y_hi) = (f64::MAX, f64::MIN);
+    for &(x, y) in &all {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+        y_lo = y_lo.min(y);
+        y_hi = y_hi.max(y);
+    }
+    if (x_hi - x_lo).abs() < f64::EPSILON {
+        x_hi = x_lo + 1.0;
+    }
+    if (y_hi - y_lo).abs() < f64::EPSILON {
+        y_hi = y_lo + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let g = glyphs[si % glyphs.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x - x_lo) / (x_hi - x_lo) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_lo) / (y_hi - y_lo) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx] = g;
+        }
+    }
+    let _ = writeln!(out, "{y_hi:>10.2} +{}", "-".repeat(width));
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == height - 1 {
+            format!("{y_lo:>10.2}")
+        } else {
+            " ".repeat(10)
+        };
+        let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(
+        out,
+        "{:>11} {x_lo:<.2}{}{x_hi:>.2}",
+        "",
+        " ".repeat(width.saturating_sub(8))
+    );
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "  {} = {}", glyphs[si % glyphs.len()], s.name);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_at_extremes() {
+        let s = Series::new("line", vec![(0.0, 0.0), (10.0, 10.0)]);
+        let out = render("t", &[s], 21, 11);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("== t =="));
+        // Top-right and bottom-left of the plot area carry the glyph.
+        assert!(lines[2].ends_with('*') || lines[2].contains('*'), "{out}");
+        assert!(out.contains("* = line"));
+        // Axis labels present.
+        assert!(out.contains("10.00"));
+        assert!(out.contains("0.00"));
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_glyphs() {
+        let a = Series::new("a", vec![(0.0, 0.0)]);
+        let b = Series::new("b", vec![(1.0, 1.0)]);
+        let out = render("t", &[a, b], 10, 5);
+        assert!(out.contains("* = a"));
+        assert!(out.contains("o = b"));
+    }
+
+    #[test]
+    fn empty_and_degenerate_input() {
+        assert!(render("t", &[], 10, 5).contains("no data"));
+        let s = Series::new("p", vec![(5.0, 5.0)]);
+        // Single point (degenerate ranges) must not panic.
+        let out = render("t", &[s], 10, 5);
+        assert!(out.contains('*'));
+    }
+}

@@ -1,0 +1,137 @@
+//! Summary statistics over repeated experiment runs.
+
+/// Five-number-style summary of a sample (mean, standard deviation,
+/// min/median/max), computed once at construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (midpoint-interpolated for even n).
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns `None` for an empty slice or any
+    /// non-finite value (which would silently poison every statistic).
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() || values.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            median,
+            max: sorted[n - 1],
+        })
+    }
+
+    /// Summarize integer samples.
+    pub fn of_u64(values: &[u64]) -> Option<Summary> {
+        let v: Vec<f64> = values.iter().map(|&x| x as f64).collect();
+        Summary::of(&v)
+    }
+
+    /// A `mean ± std` display string with the given precision.
+    pub fn mean_pm(&self, precision: usize) -> String {
+        format!("{:.p$} ± {:.p$}", self.mean, self.std_dev, p = precision)
+    }
+}
+
+/// Pairwise ratio `a[i] / b[i]`, skipping pairs with `b[i] == 0`.
+/// Used for per-seed competitive ratios (algorithm vs bound on the *same*
+/// instance — never ratio-of-means, which would mix instances).
+pub fn pairwise_ratios(num: &[f64], den: &[f64]) -> Vec<f64> {
+    num.iter()
+        .zip(den)
+        .filter(|(_, d)| **d != 0.0)
+        .map(|(n, d)| n / d)
+        .collect()
+}
+
+/// Geometric mean (for aggregating ratios); `None` on empty or non-positive
+/// input.
+pub fn geo_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| *v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    Some((values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // sample std of 1..4 = sqrt(5/3)
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_odd_median_and_single() {
+        let s = Summary::of(&[5.0, 1.0, 3.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn summary_rejects_bad_input() {
+        assert_eq!(Summary::of(&[]), None);
+        assert_eq!(Summary::of(&[1.0, f64::NAN]), None);
+        assert_eq!(Summary::of(&[f64::INFINITY]), None);
+    }
+
+    #[test]
+    fn of_u64_and_display() {
+        let s = Summary::of_u64(&[10, 20, 30]).unwrap();
+        assert_eq!(s.mean, 20.0);
+        assert!(s.mean_pm(1).starts_with("20.0 ± 10.0"));
+    }
+
+    #[test]
+    fn ratios_skip_zero_denominators() {
+        let r = pairwise_ratios(&[4.0, 9.0, 5.0], &[2.0, 3.0, 0.0]);
+        assert_eq!(r, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn geo_mean_of_ratios() {
+        let g = geo_mean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+        assert_eq!(geo_mean(&[]), None);
+        assert_eq!(geo_mean(&[1.0, 0.0]), None);
+        assert_eq!(geo_mean(&[-1.0]), None);
+    }
+}

@@ -1,0 +1,185 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! Every experiment binary prints one or more [`Table`]s: a title, column
+//! headers and rows of strings. `render()` produces an aligned monospace
+//! table (what you read in the terminal); `to_csv()` produces the
+//! machine-readable form EXPERIMENTS.md numbers are extracted from.
+
+use std::fmt::Write as _;
+
+/// A titled table with fixed columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; its arity must match the headers.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Cell accessor (row, column) for tests and post-processing.
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+
+    /// Render as an aligned monospace table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let sep = if i + 1 < cols { "  " } else { "\n" };
+                let _ = write!(out, "{cell:>w$}{sep}", w = widths[i]);
+            }
+        };
+        line(&mut out, &self.headers);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(rule));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavoured Markdown table (with the title as a
+    /// heading), for generated reports.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Render as CSV (no quoting — cells are numbers and identifiers).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+/// Format a float cell with fixed precision.
+pub fn f(v: f64, precision: usize) -> String {
+    format!("{v:.precision$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["eps", "ratio"]);
+        t.row(vec!["0.5".into(), "3.20".into()]);
+        t.row(vec!["1".into(), "2.10".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let r = sample().render();
+        assert!(r.contains("== demo =="));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 5, "{r}");
+        // Right-aligned: the header and rows end consistently.
+        assert!(lines[1].ends_with("ratio"));
+        assert!(lines[3].ends_with("3.20"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let c = sample().to_csv();
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines, vec!["eps,ratio", "0.5,3.20", "1,2.10"]);
+    }
+
+    #[test]
+    fn accessors() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.title(), "demo");
+        assert_eq!(t.cell(1, 1), "2.10");
+        assert!(Table::new("x", &["a"]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_panics() {
+        Table::new("x", &["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "### demo");
+        assert_eq!(lines[2], "| eps | ratio |");
+        assert_eq!(lines[3], "|---|---|");
+        assert_eq!(lines[4], "| 0.5 | 3.20 |");
+        assert_eq!(lines.len(), 6);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.2345, 2), "1.23");
+        assert_eq!(f(2.0, 0), "2");
+    }
+}

@@ -1,0 +1,315 @@
+//! Upper bounds on the optimal clairvoyant profit.
+//!
+//! Any feasible 1-speed schedule must satisfy, for every time interval
+//! `[s, e]`, the **demand bound**: the total work of completed jobs whose
+//! whole window `[r_i, d_i]` lies inside `[s, e]` is at most `m·(e−s)` (times
+//! the speed, for augmented adversaries). Maximizing profit subject to these
+//! necessary conditions therefore upper-bounds OPT:
+//!
+//! * [`exact_subset_ub`] — branch-and-bound over job subsets (exact maximum
+//!   of the relaxation; exponential, gated on instance size);
+//! * [`fractional_ub`] — a one-interval fractional relaxation that handles
+//!   any size: sort by profit density `p/W` and fill `m·speed·window`
+//!   processor-time fractionally.
+//!
+//! Jobs that are *individually* infeasible (`D_i < max{L_i/s, W_i/(s·m)}`)
+//! are excluded from both bounds — no schedule can complete them.
+
+use dagsched_core::{Result, SchedError, Speed};
+use dagsched_workload::Instance;
+
+/// One job's window and size, preprocessed for the bounds.
+#[derive(Debug, Clone, Copy)]
+struct Item {
+    r: u64,
+    d: u64,
+    w: u64,
+    p: u64,
+}
+
+/// Extract jobs that at least one schedule could conceivably complete at the
+/// given speed. For general profit functions the window runs to the last
+/// useful time and the profit is the maximum value — still an upper bound.
+fn feasible_items(inst: &Instance, speed: Speed) -> Vec<Item> {
+    let m = inst.m() as u128;
+    let (num, den) = (speed.num() as u128, speed.den() as u128);
+    inst.jobs()
+        .iter()
+        .filter_map(|j| {
+            let r = j.arrival.ticks();
+            let d_rel = j.profit.last_useful_time().ticks();
+            let w = j.work().units();
+            let l = j.span().units();
+            // Completing within D requires D ≥ L/s and D ≥ W/(s·m):
+            // D·s ≥ L  ⇔  D·num ≥ L·den; similarly with m.
+            let d128 = d_rel as u128;
+            if d128 * num < l as u128 * den {
+                return None;
+            }
+            if d128 * num * m < w as u128 * den {
+                return None;
+            }
+            Some(Item {
+                r,
+                d: r + d_rel,
+                w,
+                p: j.profit.max_profit(),
+            })
+        })
+        .collect()
+}
+
+/// Fractional density-packing upper bound on OPT's profit at `speed`.
+///
+/// Capacity: `m·speed·(latest deadline − earliest arrival)` processor-time;
+/// jobs sorted by `p/W` descending are packed fractionally. Never below
+/// [`exact_subset_ub`] and valid for any instance size.
+pub fn fractional_ub(inst: &Instance, speed: Speed) -> u64 {
+    let items = feasible_items(inst, speed);
+    if items.is_empty() {
+        return 0;
+    }
+    let lo = items.iter().map(|i| i.r).min().expect("non-empty");
+    let hi = items.iter().map(|i| i.d).max().expect("non-empty");
+    let capacity = (hi - lo) as f64 * inst.m() as f64 * speed.as_f64();
+    let mut sorted: Vec<&Item> = items.iter().collect();
+    sorted.sort_by(|a, b| {
+        let da = a.p as f64 / a.w as f64;
+        let db = b.p as f64 / b.w as f64;
+        db.total_cmp(&da)
+    });
+    let mut left = capacity;
+    let mut profit = 0.0f64;
+    for it in sorted {
+        if left <= 0.0 {
+            break;
+        }
+        let take = (it.w as f64).min(left);
+        profit += it.p as f64 * take / it.w as f64;
+        left -= take;
+    }
+    profit.ceil() as u64
+}
+
+/// Exact maximum-profit subset satisfying every interval demand bound —
+/// an upper bound on OPT at `speed`.
+///
+/// # Errors
+/// [`SchedError::Unsupported`] when the instance has more than `max_jobs`
+/// feasible jobs (the search is exponential; 24 is comfortable).
+pub fn exact_subset_ub(inst: &Instance, speed: Speed, max_jobs: usize) -> Result<u64> {
+    let mut items = feasible_items(inst, speed);
+    if items.len() > max_jobs {
+        return Err(SchedError::Unsupported(format!(
+            "exact bound limited to {max_jobs} jobs, instance has {} feasible",
+            items.len()
+        )));
+    }
+    if items.is_empty() {
+        return Ok(0);
+    }
+    // Most profitable first: good upper bounds early → strong pruning.
+    items.sort_by_key(|it| std::cmp::Reverse(it.p));
+    let n = items.len();
+    let suffix_profit: Vec<u64> = {
+        let mut s = vec![0u64; n + 1];
+        for i in (0..n).rev() {
+            s[i] = s[i + 1] + items[i].p;
+        }
+        s
+    };
+    // Critical interval endpoints.
+    let mut starts: Vec<u64> = items.iter().map(|i| i.r).collect();
+    let mut ends: Vec<u64> = items.iter().map(|i| i.d).collect();
+    starts.sort_unstable();
+    starts.dedup();
+    ends.sort_unstable();
+    ends.dedup();
+
+    struct Ctx<'a> {
+        items: &'a [Item],
+        suffix_profit: &'a [u64],
+        starts: &'a [u64],
+        ends: &'a [u64],
+        m: u128,
+        num: u128,
+        den: u128,
+        best: u64,
+        chosen: Vec<usize>,
+    }
+
+    impl Ctx<'_> {
+        /// Would adding item `k` keep every interval containing its window
+        /// within capacity?
+        fn fits(&self, k: usize) -> bool {
+            let it = self.items[k];
+            for &s in self.starts.iter().filter(|&&s| s <= it.r) {
+                for &e in self.ends.iter().filter(|&&e| e >= it.d) {
+                    let mut demand = it.w as u128;
+                    for &c in &self.chosen {
+                        let jc = self.items[c];
+                        if jc.r >= s && jc.d <= e {
+                            demand += jc.w as u128;
+                        }
+                    }
+                    // demand ≤ m · (e−s) · speed
+                    if demand * self.den > self.m * (e - s) as u128 * self.num {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+
+        fn search(&mut self, idx: usize, profit: u64) {
+            self.best = self.best.max(profit);
+            if idx >= self.items.len() {
+                return;
+            }
+            if profit + self.suffix_profit[idx] <= self.best {
+                return; // even taking everything left cannot improve
+            }
+            // Branch: include idx if feasible.
+            if self.fits(idx) {
+                self.chosen.push(idx);
+                self.search(idx + 1, profit + self.items[idx].p);
+                self.chosen.pop();
+            }
+            // Branch: exclude idx.
+            self.search(idx + 1, profit);
+        }
+    }
+
+    let mut ctx = Ctx {
+        items: &items,
+        suffix_profit: &suffix_profit,
+        starts: &starts,
+        ends: &ends,
+        m: inst.m() as u128,
+        num: speed.num() as u128,
+        den: speed.den() as u128,
+        best: 0,
+        chosen: Vec::new(),
+    };
+    ctx.search(0, 0);
+    Ok(ctx.best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_core::{JobId, Time};
+    use dagsched_dag::gen;
+    use dagsched_workload::{Instance, JobSpec, StepProfitFn, WorkloadGen};
+
+    fn job(id: u32, r: u64, dag: dagsched_dag::DagJobSpec, d: u64, p: u64) -> JobSpec {
+        JobSpec::new(
+            JobId(id),
+            Time(r),
+            dag.into_shared(),
+            StepProfitFn::deadline(Time(d), p),
+        )
+    }
+
+    #[test]
+    fn single_feasible_job_bounds_equal_its_profit() {
+        let inst = Instance::new(2, vec![job(0, 0, gen::block(4, 2), 10, 7)]).unwrap();
+        assert_eq!(exact_subset_ub(&inst, Speed::ONE, 24).unwrap(), 7);
+        assert_eq!(fractional_ub(&inst, Speed::ONE), 7);
+    }
+
+    #[test]
+    fn infeasible_jobs_are_excluded() {
+        // Span 12 > deadline 10: no schedule completes it.
+        let inst = Instance::new(4, vec![job(0, 0, gen::chain(6, 2), 10, 9)]).unwrap();
+        assert_eq!(exact_subset_ub(&inst, Speed::ONE, 24).unwrap(), 0);
+        assert_eq!(fractional_ub(&inst, Speed::ONE), 0);
+        // W/m constraint: W = 40 on m = 2 needs 20 > 10 ticks.
+        let inst = Instance::new(2, vec![job(0, 0, gen::block(20, 2), 10, 9)]).unwrap();
+        assert_eq!(exact_subset_ub(&inst, Speed::ONE, 24).unwrap(), 0);
+        // ... but speed 4 makes it feasible: 40/(2·4) = 5 ≤ 10.
+        let s4 = Speed::integer(4).unwrap();
+        assert_eq!(exact_subset_ub(&inst, s4, 24).unwrap(), 9);
+    }
+
+    #[test]
+    fn demand_bound_picks_the_better_conflicting_job() {
+        // Two jobs, same window [0, 10], m = 1: each W = 8; both together
+        // need 16 > 10. OPT takes the more profitable one.
+        let inst = Instance::new(
+            1,
+            vec![
+                job(0, 0, gen::single(8), 10, 5),
+                job(1, 0, gen::single(8), 10, 9),
+            ],
+        )
+        .unwrap();
+        assert_eq!(exact_subset_ub(&inst, Speed::ONE, 24).unwrap(), 9);
+        // The fractional bound is looser: 9 + 5·(2/8) → ceil(10.25) = 11.
+        assert_eq!(fractional_ub(&inst, Speed::ONE), 11);
+    }
+
+    #[test]
+    fn nested_windows_are_enforced() {
+        // Inner job [4, 6] with W = 2 fills its window on m = 1; outer job
+        // [0, 10] with W = 9 would need 9 of the remaining 8 slots.
+        let inst = Instance::new(
+            1,
+            vec![
+                job(0, 0, gen::single(9), 10, 3),
+                job(1, 4, gen::single(2), 2, 3),
+            ],
+        )
+        .unwrap();
+        let ub = exact_subset_ub(&inst, Speed::ONE, 24).unwrap();
+        // The pairwise interval [0,10] holds demand 11 > 10 → only one fits.
+        assert_eq!(ub, 3);
+    }
+
+    #[test]
+    fn exact_never_exceeds_fractional() {
+        for seed in 0..6 {
+            let inst = WorkloadGen::standard(4, 14, seed).generate().unwrap();
+            let e = exact_subset_ub(&inst, Speed::ONE, 24).unwrap();
+            let f = fractional_ub(&inst, Speed::ONE);
+            assert!(e <= f, "seed {seed}: exact {e} > fractional {f}");
+        }
+    }
+
+    #[test]
+    fn bounds_are_monotone_in_speed() {
+        let inst = WorkloadGen::standard(4, 12, 3).generate().unwrap();
+        let s1 = exact_subset_ub(&inst, Speed::ONE, 24).unwrap();
+        let s2 = exact_subset_ub(&inst, Speed::integer(2).unwrap(), 24).unwrap();
+        assert!(s2 >= s1);
+        assert!(
+            fractional_ub(&inst, Speed::integer(2).unwrap()) >= fractional_ub(&inst, Speed::ONE)
+        );
+    }
+
+    #[test]
+    fn size_gate_errors_cleanly() {
+        let inst = WorkloadGen::standard(4, 30, 0).generate().unwrap();
+        assert!(matches!(
+            exact_subset_ub(&inst, Speed::ONE, 10),
+            Err(SchedError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn ub_dominates_any_simulated_schedule() {
+        use dagsched_engine::{simulate, SimConfig};
+        use dagsched_sched::GreedyDensity;
+        for seed in 0..4 {
+            let inst = WorkloadGen::standard(4, 16, 100 + seed).generate().unwrap();
+            let mut s = GreedyDensity::new(4);
+            let r = simulate(&inst, &mut s, &SimConfig::default()).unwrap();
+            let ub = exact_subset_ub(&inst, Speed::ONE, 24).unwrap();
+            assert!(
+                r.total_profit <= ub,
+                "seed {seed}: schedule {} beat the 'upper bound' {ub}",
+                r.total_profit
+            );
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Achievable clairvoyant baselines (lower bounds on OPT).
+//!
+//! These reuse the engine with the *clairvoyant* node-pick policies, which
+//! are forbidden to online semi-non-clairvoyant schedulers but exactly what
+//! the optimal solution in Section 4 is allowed to do:
+//!
+//! * [`lpf_makespan`] — longest-path-first greedy execution of a single DAG
+//!   on `m` processors: on the Figure 1 job this achieves the clairvoyant
+//!   `W/m`;
+//! * [`adversarial_makespan`] — the same greedy execution under the
+//!   adversarial pick: the semi-non-clairvoyant worst case `(W−L)/m + L`;
+//! * [`clairvoyant_edf_profit`] — EDF with critical-path-first node picks
+//!   over a whole instance: a schedule OPT is at least as good as.
+
+use dagsched_core::{JobId, Result, Speed, Time};
+use dagsched_dag::DagJobSpec;
+use dagsched_engine::{simulate, NodePick, SimConfig};
+use dagsched_sched::{Edf, Fifo};
+use dagsched_workload::{Instance, JobSpec, StepProfitFn};
+use std::sync::Arc;
+
+/// Run one DAG greedily on `m` processors at `speed` with the given pick
+/// policy; returns the makespan in ticks.
+fn single_dag_makespan(dag: Arc<DagJobSpec>, m: u32, speed: Speed, pick: NodePick) -> Result<Time> {
+    // A far-away deadline so the job never expires; profit irrelevant.
+    let horizon = dag.total_work().as_ticks() * speed.work_scale().max(1) + 2;
+    let inst = Instance::new(
+        m,
+        vec![JobSpec::new(
+            JobId(0),
+            Time::ZERO,
+            dag,
+            StepProfitFn::deadline(Time(horizon), 1),
+        )],
+    )?;
+    let cfg = SimConfig {
+        speed,
+        pick,
+        ..SimConfig::default()
+    };
+    let mut sched = Fifo::new(m);
+    let r = simulate(&inst, &mut sched, &cfg)?;
+    Ok(r.makespan().expect("the lone job always completes"))
+}
+
+/// Clairvoyant greedy makespan: longest-path-first list scheduling.
+pub fn lpf_makespan(dag: Arc<DagJobSpec>, m: u32, speed: Speed) -> Result<Time> {
+    single_dag_makespan(dag, m, speed, NodePick::CriticalPathFirst)
+}
+
+/// Semi-non-clairvoyant *worst-case* greedy makespan: the adversary always
+/// runs off-critical-path nodes first.
+pub fn adversarial_makespan(dag: Arc<DagJobSpec>, m: u32, speed: Speed) -> Result<Time> {
+    single_dag_makespan(dag, m, speed, NodePick::AdversarialLowHeight)
+}
+
+/// Profit earned by clairvoyant EDF (earliest-deadline-first with
+/// critical-path-first node picks) on a whole instance at `speed` — an
+/// achievable benchmark, hence a lower bound on OPT.
+pub fn clairvoyant_edf_profit(inst: &Instance, speed: Speed) -> Result<u64> {
+    let cfg = SimConfig {
+        speed,
+        pick: NodePick::CriticalPathFirst,
+        ..SimConfig::default()
+    };
+    let mut sched = Edf::new(inst.m());
+    Ok(simulate(inst, &mut sched, &cfg)?.total_profit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_core::Work;
+    use dagsched_dag::gen;
+    use dagsched_workload::WorkloadGen;
+
+    #[test]
+    fn fig1_gap_matches_theorem1_exactly() {
+        // m = 8, chain 80: W = 640, L = 80 = W/m.
+        let m = 8u32;
+        let dag = gen::fig1(m, 80, 1).into_shared();
+        let w = dag.total_work().units();
+        let l = dag.span().units();
+        let friendly = lpf_makespan(dag.clone(), m, Speed::ONE).unwrap();
+        let adversarial = adversarial_makespan(dag.clone(), m, Speed::ONE).unwrap();
+        assert_eq!(friendly, Time(w / m as u64), "clairvoyant achieves W/m");
+        assert_eq!(
+            adversarial,
+            Time((w - l) / m as u64 + l),
+            "adversary forces (W−L)/m + L"
+        );
+        // The ratio is exactly 2 − 1/m.
+        let ratio = adversarial.as_f64() / friendly.as_f64();
+        assert!((ratio - (2.0 - 1.0 / m as f64)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem1_speed_threshold_closes_the_gap() {
+        // At speed 2 − 1/m the adversarial execution finishes within the
+        // clairvoyant 1-speed makespan (up to rounding).
+        let m = 4u32;
+        let dag = gen::fig1(m, 40, 1).into_shared();
+        let friendly1 = lpf_makespan(dag.clone(), m, Speed::ONE).unwrap();
+        let s = Speed::theorem1_threshold(m).unwrap();
+        let adv_fast = adversarial_makespan(dag, m, s).unwrap();
+        // One tick of slack absorbs the discretization of the block phase
+        // (the continuous bound is exact: 70 / (7/4) = 40).
+        assert!(
+            adv_fast.ticks() <= friendly1.ticks() + 1,
+            "at 2−1/m speed: adversarial {adv_fast} vs clairvoyant {friendly1}"
+        );
+    }
+
+    #[test]
+    fn fig2_floor_applies_even_to_clairvoyant() {
+        // Chain of c nodes then a block: even LPF needs
+        // c·g + ceil(width/m)·g.
+        let (c, width, g, m) = (10u32, 64u32, 2u64, 8u32);
+        let dag = gen::fig2(c, width, g).into_shared();
+        let ms = lpf_makespan(dag, m, Speed::ONE).unwrap();
+        let expect = c as u64 * g + (width as u64).div_ceil(m as u64) * g;
+        assert_eq!(ms, Time(expect));
+    }
+
+    #[test]
+    fn lpf_never_slower_than_adversary() {
+        for seed in 0..5u64 {
+            let mut rng = dagsched_core::Rng64::seed_from(seed);
+            let dag = gen::layered_random(&mut rng, 5, (1, 6), (1, 9), 0.4).into_shared();
+            let f = lpf_makespan(dag.clone(), 4, Speed::ONE).unwrap();
+            let a = adversarial_makespan(dag.clone(), 4, Speed::ONE).unwrap();
+            assert!(f <= a, "seed {seed}: LPF {f} > adversarial {a}");
+            // Both within the greedy guarantee (W−L)/m + L and ≥ max(L, W/m).
+            let w = dag.total_work().as_f64();
+            let l = dag.span().as_f64();
+            let brent = (w - l) / 4.0 + l;
+            assert!(a.as_f64() <= brent + 1e-9, "greedy bound violated");
+            assert!(f.as_f64() >= (w / 4.0).max(l) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_node_dag_makespan_is_its_work() {
+        let dag = gen::single(17).into_shared();
+        assert_eq!(lpf_makespan(dag.clone(), 8, Speed::ONE).unwrap(), Time(17));
+        assert_eq!(adversarial_makespan(dag, 8, Speed::ONE).unwrap(), Time(17));
+        let dag = gen::single(17).into_shared();
+        assert_eq!(
+            lpf_makespan(dag, 8, Speed::new(17, 5).unwrap()).unwrap(),
+            Time(5)
+        );
+    }
+
+    #[test]
+    fn clairvoyant_edf_dominated_by_exact_ub() {
+        for seed in 0..4 {
+            let inst = WorkloadGen::standard(4, 14, 50 + seed).generate().unwrap();
+            let achieved = clairvoyant_edf_profit(&inst, Speed::ONE).unwrap();
+            let ub = crate::bounds::exact_subset_ub(&inst, Speed::ONE, 24).unwrap();
+            assert!(achieved <= ub, "seed {seed}: {achieved} > UB {ub}");
+        }
+    }
+
+    #[test]
+    fn parallelism_helps_clairvoyant_edf() {
+        let inst = WorkloadGen::standard(16, 40, 9).generate().unwrap();
+        let p1 = clairvoyant_edf_profit(&inst, Speed::ONE).unwrap();
+        let p2 = clairvoyant_edf_profit(&inst, Speed::integer(2).unwrap()).unwrap();
+        assert!(p2 >= p1, "speed can only help: {p1} -> {p2}");
+        let _ = Work(0); // keep the Work import exercised
+    }
+}

@@ -1,0 +1,29 @@
+//! # dagsched-opt
+//!
+//! Benchmarks to compare the online schedulers against. The true optimal
+//! clairvoyant schedule is NP-hard even to approximate (the paper cites the
+//! `2−ε` hardness for precedence-constrained makespan), so this crate
+//! provides:
+//!
+//! * **Upper bounds** on OPT's profit ([`bounds`]): an exact branch-and-bound
+//!   over job subsets satisfying interval demand-bound constraints (small
+//!   instances), and a fractional density-packing bound (any size). Measured
+//!   competitive ratios against these bounds are *conservative* — they can
+//!   only overstate how far the algorithm is from OPT.
+//! * **Achievable baselines** ([`clairvoyant`]): longest-path-first list
+//!   scheduling with full DAG knowledge — a lower bound on OPT that
+//!   certifies the Fig. 1 / Fig. 2 constructions behave as the paper says.
+//! * **Certification** ([`verify`]): on single-processor sequential-job
+//!   instances the demand bound is *exact* (EDF optimality) — the verifier
+//!   extracts a witness schedule, so competitive ratios on that class are
+//!   against true OPT.
+
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod clairvoyant;
+pub mod verify;
+
+pub use bounds::{exact_subset_ub, fractional_ub};
+pub use clairvoyant::{adversarial_makespan, clairvoyant_edf_profit, lpf_makespan};
+pub use verify::{is_m1_sequential, verify_achievable_m1};

@@ -1,0 +1,178 @@
+//! Achievability verification for the OPT upper bounds.
+//!
+//! The demand-bound relaxation behind [`exact_subset_ub`](crate::bounds) is
+//! only *necessary* for feasibility in general — but for **single-processor
+//! sequential jobs** it is also *sufficient* (preemptive EDF is optimal on
+//! one processor: a set is schedulable iff no interval is over-demanded).
+//! [`verify_achievable_m1`] exploits that to certify the exact bound is
+//! *tight* on such instances: it simulates EDF on the chosen subset and
+//! checks every job completes.
+//!
+//! This gives the workspace a class of instances where the reported
+//! "competitive ratio vs upper bound" is the ratio vs *true OPT*.
+
+use crate::bounds::exact_subset_ub;
+use dagsched_core::{JobId, Result, SchedError, Speed};
+use dagsched_engine::{simulate, SimConfig};
+use dagsched_sched::Edf;
+use dagsched_workload::{Instance, JobSpec};
+
+/// Is the instance in the class where the demand bound is exact:
+/// one processor, every job a single node?
+pub fn is_m1_sequential(inst: &Instance) -> bool {
+    inst.m() == 1 && inst.jobs().iter().all(|j| j.dag.num_nodes() == 1)
+}
+
+/// For an `m = 1` sequential-job instance, compute the exact OPT **and**
+/// certify it by scheduling: returns `(profit, the completing subset)`.
+///
+/// # Errors
+/// [`SchedError::Unsupported`] if the instance is not in the certified
+/// class or exceeds `max_jobs`; [`SchedError::InvalidInstance`] if
+/// (contrary to the theorem) EDF fails to complete the chosen subset —
+/// which would indicate a bug in the bound or the engine, so tests treat
+/// it as fatal.
+pub fn verify_achievable_m1(inst: &Instance, max_jobs: usize) -> Result<(u64, Vec<JobId>)> {
+    if !is_m1_sequential(inst) {
+        return Err(SchedError::Unsupported(
+            "certification requires m = 1 and single-node jobs".into(),
+        ));
+    }
+    let target = exact_subset_ub(inst, Speed::ONE, max_jobs)?;
+    // Re-run the search, but this time extract a witness subset: greedily
+    // test subsets via branch and bound is overkill — instead, find any
+    // max-profit subset by trying jobs in profit order and re-checking the
+    // bound on the restricted instance.
+    //
+    // Simple exact approach for the certified class: enumerate via the same
+    // B&B by deleting one job at a time when it does not reduce the bound.
+    let mut kept: Vec<usize> = (0..inst.len()).collect();
+    let current = target;
+    let mut i = 0;
+    while i < kept.len() {
+        // Try removing kept[i]; if the bound is unchanged, drop it.
+        let trial: Vec<JobSpec> = kept
+            .iter()
+            .enumerate()
+            .filter(|(pos, _)| *pos != i)
+            .map(|(_, &idx)| inst.jobs()[idx].clone())
+            .collect();
+        if trial.is_empty() {
+            break;
+        }
+        let renumbered = renumber(inst.m(), &trial)?;
+        let ub = exact_subset_ub(&renumbered, Speed::ONE, max_jobs)?;
+        if ub == current {
+            kept.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    // `kept` is now a minimal subset preserving the bound; its own demand
+    // relaxation equals its total profit, so EDF must complete all of it.
+    let chosen: Vec<JobSpec> = kept.iter().map(|&idx| inst.jobs()[idx].clone()).collect();
+    let sub = renumber(inst.m(), &chosen)?;
+    let mut edf = Edf::new(1);
+    let r = simulate(&sub, &mut edf, &SimConfig::default())?;
+    let achieved = r.total_profit;
+    if achieved != current {
+        return Err(SchedError::InvalidInstance(format!(
+            "EDF achieved {achieved} but the demand bound promises {current}: \
+             bound or engine bug"
+        )));
+    }
+    Ok((current, kept.iter().map(|&i| inst.jobs()[i].id).collect()))
+}
+
+/// Rebuild an instance from a job subset with dense ids (keeps arrival
+/// order).
+fn renumber(m: u32, jobs: &[JobSpec]) -> Result<Instance> {
+    let mut sorted: Vec<JobSpec> = jobs.to_vec();
+    sorted.sort_by_key(|j| j.arrival);
+    let renumbered: Vec<JobSpec> = sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, j)| JobSpec::new(JobId(i as u32), j.arrival, j.dag.clone(), j.profit.clone()))
+        .collect();
+    Instance::new(m, renumbered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_core::{Rng64, Time};
+    use dagsched_dag::gen;
+    use dagsched_workload::StepProfitFn;
+
+    fn job(id: u32, r: u64, w: u64, d: u64, p: u64) -> JobSpec {
+        JobSpec::new(
+            JobId(id),
+            Time(r),
+            gen::single(w).into_shared(),
+            StepProfitFn::deadline(Time(d), p),
+        )
+    }
+
+    #[test]
+    fn class_detection() {
+        let seq = Instance::new(1, vec![job(0, 0, 3, 9, 1)]).unwrap();
+        assert!(is_m1_sequential(&seq));
+        let par = Instance::new(
+            1,
+            vec![JobSpec::new(
+                JobId(0),
+                Time(0),
+                gen::block(2, 1).into_shared(),
+                StepProfitFn::deadline(Time(9), 1),
+            )],
+        )
+        .unwrap();
+        assert!(!is_m1_sequential(&par));
+        let m2 = Instance::new(2, vec![job(0, 0, 3, 9, 1)]).unwrap();
+        assert!(!is_m1_sequential(&m2));
+    }
+
+    #[test]
+    fn certifies_a_simple_conflict() {
+        // Two jobs, window [0, 10], works 8 each: only one fits; the bound
+        // picks profit 9 and EDF on that job achieves it.
+        let inst = Instance::new(1, vec![job(0, 0, 8, 10, 5), job(1, 0, 8, 10, 9)]).unwrap();
+        let (profit, witness) = verify_achievable_m1(&inst, 24).unwrap();
+        assert_eq!(profit, 9);
+        assert_eq!(witness, vec![JobId(1)]);
+    }
+
+    #[test]
+    fn certifies_random_m1_instances() {
+        // The headline property: on the certified class, the "upper bound"
+        // IS the optimum, achieved by EDF, across random instances.
+        let mut rng = Rng64::seed_from(33);
+        for trial in 0..15 {
+            let n = 3 + rng.gen_range(8) as usize;
+            let mut jobs = Vec::new();
+            let mut t = 0u64;
+            for i in 0..n {
+                t += rng.gen_range(6);
+                let w = 1 + rng.gen_range(6);
+                let d = w + rng.gen_range(12);
+                let p = 1 + rng.gen_range(20);
+                jobs.push(job(i as u32, t, w, d, p));
+            }
+            let inst = Instance::new(1, jobs).unwrap();
+            let (profit, witness) =
+                verify_achievable_m1(&inst, 24).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            assert!(witness.len() <= n);
+            let ub = exact_subset_ub(&inst, Speed::ONE, 24).unwrap();
+            assert_eq!(profit, ub, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn rejects_uncertified_instances() {
+        let m2 = Instance::new(2, vec![job(0, 0, 3, 9, 1)]).unwrap();
+        assert!(matches!(
+            verify_achievable_m1(&m2, 24),
+            Err(SchedError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,373 @@
+//! The density-band admission structure (condition (2) / Observation 3).
+//!
+//! Scheduler S admits a job `J_i` into the running queue `Q` only if, with
+//! `J_i` included, **every** density band `[v_j, c·v_j)` anchored at a queued
+//! job's density `v_j` requires at most `b·m` processors:
+//!
+//! > `N(Q ∪ {J_i}, v_j, c·v_j) ≤ b·m` for all `J_j ∈ Q ∪ {J_i}`.
+//!
+//! [`DensityBands`] maintains the multiset of `(density, allotment)` pairs of
+//! queued jobs and answers the admission question in one sorted sweep with a
+//! sliding window. Observation 3 — the bound holds at all times — is exactly
+//! the invariant that insertions are only performed after a successful
+//! [`DensityBands::fits`] check; [`DensityBands::check_invariant`] re-verifies
+//! it from scratch for tests.
+
+use dagsched_core::JobId;
+
+/// An entry of the structure: one queued job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    density: f64,
+    allot: u32,
+    id: JobId,
+}
+
+/// Multiset of queued jobs ordered by density, supporting the paper's
+/// band-capacity queries.
+#[derive(Debug, Clone)]
+pub struct DensityBands {
+    /// Sorted ascending by (density, id); |Q| is small (≤ m admitted jobs in
+    /// practice since every allotment ≥ 1), so O(n) updates are fine.
+    entries: Vec<Entry>,
+    /// Band width `c > 1`.
+    c: f64,
+    /// Capacity `b·m`.
+    capacity: f64,
+}
+
+impl DensityBands {
+    /// Create a structure with band width `c` and capacity `b·m`.
+    pub fn new(c: f64, capacity: f64) -> DensityBands {
+        assert!(c > 1.0, "band width c must exceed 1");
+        assert!(capacity > 0.0, "capacity must be positive");
+        DensityBands {
+            entries: Vec::new(),
+            c,
+            capacity,
+        }
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total allotment of queued jobs with density in `[lo, hi)` —
+    /// the paper's `N(Q, lo, hi)`.
+    pub fn band_load(&self, lo: f64, hi: f64) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.density >= lo && e.density < hi)
+            .map(|e| e.allot as u64)
+            .sum()
+    }
+
+    /// `N(Q, v, ∞)`: total allotment of `v`-dense queued jobs.
+    pub fn dense_load(&self, v: f64) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.density >= v)
+            .map(|e| e.allot as u64)
+            .sum()
+    }
+
+    /// Would adding `(density, allot)` keep every band within capacity?
+    ///
+    /// Checks `N(Q ∪ {J_i}, v_j, c·v_j) ≤ b·m` for every anchor `v_j` in the
+    /// union. Only bands anchored at member densities matter: any other
+    /// anchor's band is contained in some member-anchored band's range
+    /// extension... more precisely, the maximal band loads occur at anchors
+    /// equal to member densities, which is what the paper quantifies over.
+    pub fn fits(&self, density: f64, allot: u32) -> bool {
+        debug_assert!(density.is_finite() && density > 0.0);
+        // Merged sorted view including the candidate (by density).
+        let cand = Entry {
+            density,
+            allot,
+            id: JobId(u32::MAX),
+        };
+        let pos = self
+            .entries
+            .partition_point(|e| (e.density, e.id.0) < (cand.density, cand.id.0));
+        let get = |i: usize| -> Entry {
+            match i.cmp(&pos) {
+                std::cmp::Ordering::Less => self.entries[i],
+                std::cmp::Ordering::Equal => cand,
+                std::cmp::Ordering::Greater => self.entries[i - 1],
+            }
+        };
+        let n = self.entries.len() + 1;
+        // Sliding window over the merged order: for anchor `i` the window
+        // `[i, j)` holds all entries with density < c·vᵢ. Both pointers only
+        // move forward, so the sweep is O(n).
+        let mut j = 0usize;
+        let mut window: u64 = 0;
+        for i in 0..n {
+            if i > 0 {
+                // Entry i−1 leaves the window (it was counted: after
+                // iteration i−1, j ≥ i because c > 1 puts each anchor in its
+                // own band).
+                window -= get(i - 1).allot as u64;
+            }
+            while j < n && get(j).density < self.c * get(i).density {
+                window += get(j).allot as u64;
+                j += 1;
+            }
+            if window as f64 > self.capacity {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Insert a job (caller has already verified [`fits`](Self::fits) when
+    /// enforcing the paper's admission rule; insertion itself does not
+    /// check, because Observation 3 is the *caller's* invariant).
+    pub fn insert(&mut self, id: JobId, density: f64, allot: u32) {
+        assert!(density.is_finite() && density > 0.0, "bad density");
+        assert!(allot >= 1, "allotment must be at least 1");
+        let e = Entry { density, allot, id };
+        let pos = self
+            .entries
+            .partition_point(|x| (x.density, x.id.0) < (e.density, e.id.0));
+        self.entries.insert(pos, e);
+    }
+
+    /// Remove a job by id; returns true if it was present.
+    pub fn remove(&mut self, id: JobId) -> bool {
+        match self.entries.iter().position(|e| e.id == id) {
+            Some(i) => {
+                self.entries.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Re-verify Observation 3 from scratch: every band anchored at a member
+    /// density is within capacity. O(n²); for tests and debug assertions.
+    pub fn check_invariant(&self) -> bool {
+        self.entries
+            .iter()
+            .all(|e| self.band_load(e.density, self.c * e.density) as f64 <= self.capacity)
+    }
+
+    /// Iterate `(id, density, allot)` ascending by density.
+    pub fn iter(&self) -> impl Iterator<Item = (JobId, f64, u32)> + '_ {
+        self.entries.iter().map(|e| (e.id, e.density, e.allot))
+    }
+}
+
+/// Standalone band check over an arbitrary slot population (used by the
+/// general-profit scheduler, whose per-tick populations `J(t)` are not kept
+/// in a persistent [`DensityBands`]).
+///
+/// Returns true iff adding `(density, allot)` to `members` keeps
+/// `N(members ∪ {cand}, v_j, c·v_j) ≤ capacity` for every anchor in the
+/// union. `members` need not be sorted.
+pub fn fits_population(
+    members: &[(f64, u32)],
+    density: f64,
+    allot: u32,
+    c: f64,
+    capacity: f64,
+) -> bool {
+    let mut all: Vec<(f64, u32)> = Vec::with_capacity(members.len() + 1);
+    all.extend_from_slice(members);
+    all.push((density, allot));
+    all.sort_by(|a, b| a.0.total_cmp(&b.0));
+    for i in 0..all.len() {
+        let anchor = all[i].0;
+        let hi = c * anchor;
+        let load: u64 = all[i..]
+            .iter()
+            .take_while(|(d, _)| *d < hi)
+            .map(|(_, a)| *a as u64)
+            .sum();
+        if load as f64 > capacity {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bands(c: f64, cap: f64) -> DensityBands {
+        DensityBands::new(c, cap)
+    }
+
+    #[test]
+    fn empty_structure_accepts_anything_within_capacity() {
+        let b = bands(4.0, 10.0);
+        assert!(b.is_empty());
+        assert!(b.fits(1.0, 10));
+        assert!(!b.fits(1.0, 11), "a single job above capacity is rejected");
+    }
+
+    #[test]
+    fn band_load_and_dense_load() {
+        let mut b = bands(4.0, 100.0);
+        b.insert(JobId(0), 1.0, 5);
+        b.insert(JobId(1), 2.0, 7);
+        b.insert(JobId(2), 10.0, 3);
+        assert_eq!(b.band_load(1.0, 4.0), 12, "[1, 4) holds densities 1, 2");
+        assert_eq!(b.band_load(2.0, 10.0), 7);
+        assert_eq!(b.band_load(2.0, 10.1), 10, "upper bound exclusive");
+        assert_eq!(b.dense_load(2.0), 10);
+        assert_eq!(b.dense_load(0.5), 15);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn fits_detects_band_overflow_at_any_anchor() {
+        // c = 2, capacity = 10.
+        let mut b = bands(2.0, 10.0);
+        b.insert(JobId(0), 1.0, 6);
+        // Candidate at density 1.5, allot 5: band [1.0, 2.0) would hold 11.
+        assert!(!b.fits(1.5, 5));
+        // Allot 4: band holds exactly 10 — allowed (≤).
+        assert!(b.fits(1.5, 4));
+        // Candidate at density 2.5: bands [1,2)={6}, [2.5,5)={5} both fine.
+        assert!(b.fits(2.5, 5));
+        // The *candidate's* anchor can be the violated one: members at 3.0
+        // (6) plus candidate at 1.6 with c=2 → band [1.6, 3.2) holds both.
+        let mut b = bands(2.0, 10.0);
+        b.insert(JobId(0), 3.0, 6);
+        assert!(!b.fits(1.6, 5));
+        assert!(b.fits(1.4, 5), "band [1.4, 2.8) excludes the 3.0 job");
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut b = bands(2.0, 10.0);
+        b.insert(JobId(3), 1.0, 4);
+        b.insert(JobId(4), 1.5, 4);
+        assert!(!b.fits(1.2, 3));
+        assert!(b.remove(JobId(4)));
+        assert!(b.fits(1.2, 3));
+        assert!(!b.remove(JobId(4)), "double remove is a no-op");
+        assert!(b.remove(JobId(3)));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn invariant_checker_agrees_with_fits() {
+        let mut b = bands(3.0, 8.0);
+        for (i, (d, a)) in [(1.0, 3u32), (2.0, 3), (5.0, 2), (9.0, 6)]
+            .iter()
+            .enumerate()
+        {
+            assert!(b.fits(*d, *a), "entry {i} should fit");
+            b.insert(JobId(i as u32), *d, *a);
+            assert!(b.check_invariant(), "invariant after insert {i}");
+        }
+        // A violating insert breaks the checker (bypassing fits).
+        b.insert(JobId(99), 1.5, 4);
+        assert!(!b.check_invariant());
+    }
+
+    #[test]
+    fn duplicate_densities_accumulate() {
+        let mut b = bands(2.0, 10.0);
+        for i in 0..5 {
+            assert!(b.fits(1.0, 2));
+            b.insert(JobId(i), 1.0, 2);
+        }
+        // Sixth job of allot 2 at the same density would hit 12 > 10.
+        assert!(!b.fits(1.0, 2));
+        assert!(b.fits(2.0, 10), "a disjoint band is unaffected");
+        // Note [1,2) has load 10, and [2,4) would have 10: both exactly full.
+    }
+
+    #[test]
+    fn fits_population_matches_structure() {
+        let members = [(1.0, 3u32), (2.5, 4), (6.0, 2)];
+        let mut b = bands(2.0, 8.0);
+        for (i, (d, a)) in members.iter().enumerate() {
+            b.insert(JobId(i as u32), *d, *a);
+        }
+        for (d, a) in [
+            (1.1, 2u32),
+            (1.1, 6),
+            (3.0, 4),
+            (3.0, 5),
+            (12.0, 8),
+            (12.0, 9),
+        ] {
+            assert_eq!(
+                b.fits(d, a),
+                fits_population(&members, d, a, 2.0, 8.0),
+                "disagreement at ({d}, {a})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "band width")]
+    fn rejects_c_not_above_one() {
+        let _ = DensityBands::new(1.0, 5.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_jobs() -> impl Strategy<Value = Vec<(f64, u32)>> {
+            proptest::collection::vec((0.01f64..100.0, 1u32..6), 0..12)
+        }
+
+        proptest! {
+            /// `fits` is exactly "insert would preserve check_invariant".
+            #[test]
+            fn fits_iff_invariant_preserved(
+                jobs in arb_jobs(),
+                cand_d in 0.01f64..100.0,
+                cand_a in 1u32..6,
+                c in 1.5f64..8.0,
+                cap in 4.0f64..20.0,
+            ) {
+                // Build greedily, inserting only what fits (like S does).
+                let mut b = DensityBands::new(c, cap);
+                for (i, (d, a)) in jobs.iter().enumerate() {
+                    if b.fits(*d, *a) {
+                        b.insert(JobId(i as u32), *d, *a);
+                    }
+                }
+                prop_assert!(b.check_invariant(), "greedy build holds Obs. 3");
+                let fits = b.fits(cand_d, cand_a);
+                let mut b2 = b.clone();
+                b2.insert(JobId(9999), cand_d, cand_a);
+                prop_assert_eq!(fits, b2.check_invariant());
+            }
+
+            /// fits_population agrees with the incremental structure for
+            /// arbitrary populations.
+            #[test]
+            fn population_check_agrees(
+                jobs in arb_jobs(),
+                cand_d in 0.01f64..100.0,
+                cand_a in 1u32..6,
+            ) {
+                let c = 3.0;
+                let cap = 9.0;
+                let mut b = DensityBands::new(c, cap);
+                for (i, (d, a)) in jobs.iter().enumerate() {
+                    b.insert(JobId(i as u32), *d, *a);
+                }
+                prop_assert_eq!(
+                    b.fits(cand_d, cand_a),
+                    fits_population(&jobs, cand_d, cand_a, c, cap)
+                );
+            }
+        }
+    }
+}

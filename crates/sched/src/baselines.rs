@@ -1,0 +1,401 @@
+//! Baseline online schedulers.
+//!
+//! All baselines are *work-conserving*: they order the alive jobs by some
+//! priority and hand each job as many processors as it has ready nodes until
+//! the machine is full. (Scheduler S is deliberately **not** work-conserving
+//! — it reserves band capacity — which is exactly what the baseline
+//! comparison experiment, E7 in DESIGN.md, probes.)
+//!
+//! * [`Fifo`] — first-come-first-served;
+//! * [`Edf`] — earliest absolute deadline first (the classic real-time
+//!   policy, good at low load, collapses under overload);
+//! * [`GreedyDensity`] — highest static density `p/W` first (profit-aware
+//!   greedy, no admission control);
+//! * [`LeastLaxity`] — smallest `d − brent(W, L, m)` first (deadline slack
+//!   aware);
+//! * [`RandomOrder`] — a seeded random order each tick (sanity floor);
+//! * [`SNoAdmission`] — ablation of scheduler S: same allotments `n_i` and
+//!   density order, but *every* job is admitted (no δ-good test, no band
+//!   condition). Quantifies what the admission machinery buys.
+
+use dagsched_core::{AlgoParams, JobId, Rng64, Time};
+use dagsched_engine::{Allocation, JobInfo, OnlineScheduler, TickView};
+use std::collections::HashMap;
+
+/// Arrival-time facts a baseline keeps per alive job.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    id: JobId,
+    seq: u64,
+    deadline: Time,
+    density: f64,
+    laxity_key: f64,
+}
+
+/// Shared alive-set bookkeeping.
+#[derive(Debug, Default)]
+struct Base {
+    alive: Vec<Entry>,
+    seq: u64,
+}
+
+impl Base {
+    fn add(&mut self, info: &JobInfo, m: u32) {
+        let w = info.work.as_f64();
+        let l = info.span.as_f64();
+        let brent = (w - l) / m as f64 + l;
+        let deadline = info.abs_deadline().unwrap_or_else(|| {
+            info.arrival
+                .saturating_add(info.profit.last_useful_time().ticks())
+        });
+        self.alive.push(Entry {
+            id: info.id,
+            seq: self.seq,
+            deadline,
+            density: info.profit.max_profit() as f64 / w,
+            laxity_key: deadline.as_f64() - brent,
+        });
+        self.seq += 1;
+    }
+
+    fn remove(&mut self, id: JobId) {
+        self.alive.retain(|e| e.id != id);
+    }
+}
+
+/// Work-conserving fill: walk `order`, give each job `min(ready, left)`.
+fn fill(order: &[JobId], view: &TickView<'_>) -> Allocation {
+    let ready: HashMap<JobId, u32> = view.jobs().iter().copied().collect();
+    let mut left = view.m;
+    let mut out = Vec::new();
+    for &id in order {
+        if left == 0 {
+            break;
+        }
+        let Some(&r) = ready.get(&id) else { continue };
+        let k = r.min(left);
+        if k > 0 {
+            out.push((id, k));
+            left -= k;
+        }
+    }
+    out
+}
+
+macro_rules! baseline {
+    ($(#[$doc:meta])* $name:ident, $label:expr, $key:expr) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name {
+            m: u32,
+            base: Base,
+        }
+
+        impl $name {
+            /// Create the scheduler for `m` processors.
+            pub fn new(m: u32) -> $name {
+                $name { m, base: Base::default() }
+            }
+        }
+
+        impl OnlineScheduler for $name {
+            fn name(&self) -> String {
+                $label.into()
+            }
+            fn on_arrival(&mut self, info: &JobInfo, _now: Time) {
+                self.base.add(info, self.m);
+            }
+            fn on_completion(&mut self, id: JobId, _now: Time) {
+                self.base.remove(id);
+            }
+            fn on_expiry(&mut self, id: JobId, _now: Time) {
+                self.base.remove(id);
+            }
+            fn allocate(&mut self, view: &TickView<'_>) -> Allocation {
+                let mut order: Vec<Entry> = self.base.alive.clone();
+                let key = $key;
+                order.sort_by(|a, b| key(a).total_cmp(&key(b)).then(a.seq.cmp(&b.seq)));
+                let ids: Vec<JobId> = order.iter().map(|e| e.id).collect();
+                fill(&ids, view)
+            }
+        }
+    };
+}
+
+baseline!(
+    /// First-come-first-served (by arrival sequence).
+    Fifo,
+    "FIFO",
+    |e: &Entry| e.seq as f64
+);
+
+baseline!(
+    /// Earliest absolute deadline first.
+    Edf,
+    "EDF",
+    |e: &Entry| e.deadline.as_f64()
+);
+
+baseline!(
+    /// Highest static density `p/W` first.
+    GreedyDensity,
+    "HDF",
+    |e: &Entry| -e.density
+);
+
+baseline!(
+    /// Least laxity (`d − brent`) first.
+    LeastLaxity,
+    "LLF",
+    |e: &Entry| e.laxity_key
+);
+
+/// Random job order each tick, from a fixed seed.
+#[derive(Debug)]
+pub struct RandomOrder {
+    m: u32,
+    base: Base,
+    rng: Rng64,
+}
+
+impl RandomOrder {
+    /// Create the scheduler for `m` processors with the given seed.
+    pub fn new(m: u32, seed: u64) -> RandomOrder {
+        RandomOrder {
+            m,
+            base: Base::default(),
+            rng: Rng64::seed_from(seed),
+        }
+    }
+}
+
+impl OnlineScheduler for RandomOrder {
+    fn name(&self) -> String {
+        "RANDOM".into()
+    }
+    fn on_arrival(&mut self, info: &JobInfo, _now: Time) {
+        self.base.add(info, self.m);
+    }
+    fn on_completion(&mut self, id: JobId, _now: Time) {
+        self.base.remove(id);
+    }
+    fn on_expiry(&mut self, id: JobId, _now: Time) {
+        self.base.remove(id);
+    }
+    fn allocate(&mut self, view: &TickView<'_>) -> Allocation {
+        let mut ids: Vec<JobId> = self.base.alive.iter().map(|e| e.id).collect();
+        self.rng.shuffle(&mut ids);
+        fill(&ids, view)
+    }
+}
+
+/// Ablation: scheduler S's allotment-and-density rule without admission
+/// control — every arriving job goes straight to the running queue.
+#[derive(Debug)]
+pub struct SNoAdmission {
+    m: u32,
+    params: AlgoParams,
+    /// (density, seq, id, allot) of alive jobs.
+    alive: Vec<(f64, u64, JobId, u32)>,
+    seq: u64,
+}
+
+impl SNoAdmission {
+    /// Create the ablated scheduler.
+    pub fn new(m: u32, params: AlgoParams) -> SNoAdmission {
+        SNoAdmission {
+            m,
+            params,
+            alive: Vec::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl OnlineScheduler for SNoAdmission {
+    fn name(&self) -> String {
+        "S-noadmit".into()
+    }
+    fn on_arrival(&mut self, info: &JobInfo, _now: Time) {
+        let (d_rel, profit) = info
+            .profit
+            .as_deadline()
+            .unwrap_or((info.profit.flat_until(), info.profit.max_profit()));
+        let w = info.work.as_f64();
+        let l = info.span.as_f64();
+        let allot = match self.params.raw_allotment(w, l, d_rel.as_f64()) {
+            Some(frac) => ((frac.ceil() as u32).max(1)).min(self.m),
+            None => self.m,
+        };
+        let x = AlgoParams::x_time(w, l, allot);
+        let density = profit as f64 / (x * allot as f64);
+        self.alive.push((density, self.seq, info.id, allot));
+        self.seq += 1;
+    }
+    fn on_completion(&mut self, id: JobId, _now: Time) {
+        self.alive.retain(|e| e.2 != id);
+    }
+    fn on_expiry(&mut self, id: JobId, _now: Time) {
+        self.alive.retain(|e| e.2 != id);
+    }
+    fn allocate(&mut self, view: &TickView<'_>) -> Allocation {
+        let mut order = self.alive.clone();
+        order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut left = view.m;
+        let mut out = Vec::new();
+        for (_, _, id, allot) in order {
+            if left == 0 {
+                break;
+            }
+            if allot <= left {
+                out.push((id, allot));
+                left -= allot;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_core::Work;
+    use dagsched_dag::gen;
+    use dagsched_engine::{simulate, SimConfig};
+    use dagsched_workload::{Instance, JobSpec, StepProfitFn, WorkloadGen};
+
+    fn info(id: u32, arrival: u64, w: u64, l: u64, d: u64, p: u64) -> JobInfo {
+        JobInfo {
+            id: JobId(id),
+            arrival: Time(arrival),
+            work: Work(w),
+            span: Work(l),
+            profit: StepProfitFn::deadline(Time(d), p),
+        }
+    }
+
+    #[test]
+    fn fifo_orders_by_arrival_sequence() {
+        let mut s = Fifo::new(2);
+        s.on_arrival(&info(0, 0, 10, 1, 50, 1), Time(0));
+        s.on_arrival(&info(1, 0, 10, 1, 5, 99), Time(0));
+        let jobs = [(JobId(0), 4u32), (JobId(1), 4)];
+        let alloc = s.allocate(&TickView::new(2, Time(0), &jobs));
+        assert_eq!(alloc, vec![(JobId(0), 2)], "all capacity to the first");
+    }
+
+    #[test]
+    fn edf_prefers_earliest_deadline() {
+        let mut s = Edf::new(2);
+        s.on_arrival(&info(0, 0, 10, 1, 50, 1), Time(0));
+        s.on_arrival(&info(1, 0, 10, 1, 5, 1), Time(0));
+        let jobs = [(JobId(0), 4u32), (JobId(1), 4)];
+        let alloc = s.allocate(&TickView::new(2, Time(0), &jobs));
+        assert_eq!(alloc[0].0, JobId(1));
+    }
+
+    #[test]
+    fn hdf_prefers_density_not_raw_profit() {
+        let mut s = GreedyDensity::new(2);
+        s.on_arrival(&info(0, 0, 100, 1, 50, 60), Time(0)); // density 0.6
+        s.on_arrival(&info(1, 0, 10, 1, 50, 20), Time(0)); // density 2.0
+        let jobs = [(JobId(0), 4u32), (JobId(1), 4)];
+        let alloc = s.allocate(&TickView::new(2, Time(0), &jobs));
+        assert_eq!(alloc[0].0, JobId(1));
+    }
+
+    #[test]
+    fn llf_prefers_tighter_slack() {
+        let mut s = LeastLaxity::new(4);
+        // Same deadline; job 1 has much more work → less laxity.
+        s.on_arrival(&info(0, 0, 8, 1, 40, 1), Time(0));
+        s.on_arrival(&info(1, 0, 120, 1, 40, 1), Time(0));
+        let jobs = [(JobId(0), 4u32), (JobId(1), 4)];
+        let alloc = s.allocate(&TickView::new(4, Time(0), &jobs));
+        assert_eq!(alloc[0].0, JobId(1));
+    }
+
+    #[test]
+    fn work_conserving_fill_respects_ready_and_capacity() {
+        let mut s = Fifo::new(4);
+        s.on_arrival(&info(0, 0, 10, 10, 90, 1), Time(0)); // a chain: 1 ready
+        s.on_arrival(&info(1, 0, 10, 1, 90, 1), Time(0));
+        let jobs = [(JobId(0), 1u32), (JobId(1), 10)];
+        let alloc = s.allocate(&TickView::new(4, Time(0), &jobs));
+        assert_eq!(alloc, vec![(JobId(0), 1), (JobId(1), 3)]);
+    }
+
+    #[test]
+    fn random_order_is_deterministic_per_seed() {
+        let inst = WorkloadGen::standard(4, 40, 9).generate().unwrap();
+        let run = |seed| {
+            let mut s = RandomOrder::new(4, seed);
+            simulate(&inst, &mut s, &SimConfig::default())
+                .unwrap()
+                .total_profit
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn all_baselines_run_clean_on_a_real_workload() {
+        let inst = WorkloadGen::standard(8, 80, 13).generate().unwrap();
+        let mut results = Vec::new();
+        let cfg = SimConfig::default();
+        macro_rules! run {
+            ($s:expr) => {{
+                let mut s = $s;
+                let r = simulate(&inst, &mut s, &cfg).unwrap();
+                results.push((r.scheduler.clone(), r.total_profit));
+            }};
+        }
+        run!(Fifo::new(8));
+        run!(Edf::new(8));
+        run!(GreedyDensity::new(8));
+        run!(LeastLaxity::new(8));
+        run!(RandomOrder::new(8, 5));
+        run!(SNoAdmission::new(8, AlgoParams::from_epsilon(1.0).unwrap()));
+        for (name, profit) in &results {
+            assert!(*profit > 0, "{name} earned nothing");
+        }
+    }
+
+    #[test]
+    fn expiry_and_completion_shrink_the_alive_set() {
+        let mut s = Edf::new(2);
+        s.on_arrival(&info(0, 0, 10, 1, 50, 1), Time(0));
+        s.on_arrival(&info(1, 0, 10, 1, 5, 1), Time(0));
+        s.on_completion(JobId(1), Time(3));
+        s.on_expiry(JobId(0), Time(50));
+        let jobs: [(JobId, u32); 0] = [];
+        assert!(s.allocate(&TickView::new(2, Time(51), &jobs)).is_empty());
+    }
+
+    #[test]
+    fn sno_admission_runs_everything_greedily() {
+        // Two band-conflicting jobs: plain S parks one, the ablation runs
+        // both at once when capacity allows.
+        let dag0 = gen::block(60, 1).into_shared();
+        let inst = Instance::new(
+            8,
+            vec![
+                JobSpec::new(
+                    JobId(0),
+                    Time(0),
+                    dag0.clone(),
+                    StepProfitFn::deadline(Time(24), 60),
+                ),
+                JobSpec::new(
+                    JobId(1),
+                    Time(0),
+                    dag0,
+                    StepProfitFn::deadline(Time(24), 60),
+                ),
+            ],
+        )
+        .unwrap();
+        let mut s = SNoAdmission::new(8, AlgoParams::from_epsilon(1.0).unwrap());
+        let r = simulate(&inst, &mut s, &SimConfig::default()).unwrap();
+        assert_eq!(r.completed(), 2, "both jobs fit when run simultaneously");
+    }
+}

@@ -1,0 +1,666 @@
+//! Scheduler **S** for jobs with deadlines (Section 3) — the paper's main
+//! algorithm.
+//!
+//! Per arriving job `J_i` with work `W_i`, span `L_i`, relative deadline
+//! `D_i` and profit `p_i`, S computes:
+//!
+//! * allotment `n_i = (W_i−L_i)/(D_i/(1+2δ) − L_i)` — the (near-)minimum
+//!   number of dedicated processors that finish the job by `D_i/(1+2δ)`
+//!   without knowing the DAG (Observation 2), rounded up to an integer and
+//!   floored at 1 (the paper's `n_i` is fractional; Lemma 1's bound
+//!   `n_i ≤ b²m` holds for the rounded value up to the +1 integrality slack);
+//! * budget `x_i = (W_i−L_i)/n_i + L_i`;
+//! * density `v_i = p_i/(x_i·n_i)` — potential profit per processor step.
+//!
+//! Jobs are *started* (admitted to queue `Q`) only if they are `δ`-good
+//! (`D_i ≥ (1+2δ)x_i`) and every density band `[v_j, c·v_j)` stays within
+//! `b·m` processors (condition (2), maintained by
+//! [`DensityBands`](crate::bands::DensityBands) structure). Everything else waits in
+//! queue `P`; at each job completion, `δ`-fresh jobs from `P` that now pass
+//! the band check are started. Execution is greedy highest-density-first,
+//! granting each scheduled job its full allotment.
+
+use crate::bands::DensityBands;
+use dagsched_core::{AlgoParams, JobId, Time};
+use dagsched_engine::{Allocation, JobInfo, OnlineScheduler, TickView};
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+/// Totally-ordered f64 key for the density-sorted queues.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Per-job quantities S computes at arrival.
+#[derive(Debug, Clone)]
+struct SJob {
+    allot: u32,
+    x: f64,
+    density: f64,
+    profit: u64,
+    abs_deadline: Time,
+    /// False if the deadline is too tight for any allotment (not δ-good
+    /// even at `n = m`); such jobs park in `P` and are never started.
+    admissible: bool,
+    in_q: bool,
+}
+
+/// Counters exposed for the analysis experiments (Lemma 5 etc.).
+#[derive(Debug, Clone, Default)]
+pub struct SchedulerSMetrics {
+    /// `‖R‖`: total profit of jobs ever started (admitted to `Q`).
+    pub started_profit: u64,
+    /// `|R|`.
+    pub started_count: usize,
+    /// Jobs admitted directly at arrival.
+    pub admitted_at_arrival: usize,
+    /// Jobs admitted later, at a completion event.
+    pub admitted_from_p: usize,
+    /// Arrival-time admissions refused by the band condition.
+    pub band_rejections: u64,
+    /// Jobs that were never δ-good (deadline too tight).
+    pub inadmissible: usize,
+    /// High-water mark of `|Q|`.
+    pub max_q_len: usize,
+}
+
+/// The Section 3 scheduler. See module docs.
+#[derive(Debug)]
+pub struct SchedulerS {
+    params: AlgoParams,
+    m: u32,
+    jobs: HashMap<JobId, SJob>,
+    /// Started jobs, ordered by (density, id) ascending; iterated in reverse
+    /// for highest-density-first.
+    q: BTreeSet<(OrdF64, JobId)>,
+    /// Waiting jobs, same order.
+    p: BTreeSet<(OrdF64, JobId)>,
+    bands: DensityBands,
+    metrics: SchedulerSMetrics,
+    check_invariants: bool,
+    /// Corollary 1's transformation: when the engine runs S at speed `s`,
+    /// every node's work is effectively scaled by `1/s`, so arrival-time
+    /// computations divide `W` and `L` by this hint (default 1).
+    speed_hint: f64,
+    /// Work-conserving extension (the paper's future-work item): backfill
+    /// processors left idle by the standard pass. Admission, allotments and
+    /// priorities are untouched — only spare capacity is used.
+    work_conserving: bool,
+}
+
+impl SchedulerS {
+    /// Create S for `m` processors with the given constants.
+    pub fn new(m: u32, params: AlgoParams) -> SchedulerS {
+        assert!(m >= 1);
+        let capacity = params.b() * m as f64;
+        SchedulerS {
+            params,
+            m,
+            jobs: HashMap::new(),
+            q: BTreeSet::new(),
+            p: BTreeSet::new(),
+            bands: DensityBands::new(params.c(), capacity),
+            metrics: SchedulerSMetrics::default(),
+            check_invariants: false,
+            speed_hint: 1.0,
+            work_conserving: false,
+        }
+    }
+
+    /// Tell S it runs on `s`-speed processors (Corollary 1's reduction:
+    /// equivalent to scaling all node works by `1/s`). Arrival-time
+    /// allotments, budgets and densities then use `W/s` and `L/s`.
+    pub fn with_speed_hint(mut self, s: f64) -> SchedulerS {
+        assert!(s.is_finite() && s > 0.0, "speed hint must be positive");
+        self.speed_hint = s;
+        self
+    }
+
+    /// Convenience: S with the recommended constants for `ε`.
+    pub fn with_epsilon(m: u32, epsilon: f64) -> SchedulerS {
+        SchedulerS::new(m, AlgoParams::from_epsilon(epsilon).expect("valid epsilon"))
+    }
+
+    /// Enable the work-conserving backfill extension (see
+    /// [`allocate`](OnlineScheduler::allocate)): the paper's analysis is
+    /// oblivious to what runs on processors the standard pass leaves idle,
+    /// so backfilling cannot invalidate the admission invariants — it only
+    /// adds opportunistic progress. This explores the paper's future-work
+    /// direction of practical, work-conserving variants of S.
+    pub fn work_conserving(mut self) -> SchedulerS {
+        self.work_conserving = true;
+        self
+    }
+
+    /// Enable Observation-3 re-verification after every queue mutation
+    /// (O(|Q|²) per event; for tests).
+    pub fn with_invariant_checks(mut self) -> SchedulerS {
+        self.check_invariants = true;
+        self
+    }
+
+    /// Analysis counters.
+    pub fn metrics(&self) -> &SchedulerSMetrics {
+        &self.metrics
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &AlgoParams {
+        &self.params
+    }
+
+    /// Is the job currently in the started queue `Q`? (test hook)
+    pub fn in_q(&self, id: JobId) -> bool {
+        self.jobs.get(&id).is_some_and(|j| j.in_q)
+    }
+
+    /// Number of jobs waiting in `P`. (test hook)
+    pub fn p_len(&self) -> usize {
+        self.p.len()
+    }
+
+    fn assert_invariant(&self) {
+        if self.check_invariants {
+            assert!(
+                self.bands.check_invariant(),
+                "Observation 3 violated: a density band exceeds b*m"
+            );
+        }
+    }
+
+    /// Admit into Q (caller verified the conditions).
+    fn start_job(&mut self, id: JobId, from_p: bool) {
+        let job = self.jobs.get_mut(&id).expect("known job");
+        job.in_q = true;
+        let key = (OrdF64(job.density), id);
+        let (density, allot, profit) = (job.density, job.allot, job.profit);
+        if from_p {
+            self.p.remove(&key);
+            self.metrics.admitted_from_p += 1;
+        } else {
+            self.metrics.admitted_at_arrival += 1;
+        }
+        self.q.insert(key);
+        self.bands.insert(id, density, allot);
+        self.metrics.started_profit += profit;
+        self.metrics.started_count += 1;
+        self.metrics.max_q_len = self.metrics.max_q_len.max(self.q.len());
+        self.assert_invariant();
+    }
+
+    /// Drop a job from whichever queue holds it.
+    fn forget(&mut self, id: JobId) {
+        if let Some(job) = self.jobs.remove(&id) {
+            let key = (OrdF64(job.density), id);
+            if job.in_q {
+                self.q.remove(&key);
+                self.bands.remove(id);
+            } else {
+                self.p.remove(&key);
+            }
+        }
+        self.assert_invariant();
+    }
+
+    /// Work-conserving backfill over processors the standard pass left
+    /// idle, in three stages of decreasing theoretical blessing:
+    ///
+    /// 1. top up *scheduled* jobs to their ready-node counts (a scheduled
+    ///    job with more ready nodes than its allotment can absorb spare
+    ///    processors with zero risk);
+    /// 2. partially schedule Q jobs that were skipped because their full
+    ///    allotment did not fit;
+    /// 3. run waiting (`P`) jobs opportunistically — they stay officially
+    ///    un-started, keeping the admission accounting intact, but spare
+    ///    capacity does real work toward their completion.
+    fn backfill(&self, view: &TickView<'_>, mut left: u32, out: &mut Allocation) -> u32 {
+        use std::collections::HashMap;
+        let ready: HashMap<JobId, u32> = view.jobs().iter().copied().collect();
+        let mut granted: HashMap<JobId, u32> = out.iter().copied().collect();
+        // Stage 1 + 2: walk Q by density again.
+        for &(_, id) in self.q.iter().rev() {
+            if left == 0 {
+                return 0;
+            }
+            let Some(&r) = ready.get(&id) else { continue };
+            let have = granted.get(&id).copied().unwrap_or(0);
+            let want = r.saturating_sub(have).min(left);
+            if want == 0 {
+                continue;
+            }
+            left -= want;
+            granted.insert(id, have + want);
+            match out.iter_mut().find(|(j, _)| *j == id) {
+                Some(slot) => slot.1 += want,
+                None => out.push((id, want)),
+            }
+        }
+        // Stage 3: waiting jobs by density.
+        for &(_, id) in self.p.iter().rev() {
+            if left == 0 {
+                return 0;
+            }
+            let Some(&r) = ready.get(&id) else { continue };
+            let want = r.min(left);
+            if want == 0 {
+                continue;
+            }
+            left -= want;
+            debug_assert!(!granted.contains_key(&id), "P and Q are disjoint");
+            out.push((id, want));
+        }
+        left
+    }
+
+    /// The completion-event admission pass: scan `P` by density (desc),
+    /// dropping dead jobs and starting every δ-fresh job that passes the
+    /// band condition.
+    fn admit_from_p(&mut self, now: Time) {
+        let candidates: Vec<JobId> = self.p.iter().rev().map(|&(_, id)| id).collect();
+        for id in candidates {
+            let Some(job) = self.jobs.get(&id) else {
+                continue;
+            };
+            // Remove jobs whose absolute deadline has passed.
+            if job.abs_deadline <= now {
+                self.forget(id);
+                continue;
+            }
+            if !job.admissible {
+                continue;
+            }
+            // δ-fresh: d_i − t ≥ (1+δ)x_i.
+            let slack = job.abs_deadline.since(now) as f64;
+            if slack < self.params.fresh_factor() * job.x {
+                continue;
+            }
+            if self.bands.fits(job.density, job.allot) {
+                self.start_job(id, true);
+            }
+        }
+    }
+}
+
+impl OnlineScheduler for SchedulerS {
+    fn name(&self) -> String {
+        if self.work_conserving {
+            format!("S-wc(eps={})", self.params.epsilon())
+        } else {
+            format!("S(eps={})", self.params.epsilon())
+        }
+    }
+
+    fn on_arrival(&mut self, info: &JobInfo, _now: Time) {
+        // S targets deadline jobs; a general profit function is treated via
+        // its flat prefix (deadline = x*, profit = the flat value).
+        let (d_rel, profit) = info
+            .profit
+            .as_deadline()
+            .unwrap_or((info.profit.flat_until(), info.profit.max_profit()));
+        let w = info.work.as_f64() / self.speed_hint;
+        let l = info.span.as_f64() / self.speed_hint;
+        let d = d_rel.as_f64();
+
+        // Fractional allotment; None means the deadline is infeasible under
+        // the (1+2δ) contraction even with unbounded parallelism.
+        let (allot, admissible) = match self.params.raw_allotment(w, l, d) {
+            Some(frac) => {
+                let n = (frac.ceil() as u32).max(1);
+                (n.min(self.m), n <= self.m)
+            }
+            None => (self.m, false),
+        };
+        let x = AlgoParams::x_time(w, l, allot);
+        let density = profit as f64 / (x * allot as f64);
+        let abs_deadline = info.arrival.saturating_add(d_rel.ticks());
+        let delta_good = admissible && d >= self.params.good_factor() * x;
+
+        self.jobs.insert(
+            info.id,
+            SJob {
+                allot,
+                x,
+                density,
+                profit,
+                abs_deadline,
+                admissible,
+                in_q: false,
+            },
+        );
+        if !admissible {
+            self.metrics.inadmissible += 1;
+        }
+
+        if delta_good && self.bands.fits(density, allot) {
+            self.start_job(info.id, false);
+        } else {
+            if delta_good {
+                self.metrics.band_rejections += 1;
+            }
+            self.p.insert((OrdF64(density), info.id));
+        }
+    }
+
+    fn on_completion(&mut self, id: JobId, now: Time) {
+        self.forget(id);
+        self.admit_from_p(now);
+    }
+
+    fn on_expiry(&mut self, id: JobId, _now: Time) {
+        self.forget(id);
+    }
+
+    fn allocate(&mut self, view: &TickView<'_>) -> Allocation {
+        let mut left = view.m;
+        let mut out = Vec::new();
+        for &(_, id) in self.q.iter().rev() {
+            if left == 0 {
+                break;
+            }
+            let job = &self.jobs[&id];
+            if job.allot <= left {
+                out.push((id, job.allot));
+                left -= job.allot;
+            }
+        }
+        if self.work_conserving && left > 0 {
+            left = self.backfill(view, left, &mut out);
+        }
+        let _ = left;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_core::{Speed, Work};
+    use dagsched_dag::gen;
+    use dagsched_engine::{simulate, JobStatus, NodePick, SimConfig};
+    use dagsched_workload::{
+        DeadlinePolicy, Instance, JobSpec, ProfitPolicy, StepProfitFn, WorkloadGen,
+    };
+
+    fn info(id: u32, arrival: u64, w: u64, l: u64, d: u64, p: u64) -> JobInfo {
+        JobInfo {
+            id: JobId(id),
+            arrival: Time(arrival),
+            work: Work(w),
+            span: Work(l),
+            profit: StepProfitFn::deadline(Time(d), p),
+        }
+    }
+
+    fn sched(m: u32) -> SchedulerS {
+        SchedulerS::with_epsilon(m, 1.0).with_invariant_checks()
+    }
+
+    #[test]
+    fn slack_job_is_admitted_and_allocated() {
+        let mut s = sched(8);
+        // W=64, L=4, m=8: brent = 11.5; Theorem-2 deadline (eps=1): 23.
+        s.on_arrival(&info(0, 0, 64, 4, 23, 10), Time(0));
+        assert!(s.in_q(JobId(0)));
+        assert_eq!(s.metrics().started_count, 1);
+        assert_eq!(s.metrics().started_profit, 10);
+        let jobs = [(JobId(0), 5u32)];
+        let view = TickView::new(8, Time(0), &jobs);
+        let alloc = s.allocate(&view);
+        assert_eq!(alloc.len(), 1);
+        assert_eq!(alloc[0].0, JobId(0));
+        let n = alloc[0].1;
+        // Lemma 1 (+1 integrality): n ≤ b²m + 1.
+        let p = s.params();
+        assert!(n as f64 <= p.b() * p.b() * 8.0 + 1.0, "allot {n}");
+        assert!(n >= 1);
+    }
+
+    #[test]
+    fn tight_deadline_job_parks_in_p_forever() {
+        let mut s = sched(8);
+        // Deadline below L: infeasible for any scheduler.
+        s.on_arrival(&info(0, 0, 64, 16, 10, 10), Time(0));
+        assert!(!s.in_q(JobId(0)));
+        assert_eq!(s.p_len(), 1);
+        assert_eq!(s.metrics().inadmissible, 1);
+        let view_jobs = [(JobId(0), 64u32)];
+        assert!(s
+            .allocate(&TickView::new(8, Time(0), &view_jobs))
+            .is_empty());
+    }
+
+    #[test]
+    fn band_overflow_parks_then_completion_admits() {
+        let p = AlgoParams::from_epsilon(1.0).unwrap();
+        let m = 8u32;
+        let mut s = SchedulerS::new(m, p).with_invariant_checks();
+        // Fill the band: several equal-density jobs, each of allotment ~4.
+        // W=60, L=1, D=24 -> n = ceil(59/(24/1.5 - 1)) = ceil(3.93) = 4.
+        let cap = p.b() * m as f64; // ~6.9
+        s.on_arrival(&info(0, 0, 60, 1, 24, 60), Time(0));
+        assert!(s.in_q(JobId(0)));
+        // Same shape again: 4 + 4 = 8 > b*m ≈ 6.93 -> parked.
+        s.on_arrival(&info(1, 0, 60, 1, 24, 60), Time(0));
+        assert!(!s.in_q(JobId(1)), "band capacity {cap} must reject");
+        assert_eq!(s.metrics().band_rejections, 1);
+        // Job 0 completes early: job 1 is δ-fresh and must now be admitted
+        // (Lemma 7's mechanism).
+        s.on_completion(JobId(0), Time(2));
+        assert!(s.in_q(JobId(1)));
+        assert_eq!(s.metrics().admitted_from_p, 1);
+        assert_eq!(s.metrics().started_count, 2);
+    }
+
+    #[test]
+    fn stale_job_in_p_is_not_admitted() {
+        let mut s = sched(8);
+        s.on_arrival(&info(0, 0, 60, 1, 24, 60), Time(0));
+        s.on_arrival(&info(1, 0, 60, 1, 24, 60), Time(0));
+        assert!(!s.in_q(JobId(1)));
+        // Completion happens so late that job 1 is no longer δ-fresh:
+        // x ≈ 15.75, fresh threshold (1+δ)x ≈ 19.7, deadline 24 → any
+        // completion after t = 4.3 leaves it stale.
+        s.on_completion(JobId(0), Time(10));
+        assert!(!s.in_q(JobId(1)), "stale job must stay in P");
+        // And a completion after its deadline drops it entirely.
+        s.on_completion(JobId(99), Time(30)); // unknown id: only triggers scan
+        assert_eq!(s.p_len(), 0);
+    }
+
+    #[test]
+    fn allocation_is_density_ordered_and_capacity_bounded() {
+        let mut s = sched(8);
+        // Three admitted jobs with distinct densities (profit varies).
+        s.on_arrival(&info(0, 0, 30, 1, 30, 10), Time(0)); // low density
+        s.on_arrival(&info(1, 0, 30, 1, 30, 90), Time(0)); // high
+        s.on_arrival(&info(2, 0, 30, 1, 30, 40), Time(0)); // mid
+        let jobs = [(JobId(0), 9u32), (JobId(1), 9), (JobId(2), 9)];
+        let alloc = s.allocate(&TickView::new(8, Time(0), &jobs));
+        // Highest density first.
+        assert_eq!(alloc[0].0, JobId(1));
+        let total: u32 = alloc.iter().map(|(_, k)| *k).sum();
+        assert!(total <= 8);
+    }
+
+    #[test]
+    fn single_slack_job_completes_via_engine() {
+        // Theorem-2-conformant single job must complete by its deadline.
+        let dag = gen::fork_join(3, 6, 2).into_shared();
+        let (w, l) = (dag.total_work(), dag.span());
+        let m = 8u32;
+        let brent = (w.as_f64() - l.as_f64()) / m as f64 + l.as_f64();
+        let d = (2.0 * brent).ceil() as u64; // slack factor 1+eps = 2
+        let inst = Instance::new(
+            m,
+            vec![JobSpec::new(
+                JobId(0),
+                Time(0),
+                dag,
+                StepProfitFn::deadline(Time(d), 5),
+            )],
+        )
+        .unwrap();
+        let mut s = sched(m);
+        let r = simulate(&inst, &mut s, &SimConfig::default()).unwrap();
+        assert!(
+            matches!(r.outcomes[0], JobStatus::Completed { .. }),
+            "outcome: {:?}",
+            r.outcomes[0]
+        );
+        assert_eq!(r.total_profit, 5);
+    }
+
+    #[test]
+    fn engine_run_respects_observation3_and_makes_profit() {
+        // A loaded random workload with Theorem-2 slack; S must earn a
+        // nontrivial fraction and never trip the invariant checker.
+        let gen = WorkloadGen {
+            deadlines: DeadlinePolicy::SlackFactor(2.0),
+            profits: ProfitPolicy::UniformDensity { lo: 1.0, hi: 4.0 },
+            ..WorkloadGen::standard(16, 120, 7)
+        };
+        let inst = gen.generate().unwrap();
+        let mut s = SchedulerS::with_epsilon(16, 1.0).with_invariant_checks();
+        let r = simulate(&inst, &mut s, &SimConfig::default()).unwrap();
+        assert!(r.total_profit > 0, "S earned nothing");
+        assert!(s.metrics().started_count > 0);
+        // ‖C‖ ≤ ‖R‖ by definition.
+        assert!(r.total_profit <= s.metrics().started_profit);
+    }
+
+    #[test]
+    fn completed_profit_only_counts_started_jobs() {
+        // Every completion the engine reports must be a job S started
+        // (jobs in P are never allocated processors).
+        let gen = WorkloadGen::standard(8, 60, 21);
+        let inst = gen.generate().unwrap();
+        let mut s = SchedulerS::with_epsilon(8, 1.0);
+        let r = simulate(&inst, &mut s, &SimConfig::default()).unwrap();
+        let completed: usize = r.outcomes.iter().filter(|o| o.is_completed()).count();
+        assert!(completed <= s.metrics().started_count);
+    }
+
+    #[test]
+    fn works_under_speed_augmentation() {
+        // Corollary 1 setting: tight-ish deadlines, engine at speed 2+eps.
+        let gen = WorkloadGen {
+            deadlines: DeadlinePolicy::SlackFactor(1.05),
+            ..WorkloadGen::standard(8, 80, 3)
+        };
+        let inst = gen.generate().unwrap();
+        let cfg_fast = SimConfig {
+            speed: Speed::new(5, 2).unwrap(), // 2.5x
+            pick: NodePick::Fifo,
+            ..SimConfig::default()
+        };
+        let mut s_fast = SchedulerS::with_epsilon(8, 1.0);
+        let fast = simulate(&inst, &mut s_fast, &cfg_fast).unwrap();
+        let mut s_slow = SchedulerS::with_epsilon(8, 1.0);
+        let slow = simulate(&inst, &mut s_slow, &SimConfig::default()).unwrap();
+        assert!(
+            fast.total_profit >= slow.total_profit,
+            "speed augmentation cannot hurt: fast {} < slow {}",
+            fast.total_profit,
+            slow.total_profit
+        );
+    }
+
+    #[test]
+    fn work_conserving_backfill_tops_up_and_runs_p_jobs() {
+        let mut s = sched(8).work_conserving();
+        // One admitted wide job with allotment ~4 but 8 ready nodes, and one
+        // band-rejected job parked in P.
+        s.on_arrival(&info(0, 0, 60, 1, 24, 60), Time(0));
+        s.on_arrival(&info(1, 0, 60, 1, 24, 60), Time(0));
+        assert!(s.in_q(JobId(0)));
+        assert!(!s.in_q(JobId(1)));
+        let jobs = [(JobId(0), 8u32), (JobId(1), 8u32)];
+        let alloc = s.allocate(&TickView::new(8, Time(0), &jobs));
+        let total: u32 = alloc.iter().map(|(_, k)| *k).sum();
+        assert_eq!(
+            total, 8,
+            "work-conserving: no idle processors, got {alloc:?}"
+        );
+        // Job 0 got topped up beyond its allotment; job 1 got the rest.
+        let k0 = alloc.iter().find(|(j, _)| *j == JobId(0)).unwrap().1;
+        let k1 = alloc.iter().find(|(j, _)| *j == JobId(1)).map(|(_, k)| *k);
+        assert!(k0 > 4 || k1.is_some(), "spare capacity must go somewhere");
+        assert!(s.name().starts_with("S-wc"));
+    }
+
+    #[test]
+    fn work_conserving_never_hurts_on_batch_workloads() {
+        // Same instance, S vs S-wc: backfill only adds progress, so profit
+        // cannot drop on these batch workloads (priorities are identical).
+        for seed in [3u64, 9, 27] {
+            let gen = WorkloadGen {
+                arrivals: dagsched_workload::ArrivalProcess::AllAtOnce,
+                deadlines: DeadlinePolicy::SlackFactor(2.0),
+                ..WorkloadGen::standard(8, 40, seed)
+            };
+            let inst = gen.generate().unwrap();
+            let mut plain = SchedulerS::with_epsilon(8, 1.0);
+            let p = simulate(&inst, &mut plain, &SimConfig::default()).unwrap();
+            let mut wc = SchedulerS::with_epsilon(8, 1.0).work_conserving();
+            let w = simulate(&inst, &mut wc, &SimConfig::default()).unwrap();
+            assert!(
+                w.total_profit >= p.total_profit,
+                "seed {seed}: wc {} < plain {}",
+                w.total_profit,
+                p.total_profit
+            );
+        }
+    }
+
+    #[test]
+    fn work_conserving_preserves_observation3() {
+        // Backfill must not touch the band structure.
+        let gen = WorkloadGen::standard(8, 60, 5);
+        let inst = gen.generate().unwrap();
+        let mut s = SchedulerS::with_epsilon(8, 1.0)
+            .work_conserving()
+            .with_invariant_checks();
+        simulate(&inst, &mut s, &SimConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn admitted_jobs_satisfy_lemma_bounds() {
+        // Run a batch and check Lemma 1 / Lemma 2 / Lemma 3 on every job S
+        // actually computed parameters for.
+        let gen = WorkloadGen {
+            deadlines: DeadlinePolicy::SlackFactor(2.0),
+            ..WorkloadGen::standard(12, 80, 11)
+        };
+        let inst = gen.generate().unwrap();
+        let params = AlgoParams::from_epsilon(1.0).unwrap();
+        let m = 12u32;
+        for j in inst.jobs() {
+            let w = j.work().as_f64();
+            let l = j.span().as_f64();
+            let d = j.rel_deadline().unwrap().as_f64();
+            let Some(frac) = params.raw_allotment(w, l, d) else {
+                panic!("Theorem-2 slack deadlines are always feasible");
+            };
+            let n = (frac.ceil() as u32).max(1);
+            // Lemma 1 with integrality slack.
+            assert!(n as f64 <= params.b().powi(2) * m as f64 + 1.0);
+            let x = AlgoParams::x_time(w, l, n);
+            // Lemma 2: δ-good (rounding n *up* only shrinks x).
+            assert!(x * params.good_factor() <= d + 1e-9);
+            // Lemma 3 with integrality slack: x·n ≤ aW + x (one extra
+            // processor for at most x steps).
+            assert!(x * n as f64 <= params.a() * w + x + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # dagsched-sched
+//!
+//! The paper's contribution — scheduler **S** — plus the baselines it is
+//! compared against.
+//!
+//! * [`bands`] — the density-band admission structure implementing
+//!   condition (2): for every job `J_j` in the running queue, the total
+//!   allotment of jobs with density in `[v_j, c·v_j)` stays ≤ `b·m`
+//!   (Observation 3 is an invariant of this structure);
+//! * [`deadline`] — [`SchedulerS`]: the throughput algorithm of Section 3
+//!   (jobs with deadlines and fixed profits);
+//! * [`profit`] — [`SchedulerSProfit`]: the general-profit algorithm of
+//!   Section 5 (slot assignment + smallest valid deadline search);
+//! * [`baselines`] — EDF, highest-density-first, FIFO, least-laxity and
+//!   random work-conserving schedulers, and an admission-less ablation of S;
+//! * [`federated`] — federated scheduling of sporadic DAG task sets (the
+//!   related-work real-time substrate), with its schedulability test.
+//!
+//! All schedulers implement
+//! [`OnlineScheduler`](dagsched_engine::OnlineScheduler) and are therefore
+//! semi-non-clairvoyant by construction — they can only see what the engine
+//! shows them.
+
+#![warn(missing_docs)]
+
+pub mod bands;
+pub mod baselines;
+pub mod deadline;
+pub mod edf_ac;
+pub mod federated;
+pub mod profit;
+
+pub use baselines::{Edf, Fifo, GreedyDensity, LeastLaxity, RandomOrder};
+pub use deadline::{SchedulerS, SchedulerSMetrics};
+pub use edf_ac::EdfAc;
+pub use federated::{federated_assignment, FederatedAssignment, FederatedScheduler};
+pub use profit::SchedulerSProfit;

@@ -1,0 +1,122 @@
+//! A single online job: arrival + DAG + profit function.
+
+use crate::profit::StepProfitFn;
+use dagsched_core::{JobId, Time, Work};
+use dagsched_dag::DagJobSpec;
+use std::sync::Arc;
+
+/// One job of an online instance.
+///
+/// The DAG is shared (`Arc`) because the engine, the optimal-bound machinery
+/// and repeated simulation runs all read the same immutable structure.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Dense id within the instance (also its index in `Instance::jobs`).
+    pub id: JobId,
+    /// Arrival (release) time `r_i`.
+    pub arrival: Time,
+    /// The job body.
+    pub dag: Arc<DagJobSpec>,
+    /// Profit as a function of relative completion time.
+    pub profit: StepProfitFn,
+}
+
+impl JobSpec {
+    /// Construct a job.
+    pub fn new(id: JobId, arrival: Time, dag: Arc<DagJobSpec>, profit: StepProfitFn) -> JobSpec {
+        JobSpec {
+            id,
+            arrival,
+            dag,
+            profit,
+        }
+    }
+
+    /// Total work `W_i`.
+    #[inline]
+    pub fn work(&self) -> Work {
+        self.dag.total_work()
+    }
+
+    /// Span `L_i`.
+    #[inline]
+    pub fn span(&self) -> Work {
+        self.dag.span()
+    }
+
+    /// Relative deadline `D_i` for deadline-profit jobs (`None` for general
+    /// profit functions).
+    pub fn rel_deadline(&self) -> Option<Time> {
+        self.profit.as_deadline().map(|(d, _)| d)
+    }
+
+    /// Absolute deadline `d_i = r_i + D_i` for deadline-profit jobs.
+    pub fn abs_deadline(&self) -> Option<Time> {
+        self.rel_deadline()
+            .map(|d| self.arrival.saturating_add(d.ticks()))
+    }
+
+    /// Maximum obtainable profit `p_i(0⁺)`.
+    #[inline]
+    pub fn max_profit(&self) -> u64 {
+        self.profit.max_profit()
+    }
+
+    /// The latest absolute time at which completing this job still earns
+    /// more than the profit tail; after it, deadline jobs are worthless.
+    pub fn last_useful_abs(&self) -> Time {
+        self.arrival
+            .saturating_add(self.profit.last_useful_time().ticks())
+    }
+
+    /// The paper's per-job benchmark `(W−L)/m + L` as a real number: the
+    /// completion time a greedy schedule achieves on `m` dedicated
+    /// processors, and (as `max{L, W/m} ≤` it `≤ 2·max{L, W/m}`) a proxy for
+    /// the best any schedule can do.
+    pub fn brent_bound(&self, m: u32) -> f64 {
+        let w = self.work().as_f64();
+        let l = self.span().as_f64();
+        (w - l) / m as f64 + l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_dag::gen;
+
+    #[test]
+    fn accessors() {
+        let dag = gen::diamond(4, 5).into_shared();
+        let job = JobSpec::new(
+            JobId(3),
+            Time(10),
+            dag.clone(),
+            StepProfitFn::deadline(Time(30), 7),
+        );
+        assert_eq!(job.work(), dag.total_work());
+        assert_eq!(job.span(), Work(7));
+        assert_eq!(job.rel_deadline(), Some(Time(30)));
+        assert_eq!(job.abs_deadline(), Some(Time(40)));
+        assert_eq!(job.max_profit(), 7);
+        assert_eq!(job.last_useful_abs(), Time(40));
+    }
+
+    #[test]
+    fn general_profit_job_has_no_deadline() {
+        let dag = gen::chain(3, 2).into_shared();
+        let f = StepProfitFn::steps(vec![(Time(10), 20), (Time(20), 5)], 0).unwrap();
+        let job = JobSpec::new(JobId(0), Time(5), dag, f);
+        assert_eq!(job.rel_deadline(), None);
+        assert_eq!(job.abs_deadline(), None);
+        assert_eq!(job.last_useful_abs(), Time(25));
+    }
+
+    #[test]
+    fn brent_bound_matches_formula() {
+        // W = 22, L = 7 (diamond of 4 width-5 nodes): (22-7)/m + 7.
+        let dag = gen::diamond(4, 5).into_shared();
+        let job = JobSpec::new(JobId(0), Time(0), dag, StepProfitFn::deadline(Time(9), 1));
+        assert!((job.brent_bound(5) - (15.0 / 5.0 + 7.0)).abs() < 1e-12);
+    }
+}

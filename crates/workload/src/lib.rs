@@ -1,0 +1,32 @@
+//! # dagsched-workload
+//!
+//! Online problem instances for the scheduler experiments.
+//!
+//! An [`Instance`] is a machine size `m` plus a list of [`JobSpec`]s sorted by
+//! arrival time. Each job carries a DAG (from `dagsched-dag`) and a
+//! [`StepProfitFn`] — the paper's non-increasing profit function `p_i(t)`,
+//! restricted to piecewise-constant steps (which subsumes the
+//! deadline-and-profit special case: a single step at the relative deadline).
+//!
+//! [`gen`] builds randomized instances from four orthogonal knobs:
+//! arrival process, DAG family, deadline-slack policy and profit policy —
+//! the axes swept by the experiments in `dagsched-experiments`. [`codec`]
+//! provides a line-oriented text format for persisting instances, so every
+//! experiment can be replayed outside the generator.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod codec;
+pub mod gen;
+pub mod instance;
+pub mod job;
+pub mod profit;
+pub mod sporadic;
+
+pub use cluster::ClusterTraceGen;
+pub use gen::{ArrivalProcess, DagFamily, DeadlinePolicy, ProfitPolicy, ProfitShape, WorkloadGen};
+pub use instance::Instance;
+pub use job::JobSpec;
+pub use profit::StepProfitFn;
+pub use sporadic::{SporadicTask, SporadicTaskSet};

@@ -1,0 +1,56 @@
+//! The paper's Figure 1 lower bound, live: a semi-non-clairvoyant scheduler
+//! can be forced to take `(W−L)/m + L` on a job a clairvoyant scheduler
+//! finishes in `W/m` — so speed augmentation `2 − 1/m` is necessary
+//! (Theorem 1).
+//!
+//! ```sh
+//! cargo run --example adversarial_dag
+//! ```
+
+use dagsched::prelude::*;
+
+fn main() {
+    let m = 8u32;
+    // The Figure 1 job: a chain of length L = W/m alongside an independent
+    // parallel block of W − L unit nodes.
+    let dag = daggen::fig1(m, 100, 1).into_shared();
+    println!(
+        "Figure-1 job on m={m}: W = {}, L = {} (= W/m), parallelism {:.1}",
+        dag.total_work(),
+        dag.span(),
+        dag.parallelism()
+    );
+
+    let friendly = lpf_makespan(dag.clone(), m, Speed::ONE).unwrap();
+    let adversarial = adversarial_makespan(dag.clone(), m, Speed::ONE).unwrap();
+    println!("\nclairvoyant (critical-path-first): {friendly} ticks  (= W/m)");
+    println!("adversarial node picks:            {adversarial} ticks  (= (W-L)/m + L)");
+    println!(
+        "ratio {:.4} vs theory 2 - 1/m = {:.4}",
+        adversarial.as_f64() / friendly.as_f64(),
+        2.0 - 1.0 / m as f64
+    );
+
+    // How much faster must the unlucky scheduler run to meet the
+    // clairvoyant deadline D = W/m?
+    let deadline = dag.total_work().units() / m as u64;
+    println!("\nspeed sweep against deadline D = {deadline}:");
+    for (num, den) in [(1, 1), (3, 2), (7, 4), (15, 8), (2, 1)] {
+        let s = Speed::new(num, den).unwrap();
+        let t = adversarial_makespan(dag.clone(), m, s).unwrap();
+        println!(
+            "  speed {:>5} -> {:>4} ticks  {}",
+            s.to_string(),
+            t,
+            if t.ticks() <= deadline {
+                "MEETS deadline"
+            } else {
+                "misses"
+            }
+        );
+    }
+    println!(
+        "\nThe crossover sits at 2 - 1/m = {} — Theorem 1's threshold.",
+        Speed::theorem1_threshold(m).unwrap()
+    );
+}

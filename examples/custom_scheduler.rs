@@ -1,0 +1,115 @@
+//! Implementing your own semi-non-clairvoyant scheduler against the engine
+//! API — everything a policy can legally observe flows through
+//! `on_arrival`/`on_completion`/`on_expiry` and the per-tick `TickView`.
+//!
+//! The toy policy here, "shortest remaining budget first" (SRBF), tracks
+//! each job's `(W−L)/m + L` estimate and favours jobs it believes are
+//! nearly done — a plausible heuristic a practitioner might try. The
+//! example pits it against the paper's S on the same workload.
+//!
+//! ```sh
+//! cargo run --example custom_scheduler
+//! ```
+
+use dagsched::prelude::*;
+use std::collections::HashMap;
+
+/// Shortest-estimated-budget-first: a work-conserving policy ordering jobs
+/// by their arrival-time `brent = (W−L)/m + L` estimate, tie-broken FIFO.
+struct Srbf {
+    m: u32,
+    /// (estimate, arrival sequence) per alive job.
+    alive: HashMap<JobId, (f64, u64)>,
+    seq: u64,
+}
+
+impl Srbf {
+    fn new(m: u32) -> Srbf {
+        Srbf {
+            m,
+            alive: HashMap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl OnlineScheduler for Srbf {
+    fn name(&self) -> String {
+        "SRBF".into()
+    }
+
+    fn on_arrival(&mut self, info: &JobInfo, _now: Time) {
+        let w = info.work.as_f64();
+        let l = info.span.as_f64();
+        let brent = (w - l) / self.m as f64 + l;
+        self.alive.insert(info.id, (brent, self.seq));
+        self.seq += 1;
+    }
+
+    fn on_completion(&mut self, id: JobId, _now: Time) {
+        self.alive.remove(&id);
+    }
+
+    fn on_expiry(&mut self, id: JobId, _now: Time) {
+        self.alive.remove(&id);
+    }
+
+    fn allocate(&mut self, view: &TickView<'_>) -> Vec<(JobId, u32)> {
+        let mut order: Vec<(JobId, f64, u64)> = view
+            .jobs()
+            .iter()
+            .filter_map(|&(id, _)| self.alive.get(&id).map(|&(b, s)| (id, b, s)))
+            .collect();
+        order.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.2.cmp(&b.2)));
+        let mut left = view.m;
+        let mut out = Vec::new();
+        for (id, _, _) in order {
+            if left == 0 {
+                break;
+            }
+            let ready = view.ready_count(id).unwrap_or(0);
+            let k = ready.min(left);
+            if k > 0 {
+                out.push((id, k));
+                left -= k;
+            }
+        }
+        out
+    }
+}
+
+fn main() {
+    let m = 8;
+    let instance = WorkloadGen {
+        arrivals: ArrivalProcess::poisson_for_load(3.0, 60.0, m),
+        deadlines: DeadlinePolicy::SlackFactor(2.0),
+        profits: ProfitPolicy::UniformDensity { lo: 1.0, hi: 8.0 },
+        ..WorkloadGen::standard(m, 100, 123)
+    }
+    .generate()
+    .expect("valid configuration");
+
+    let ub = fractional_ub(&instance, Speed::ONE);
+    println!(
+        "{:<8} {:>8} {:>10} {:>8}",
+        "policy", "profit", "completed", "of UB"
+    );
+    let mut srbf = Srbf::new(m);
+    let r1 = simulate(&instance, &mut srbf, &SimConfig::default()).expect("valid run");
+    let mut s = SchedulerS::with_epsilon(m, 1.0);
+    let r2 = simulate(&instance, &mut s, &SimConfig::default()).expect("valid run");
+    for r in [&r1, &r2] {
+        println!(
+            "{:<8} {:>8} {:>10} {:>7.1}%",
+            r.scheduler,
+            r.total_profit,
+            r.completed(),
+            100.0 * r.total_profit as f64 / ub as f64
+        );
+    }
+    println!(
+        "\nSRBF is {} lines of code against the public API — swap in your \
+         own policy the same way.",
+        60
+    );
+}

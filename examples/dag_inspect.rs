@@ -1,0 +1,76 @@
+//! Inspecting job structure: parallelism profiles, critical paths and
+//! Graphviz export for the DAGs this library schedules — from the paper's
+//! Figure 1 to a tiled Cholesky factorization.
+//!
+//! ```sh
+//! cargo run --example dag_inspect          # summary + profiles
+//! cargo run --example dag_inspect -- --dot # also dump cholesky.dot
+//! ```
+
+use dagsched::dag::analysis::{critical_nodes, degree_stats, max_parallelism, parallelism_profile};
+use dagsched::dag::dot;
+use dagsched::dag::hpc::{self, KernelCosts};
+use dagsched::prelude::*;
+
+fn inspect(name: &str, dag: DagJobSpec) {
+    let shared = dag.into_shared();
+    let profile = parallelism_profile(&shared);
+    let stats = degree_stats(&shared);
+    println!(
+        "\n{name}: {} nodes, {} edges, W = {}, L = {}, avg parallelism {:.1}, peak {}",
+        shared.num_nodes(),
+        shared.num_edges(),
+        shared.total_work(),
+        shared.span(),
+        shared.parallelism(),
+        max_parallelism(&shared),
+    );
+    println!(
+        "  degrees: max in {}, max out {}, {} sources, {} sinks; {} critical nodes",
+        stats.max_in,
+        stats.max_out,
+        stats.sources,
+        stats.sinks,
+        critical_nodes(&shared).len()
+    );
+    // A coarse sparkline of the ideal-execution width over time.
+    let buckets = 40.min(profile.len());
+    if buckets > 0 {
+        let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#'];
+        let peak = *profile.iter().max().expect("non-empty") as f64;
+        let line: String = (0..buckets)
+            .map(|b| {
+                let lo = b * profile.len() / buckets;
+                let hi = ((b + 1) * profile.len() / buckets).max(lo + 1);
+                let avg = profile[lo..hi].iter().sum::<u64>() as f64 / (hi - lo) as f64;
+                glyphs[((avg / peak) * (glyphs.len() - 1) as f64).round() as usize]
+            })
+            .collect();
+        println!("  width over time: [{line}]");
+    }
+}
+
+fn main() {
+    let dump_dot = std::env::args().any(|a| a == "--dot");
+
+    inspect("Figure-1 adversarial job (m=8)", daggen::fig1(8, 32, 1));
+    inspect("Figure-2 chain-then-block", daggen::fig2(16, 128, 2));
+    inspect("fork-join (4 segments x 8)", daggen::fork_join(4, 8, 2));
+    inspect(
+        "tiled Cholesky (T=6)",
+        hpc::cholesky(6, KernelCosts::default()),
+    );
+    inspect("2-D wavefront (12x12)", hpc::wavefront(12, 12, 1));
+
+    if dump_dot {
+        let chol = hpc::cholesky(4, KernelCosts::default());
+        let text = dot::to_dot(&chol, "cholesky4");
+        std::fs::write("cholesky.dot", &text).expect("writable cwd");
+        println!(
+            "\nwrote cholesky.dot ({} bytes) — render with `dot -Tsvg cholesky.dot`",
+            text.len()
+        );
+    } else {
+        println!("\n(pass --dot to export a Graphviz file of the T=4 Cholesky DAG)");
+    }
+}

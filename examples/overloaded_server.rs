@@ -1,0 +1,95 @@
+//! An overloaded render-farm scenario: bursts of parallel jobs with mixed
+//! value arrive faster than the machine can possibly process. Policies that
+//! chase deadlines (EDF/LLF) or arrival order (FIFO) thrash; the paper's
+//! admission-controlled scheduler S keeps completing the work it commits
+//! to.
+//!
+//! ```sh
+//! cargo run --example overloaded_server
+//! ```
+
+use dagsched::prelude::*;
+
+fn main() {
+    let m = 16;
+    // Bursty arrivals: every 40 ticks, a batch of 12 jobs lands at once
+    // (frames to render: fork-join pipelines and wide shading blocks), with
+    // profits spread over a 16:1 density range.
+    let instance = WorkloadGen {
+        m,
+        n_jobs: 180,
+        seed: 7,
+        arrivals: ArrivalProcess::Bursty {
+            burst_size: 12,
+            gap: 40,
+        },
+        family: DagFamily::Mixed(vec![
+            (
+                2.0,
+                DagFamily::ForkJoin {
+                    segments: (2, 4),
+                    width: (4, 12),
+                    node_work: (1, 4),
+                },
+            ),
+            (
+                2.0,
+                DagFamily::Block {
+                    width: (16, 48),
+                    node_work: (1, 4),
+                },
+            ),
+            (
+                1.0,
+                DagFamily::Chain {
+                    len: (4, 10),
+                    node_work: (2, 6),
+                },
+            ),
+        ]),
+        deadlines: DeadlinePolicy::UniformSlack { lo: 2.0, hi: 3.0 },
+        profits: ProfitPolicy::ZipfDensity {
+            classes: 16,
+            s: 1.1,
+            base: 16.0,
+        },
+        shape: ProfitShape::Deadline,
+    }
+    .generate()
+    .expect("valid configuration");
+
+    let stats = instance.stats();
+    println!(
+        "render farm: m={m}, {} jobs, offered load {:.1}x capacity\n",
+        stats.n_jobs, stats.load_factor
+    );
+
+    let ub = fractional_ub(&instance, Speed::ONE);
+    println!(
+        "{:<10} {:>8} {:>10} {:>9} {:>8}",
+        "policy", "profit", "completed", "expired", "of UB"
+    );
+    let run = |name: &str, sched: &mut dyn OnlineScheduler| {
+        let r = simulate(&instance, sched, &SimConfig::default()).expect("valid run");
+        println!(
+            "{:<10} {:>8} {:>10} {:>9} {:>7.1}%",
+            name,
+            r.total_profit,
+            r.completed(),
+            r.expired(),
+            100.0 * r.total_profit as f64 / ub as f64
+        );
+    };
+    run("S(e=1)", &mut SchedulerS::with_epsilon(m, 1.0));
+    run("HDF", &mut GreedyDensity::new(m));
+    run("EDF", &mut Edf::new(m));
+    run("LLF", &mut LeastLaxity::new(m));
+    run("FIFO", &mut Fifo::new(m));
+    run("RANDOM", &mut RandomOrder::new(m, 3));
+
+    println!(
+        "\nUnder overload, S's density-band admission control picks a \
+         completable high-value subset up front\ninstead of starting \
+         everything and finishing little — the behaviour Theorem 2 bounds."
+    );
+}

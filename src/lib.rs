@@ -1,0 +1,55 @@
+//! # dagsched
+//!
+//! A reproduction of *"Scheduling Parallelizable Jobs Online to Maximize
+//! Throughput"* (Agrawal, Li, Lu, Moseley — SPAA 2017): online scheduling of
+//! DAG-structured parallel jobs on `m` identical processors to maximize
+//! throughput (profit of jobs finished by their deadlines) or general
+//! non-increasing profit.
+//!
+//! This facade crate re-exports the whole workspace; see the README for the
+//! architecture and `examples/quickstart.rs` for a three-minute tour.
+//!
+//! ```
+//! use dagsched::prelude::*;
+//!
+//! // A workload of mixed DAG jobs with Theorem-2 deadline slack...
+//! let inst = WorkloadGen::standard(8, 40, 42).generate().unwrap();
+//! // ...scheduled online by the paper's algorithm S...
+//! let mut s = SchedulerS::with_epsilon(8, 1.0);
+//! let result = simulate(&inst, &mut s, &SimConfig::default()).unwrap();
+//! // ...earns profit compared against an upper bound on OPT.
+//! let ub = fractional_ub(&inst, Speed::ONE);
+//! assert!(result.total_profit <= ub);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dagsched_core as core;
+pub use dagsched_dag as dag;
+pub use dagsched_engine as engine;
+pub use dagsched_experiments as experiments;
+pub use dagsched_metrics as metrics;
+pub use dagsched_opt as opt;
+pub use dagsched_sched as sched;
+pub use dagsched_workload as workload;
+
+/// The common imports for working with the library.
+pub mod prelude {
+    pub use dagsched_core::{AlgoParams, JobId, NodeId, Rng64, SchedError, Speed, Time, Work};
+    pub use dagsched_dag::{gen as daggen, DagBuilder, DagJobSpec, UnfoldState};
+    pub use dagsched_engine::{
+        simulate, JobInfo, JobStatus, NodePick, OnlineScheduler, SimConfig, SimResult, TickView,
+        Trace, TraceStats,
+    };
+    pub use dagsched_opt::{
+        adversarial_makespan, clairvoyant_edf_profit, exact_subset_ub, fractional_ub, lpf_makespan,
+    };
+    pub use dagsched_sched::{
+        federated_assignment, Edf, FederatedScheduler, Fifo, GreedyDensity, LeastLaxity,
+        RandomOrder, SchedulerS, SchedulerSProfit,
+    };
+    pub use dagsched_workload::{
+        ArrivalProcess, ClusterTraceGen, DagFamily, DeadlinePolicy, Instance, JobSpec,
+        ProfitPolicy, ProfitShape, SporadicTask, SporadicTaskSet, StepProfitFn, WorkloadGen,
+    };
+}

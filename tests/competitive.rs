@@ -1,0 +1,162 @@
+//! Competitive-ratio sanity at the system level: on Theorem-2-conformant
+//! workloads, S's profit is within a small constant of the exact OPT upper
+//! bound — far inside the worst-case guarantee.
+
+use dagsched::prelude::*;
+
+fn instance(m: u32, eps: f64, load: f64, seed: u64) -> Instance {
+    WorkloadGen {
+        arrivals: ArrivalProcess::poisson_for_load(load, 60.0, m),
+        deadlines: DeadlinePolicy::SlackFactor(1.0 + eps),
+        profits: ProfitPolicy::UniformDensity { lo: 1.0, hi: 4.0 },
+        ..WorkloadGen::standard(m, 16, seed)
+    }
+    .generate()
+    .unwrap()
+}
+
+#[test]
+fn s_is_constant_competitive_on_slack_workloads() {
+    let m = 8u32;
+    for eps in [0.5, 1.0, 2.0] {
+        let theory = AlgoParams::from_epsilon(eps)
+            .unwrap()
+            .throughput_competitive_ratio();
+        for seed in 0..8u64 {
+            let inst = instance(m, eps, 2.0, seed);
+            let ub = exact_subset_ub(&inst, Speed::ONE, 24).unwrap();
+            if ub == 0 {
+                continue;
+            }
+            let mut s = SchedulerS::with_epsilon(m, eps);
+            let r = simulate(&inst, &mut s, &SimConfig::default()).unwrap();
+            assert!(r.total_profit > 0, "eps={eps} seed={seed}: earned nothing");
+            let ratio = ub as f64 / r.total_profit as f64;
+            assert!(
+                ratio <= 30.0,
+                "eps={eps} seed={seed}: empirical ratio {ratio:.1} not a small constant"
+            );
+            assert!(ratio <= theory, "measured ratio above the proven bound?!");
+        }
+    }
+}
+
+#[test]
+fn speed_two_plus_eps_restores_competitiveness_on_tight_deadlines() {
+    // Corollary 1: tight deadlines (no slack), S at speed 2.5 with the
+    // matching hint earns a solid fraction of the 1-speed OPT bound.
+    let m = 8u32;
+    let mut fractions = Vec::new();
+    for seed in 0..8u64 {
+        let inst = WorkloadGen {
+            arrivals: ArrivalProcess::poisson_for_load(1.5, 60.0, m),
+            deadlines: DeadlinePolicy::SlackFactor(1.0),
+            ..WorkloadGen::standard(m, 16, seed)
+        }
+        .generate()
+        .unwrap();
+        let ub = exact_subset_ub(&inst, Speed::ONE, 24).unwrap();
+        if ub == 0 {
+            continue;
+        }
+        let speed = Speed::new(5, 2).unwrap();
+        let mut s = SchedulerS::with_epsilon(m, 1.0).with_speed_hint(speed.as_f64());
+        let r = simulate(&inst, &mut s, &SimConfig::at_speed(speed)).unwrap();
+        fractions.push(r.total_profit as f64 / ub as f64);
+    }
+    let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
+    assert!(
+        mean > 0.4,
+        "at 2.5x speed S should capture a solid mean fraction, got {mean:.3} ({fractions:?})"
+    );
+}
+
+#[test]
+fn profit_scheduler_is_competitive_on_staircase_workloads() {
+    let m = 8u32;
+    for seed in 0..6u64 {
+        let inst = WorkloadGen {
+            arrivals: ArrivalProcess::poisson_for_load(2.0, 60.0, m),
+            deadlines: DeadlinePolicy::SlackFactor(2.0),
+            shape: ProfitShape::SteppedDecay {
+                extra_steps: 3,
+                time_factor: 1.8,
+                value_factor: 0.45,
+            },
+            ..WorkloadGen::standard(m, 16, seed)
+        }
+        .generate()
+        .unwrap();
+        let ub = exact_subset_ub(&inst, Speed::ONE, 24).unwrap();
+        if ub == 0 {
+            continue;
+        }
+        let mut s = SchedulerSProfit::with_epsilon(m, 1.0);
+        let r = simulate(&inst, &mut s, &SimConfig::default()).unwrap();
+        assert!(r.total_profit > 0, "seed={seed}: S-profit earned nothing");
+        let ratio = ub as f64 / r.total_profit as f64;
+        assert!(
+            ratio <= 30.0,
+            "seed={seed}: general-profit ratio {ratio:.1} not a small constant"
+        );
+    }
+}
+
+#[test]
+fn ratios_against_true_opt_on_the_certified_class() {
+    // On m = 1 sequential-job instances the demand bound IS the optimum
+    // (EDF optimality, certified by opt::verify) — so here the measured
+    // ratio is against true OPT, not an upper bound.
+    use dagsched::opt::verify_achievable_m1;
+    let mut rng = Rng64::seed_from(99);
+    for trial in 0..6 {
+        let n = 6 + rng.gen_range(6) as usize;
+        let mut jobs = Vec::new();
+        let mut t = 0u64;
+        for i in 0..n {
+            t += rng.gen_range(5);
+            let w = 1 + rng.gen_range(6);
+            let d = w + rng.gen_range(10);
+            let p = 1 + rng.gen_range(30);
+            jobs.push(JobSpec::new(
+                JobId(i as u32),
+                Time(t),
+                daggen::single(w).into_shared(),
+                StepProfitFn::deadline(Time(d), p),
+            ));
+        }
+        let inst = Instance::new(1, jobs).unwrap();
+        let (opt, _witness) = verify_achievable_m1(&inst, 24).unwrap();
+        if opt == 0 {
+            continue;
+        }
+        for mut sched in [
+            Box::new(GreedyDensity::new(1)) as Box<dyn OnlineScheduler>,
+            Box::new(Edf::new(1)),
+        ] {
+            let r = simulate(&inst, sched.as_mut(), &SimConfig::default()).unwrap();
+            assert!(
+                r.total_profit <= opt,
+                "trial {trial}: {} beat TRUE OPT?!",
+                r.scheduler
+            );
+        }
+    }
+}
+
+#[test]
+fn admitting_everything_cannot_beat_the_bound_either() {
+    // The no-admission ablation (work-conserving, density-ordered) also
+    // stays below UB — i.e. the bound is not trivially loose on this family.
+    let m = 8u32;
+    for seed in 0..4u64 {
+        let inst = instance(m, 1.0, 4.0, seed);
+        let ub = exact_subset_ub(&inst, Speed::ONE, 24).unwrap();
+        let mut s = dagsched::sched::baselines::SNoAdmission::new(
+            m,
+            AlgoParams::from_epsilon(1.0).unwrap(),
+        );
+        let r = simulate(&inst, &mut s, &SimConfig::default()).unwrap();
+        assert!(r.total_profit <= ub);
+    }
+}

@@ -1,0 +1,140 @@
+//! Cross-crate end-to-end tests: determinism, codec round-trips through the
+//! simulator, and allocation validity for every scheduler on many workloads.
+
+use dagsched::prelude::*;
+use dagsched::workload::codec;
+
+fn all_schedulers(m: u32) -> Vec<Box<dyn OnlineScheduler>> {
+    vec![
+        Box::new(SchedulerS::with_epsilon(m, 1.0)),
+        Box::new(SchedulerSProfit::with_epsilon(m, 1.0)),
+        Box::new(Edf::new(m)),
+        Box::new(Fifo::new(m)),
+        Box::new(GreedyDensity::new(m)),
+        Box::new(LeastLaxity::new(m)),
+        Box::new(RandomOrder::new(m, 42)),
+    ]
+}
+
+#[test]
+fn identical_seeds_give_bitwise_identical_results() {
+    for seed in [3u64, 17, 99] {
+        let gen = WorkloadGen::standard(8, 60, seed);
+        let a = gen.generate().unwrap();
+        let b = gen.generate().unwrap();
+        let mut s1 = SchedulerS::with_epsilon(8, 1.0);
+        let mut s2 = SchedulerS::with_epsilon(8, 1.0);
+        let r1 = simulate(&a, &mut s1, &SimConfig::default()).unwrap();
+        let r2 = simulate(&b, &mut s2, &SimConfig::default()).unwrap();
+        assert_eq!(r1.total_profit, r2.total_profit);
+        assert_eq!(r1.outcomes, r2.outcomes);
+        assert_eq!(r1.ticks_simulated, r2.ticks_simulated);
+        assert_eq!(r1.scaled_units_processed, r2.scaled_units_processed);
+    }
+}
+
+#[test]
+fn codec_round_trip_preserves_simulation_behaviour() {
+    let gen = WorkloadGen {
+        shape: ProfitShape::SteppedDecay {
+            extra_steps: 2,
+            time_factor: 1.7,
+            value_factor: 0.5,
+        },
+        ..WorkloadGen::standard(4, 40, 1234)
+    };
+    let inst = gen.generate().unwrap();
+    let text = codec::encode(&inst);
+    let back = codec::decode(&text).unwrap();
+    // Run the same scheduler on both; outcomes must match exactly.
+    let mut s1 = SchedulerSProfit::with_epsilon(4, 0.5);
+    let mut s2 = SchedulerSProfit::with_epsilon(4, 0.5);
+    let r1 = simulate(&inst, &mut s1, &SimConfig::default()).unwrap();
+    let r2 = simulate(&back, &mut s2, &SimConfig::default()).unwrap();
+    assert_eq!(r1.total_profit, r2.total_profit);
+    assert_eq!(r1.outcomes, r2.outcomes);
+}
+
+#[test]
+fn every_scheduler_produces_valid_allocations_across_workload_space() {
+    // The engine rejects invalid allocations with an error; a clean pass
+    // over a diverse grid is the system-level contract check.
+    let grids = [
+        (2u32, DeadlinePolicy::SlackFactor(1.1)),
+        (8, DeadlinePolicy::SlackFactor(2.0)),
+        (16, DeadlinePolicy::UniformSlack { lo: 0.8, hi: 3.0 }),
+    ];
+    for (m, deadlines) in grids {
+        for seed in [5u64, 6] {
+            let inst = WorkloadGen {
+                deadlines,
+                ..WorkloadGen::standard(m, 50, seed)
+            }
+            .generate()
+            .unwrap();
+            for mut sched in all_schedulers(m) {
+                let r = simulate(&inst, sched.as_mut(), &SimConfig::default());
+                let r = r.unwrap_or_else(|e| panic!("{} on m={m} seed={seed}: {e}", "scheduler"));
+                assert_eq!(r.outcomes.len(), 50);
+                // Terminal accounting adds up.
+                assert_eq!(r.completed() + r.expired() + r.unfinished(), 50);
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_profit_matches_outcome_sum() {
+    let inst = WorkloadGen::standard(8, 80, 77).generate().unwrap();
+    for mut sched in all_schedulers(8) {
+        let r = simulate(&inst, sched.as_mut(), &SimConfig::default()).unwrap();
+        let sum: u64 = r.outcomes.iter().map(|o| o.profit()).sum();
+        assert_eq!(sum, r.total_profit, "{}", r.scheduler);
+    }
+}
+
+#[test]
+fn completed_deadline_jobs_always_pay_and_meet_their_deadline() {
+    let inst = WorkloadGen::standard(8, 80, 31).generate().unwrap();
+    for mut sched in all_schedulers(8) {
+        let r = simulate(&inst, sched.as_mut(), &SimConfig::default()).unwrap();
+        for (j, o) in inst.jobs().iter().zip(&r.outcomes) {
+            if let JobStatus::Completed { at, profit } = o {
+                let d = j.abs_deadline().expect("deadline workload");
+                assert!(
+                    *at <= d,
+                    "{}: {} completed at {at} past {d}",
+                    r.scheduler,
+                    j.id
+                );
+                assert!(*profit > 0, "a paid completion must earn");
+            }
+        }
+    }
+}
+
+#[test]
+fn speeds_scale_profit_monotonically_for_work_conserving_policies() {
+    let inst = WorkloadGen {
+        deadlines: DeadlinePolicy::SlackFactor(1.2),
+        ..WorkloadGen::standard(8, 60, 4)
+    }
+    .generate()
+    .unwrap();
+    let mut last = 0u64;
+    for s in [
+        Speed::ONE,
+        Speed::new(3, 2).unwrap(),
+        Speed::integer(2).unwrap(),
+        Speed::integer(4).unwrap(),
+    ] {
+        let mut sched = GreedyDensity::new(8);
+        let r = simulate(&inst, &mut sched, &SimConfig::at_speed(s)).unwrap();
+        assert!(
+            r.total_profit >= last,
+            "profit dropped from {last} to {} at speed {s}",
+            r.total_profit
+        );
+        last = r.total_profit;
+    }
+}

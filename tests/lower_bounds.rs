@@ -1,0 +1,144 @@
+//! Section 4's constructions, verified across machine sizes and speeds
+//! through the full stack.
+
+use dagsched::prelude::*;
+
+/// Figure 1 / Theorem 1: the gap is exactly 2 − 1/m for every m.
+#[test]
+fn fig1_gap_exact_for_all_m() {
+    for m in [2u32, 3, 4, 8, 16, 32] {
+        // chain_len divisible by every m keeps the block phase exact
+        // ((m-1)*chain_len block nodes spread evenly over m processors).
+        let dag = daggen::fig1(m, 96, 1).into_shared();
+        let w = dag.total_work().units();
+        let l = dag.span().units();
+        assert_eq!(l, w / m as u64, "construction: L = W/m");
+        let friendly = lpf_makespan(dag.clone(), m, Speed::ONE).unwrap();
+        let adv = adversarial_makespan(dag, m, Speed::ONE).unwrap();
+        assert_eq!(friendly.ticks(), w / m as u64);
+        assert_eq!(adv.ticks(), (w - l) / m as u64 + l);
+        let ratio = adv.as_f64() / friendly.as_f64();
+        assert!(
+            (ratio - (2.0 - 1.0 / m as f64)).abs() < 1e-9,
+            "m={m}: ratio {ratio}"
+        );
+    }
+}
+
+/// Below the 2 − 1/m threshold the adversarial schedule *misses* the
+/// clairvoyant deadline; at or above, it meets it (±1 tick discretization).
+#[test]
+fn theorem1_threshold_is_tight_from_both_sides() {
+    let m = 8u32;
+    let dag = daggen::fig1(m, 80, 1).into_shared();
+    let deadline = dag.total_work().units() / m as u64;
+    // Just below: 2 − 1/m − 1/16 = 29/16.
+    let below = Speed::new(29, 16).unwrap();
+    let t = adversarial_makespan(dag.clone(), m, below).unwrap();
+    assert!(
+        t.ticks() > deadline,
+        "below threshold must miss: {t} vs {deadline}"
+    );
+    // At the threshold 15/8.
+    let at = Speed::theorem1_threshold(m).unwrap();
+    let t = adversarial_makespan(dag, m, at).unwrap();
+    assert!(
+        t.ticks() <= deadline + 1,
+        "at threshold must meet (±1): {t} vs {deadline}"
+    );
+}
+
+/// Figure 2: even the clairvoyant schedule cannot beat
+/// `(W−L)/m + L − g(1−1/m)`; deadlines below that are vacuous.
+#[test]
+fn fig2_floor_for_various_shapes() {
+    for (chain, width, g, m) in [(8u32, 64u32, 1u64, 8u32), (20, 120, 2, 4), (5, 33, 3, 16)] {
+        let dag = daggen::fig2(chain, width, g).into_shared();
+        let w = dag.total_work().as_f64();
+        let l = dag.span().as_f64();
+        let ms = lpf_makespan(dag, m, Speed::ONE).unwrap().as_f64();
+        let bench = (w - l) / m as f64 + l;
+        let slack = g as f64 * (1.0 - 1.0 / m as f64);
+        assert!(
+            ms >= bench - slack - 1e-9,
+            "chain={chain} width={width}: makespan {ms} below floor {}",
+            bench - slack
+        );
+        assert!(ms <= bench + 1e-9, "greedy bound");
+    }
+}
+
+/// A deadline below max(L, W/m) is infeasible for everyone: the exact OPT
+/// bound certifies zero, and S earns zero (never a negative result).
+#[test]
+fn infeasible_deadlines_yield_zero_everywhere() {
+    let m = 4u32;
+    let dag = daggen::fig1(m, 30, 1).into_shared();
+    let tight = dag.total_work().units() / m as u64 - 1; // below W/m
+    let inst = Instance::new(
+        m,
+        vec![JobSpec::new(
+            JobId(0),
+            Time(0),
+            dag,
+            StepProfitFn::deadline(Time(tight), 100),
+        )],
+    )
+    .unwrap();
+    assert_eq!(exact_subset_ub(&inst, Speed::ONE, 4).unwrap(), 0);
+    let mut s = SchedulerS::with_epsilon(m, 1.0);
+    let r = simulate(&inst, &mut s, &SimConfig::default()).unwrap();
+    assert_eq!(r.total_profit, 0);
+}
+
+/// The Fig.1 workload *inside a mixed instance*: with adversarial picking
+/// and tight deadlines the engine reproduces the hardness; with speed
+/// 2 the same scheduler completes the jobs (Corollary 1's regime).
+#[test]
+fn fig1_jobs_in_an_online_stream() {
+    let m = 8u32;
+    let inst = WorkloadGen {
+        m,
+        n_jobs: 12,
+        seed: 9,
+        arrivals: ArrivalProcess::Periodic {
+            period: 150,
+            jitter: 0,
+        },
+        family: DagFamily::Fig1 {
+            m,
+            chain_len: (40, 40),
+            grain: 1,
+        },
+        // Deadline exactly the clairvoyant optimum W/m = 40.
+        deadlines: DeadlinePolicy::FixedRelative(40),
+        profits: ProfitPolicy::Uniform(10),
+        shape: ProfitShape::Deadline,
+    }
+    .generate()
+    .unwrap();
+
+    let adversarial = SimConfig {
+        pick: NodePick::AdversarialLowHeight,
+        ..SimConfig::default()
+    };
+    let mut s = GreedyDensity::new(m);
+    let r = simulate(&inst, &mut s, &adversarial).unwrap();
+    assert_eq!(
+        r.total_profit, 0,
+        "at unit speed the adversary defeats every semi-non-clairvoyant run"
+    );
+
+    let fast = SimConfig {
+        pick: NodePick::AdversarialLowHeight,
+        speed: Speed::integer(2).unwrap(),
+        ..SimConfig::default()
+    };
+    let mut s = GreedyDensity::new(m);
+    let r = simulate(&inst, &mut s, &fast).unwrap();
+    assert_eq!(
+        r.completed(),
+        12,
+        "speed 2 > 2 - 1/m closes the gap even adversarially"
+    );
+}

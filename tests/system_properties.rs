@@ -1,0 +1,162 @@
+//! Property-based system tests: random workload configurations through the
+//! full stack, checking the conservation laws and theory invariants that
+//! must hold for *any* input.
+
+use dagsched::prelude::*;
+use proptest::prelude::*;
+
+/// A compact, proptest-generated workload description.
+#[derive(Debug, Clone)]
+struct Cfg {
+    m: u32,
+    n_jobs: usize,
+    seed: u64,
+    eps_centi: u32,  // epsilon in 1/100ths, 25..=200
+    slack_deci: u32, // slack factor in 1/10ths, 8..=30
+    load_deci: u32,  // offered load in 1/10ths, 5..=60
+    family_pick: u8, // which DagFamily
+    speed_num: u32,  // speed numerator over 4
+}
+
+fn arb_cfg() -> impl Strategy<Value = Cfg> {
+    (
+        2u32..=16,
+        5usize..=40,
+        0u64..1000,
+        25u32..=200,
+        8u32..=30,
+        5u32..=60,
+        0u8..5,
+        4u32..=12,
+    )
+        .prop_map(
+            |(m, n_jobs, seed, eps_centi, slack_deci, load_deci, family_pick, speed_num)| Cfg {
+                m,
+                n_jobs,
+                seed,
+                eps_centi,
+                slack_deci,
+                load_deci,
+                family_pick,
+                speed_num,
+            },
+        )
+}
+
+fn build(cfg: &Cfg) -> Instance {
+    let family = match cfg.family_pick {
+        0 => DagFamily::Chain {
+            len: (1, 8),
+            node_work: (1, 6),
+        },
+        1 => DagFamily::Block {
+            width: (1, 24),
+            node_work: (1, 6),
+        },
+        2 => DagFamily::ForkJoin {
+            segments: (1, 3),
+            width: (1, 6),
+            node_work: (1, 4),
+        },
+        3 => DagFamily::Random {
+            n: (1, 15),
+            p: 0.3,
+            node_work: (1, 5),
+        },
+        _ => DagFamily::standard_mix((1, 6)),
+    };
+    WorkloadGen {
+        m: cfg.m,
+        n_jobs: cfg.n_jobs,
+        seed: cfg.seed,
+        arrivals: ArrivalProcess::poisson_for_load(cfg.load_deci as f64 / 10.0, 40.0, cfg.m),
+        family,
+        deadlines: DeadlinePolicy::SlackFactor(cfg.slack_deci as f64 / 10.0),
+        profits: ProfitPolicy::UniformDensity { lo: 1.0, hi: 6.0 },
+        shape: ProfitShape::Deadline,
+    }
+    .generate()
+    .expect("valid workload")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every run terminates, accounts each job exactly once, pays exactly
+    /// the outcome sum, and never processes more work than exists —
+    /// for scheduler S at an arbitrary rational speed.
+    #[test]
+    fn engine_conservation_for_s(cfg in arb_cfg()) {
+        let inst = build(&cfg);
+        let eps = cfg.eps_centi as f64 / 100.0;
+        let speed = Speed::new(cfg.speed_num, 4).expect("positive");
+        let mut s = SchedulerS::with_epsilon(inst.m(), eps)
+            .with_speed_hint(speed.as_f64());
+        let r = simulate(&inst, &mut s, &SimConfig::at_speed(speed)).expect("valid");
+        prop_assert_eq!(r.outcomes.len(), cfg.n_jobs);
+        prop_assert_eq!(
+            r.completed() + r.expired() + r.unfinished(),
+            cfg.n_jobs
+        );
+        let paid: u64 = r.outcomes.iter().map(|o| o.profit()).sum();
+        prop_assert_eq!(paid, r.total_profit);
+        let total: u64 = inst.jobs().iter().map(|j| j.work().units()).sum();
+        prop_assert!(r.work_processed() <= total);
+        // Completed deadline jobs finished in time.
+        for (j, o) in inst.jobs().iter().zip(&r.outcomes) {
+            if let JobStatus::Completed { at, .. } = o {
+                prop_assert!(*at <= j.abs_deadline().expect("deadline jobs"));
+            }
+        }
+    }
+
+    /// The Observation-3 invariant holds for arbitrary configurations
+    /// (the checker panics inside the run otherwise), including the
+    /// work-conserving extension.
+    #[test]
+    fn observation3_everywhere(cfg in arb_cfg()) {
+        let inst = build(&cfg);
+        let eps = (cfg.eps_centi as f64 / 100.0).max(0.3);
+        let mut s = SchedulerS::with_epsilon(inst.m(), eps)
+            .work_conserving()
+            .with_invariant_checks();
+        let _ = simulate(&inst, &mut s, &SimConfig::default()).expect("valid");
+    }
+
+    /// Baselines and S agree with the engine contract on the same inputs,
+    /// and none beats the fractional OPT bound.
+    #[test]
+    fn nobody_beats_the_fractional_bound(cfg in arb_cfg()) {
+        let inst = build(&cfg);
+        let ub = fractional_ub(&inst, Speed::ONE);
+        let mut schedulers: Vec<Box<dyn OnlineScheduler>> = vec![
+            Box::new(SchedulerS::with_epsilon(inst.m(), 1.0)),
+            Box::new(Edf::new(inst.m())),
+            Box::new(GreedyDensity::new(inst.m())),
+            Box::new(RandomOrder::new(inst.m(), cfg.seed)),
+        ];
+        for sched in schedulers.iter_mut() {
+            let r = simulate(&inst, sched.as_mut(), &SimConfig::default()).expect("valid");
+            prop_assert!(
+                r.total_profit <= ub,
+                "{} earned {} > fractional UB {}", r.scheduler, r.total_profit, ub
+            );
+        }
+    }
+
+    /// Codec round-trip is lossless for arbitrary generated instances.
+    #[test]
+    fn codec_total_roundtrip(cfg in arb_cfg()) {
+        let inst = build(&cfg);
+        let text = dagsched::workload::codec::encode(&inst);
+        let back = dagsched::workload::codec::decode(&text).expect("decodes");
+        prop_assert_eq!(inst.m(), back.m());
+        prop_assert_eq!(inst.len(), back.len());
+        for (a, b) in inst.jobs().iter().zip(back.jobs()) {
+            prop_assert_eq!(a.arrival, b.arrival);
+            prop_assert_eq!(a.work(), b.work());
+            prop_assert_eq!(a.span(), b.span());
+            prop_assert_eq!(&a.profit, &b.profit);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! System-level checks of the paper's lemmas and observations, run through
+//! the full stack (generator → engine → scheduler → accounting).
+
+use dagsched::prelude::*;
+use dagsched::sched::SchedulerSMetrics;
+
+fn slack_workload(m: u32, eps: f64, load: f64, n: usize, seed: u64) -> Instance {
+    WorkloadGen {
+        arrivals: ArrivalProcess::poisson_for_load(load, 60.0, m),
+        deadlines: DeadlinePolicy::SlackFactor(1.0 + eps),
+        profits: ProfitPolicy::UniformDensity { lo: 1.0, hi: 8.0 },
+        ..WorkloadGen::standard(m, n, seed)
+    }
+    .generate()
+    .unwrap()
+}
+
+/// Observation 3 holds at every queue mutation across a large stress run
+/// (the scheduler's internal checker panics otherwise).
+#[test]
+fn observation3_band_invariant_under_stress() {
+    for seed in 0..6u64 {
+        let inst = slack_workload(16, 1.0, 5.0, 120, seed);
+        let mut s = SchedulerS::with_epsilon(16, 1.0).with_invariant_checks();
+        simulate(&inst, &mut s, &SimConfig::default()).unwrap();
+    }
+}
+
+/// Lemma 5 (system level): `‖C‖ ≥ margin · ‖R‖` on every seed, at several ε.
+#[test]
+fn lemma5_charging_bound_end_to_end() {
+    for eps in [0.5, 1.0, 2.0] {
+        let margin = AlgoParams::from_epsilon(eps).unwrap().charge_margin();
+        for seed in 0..5u64 {
+            let inst = slack_workload(8, eps, 4.0, 100, seed);
+            let mut s = SchedulerS::with_epsilon(8, eps);
+            let r = simulate(&inst, &mut s, &SimConfig::default()).unwrap();
+            let m: &SchedulerSMetrics = s.metrics();
+            if m.started_profit == 0 {
+                continue;
+            }
+            let ratio = r.total_profit as f64 / m.started_profit as f64;
+            assert!(
+                ratio >= margin,
+                "eps={eps} seed={seed}: ||C||/||R|| = {ratio:.4} < margin {margin:.4}"
+            );
+        }
+    }
+}
+
+/// Theorem 2's premise ⇒ a *solo* job is always completed by S (the whole
+/// point of Observation 2's allotment).
+#[test]
+fn theorem2_premise_guarantees_solo_completion() {
+    let mut rng = Rng64::seed_from(5);
+    for trial in 0..20 {
+        let dag = daggen::random_dag(&mut rng, 24, 0.15, (1, 8)).into_shared();
+        let m = 8u32;
+        let eps = 0.5;
+        let brent =
+            (dag.total_work().as_f64() - dag.span().as_f64()) / m as f64 + dag.span().as_f64();
+        let d = ((1.0 + eps) * brent).ceil() as u64 + 1;
+        let inst = Instance::new(
+            m,
+            vec![JobSpec::new(
+                JobId(0),
+                Time(0),
+                dag,
+                StepProfitFn::deadline(Time(d), 10),
+            )],
+        )
+        .unwrap();
+        let mut s = SchedulerS::with_epsilon(m, eps);
+        let r = simulate(&inst, &mut s, &SimConfig::default()).unwrap();
+        assert_eq!(
+            r.total_profit, 10,
+            "trial {trial}: a Theorem-2-conformant solo job must finish"
+        );
+    }
+}
+
+/// The engine never lets any scheduler beat the exact OPT upper bound.
+#[test]
+fn no_scheduler_beats_the_opt_upper_bound() {
+    for seed in 0..6u64 {
+        let inst = slack_workload(4, 1.0, 2.0, 16, seed);
+        let ub = exact_subset_ub(&inst, Speed::ONE, 24).unwrap();
+        let schedulers: Vec<Box<dyn OnlineScheduler>> = vec![
+            Box::new(SchedulerS::with_epsilon(4, 1.0)),
+            Box::new(GreedyDensity::new(4)),
+            Box::new(Edf::new(4)),
+            Box::new(Fifo::new(4)),
+        ];
+        for mut sched in schedulers {
+            let r = simulate(&inst, sched.as_mut(), &SimConfig::default()).unwrap();
+            assert!(
+                r.total_profit <= ub,
+                "seed {seed}: {} earned {} > UB {ub}",
+                r.scheduler,
+                r.total_profit
+            );
+        }
+    }
+}
+
+/// Work conservation through the full stack: processed work equals the sum
+/// of per-job progress, bounded by instance totals, and completed jobs
+/// account for their full work.
+#[test]
+fn work_accounting_is_exact() {
+    for seed in 0..4u64 {
+        let inst = slack_workload(8, 1.0, 3.0, 60, seed);
+        let mut s = SchedulerS::with_epsilon(8, 1.0);
+        let r = simulate(&inst, &mut s, &SimConfig::default()).unwrap();
+        let completed_work: u64 = inst
+            .jobs()
+            .iter()
+            .filter(|j| r.outcomes[j.id.index()].is_completed())
+            .map(|j| j.work().units())
+            .sum();
+        let total_work: u64 = inst.jobs().iter().map(|j| j.work().units()).sum();
+        assert!(r.work_processed() >= completed_work);
+        assert!(r.work_processed() <= total_work);
+    }
+}
+
+/// S's allotments observe Lemma 1 through the live scheduler: the engine
+/// never sees an allocation above b²m + 1 per job.
+#[test]
+fn live_allocations_respect_lemma1() {
+    struct Spy {
+        inner: SchedulerS,
+        cap: f64,
+    }
+    impl OnlineScheduler for Spy {
+        fn name(&self) -> String {
+            "spy".into()
+        }
+        fn on_arrival(&mut self, j: &JobInfo, t: Time) {
+            self.inner.on_arrival(j, t);
+        }
+        fn on_completion(&mut self, i: JobId, t: Time) {
+            self.inner.on_completion(i, t);
+        }
+        fn on_expiry(&mut self, i: JobId, t: Time) {
+            self.inner.on_expiry(i, t);
+        }
+        fn allocate(&mut self, v: &TickView<'_>) -> Vec<(JobId, u32)> {
+            let alloc = self.inner.allocate(v);
+            for &(id, k) in &alloc {
+                assert!(
+                    k as f64 <= self.cap,
+                    "allocation {k} for {id} above b^2 m + 1 = {}",
+                    self.cap
+                );
+            }
+            alloc
+        }
+    }
+    let m = 16u32;
+    let params = AlgoParams::from_epsilon(1.0).unwrap();
+    let cap = params.b() * params.b() * m as f64 + 1.0;
+    for seed in 0..4u64 {
+        let inst = slack_workload(m, 1.0, 4.0, 80, seed);
+        let mut spy = Spy {
+            inner: SchedulerS::new(m, params),
+            cap,
+        };
+        simulate(&inst, &mut spy, &SimConfig::default()).unwrap();
+    }
+}
+
+/// The general-profit scheduler never over-books a slot: at every tick the
+/// engine allocation stays within m (validated by the engine) *and* the
+/// profit earned never exceeds the planned profit by job (completing within
+/// the assigned deadline pays at least the planned value).
+#[test]
+fn general_profit_scheduler_accounting() {
+    let gen = WorkloadGen {
+        shape: ProfitShape::SteppedDecay {
+            extra_steps: 3,
+            time_factor: 1.8,
+            value_factor: 0.45,
+        },
+        ..WorkloadGen::standard(8, 60, 2024)
+    };
+    let inst = gen.generate().unwrap();
+    let mut s = SchedulerSProfit::with_epsilon(8, 1.0);
+    let r = simulate(&inst, &mut s, &SimConfig::default()).unwrap();
+    for (j, o) in inst.jobs().iter().zip(&r.outcomes) {
+        if let JobStatus::Completed { at, profit } = o {
+            if let Some(d) = s.assigned_deadline(j.id) {
+                if *at <= d {
+                    // Completing within the assigned deadline pays at least
+                    // the planned p(D) (profit fn is non-increasing).
+                    let planned = j.profit.eval(Time(d.since(j.arrival)));
+                    assert!(
+                        *profit >= planned,
+                        "{}: earned {profit} < planned {planned}",
+                        j.id
+                    );
+                }
+            }
+        }
+    }
+}
