@@ -7,7 +7,7 @@ use dagsched_core::{AlgoParams, JobId, Rng64, Speed};
 use dagsched_dag::{gen, UnfoldState};
 use dagsched_engine::{simulate, SimConfig};
 use dagsched_sched::{bands::DensityBands, GreedyDensity, SchedulerS};
-use dagsched_workload::WorkloadGen;
+use dagsched_workload::{DagFamily, WorkloadGen};
 
 fn bench_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
@@ -36,6 +36,70 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| {
             let mut s = SchedulerS::with_epsilon(16, 1.0);
             simulate(&inst, &mut s, &cfg).unwrap().total_profit
+        })
+    });
+    g.finish();
+}
+
+/// The tentpole comparison: an HPC-style instance whose nodes carry heavy
+/// work (≥ 1000 units each), simulated tick-by-tick vs event-driven. The
+/// fast-forward path must collapse each long node into O(1) engine steps;
+/// the printed `steps` line quantifies the reduction alongside the timings.
+fn bench_fast_forward(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fast-forward");
+    g.sample_size(10);
+    // 16 processors, fork-join jobs at HPC node granularity: every node is
+    // 1000–2000 units of work, so the naive path grinds through
+    // ~O(total work / m) ticks while the event path sees O(#nodes) events.
+    let inst = WorkloadGen {
+        family: DagFamily::ForkJoin {
+            segments: (2, 4),
+            width: (2, 8),
+            node_work: (1_000, 2_000),
+        },
+        ..WorkloadGen::standard(16, 40, 11)
+    }
+    .generate()
+    .unwrap();
+    let ticks = {
+        let mut s = GreedyDensity::new(16);
+        let naive = simulate(
+            &inst,
+            &mut s,
+            &SimConfig {
+                fast_forward: false,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        let mut s = GreedyDensity::new(16);
+        let fast = simulate(&inst, &mut s, &SimConfig::default()).unwrap();
+        assert!(fast.same_outcome(&naive), "paths must agree before timing");
+        println!(
+            "bench fast-forward: steps {} (event) vs {} (naive), {:.0}x fewer",
+            fast.steps_executed,
+            naive.steps_executed,
+            naive.steps_executed as f64 / fast.steps_executed as f64
+        );
+        naive.ticks_simulated
+    };
+    g.throughput(Throughput::Elements(ticks));
+    g.bench_function("naive/hpc-1000u-nodes", |b| {
+        let cfg = SimConfig {
+            fast_forward: false,
+            ..SimConfig::default()
+        };
+        b.iter(|| {
+            let mut s = GreedyDensity::new(16);
+            simulate(&inst, &mut s, &cfg).unwrap().total_profit
+        })
+    });
+    g.bench_function("event/hpc-1000u-nodes", |b| {
+        b.iter(|| {
+            let mut s = GreedyDensity::new(16);
+            simulate(&inst, &mut s, &SimConfig::default())
+                .unwrap()
+                .total_profit
         })
     });
     g.finish();
@@ -107,5 +171,12 @@ fn bench_rng(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_bands, bench_dag, bench_rng);
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_fast_forward,
+    bench_bands,
+    bench_dag,
+    bench_rng
+);
 criterion_main!(benches);

@@ -1,0 +1,269 @@
+//! A minimal, dependency-free benchmark harness exposing the subset of the
+//! `criterion` API this workspace uses.
+//!
+//! The workspace builds in fully offline environments, so external crates
+//! cannot be fetched from a registry. The workspace `Cargo.toml` maps the
+//! `criterion` dependency name onto this crate
+//! (`criterion = { path = "crates/benchkit", package = "dagsched-benchkit" }`),
+//! which lets every `benches/*.rs` target keep its idiomatic
+//! `use criterion::{...}` imports unchanged.
+//!
+//! Semantics: each `bench_function` runs one timed warm-up pass, then
+//! `samples` timed passes of the closure, and prints the minimum, median, and
+//! mean wall-clock time per pass (plus throughput when configured). This is a
+//! harness for relative comparisons on one machine, not a statistics engine —
+//! there is no outlier rejection or bootstrap. Output goes to stdout in the
+//! stable one-line-per-benchmark format
+//! `bench <group>/<id> ... min <t> median <t> mean <t>`.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group; reported as a rate next to
+/// the timing line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// `n` logical elements processed per iteration.
+    Elements(u64),
+    /// `n` bytes processed per iteration (reported in binary units).
+    Bytes(u64),
+    /// `n` bytes processed per iteration (reported in decimal units).
+    BytesDecimal(u64),
+}
+
+/// Strategy for how `iter_batched` amortizes setup cost. The shim runs one
+/// setup per measured routine call regardless, so the variants only exist
+/// for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input; setup excluded from timing.
+    SmallInput,
+    /// Large per-iteration input; setup excluded from timing.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+    /// Fixed number of batches.
+    NumBatches(u64),
+    /// Fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// Timing context handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time one execution of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time one execution of `routine` on a fresh input from `setup`,
+    /// excluding the setup cost from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Shared measurement settings for a group of benchmarks.
+#[derive(Debug, Clone, Copy)]
+struct GroupConfig {
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            samples: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Top-level benchmark driver, compatible with `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Match criterion's builder entry point; CLI arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            config: GroupConfig::default(),
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark("", id, GroupConfig::default(), f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing sample-count and throughput
+/// settings, compatible with `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    config: GroupConfig,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.samples = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; the shim's sample count already bounds
+    /// total measurement time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.config.throughput = Some(t);
+        self
+    }
+
+    /// Measure `f` and print one summary line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&self.name, &id.to_string(), self.config, f);
+        self
+    }
+
+    /// End the group (criterion requires this to flush reports; the shim
+    /// prints eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(group: &str, id: &str, config: GroupConfig, mut f: F) {
+    let mut b = Bencher::default();
+    // Warm-up pass: populates caches and forces lazy init outside the
+    // measured samples.
+    f(&mut b);
+    let mut times: Vec<Duration> = Vec::with_capacity(config.samples);
+    for _ in 0..config.samples {
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        times.push(b.elapsed);
+    }
+    times.sort();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let rate = match config.throughput {
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            format!(" ({:.3e} elem/s)", n as f64 / median.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n))
+            if median > Duration::ZERO =>
+        {
+            format!(" ({:.3e} B/s)", n as f64 / median.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {label:<44} min {min:>12?} median {median:>12?} mean {mean:>12?}{rate}",
+    );
+}
+
+/// Bundle benchmark functions into a named group runner, compatible with
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given groups, compatible with
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(64));
+        g.bench_function("sum", |b| b.iter(|| (0u64..64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    criterion_group!(unit_group, target);
+
+    #[test]
+    fn group_runs_every_target() {
+        unit_group();
+    }
+
+    #[test]
+    fn bencher_records_elapsed() {
+        let mut b = Bencher::default();
+        b.iter(|| std::thread::sleep(Duration::from_micros(50)));
+        assert!(b.elapsed >= Duration::from_micros(50));
+    }
+
+    #[test]
+    fn standalone_bench_function() {
+        let mut c = Criterion::default();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

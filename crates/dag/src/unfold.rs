@@ -243,6 +243,34 @@ impl UnfoldState {
         }
     }
 
+    /// Execute `budget` scaled work units of a **ready** node that is known
+    /// not to complete — the event-driven engine's bulk step.
+    ///
+    /// The fast-forward path computes a window of `s` ticks in which no
+    /// claimed node finishes, then drains `s × units_per_tick` from each
+    /// claimed node in one call instead of `s` [`advance`](Self::advance)
+    /// calls. Because the node cannot complete, no ready-set maintenance or
+    /// successor unlocking happens here, which is what makes the call O(1).
+    ///
+    /// # Panics
+    /// If `node` is not ready, or if `budget` would complete the node
+    /// (completions must go through [`advance`](Self::advance) so successors
+    /// unlock and the ready list stays consistent).
+    pub fn advance_bulk(&mut self, node: NodeId, budget: u64) {
+        assert!(
+            self.ready.contains(node),
+            "advance_bulk() on non-ready node {node}"
+        );
+        let rem = self.remaining[node.index()].units();
+        assert!(
+            budget < rem,
+            "advance_bulk() budget {budget} would complete node {node} (remaining {rem})"
+        );
+        let consumed = self.remaining[node.index()].deplete(budget);
+        debug_assert_eq!(consumed, budget);
+        self.remaining_total -= Work(consumed);
+    }
+
     /// Remaining span: the work-weighted longest path over *unfinished* work,
     /// in scaled units. Counts partially-executed nodes at their remaining
     /// work. O(V + E); for clairvoyant components and tests only — a
@@ -334,6 +362,48 @@ mod tests {
     fn advancing_non_ready_node_panics() {
         let mut st = UnfoldState::new(diamond(), 1);
         st.advance(NodeId(3), 1);
+    }
+
+    #[test]
+    fn advance_bulk_drains_without_completing() {
+        let mut st = UnfoldState::new(diamond(), 3);
+        // Node 0 has 3 scaled units; drain 2 in bulk.
+        st.advance_bulk(NodeId(0), 2);
+        assert_eq!(st.node_remaining(NodeId(0)), Work(1));
+        assert_eq!(st.remaining_total(), Work(24 - 2));
+        assert!(st.is_ready(NodeId(0)), "bulk progress keeps the node ready");
+        assert_eq!(st.completed_nodes(), 0);
+        // Finishing the last unit through advance() unlocks successors.
+        let (c, done) = st.advance(NodeId(0), 1);
+        assert_eq!((c, done), (1, true));
+        assert_eq!(st.ready_prefix(10), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "would complete")]
+    fn advance_bulk_rejects_completing_budget() {
+        let mut st = UnfoldState::new(diamond(), 1);
+        st.advance_bulk(NodeId(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-ready")]
+    fn advance_bulk_rejects_non_ready_node() {
+        let mut st = UnfoldState::new(diamond(), 1);
+        st.advance_bulk(NodeId(3), 1);
+    }
+
+    #[test]
+    fn advance_bulk_matches_repeated_advance() {
+        let mut bulk = UnfoldState::new(chain(&[100, 7]), 2);
+        let mut tick = UnfoldState::new(chain(&[100, 7]), 2);
+        bulk.advance_bulk(NodeId(0), 2 * 60);
+        for _ in 0..60 {
+            tick.advance(NodeId(0), 2);
+        }
+        assert_eq!(bulk.node_remaining(NodeId(0)), tick.node_remaining(NodeId(0)));
+        assert_eq!(bulk.remaining_total(), tick.remaining_total());
+        assert_eq!(bulk.remaining_span(), tick.remaining_span());
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //!   (longest-path-first list scheduling), used by the offline baselines.
 
 use dagsched_core::{NodeId, Rng64};
-use dagsched_dag::UnfoldState;
+use dagsched_dag::{DagJobSpec, UnfoldState};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Strategy for choosing among ready nodes. See module docs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,11 +36,30 @@ pub enum NodePick {
     CriticalPathFirst,
 }
 
-/// Per-simulation picker state (the RNG for [`NodePick::Random`]).
+impl NodePick {
+    /// Whether repeated picks over an unchanged ready/busy state return the
+    /// same nodes without consuming per-call state — the property the
+    /// engine's event-driven fast-forward path relies on.
+    ///
+    /// [`NodePick::Random`] fails it: the naive path draws from the RNG on
+    /// every tick, so skipping ticks would change every subsequent draw.
+    /// Random runs stay on the naive reference path.
+    pub fn fast_forward_safe(&self) -> bool {
+        !matches!(self, NodePick::Random(_))
+    }
+}
+
+/// Per-simulation picker state: the RNG for [`NodePick::Random`] and, for
+/// the clairvoyant policies, one cached height ordering per DAG spec.
 #[derive(Debug)]
 pub struct Picker {
     policy: NodePick,
     rng: Rng64,
+    /// Height rank per node, computed once per spec for the clairvoyant
+    /// policies (instead of re-sorting the ready set on every pick). Keyed
+    /// by the spec's `Arc` pointer; the held `Arc` keeps the allocation
+    /// alive so the key can never be reused while cached.
+    ranks: HashMap<usize, (Arc<DagJobSpec>, Vec<u32>)>,
 }
 
 impl Picker {
@@ -51,6 +72,7 @@ impl Picker {
         Picker {
             policy,
             rng: Rng64::seed_from(seed),
+            ranks: HashMap::new(),
         }
     }
 
@@ -59,53 +81,85 @@ impl Picker {
     ///
     /// `busy` is a dense bool map indexed by node id.
     pub fn pick(&mut self, state: &UnfoldState, busy: &[bool], k: usize) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.pick_into(state, busy, k, &mut out);
+        out
+    }
+
+    /// Like [`pick`](Self::pick), but writes into a caller-provided buffer
+    /// (cleared first) so the engine's hot loop allocates nothing per call.
+    pub fn pick_into(
+        &mut self,
+        state: &UnfoldState,
+        busy: &[bool],
+        k: usize,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
         if k == 0 {
-            return Vec::new();
+            return;
         }
         match self.policy {
-            NodePick::Fifo => state
-                .ready_iter()
-                .filter(|n| !busy[n.index()])
-                .take(k)
-                .collect(),
+            NodePick::Fifo => {
+                // One pass, stops after k: no full ready-set scan.
+                out.extend(state.ready_iter().filter(|n| !busy[n.index()]).take(k));
+            }
             NodePick::Lifo => {
-                let mut all: Vec<NodeId> =
-                    state.ready_iter().filter(|n| !busy[n.index()]).collect();
-                all.reverse();
-                all.truncate(k);
-                all
+                out.extend(state.ready_iter().filter(|n| !busy[n.index()]));
+                out.reverse();
+                out.truncate(k);
             }
             NodePick::Random(_) => {
                 // Reservoir sample of size k over the eligible nodes, then
                 // restore a deterministic order (by reservoir fill order).
-                let mut reservoir: Vec<NodeId> = Vec::with_capacity(k);
                 for (i, n) in state.ready_iter().filter(|n| !busy[n.index()]).enumerate() {
                     if i < k {
-                        reservoir.push(n);
+                        out.push(n);
                     } else {
                         let j = self.rng.gen_range(i as u64 + 1) as usize;
                         if j < k {
-                            reservoir[j] = n;
+                            out[j] = n;
                         }
                     }
                 }
-                reservoir
             }
             NodePick::AdversarialLowHeight | NodePick::CriticalPathFirst => {
-                let spec = state.spec().clone();
-                let adversarial = self.policy == NodePick::AdversarialLowHeight;
-                let mut all: Vec<NodeId> =
-                    state.ready_iter().filter(|n| !busy[n.index()]).collect();
-                // Stable tie-break on id keeps runs deterministic.
-                all.sort_by_key(|n| {
-                    let h = spec.height(*n).units();
-                    let key = if adversarial { h } else { u64::MAX - h };
-                    (key, n.0)
-                });
-                all.truncate(k);
-                all
+                let rank = self.rank_for(state.spec());
+                out.extend(state.ready_iter().filter(|n| !busy[n.index()]));
+                // The precomputed rank is a total order consistent with the
+                // policy's (height, id) key, so "k smallest ranks, in rank
+                // order" reproduces the old sort-and-truncate exactly —
+                // in O(ready + k log k) instead of O(ready log ready).
+                if out.len() > k {
+                    out.select_nth_unstable_by_key(k - 1, |n| rank[n.index()]);
+                    out.truncate(k);
+                }
+                out.sort_unstable_by_key(|n| rank[n.index()]);
             }
         }
+    }
+
+    /// Height ranks for `spec`, computed on first use and cached. Rank i
+    /// means i-th in the policy order: ascending height for the adversary,
+    /// descending for critical-path-first, ids breaking ties.
+    fn rank_for(&mut self, spec: &Arc<DagJobSpec>) -> &[u32] {
+        let adversarial = self.policy == NodePick::AdversarialLowHeight;
+        let key = Arc::as_ptr(spec) as usize;
+        let (_, rank) = self.ranks.entry(key).or_insert_with(|| {
+            let n = spec.num_nodes();
+            let mut order: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+            order.sort_unstable_by_key(|n| {
+                let h = spec.height(*n).units();
+                let key = if adversarial { h } else { u64::MAX - h };
+                (key, n.0)
+            });
+            let mut rank = vec![0u32; n];
+            for (i, node) in order.iter().enumerate() {
+                rank[node.index()] = i as u32;
+            }
+            (spec.clone(), rank)
+        });
+        rank
     }
 }
 

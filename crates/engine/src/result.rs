@@ -51,8 +51,15 @@ pub struct SimResult {
     pub scaled_units_processed: u64,
     /// The engine's work scale (speed denominator).
     pub work_scale: u64,
-    /// Number of ticks the engine actually iterated (idle gaps skipped).
+    /// Number of simulated ticks covered by engine iterations (idle gaps
+    /// skipped, fast-forward windows counted at their full width). Identical
+    /// between the naive and fast-forward execution paths.
     pub ticks_simulated: u64,
+    /// Engine scheduling rounds actually executed: one per naive tick plus
+    /// one per bulk fast-forward window. Equals `ticks_simulated` on the
+    /// naive path; far smaller when fast-forwarding through long stable
+    /// stretches. This is the only field the two paths may disagree on.
+    pub steps_executed: u64,
     /// Last tick index the engine looked at, plus one.
     pub end_time: Time,
     /// Per-tick allocation record, when
@@ -100,6 +107,21 @@ impl SimResult {
             .collect()
     }
 
+    /// True iff two runs produced the same observable result: everything
+    /// except `steps_executed`, which measures engine effort rather than
+    /// schedule outcome. The fast-forward equivalence tests assert this
+    /// between the naive and event-driven execution paths.
+    pub fn same_outcome(&self, other: &SimResult) -> bool {
+        self.scheduler == other.scheduler
+            && self.outcomes == other.outcomes
+            && self.total_profit == other.total_profit
+            && self.scaled_units_processed == other.scaled_units_processed
+            && self.work_scale == other.work_scale
+            && self.ticks_simulated == other.ticks_simulated
+            && self.end_time == other.end_time
+            && self.trace == other.trace
+    }
+
     /// Completion time of the last completed job, if any.
     pub fn makespan(&self) -> Option<Time> {
         self.outcomes
@@ -135,6 +157,7 @@ mod tests {
             scaled_units_processed: 21,
             work_scale: 2,
             ticks_simulated: 9,
+            steps_executed: 9,
             end_time: Time(9),
             trace: None,
         }
@@ -148,6 +171,20 @@ mod tests {
         assert_eq!(r.unfinished(), 1);
         assert_eq!(r.makespan(), Some(Time(9)));
         assert_eq!(r.work_processed(), 10);
+    }
+
+    #[test]
+    fn same_outcome_ignores_steps_executed_only() {
+        let a = sample();
+        let mut b = sample();
+        b.steps_executed = 2;
+        assert!(a.same_outcome(&b), "engine effort is not an outcome");
+        let mut c = sample();
+        c.total_profit = 15;
+        assert!(!a.same_outcome(&c));
+        let mut d = sample();
+        d.ticks_simulated = 10;
+        assert!(!a.same_outcome(&d));
     }
 
     #[test]

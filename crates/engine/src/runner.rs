@@ -3,11 +3,11 @@
 //! The *model* is simulated, but the *harness* is parallel: experiment sweeps
 //! run hundreds of independent simulations (seeds × parameters × schedulers),
 //! which parallelize perfectly. [`parallel_map`] is a deterministic ordered
-//! parallel map built on `crossbeam::scope` — results come back in input
+//! parallel map built on `std::thread::scope` — results come back in input
 //! order regardless of which worker ran what.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Apply `f` to every item on up to `threads` worker threads, returning
 /// results in input order.
@@ -36,23 +36,26 @@ where
     let next_ref = &next;
     let slots_ref = &slots;
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next_ref.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let r = f_ref(&items_ref[i]);
-                *slots_ref[i].lock() = Some(r);
+                *slots_ref[i].lock().expect("slot lock poisoned") = Some(r);
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     slots
         .into_iter()
-        .map(|s| s.into_inner().expect("every slot filled"))
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock poisoned")
+                .expect("every slot filled")
+        })
         .collect()
 }
 

@@ -96,6 +96,29 @@ pub trait OnlineScheduler {
 
     /// Decide this tick's processor assignment.
     fn allocate(&mut self, view: &TickView<'_>) -> Allocation;
+
+    /// Declare that this scheduler's allocation is *stable between events*,
+    /// unlocking the engine's event-driven fast-forward path.
+    ///
+    /// Returning `true` is a contract: between two consecutive *events* —
+    /// an arrival, a completion, an expiry, or any change to a job's ready
+    /// count — repeated [`allocate`](Self::allocate) calls on views that
+    /// differ only in [`TickView::now`] must
+    ///
+    /// 1. return the same [`Allocation`] (same pairs, same order),
+    /// 2. be free of observable side effects (no per-call internal state
+    ///    such as RNG draws, counters, or time-keyed queues), and
+    /// 3. not depend on `view.now` other than through the event hooks.
+    ///
+    /// When this holds, the engine may call `allocate` once per event
+    /// instead of once per tick and bulk-advance the claimed nodes across
+    /// the whole inter-event window — identical results, O(events) instead
+    /// of O(ticks). Schedulers that cannot promise this (e.g. randomized
+    /// per-tick orders, or profit-curve trackers keyed on absolute time)
+    /// keep the default `false` and run on the naive reference path.
+    fn allocation_stable_between_events(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -1,10 +1,29 @@
 //! The discrete-time execution engine.
+//!
+//! Two execution paths produce identical results:
+//!
+//! * the **naive reference path** advances one tick at a time — the direct
+//!   transcription of the paper's model, kept as ground truth;
+//! * the **event-driven fast-forward path** observes that between *events*
+//!   (arrivals, node completions, expiries, the horizon) nothing visible to
+//!   a stable scheduler changes, computes the width of that boring window,
+//!   and bulk-advances every claimed node across it in one engine step —
+//!   O(events) instead of O(ticks).
+//!
+//! Fast-forward engages only when every precondition holds: the scheduler
+//! opts in via
+//! [`OnlineScheduler::allocation_stable_between_events`], the pick policy is
+//! deterministic ([`NodePick::fast_forward_safe`]), tracing is off, and
+//! [`SimConfig::fast_forward`] (default on) is set. Anything else falls back
+//! to the reference path, so opting in is always safe for correctness
+//! *checking* — and the equivalence property tests in
+//! `crates/engine/tests/fastforward.rs` hold the two paths byte-identical.
 
 use crate::pick::{NodePick, Picker};
 use crate::result::{JobStatus, SimResult};
 use crate::sched_api::{JobInfo, OnlineScheduler, TickView};
 use crate::trace::Trace;
-use dagsched_core::{JobId, Result, SchedError, Speed, Time};
+use dagsched_core::{JobId, NodeId, Result, SchedError, Speed, Time};
 use dagsched_dag::UnfoldState;
 use dagsched_workload::Instance;
 
@@ -24,8 +43,13 @@ pub struct SimConfig {
     /// fits in (last useful time + total work + 1).
     pub horizon: Option<Time>,
     /// Record every tick's allocation into [`SimResult::trace`]. Costs
-    /// memory proportional to simulated ticks; off by default.
+    /// memory proportional to simulated ticks; off by default. Forces the
+    /// naive path (a trace is inherently per-tick).
     pub record_trace: bool,
+    /// Allow the event-driven fast-forward path when the scheduler and pick
+    /// policy support it (on by default). Turn off to force the naive
+    /// reference path, e.g. for differential testing.
+    pub fast_forward: bool,
 }
 
 impl Default for SimConfig {
@@ -36,6 +60,7 @@ impl Default for SimConfig {
             carryover: true,
             horizon: None,
             record_trace: false,
+            fast_forward: true,
         }
     }
 }
@@ -87,12 +112,30 @@ pub fn simulate(
     let mut next_arrival = 0usize;
     let mut t = jobs[0].arrival;
     let mut ticks_simulated = 0u64;
+    let mut steps_executed = 0u64;
     let mut total_profit = 0u64;
     let mut units_processed = 0u64;
 
     let mut view_jobs: Vec<(JobId, u32)> = Vec::new();
     let mut completions: Vec<JobId> = Vec::new();
     let mut trace = cfg.record_trace.then(Trace::new);
+
+    // Scratch buffers reused across the whole run (no per-tick allocation):
+    // validation marks, expired ids, picked nodes, per-processor
+    // continuations, and the fast-forward claim list.
+    let mut granted = vec![false; n];
+    let mut expired: Vec<JobId> = Vec::new();
+    let mut picked: Vec<NodeId> = Vec::new();
+    let mut continuations: Vec<NodeId> = Vec::new();
+    let mut claimed: Vec<(JobId, NodeId)> = Vec::new();
+
+    // The fast-forward path needs every source of per-tick variation pinned
+    // down: a scheduler whose allocation is stable between events, a
+    // deterministic pick policy, and no per-tick trace recording.
+    let fast_forward = cfg.fast_forward
+        && trace.is_none()
+        && cfg.pick.fast_forward_safe()
+        && sched.allocation_stable_between_events();
 
     while (next_arrival < n || !alive.is_empty()) && t < horizon {
         // Skip idle gaps between arrival waves.
@@ -126,7 +169,7 @@ pub fn simulate(
 
         // 2. Expiry: zero-tail jobs that can no longer earn anything even if
         // they complete this very tick (completion time would be t+1).
-        let mut expired: Vec<JobId> = Vec::new();
+        expired.clear();
         alive.retain(|&id| {
             let job = &jobs[id.index()];
             if job.profit.tail_value() == 0 && t >= job.last_useful_abs() {
@@ -138,7 +181,7 @@ pub fn simulate(
                 true
             }
         });
-        for id in expired {
+        for &id in &expired {
             sched.on_expiry(id, t);
         }
 
@@ -150,9 +193,9 @@ pub fn simulate(
         }
         let alloc = sched.allocate(&TickView::new(m, t, &view_jobs));
 
-        // 4. Validate.
+        // 4. Validate. `granted` is a reusable scratch; only the entries set
+        // here are reset below, keeping validation O(|alloc|).
         let mut used: u64 = 0;
-        let mut granted = vec![false; n];
         for &(id, k) in &alloc {
             if id.index() >= n || live[id.index()].is_none() {
                 return Err(SchedError::InvalidAllocation(format!(
@@ -177,12 +220,93 @@ pub fn simulate(
                 )));
             }
         }
+        for &(id, _) in &alloc {
+            granted[id.index()] = false;
+        }
 
         if let Some(tr) = trace.as_mut() {
             tr.push(t, &alloc);
         }
 
-        // 5. Execute.
+        // 5. Fast-forward: with a stable scheduler and a deterministic
+        // picker, nothing observable changes until the next event. Claim
+        // this tick's nodes exactly as the reference path's first picking
+        // round would, find the widest window in which no claimed node can
+        // finish and no arrival / expiry / horizon boundary falls, and
+        // advance the whole window in one engine step.
+        if fast_forward {
+            claimed.clear();
+            // Minimum over claimed nodes of the ticks until completion,
+            // ceil(remaining / units): within `min_q - 1` ticks no claimed
+            // node finishes, so the ready sets — and with them every pick
+            // and every allocation — are frozen.
+            let mut min_q = u64::MAX;
+            for &(id, k) in &alloc {
+                let l = live[id.index()].as_mut().expect("validated alive");
+                picker.pick_into(&l.state, &l.busy, k as usize, &mut picked);
+                for &node in &picked {
+                    l.busy[node.index()] = true;
+                    l.dirty.push(node.0);
+                    let rem = l.state.node_remaining(node).units();
+                    min_q = min_q.min(rem.div_ceil(units));
+                    claimed.push((id, node));
+                }
+            }
+            // Window width in ticks. Every cap below is ≥ 1 (after step 1
+            // the next arrival is strictly in the future, after step 2 every
+            // zero-tail job is strictly before its expiry boundary, and the
+            // loop guard keeps t < horizon), so s == 0 iff a claimed node
+            // completes this very tick — which runs on the reference path.
+            // An empty claim set (empty allocation) also runs the reference
+            // tick: the naive path counts allocation-idle ticks one by one,
+            // and `ticks_simulated` must stay byte-identical.
+            if !claimed.is_empty() {
+                let mut s = min_q.saturating_sub(1);
+                if next_arrival < n {
+                    s = s.min(jobs[next_arrival].arrival.since(t));
+                }
+                for &id in &alive {
+                    let job = &jobs[id.index()];
+                    if job.profit.tail_value() == 0 {
+                        s = s.min(job.last_useful_abs().since(t));
+                    }
+                }
+                s = s.min(horizon.since(t));
+                if s > 0 {
+                    // No claimed node completes within the window: each
+                    // consumes its full `units` per tick (remaining >
+                    // s·units), exactly as `s` reference ticks would, and no
+                    // carryover, completion or hook can fire.
+                    for &(id, node) in &claimed {
+                        let l = live[id.index()].as_mut().expect("claimed implies live");
+                        l.state.advance_bulk(node, s * units);
+                    }
+                    units_processed += claimed.len() as u64 * s * units;
+                    for &(id, _) in &alloc {
+                        let l = live[id.index()].as_mut().expect("validated alive");
+                        for d in l.dirty.drain(..) {
+                            l.busy[d as usize] = false;
+                        }
+                    }
+                    t = t.after(s);
+                    ticks_simulated += s;
+                    steps_executed += 1;
+                    continue;
+                }
+            }
+            // A completion is due this tick (or nothing was claimed):
+            // release the claim marks and run the tick on the reference path
+            // below (which re-picks the same nodes and handles completion,
+            // carryover and unlocking).
+            for &(id, _) in &alloc {
+                let l = live[id.index()].as_mut().expect("validated alive");
+                for d in l.dirty.drain(..) {
+                    l.busy[d as usize] = false;
+                }
+            }
+        }
+
+        // 6. Execute (reference path).
         completions.clear();
         for &(id, k) in &alloc {
             let l = live[id.index()].as_mut().expect("validated alive");
@@ -191,7 +315,6 @@ pub fn simulate(
             // any other processor has already spent this tick's time.
             // They are marked busy globally and kept in a per-processor
             // continuation list.
-            let mut continuations: Vec<_> = Vec::new();
             for _ in 0..k {
                 let mut budget = units;
                 continuations.clear();
@@ -199,7 +322,7 @@ pub fn simulate(
                     let node = match continuations.pop() {
                         Some(n) => n,
                         None => {
-                            let picked = picker.pick(&l.state, &l.busy, 1);
+                            picker.pick_into(&l.state, &l.busy, 1, &mut picked);
                             match picked.first() {
                                 Some(&n) => {
                                     l.busy[n.index()] = true;
@@ -218,13 +341,15 @@ pub fn simulate(
                     }
                     // Lock newly-ready successors for the rest of the tick;
                     // this processor may continue into them if allowed.
-                    let spec = l.state.spec().clone();
-                    for &s in spec.successors(node) {
-                        if l.state.is_ready(s) && !l.busy[s.index()] {
-                            l.busy[s.index()] = true;
-                            l.dirty.push(s.0);
+                    // (Disjoint field borrows: the spec is read through
+                    // `l.state` while `l.busy`/`l.dirty` mutate — no Arc
+                    // clone per completed node.)
+                    for &succ in l.state.spec().successors(node) {
+                        if l.state.is_ready(succ) && !l.busy[succ.index()] {
+                            l.busy[succ.index()] = true;
+                            l.dirty.push(succ.0);
                             if cfg.carryover {
-                                continuations.push(s);
+                                continuations.push(succ);
                             }
                         }
                     }
@@ -241,7 +366,7 @@ pub fn simulate(
             }
         }
 
-        // 6. Completions take effect at t+1.
+        // 7. Completions take effect at t+1.
         let t_done = t.after(1);
         for &id in &completions {
             let job = &jobs[id.index()];
@@ -256,6 +381,7 @@ pub fn simulate(
 
         t = t_done;
         ticks_simulated += 1;
+        steps_executed += 1;
     }
 
     Ok(SimResult {
@@ -265,6 +391,7 @@ pub fn simulate(
         scaled_units_processed: units_processed,
         work_scale: scale,
         ticks_simulated,
+        steps_executed,
         end_time: t,
         trace,
     })
@@ -314,6 +441,10 @@ mod tests {
                 }
             }
             out
+        }
+        fn allocation_stable_between_events(&self) -> bool {
+            // Pure function of the view's job list and ready counts.
+            true
         }
     }
 
@@ -614,6 +745,90 @@ mod tests {
         let r = simulate(&mk(9), &mut Greedy, &SimConfig::default()).unwrap();
         assert_eq!(r.total_profit, 0);
         assert!(matches!(r.outcomes[0], JobStatus::Expired { .. }));
+    }
+
+    #[test]
+    fn fast_forward_collapses_long_nodes_into_steps() {
+        // One 1000-unit node: the naive path iterates 1000 ticks; the
+        // fast-forward path takes one bulk window plus the completion tick.
+        let inst = one_job(gen::single(1000).into_shared(), 0, 5_000, 1, 1);
+        let fast = simulate(&inst, &mut Greedy, &SimConfig::default()).unwrap();
+        let naive = simulate(
+            &inst,
+            &mut Greedy,
+            &SimConfig {
+                fast_forward: false,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(fast.same_outcome(&naive));
+        assert_eq!(naive.steps_executed, 1000);
+        assert_eq!(fast.ticks_simulated, 1000);
+        assert_eq!(fast.steps_executed, 2);
+    }
+
+    #[test]
+    fn fast_forward_stops_at_arrivals_and_expiries() {
+        // Job 0 is a long runner; job 1 is hopeless and expires mid-flight;
+        // job 2 arrives mid-flight. Both boundaries must be hit exactly for
+        // outcomes to match the naive path.
+        let inst = Instance::new(
+            2,
+            vec![
+                JobSpec::new(
+                    JobId(0),
+                    Time(0),
+                    gen::single(500).into_shared(),
+                    StepProfitFn::deadline(Time(600), 5),
+                ),
+                JobSpec::new(
+                    JobId(1),
+                    Time(10),
+                    gen::single(10_000).into_shared(),
+                    StepProfitFn::deadline(Time(50), 9),
+                ),
+                JobSpec::new(
+                    JobId(2),
+                    Time(137),
+                    gen::single(40).into_shared(),
+                    StepProfitFn::deadline(Time(300), 3),
+                ),
+            ],
+        )
+        .unwrap();
+        let fast = simulate(&inst, &mut Greedy, &SimConfig::default()).unwrap();
+        let naive = simulate(
+            &inst,
+            &mut Greedy,
+            &SimConfig {
+                fast_forward: false,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(fast.same_outcome(&naive));
+        assert_eq!(fast.completed(), 2);
+        assert_eq!(fast.expired(), 1);
+        assert!(
+            fast.steps_executed * 10 < naive.steps_executed,
+            "fast {} vs naive {}",
+            fast.steps_executed,
+            naive.steps_executed
+        );
+    }
+
+    #[test]
+    fn non_stable_scheduler_keeps_reference_path() {
+        // Fixed does not opt in: steps == ticks even with fast_forward on.
+        let inst = one_job(gen::single(50).into_shared(), 0, 200, 1, 1);
+        let r = simulate(
+            &inst,
+            &mut Fixed(Some(vec![(JobId(0), 1)])),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.steps_executed, r.ticks_simulated);
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub struct TraceTick {
 }
 
 /// A full execution trace.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     ticks: Vec<TraceTick>,
 }

@@ -118,6 +118,13 @@ macro_rules! baseline {
                 let ids: Vec<JobId> = order.iter().map(|e| e.id).collect();
                 fill(&ids, view)
             }
+            fn allocation_stable_between_events(&self) -> bool {
+                // Every baseline orders by keys fixed at arrival (seq,
+                // absolute deadline, static density, laxity key) and fills
+                // work-conservingly from the view — a pure function of the
+                // alive set and ready counts, independent of `now`.
+                true
+            }
         }
     };
 }
@@ -187,6 +194,11 @@ impl OnlineScheduler for RandomOrder {
         self.rng.shuffle(&mut ids);
         fill(&ids, view)
     }
+    fn allocation_stable_between_events(&self) -> bool {
+        // Deliberately NOT stable: each call consumes RNG state and may
+        // return a different order. Must stay on the naive engine path.
+        false
+    }
 }
 
 /// Ablation: scheduler S's allotment-and-density rule without admission
@@ -253,6 +265,10 @@ impl OnlineScheduler for SNoAdmission {
             }
         }
         out
+    }
+    fn allocation_stable_between_events(&self) -> bool {
+        // Pure walk over (density, seq, allot) tuples fixed at arrival.
+        true
     }
 }
 

@@ -380,6 +380,14 @@ impl OnlineScheduler for SchedulerS {
         let _ = left;
         out
     }
+
+    fn allocation_stable_between_events(&self) -> bool {
+        // S re-decides only on events: `allocate` (and the optional
+        // work-conserving backfill) is a pure walk over the density-ordered
+        // queues, which change exclusively in the arrival / completion /
+        // expiry hooks. Nothing reads `view.now`.
+        true
+    }
 }
 
 #[cfg(test)]

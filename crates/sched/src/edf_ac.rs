@@ -149,6 +149,12 @@ impl OnlineScheduler for EdfAc {
         }
         out
     }
+
+    fn allocation_stable_between_events(&self) -> bool {
+        // Pure (deadline, seq) sort over the admitted set + work-conserving
+        // fill; admission happens only in the arrival hook.
+        true
+    }
 }
 
 #[cfg(test)]

@@ -186,6 +186,12 @@ impl OnlineScheduler for FederatedScheduler {
         }
         out
     }
+
+    fn allocation_stable_between_events(&self) -> bool {
+        // The task→core assignment is fixed offline; per-tick choice depends
+        // only on alive deadlines and ready counts, never on `view.now`.
+        true
+    }
 }
 
 #[cfg(test)]

@@ -272,6 +272,14 @@ impl OnlineScheduler for SchedulerSProfit {
         }
         out
     }
+
+    fn allocation_stable_between_events(&self) -> bool {
+        // Deliberately NOT stable: the slot plan is keyed on absolute time —
+        // `allocate` both reads `view.now` and mutates `self.slots` on every
+        // call, so the allocation genuinely changes tick to tick even with
+        // no job event in between. Must stay on the naive engine path.
+        false
+    }
 }
 
 impl SchedulerSProfit {

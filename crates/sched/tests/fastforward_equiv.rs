@@ -1,0 +1,112 @@
+//! The fast-forward path must be invisible to every production scheduler.
+//!
+//! The engine-side tests (`crates/engine/tests/fastforward.rs`) prove the
+//! two execution paths equivalent under a toy greedy scheduler; these tests
+//! repeat the differential check with the schedulers people actually run —
+//! scheduler S (plain and work-conserving), the baseline family, and
+//! EDF-AC — so that any opt-in whose stability contract is subtly violated
+//! (a hidden dependence on `view.now`, a stateful allocate) shows up as a
+//! byte-level divergence here.
+
+use dagsched_core::Speed;
+use dagsched_engine::{simulate, NodePick, OnlineScheduler, SimConfig, SimResult};
+use dagsched_sched::{Edf, EdfAc, Fifo, GreedyDensity, LeastLaxity, SchedulerS};
+use dagsched_workload::{ArrivalProcess, DeadlinePolicy, Instance, WorkloadGen};
+
+type SchedFactory = Box<dyn Fn() -> Box<dyn OnlineScheduler>>;
+
+fn run_pair(
+    inst: &Instance,
+    mk: &dyn Fn() -> Box<dyn OnlineScheduler>,
+    cfg: &SimConfig,
+) -> (SimResult, SimResult) {
+    let fast = simulate(inst, mk().as_mut(), cfg).expect("fast path runs");
+    let naive_cfg = SimConfig {
+        fast_forward: false,
+        ..cfg.clone()
+    };
+    let naive = simulate(inst, mk().as_mut(), &naive_cfg).expect("naive path runs");
+    (fast, naive)
+}
+
+fn check_all(inst: &Instance, m: u32, label: &str) {
+    let mks: Vec<(&str, SchedFactory)> = vec![
+        (
+            "S",
+            Box::new(move || Box::new(SchedulerS::with_epsilon(m, 1.0))),
+        ),
+        (
+            "S-wc",
+            Box::new(move || Box::new(SchedulerS::with_epsilon(m, 1.0).work_conserving())),
+        ),
+        ("FIFO", Box::new(move || Box::new(Fifo::new(m)))),
+        ("EDF", Box::new(move || Box::new(Edf::new(m)))),
+        (
+            "GREEDY-DENSITY",
+            Box::new(move || Box::new(GreedyDensity::new(m))),
+        ),
+        ("LLF", Box::new(move || Box::new(LeastLaxity::new(m)))),
+        ("EDF-AC", Box::new(move || Box::new(EdfAc::new(m)))),
+    ];
+    for speed in [
+        Speed::ONE,
+        Speed::new(3, 2).expect("positive"),
+        Speed::integer(2).expect("positive"),
+    ] {
+        for pick in [NodePick::Fifo, NodePick::CriticalPathFirst] {
+            let cfg = SimConfig {
+                speed,
+                pick: pick.clone(),
+                ..SimConfig::default()
+            };
+            for (name, mk) in &mks {
+                let (fast, naive) = run_pair(inst, mk, &cfg);
+                assert!(
+                    fast.same_outcome(&naive),
+                    "{label}: {name} diverges at speed {speed:?} pick {pick:?}\n\
+                     fast : profit {} ticks {} end {:?}\n\
+                     naive: profit {} ticks {} end {:?}",
+                    fast.total_profit,
+                    fast.ticks_simulated,
+                    fast.end_time,
+                    naive.total_profit,
+                    naive.ticks_simulated,
+                    naive.end_time,
+                );
+                assert!(
+                    fast.steps_executed <= naive.steps_executed,
+                    "{label}: {name} fast path took more steps ({} > {})",
+                    fast.steps_executed,
+                    naive.steps_executed
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn production_schedulers_match_on_standard_workloads() {
+    for seed in [7u64, 191, 2024] {
+        let m = 4 + (seed % 5) as u32;
+        let inst = WorkloadGen::standard(m, 30, seed)
+            .generate()
+            .expect("valid workload");
+        check_all(&inst, m, &format!("standard seed {seed}"));
+    }
+}
+
+#[test]
+fn production_schedulers_match_under_overload() {
+    // Tight deadlines and a hot arrival process: many expiries, admission
+    // rejections, and preemptions — the richest event stream for shaking
+    // out window-boundary bugs.
+    let m = 6;
+    let inst = WorkloadGen {
+        arrivals: ArrivalProcess::poisson_for_load(4.0, 60.0, m),
+        deadlines: DeadlinePolicy::SlackFactor(1.2),
+        ..WorkloadGen::standard(m, 50, 99)
+    }
+    .generate()
+    .expect("valid workload");
+    check_all(&inst, m, "overload");
+}
