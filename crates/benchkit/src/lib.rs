@@ -193,16 +193,12 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(group: &str, id: &str, config: GroupCon
         Some(Throughput::Elements(n)) if median > Duration::ZERO => {
             format!(" ({:.3e} elem/s)", n as f64 / median.as_secs_f64())
         }
-        Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n))
-            if median > Duration::ZERO =>
-        {
+        Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) if median > Duration::ZERO => {
             format!(" ({:.3e} B/s)", n as f64 / median.as_secs_f64())
         }
         _ => String::new(),
     };
-    println!(
-        "bench {label:<44} min {min:>12?} median {median:>12?} mean {mean:>12?}{rate}",
-    );
+    println!("bench {label:<44} min {min:>12?} median {median:>12?} mean {mean:>12?}{rate}",);
 }
 
 /// Bundle benchmark functions into a named group runner, compatible with

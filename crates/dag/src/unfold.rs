@@ -401,7 +401,10 @@ mod tests {
         for _ in 0..60 {
             tick.advance(NodeId(0), 2);
         }
-        assert_eq!(bulk.node_remaining(NodeId(0)), tick.node_remaining(NodeId(0)));
+        assert_eq!(
+            bulk.node_remaining(NodeId(0)),
+            tick.node_remaining(NodeId(0))
+        );
         assert_eq!(bulk.remaining_total(), tick.remaining_total());
         assert_eq!(bulk.remaining_span(), tick.remaining_span());
     }

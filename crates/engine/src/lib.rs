@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod observe;
 pub mod pick;
 pub mod result;
 pub mod runner;
@@ -33,9 +34,12 @@ pub mod sched_api;
 pub mod sim;
 pub mod trace;
 
+pub use observe::{
+    AdmissionDecision, AdmissionEvent, AdmissionReason, NullObserver, Observers, SimObserver,
+};
 pub use pick::NodePick;
 pub use result::{JobStatus, SimResult};
 pub use runner::parallel_map;
 pub use sched_api::{Allocation, JobInfo, OnlineScheduler, TickView};
-pub use sim::{simulate, SimConfig};
+pub use sim::{simulate, simulate_observed, SimConfig};
 pub use trace::{Trace, TraceStats};

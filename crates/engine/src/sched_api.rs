@@ -6,6 +6,7 @@
 //! [`TickView`] (per-tick knowledge: which started jobs are alive and how
 //! many ready nodes each has). The DAG structure itself is never exposed.
 
+use crate::observe::AdmissionEvent;
 use dagsched_core::{JobId, Time, Work};
 use dagsched_workload::StepProfitFn;
 
@@ -119,6 +120,21 @@ pub trait OnlineScheduler {
     fn allocation_stable_between_events(&self) -> bool {
         false
     }
+
+    /// Ask the scheduler to start recording admission decisions for
+    /// [`drain_admission_events`](Self::drain_admission_events). The engine
+    /// calls this once at simulation start when an active
+    /// [`SimObserver`](crate::observe::SimObserver) is attached; schedulers
+    /// without admission control can ignore it (the default is a no-op, and
+    /// no recording means no buffering cost on unobserved runs).
+    fn enable_admission_reporting(&mut self) {}
+
+    /// Append the admission decisions recorded since the last drain to
+    /// `out`, in the order they were made. The engine drains after each
+    /// batch of arrival, completion, and expiry hooks and forwards every
+    /// event to the attached observer — on both execution paths, so the
+    /// decisions land at identical stream positions. Default: none.
+    fn drain_admission_events(&mut self, _out: &mut Vec<AdmissionEvent>) {}
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@
 //! *checking* — and the equivalence property tests in
 //! `crates/engine/tests/fastforward.rs` hold the two paths byte-identical.
 
+use crate::observe::{AdmissionEvent, NullObserver, SimObserver};
 use crate::pick::{NodePick, Picker};
 use crate::result::{JobStatus, SimResult};
 use crate::sched_api::{JobInfo, OnlineScheduler, TickView};
@@ -96,6 +97,40 @@ pub fn simulate(
     sched: &mut dyn OnlineScheduler,
     cfg: &SimConfig,
 ) -> Result<SimResult> {
+    run(inst, sched, cfg, &mut NullObserver)
+}
+
+/// Run `sched` on `inst` under `cfg` with `obs` receiving the event stream.
+///
+/// Observation never changes the schedule: the run produces the same
+/// [`SimResult`] as [`simulate`], on the same execution path (fast-forward
+/// stays enabled under observation — both paths emit the same stream; see
+/// [`observe`](crate::observe) for the ordering and equivalence contracts).
+/// When the observer is [active](SimObserver::is_active), the engine also
+/// asks the scheduler to
+/// [record admission decisions](OnlineScheduler::enable_admission_reporting)
+/// and forwards them via [`SimObserver::on_admission`].
+///
+/// # Errors
+/// As [`simulate`].
+pub fn simulate_observed(
+    inst: &Instance,
+    sched: &mut dyn OnlineScheduler,
+    cfg: &SimConfig,
+    obs: &mut dyn SimObserver,
+) -> Result<SimResult> {
+    run(inst, sched, cfg, obs)
+}
+
+/// The engine core, generic over the observer so the unobserved path
+/// ([`NullObserver`]) monomorphizes with every observation branch folded
+/// away.
+fn run<O: SimObserver + ?Sized>(
+    inst: &Instance,
+    sched: &mut dyn OnlineScheduler,
+    cfg: &SimConfig,
+    obs: &mut O,
+) -> Result<SimResult> {
     let m = inst.m();
     let jobs = inst.jobs();
     let n = jobs.len();
@@ -129,6 +164,18 @@ pub fn simulate(
     let mut continuations: Vec<NodeId> = Vec::new();
     let mut claimed: Vec<(JobId, NodeId)> = Vec::new();
 
+    // Observation scratch. `observing` is a compile-time constant `false`
+    // for the NullObserver instantiation, so every payload-assembly branch
+    // below folds away on the unobserved path.
+    let observing = obs.is_active();
+    let mut adm_events: Vec<AdmissionEvent> = Vec::new();
+    let mut node_done: Vec<(JobId, NodeId)> = Vec::new();
+    let mut progress: Vec<(JobId, u64)> = Vec::new();
+    if observing {
+        sched.enable_admission_reporting();
+    }
+    obs.on_start(m, cfg.speed, horizon);
+
     // The fast-forward path needs every source of per-tick variation pinned
     // down: a scheduler whose allocation is stable between events, a
     // deterministic pick policy, and no per-tick trace recording.
@@ -144,6 +191,7 @@ pub fn simulate(
         }
 
         // 1. Arrivals.
+        let first_arrival = next_arrival;
         while next_arrival < n && jobs[next_arrival].arrival <= t {
             let job = &jobs[next_arrival];
             let state = UnfoldState::new(job.dag.clone(), scale);
@@ -154,17 +202,22 @@ pub fn simulate(
                 dirty: Vec::new(),
             });
             alive.push(job.id);
-            sched.on_arrival(
-                &JobInfo {
-                    id: job.id,
-                    arrival: job.arrival,
-                    work: job.work(),
-                    span: job.span(),
-                    profit: job.profit.clone(),
-                },
-                t,
-            );
+            let info = JobInfo {
+                id: job.id,
+                arrival: job.arrival,
+                work: job.work(),
+                span: job.span(),
+                profit: job.profit.clone(),
+            };
+            sched.on_arrival(&info, t);
+            obs.on_job_arrival(t, &info);
             next_arrival += 1;
+        }
+        if observing && next_arrival > first_arrival {
+            sched.drain_admission_events(&mut adm_events);
+            for ev in adm_events.drain(..) {
+                obs.on_admission(t, ev);
+            }
         }
 
         // 2. Expiry: zero-tail jobs that can no longer earn anything even if
@@ -183,6 +236,13 @@ pub fn simulate(
         });
         for &id in &expired {
             sched.on_expiry(id, t);
+            obs.on_job_expired(t, id);
+        }
+        if observing && !expired.is_empty() {
+            sched.drain_admission_events(&mut adm_events);
+            for ev in adm_events.drain(..) {
+                obs.on_admission(t, ev);
+            }
         }
 
         // 3. Ask the scheduler.
@@ -282,6 +342,19 @@ pub fn simulate(
                         l.state.advance_bulk(node, s * units);
                     }
                     units_processed += claimed.len() as u64 * s * units;
+                    if observing {
+                        // `claimed` lists each alloc entry's nodes
+                        // contiguously, in alloc order: walk it once to get
+                        // per-job claim counts (= work rate per tick / units).
+                        progress.clear();
+                        let mut rest = claimed.as_slice();
+                        for &(id, _) in &alloc {
+                            let cnt = rest.iter().take_while(|&&(j, _)| j == id).count();
+                            rest = &rest[cnt..];
+                            progress.push((id, cnt as u64 * s * units));
+                        }
+                        obs.on_window(t, s, &view_jobs, &alloc, &progress);
+                    }
                     for &(id, _) in &alloc {
                         let l = live[id.index()].as_mut().expect("validated alive");
                         for d in l.dirty.drain(..) {
@@ -308,8 +381,13 @@ pub fn simulate(
 
         // 6. Execute (reference path).
         completions.clear();
+        if observing {
+            progress.clear();
+            node_done.clear();
+        }
         for &(id, k) in &alloc {
             let l = live[id.index()].as_mut().expect("validated alive");
+            let mut entry_units = 0u64;
             // Nodes that become ready *during* this tick may only be
             // continued by the processor whose completion unlocked them —
             // any other processor has already spent this tick's time.
@@ -335,9 +413,13 @@ pub fn simulate(
                     };
                     let (consumed, done) = l.state.advance(node, budget);
                     units_processed += consumed;
+                    entry_units += consumed;
                     budget -= consumed;
                     if !done {
                         break;
+                    }
+                    if observing {
+                        node_done.push((id, node));
                     }
                     // Lock newly-ready successors for the rest of the tick;
                     // this processor may continue into them if allowed.
@@ -361,8 +443,17 @@ pub fn simulate(
             for d in l.dirty.drain(..) {
                 l.busy[d as usize] = false;
             }
+            if observing {
+                progress.push((id, entry_units));
+            }
             if l.state.is_complete() {
                 completions.push(id);
+            }
+        }
+        if observing {
+            obs.on_window(t, 1, &view_jobs, &alloc, &progress);
+            for &(id, node) in &node_done {
+                obs.on_node_complete(t, id, node);
             }
         }
 
@@ -377,12 +468,21 @@ pub fn simulate(
             live[id.index()] = None;
             alive.retain(|&a| a != id);
             sched.on_completion(id, t_done);
+            obs.on_job_complete(t_done, id, profit);
+        }
+        if observing && !completions.is_empty() {
+            sched.drain_admission_events(&mut adm_events);
+            for ev in adm_events.drain(..) {
+                obs.on_admission(t_done, ev);
+            }
         }
 
         t = t_done;
         ticks_simulated += 1;
         steps_executed += 1;
     }
+
+    obs.on_end(t);
 
     Ok(SimResult {
         scheduler: sched.name(),
@@ -829,6 +929,82 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.steps_executed, r.ticks_simulated);
+    }
+
+    /// Aggregating observer for the differential test below.
+    #[derive(Default, PartialEq, Debug)]
+    struct Rec {
+        started: u32,
+        ended: u32,
+        arrivals: Vec<JobId>,
+        window_ticks: u64,
+        progress_units: u64,
+        nodes_done: u64,
+        completions: Vec<(JobId, Time, u64)>,
+        expired: Vec<JobId>,
+    }
+
+    impl SimObserver for Rec {
+        fn on_start(&mut self, _m: u32, _s: Speed, _h: Time) {
+            self.started += 1;
+        }
+        fn on_job_arrival(&mut self, _t: Time, info: &JobInfo) {
+            self.arrivals.push(info.id);
+        }
+        fn on_window(
+            &mut self,
+            _at: Time,
+            ticks: u64,
+            _jobs: &[(JobId, u32)],
+            _alloc: &[(JobId, u32)],
+            progress: &[(JobId, u64)],
+        ) {
+            self.window_ticks += ticks;
+            self.progress_units += progress.iter().map(|&(_, u)| u).sum::<u64>();
+        }
+        fn on_node_complete(&mut self, _at: Time, _j: JobId, _n: NodeId) {
+            self.nodes_done += 1;
+        }
+        fn on_job_complete(&mut self, at: Time, job: JobId, profit: u64) {
+            self.completions.push((job, at, profit));
+        }
+        fn on_job_expired(&mut self, _at: Time, job: JobId) {
+            self.expired.push(job);
+        }
+        fn on_end(&mut self, _at: Time) {
+            self.ended += 1;
+        }
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_on_both_paths() {
+        use dagsched_workload::WorkloadGen;
+        for seed in 0..4 {
+            let inst = WorkloadGen::standard(4, 30, seed).generate().unwrap();
+            let plain = simulate(&inst, &mut Greedy, &SimConfig::default()).unwrap();
+            for fast_forward in [true, false] {
+                let cfg = SimConfig {
+                    fast_forward,
+                    ..SimConfig::default()
+                };
+                let mut rec = Rec::default();
+                let r = simulate_observed(&inst, &mut Greedy, &cfg, &mut rec).unwrap();
+                // Observation never perturbs the schedule.
+                assert!(r.same_outcome(&plain), "seed {seed} ff {fast_forward}");
+                // The stream accounts for every tick, every unit of work and
+                // every terminal job event — on both execution paths.
+                assert_eq!(rec.started, 1);
+                assert_eq!(rec.ended, 1);
+                assert_eq!(rec.arrivals.len(), inst.jobs().len());
+                assert_eq!(rec.window_ticks, r.ticks_simulated);
+                assert_eq!(rec.progress_units, r.scaled_units_processed);
+                assert_eq!(rec.completions.len(), r.completed());
+                assert_eq!(rec.expired.len(), r.expired());
+                for &(id, at, profit) in &rec.completions {
+                    assert_eq!(r.outcomes[id.index()], JobStatus::Completed { at, profit });
+                }
+            }
+        }
     }
 
     #[test]

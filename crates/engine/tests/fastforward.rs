@@ -48,7 +48,10 @@ impl OnlineScheduler for Greedy {
     }
 }
 
-fn run_both(inst: &Instance, cfg_base: &SimConfig) -> (dagsched_engine::SimResult, dagsched_engine::SimResult) {
+fn run_both(
+    inst: &Instance,
+    cfg_base: &SimConfig,
+) -> (dagsched_engine::SimResult, dagsched_engine::SimResult) {
     let fast = simulate(inst, &mut Greedy, cfg_base).expect("fast path runs");
     let naive_cfg = SimConfig {
         fast_forward: false,

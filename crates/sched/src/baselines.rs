@@ -19,7 +19,9 @@
 //!   condition). Quantifies what the admission machinery buys.
 
 use dagsched_core::{AlgoParams, JobId, Rng64, Time};
-use dagsched_engine::{Allocation, JobInfo, OnlineScheduler, TickView};
+use dagsched_engine::{
+    AdmissionDecision, AdmissionEvent, Allocation, JobInfo, OnlineScheduler, TickView,
+};
 use std::collections::HashMap;
 
 /// Arrival-time facts a baseline keeps per alive job.
@@ -210,6 +212,7 @@ pub struct SNoAdmission {
     /// (density, seq, id, allot) of alive jobs.
     alive: Vec<(f64, u64, JobId, u32)>,
     seq: u64,
+    report: Option<Vec<AdmissionEvent>>,
 }
 
 impl SNoAdmission {
@@ -220,6 +223,7 @@ impl SNoAdmission {
             params,
             alive: Vec::new(),
             seq: 0,
+            report: None,
         }
     }
 }
@@ -243,6 +247,13 @@ impl OnlineScheduler for SNoAdmission {
         let density = profit as f64 / (x * allot as f64);
         self.alive.push((density, self.seq, info.id, allot));
         self.seq += 1;
+        if let Some(buf) = self.report.as_mut() {
+            // The ablation's whole point: every job is admitted.
+            buf.push(AdmissionEvent {
+                job: info.id,
+                decision: AdmissionDecision::Admitted,
+            });
+        }
     }
     fn on_completion(&mut self, id: JobId, _now: Time) {
         self.alive.retain(|e| e.2 != id);
@@ -269,6 +280,16 @@ impl OnlineScheduler for SNoAdmission {
     fn allocation_stable_between_events(&self) -> bool {
         // Pure walk over (density, seq, allot) tuples fixed at arrival.
         true
+    }
+
+    fn enable_admission_reporting(&mut self) {
+        self.report.get_or_insert_with(Vec::new);
+    }
+
+    fn drain_admission_events(&mut self, out: &mut Vec<AdmissionEvent>) {
+        if let Some(buf) = self.report.as_mut() {
+            out.append(buf);
+        }
     }
 }
 

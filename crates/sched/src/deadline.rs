@@ -22,7 +22,10 @@
 
 use crate::bands::DensityBands;
 use dagsched_core::{AlgoParams, JobId, Time};
-use dagsched_engine::{Allocation, JobInfo, OnlineScheduler, TickView};
+use dagsched_engine::{
+    AdmissionDecision, AdmissionEvent, AdmissionReason, Allocation, JobInfo, OnlineScheduler,
+    TickView,
+};
 use std::collections::BTreeSet;
 use std::collections::HashMap;
 
@@ -97,6 +100,9 @@ pub struct SchedulerS {
     /// processors left idle by the standard pass. Admission, allotments and
     /// priorities are untouched — only spare capacity is used.
     work_conserving: bool,
+    /// Admission-decision buffer for the engine's observer plumbing
+    /// (`None` = reporting off, the default: zero cost when unobserved).
+    report: Option<Vec<AdmissionEvent>>,
 }
 
 impl SchedulerS {
@@ -115,6 +121,7 @@ impl SchedulerS {
             check_invariants: false,
             speed_hint: 1.0,
             work_conserving: false,
+            report: None,
         }
     }
 
@@ -170,6 +177,13 @@ impl SchedulerS {
         self.p.len()
     }
 
+    /// Record one admission decision (no-op unless reporting is enabled).
+    fn record(&mut self, job: JobId, decision: AdmissionDecision) {
+        if let Some(buf) = self.report.as_mut() {
+            buf.push(AdmissionEvent { job, decision });
+        }
+    }
+
     fn assert_invariant(&self) {
         if self.check_invariants {
             assert!(
@@ -196,6 +210,7 @@ impl SchedulerS {
         self.metrics.started_profit += profit;
         self.metrics.started_count += 1;
         self.metrics.max_q_len = self.metrics.max_q_len.max(self.q.len());
+        self.record(id, AdmissionDecision::Admitted);
         self.assert_invariant();
     }
 
@@ -275,6 +290,10 @@ impl SchedulerS {
             // Remove jobs whose absolute deadline has passed.
             if job.abs_deadline <= now {
                 self.forget(id);
+                self.record(
+                    id,
+                    AdmissionDecision::Rejected(AdmissionReason::DeadlinePassed),
+                );
                 continue;
             }
             if !job.admissible {
@@ -348,6 +367,14 @@ impl OnlineScheduler for SchedulerS {
             if delta_good {
                 self.metrics.band_rejections += 1;
             }
+            let reason = if !admissible {
+                AdmissionReason::Infeasible
+            } else if !delta_good {
+                AdmissionReason::NotDeltaGood
+            } else {
+                AdmissionReason::BandCapacity
+            };
+            self.record(info.id, AdmissionDecision::Deferred(reason));
             self.p.insert((OrdF64(density), info.id));
         }
     }
@@ -387,6 +414,16 @@ impl OnlineScheduler for SchedulerS {
         // queues, which change exclusively in the arrival / completion /
         // expiry hooks. Nothing reads `view.now`.
         true
+    }
+
+    fn enable_admission_reporting(&mut self) {
+        self.report.get_or_insert_with(Vec::new);
+    }
+
+    fn drain_admission_events(&mut self, out: &mut Vec<AdmissionEvent>) {
+        if let Some(buf) = self.report.as_mut() {
+            out.append(buf);
+        }
     }
 }
 

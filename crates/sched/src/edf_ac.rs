@@ -22,7 +22,10 @@
 //! optimism.
 
 use dagsched_core::{JobId, Time, Work};
-use dagsched_engine::{Allocation, JobInfo, OnlineScheduler, TickView};
+use dagsched_engine::{
+    AdmissionDecision, AdmissionEvent, AdmissionReason, Allocation, JobInfo, OnlineScheduler,
+    TickView,
+};
 use std::collections::HashMap;
 
 /// Per-admitted-job record.
@@ -41,6 +44,7 @@ pub struct EdfAc {
     seq: u64,
     /// Rejected-at-arrival count (reporting).
     rejected: usize,
+    report: Option<Vec<AdmissionEvent>>,
 }
 
 impl EdfAc {
@@ -52,6 +56,7 @@ impl EdfAc {
             admitted: HashMap::new(),
             seq: 0,
             rejected: 0,
+            report: None,
         }
     }
 
@@ -61,11 +66,17 @@ impl EdfAc {
     }
 
     /// The admission test: with the candidate included, is every admitted
-    /// deadline's demand within `m · (d − now)`?
-    fn admissible(&self, cand: &AdmJob, cand_span: Work, now: Time) -> bool {
+    /// deadline's demand within `m · (d − now)`? Returns the rejection
+    /// reason, or `None` when the candidate passes.
+    fn admission_failure(
+        &self,
+        cand: &AdmJob,
+        cand_span: Work,
+        now: Time,
+    ) -> Option<AdmissionReason> {
         // Span feasibility for the candidate itself.
         if cand.abs_deadline.since(now) < cand_span.units() {
-            return false;
+            return Some(AdmissionReason::SpanInfeasible);
         }
         // Demand bound at every admitted deadline ≥ the candidate's
         // relevant horizon (jobs due later don't constrain earlier ones
@@ -88,10 +99,10 @@ impl EdfAc {
                 .map(|j| j.work.units() as u128)
                 .sum();
             if demand > window {
-                return false;
+                return Some(AdmissionReason::DemandBound);
             }
         }
-        true
+        None
     }
 }
 
@@ -111,10 +122,21 @@ impl OnlineScheduler for EdfAc {
             seq: self.seq,
         };
         self.seq += 1;
-        if self.admissible(&cand, info.span, now) {
-            self.admitted.insert(info.id, cand);
-        } else {
-            self.rejected += 1;
+        let decision = match self.admission_failure(&cand, info.span, now) {
+            None => {
+                self.admitted.insert(info.id, cand);
+                AdmissionDecision::Admitted
+            }
+            Some(reason) => {
+                self.rejected += 1;
+                AdmissionDecision::Rejected(reason)
+            }
+        };
+        if let Some(buf) = self.report.as_mut() {
+            buf.push(AdmissionEvent {
+                job: info.id,
+                decision,
+            });
         }
     }
 
@@ -154,6 +176,16 @@ impl OnlineScheduler for EdfAc {
         // Pure (deadline, seq) sort over the admitted set + work-conserving
         // fill; admission happens only in the arrival hook.
         true
+    }
+
+    fn enable_admission_reporting(&mut self) {
+        self.report.get_or_insert_with(Vec::new);
+    }
+
+    fn drain_admission_events(&mut self, out: &mut Vec<AdmissionEvent>) {
+        if let Some(buf) = self.report.as_mut() {
+            out.append(buf);
+        }
     }
 }
 

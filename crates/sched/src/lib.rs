@@ -30,7 +30,7 @@ pub mod edf_ac;
 pub mod federated;
 pub mod profit;
 
-pub use baselines::{Edf, Fifo, GreedyDensity, LeastLaxity, RandomOrder};
+pub use baselines::{Edf, Fifo, GreedyDensity, LeastLaxity, RandomOrder, SNoAdmission};
 pub use deadline::{SchedulerS, SchedulerSMetrics};
 pub use edf_ac::EdfAc;
 pub use federated::{federated_assignment, FederatedAssignment, FederatedScheduler};

@@ -1,0 +1,116 @@
+//! Boundary and agreement tests for the density-band structure.
+//!
+//! `DensityBands::check_invariant` and the verify crate's
+//! [`band_overload`] re-derive Observation 3 by two independent
+//! implementations (incremental sliding window vs. brute-force anchor
+//! scan). These tests pin the boundary semantics — membership `[v, c·v)`,
+//! capacity `≤ b·m` inclusive — and prove the two implementations agree on
+//! random insert/remove sequences.
+
+use dagsched_core::{AlgoParams, JobId};
+use dagsched_sched::bands::{fits_population, DensityBands};
+use dagsched_verify::band_overload;
+use proptest::prelude::*;
+
+/// A candidate landing *exactly* at capacity `b·m` is admitted: the paper's
+/// condition (2) is `N ≤ b·m`, inclusive.
+#[test]
+fn candidate_exactly_at_paper_capacity_is_admitted() {
+    let params = AlgoParams::from_epsilon(1.0).expect("valid epsilon");
+    let m = 4u32;
+    let cap = params.b() * m as f64;
+    let full = cap.floor() as u64; // integral allotments can only hit ⌊b·m⌋
+    let mut b = DensityBands::new(params.c(), cap);
+    // Fill one band to exactly ⌊b·m⌋ − 1, then offer a 1-allotment job.
+    b.insert(JobId(0), 1.0, (full - 1) as u32);
+    assert!(
+        b.fits(1.0, 1),
+        "load exactly ⌊b·m⌋ = {full} must be admitted"
+    );
+    b.insert(JobId(1), 1.0, 1);
+    assert!(b.check_invariant());
+    assert!(!b.fits(1.0, 1), "one more breaches b·m");
+    // The independent checker agrees on both sides of the boundary.
+    assert!(band_overload(&[(1.0, full as u32)], params.c(), cap).is_none());
+    assert_eq!(
+        band_overload(&[(1.0, (full + 1) as u32)], params.c(), cap),
+        Some((1.0, full + 1))
+    );
+}
+
+/// The band's upper edge is exclusive: a job at density exactly `c·v` is
+/// outside `v`'s band for both implementations.
+#[test]
+fn band_upper_edge_is_exclusive_in_both_implementations() {
+    let c = 2.0;
+    let cap = 4.0;
+    let mut b = DensityBands::new(c, cap);
+    b.insert(JobId(0), 1.0, 4); // band [1, 2) is exactly full
+    assert!(b.check_invariant());
+    assert!(b.fits(2.0, 4), "density c·v = 2 starts a fresh band");
+    assert!(!b.fits(1.999, 1), "just inside the band overflows it");
+    assert!(band_overload(&[(1.0, 4), (2.0, 4)], c, cap).is_none());
+    assert!(band_overload(&[(1.0, 4), (1.999, 1)], c, cap).is_some());
+}
+
+fn members_of(b: &DensityBands) -> Vec<(f64, u32)> {
+    b.iter().map(|(_, d, a)| (d, a)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// On random insert/remove sequences, `check_invariant` answers exactly
+    /// `band_overload(members).is_none()` after every mutation.
+    #[test]
+    fn check_invariant_agrees_with_independent_checker(
+        ops in proptest::collection::vec((0.01f64..50.0, 1u32..6, 0u32..2), 1..24),
+        c in 1.5f64..6.0,
+        cap in 3.0f64..15.0,
+    ) {
+        let mut b = DensityBands::new(c, cap);
+        for (i, &(d, a, remove_first)) in ops.iter().enumerate() {
+            if remove_first == 1 && !b.is_empty() {
+                let victim = b.iter().next().map(|(id, _, _)| id).unwrap();
+                b.remove(victim);
+            }
+            // Insert unconditionally — invariant-violating states included,
+            // so agreement is tested on both answers.
+            b.insert(JobId(i as u32), d, a);
+            prop_assert_eq!(
+                b.check_invariant(),
+                band_overload(&members_of(&b), c, cap).is_none(),
+                "disagreement after op {} on {:?}", i, members_of(&b)
+            );
+        }
+    }
+
+    /// `fits` answers exactly "would the independent checker stay clean".
+    #[test]
+    fn fits_agrees_with_independent_checker(
+        jobs in proptest::collection::vec((0.01f64..50.0, 1u32..6), 0..12),
+        cand_d in 0.01f64..50.0,
+        cand_a in 1u32..6,
+    ) {
+        let c = 2.5;
+        let cap = 8.0;
+        let mut b = DensityBands::new(c, cap);
+        // Greedy build, as scheduler S does.
+        for (i, &(d, a)) in jobs.iter().enumerate() {
+            if b.fits(d, a) {
+                b.insert(JobId(i as u32), d, a);
+            }
+        }
+        let mut with_cand = members_of(&b);
+        with_cand.push((cand_d, cand_a));
+        prop_assert_eq!(
+            b.fits(cand_d, cand_a),
+            band_overload(&with_cand, c, cap).is_none()
+        );
+        // And the standalone population check is the same predicate.
+        prop_assert_eq!(
+            fits_population(&members_of(&b), cand_d, cand_a, c, cap),
+            band_overload(&with_cand, c, cap).is_none()
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Guards on the fast-forward opt-in: schedulers that are *not* stable
+//! between events must stay on the reference path, and trace recording must
+//! force it for everyone.
+//!
+//! On the reference path every simulated tick is one engine step, so
+//! `steps_executed == ticks_simulated` is the observable signature that no
+//! bulk window was taken.
+
+use dagsched_core::Speed;
+use dagsched_engine::{simulate, OnlineScheduler, SimConfig};
+use dagsched_sched::{RandomOrder, SchedulerS, SchedulerSProfit};
+use dagsched_workload::{Instance, WorkloadGen};
+
+fn workload(m: u32, seed: u64) -> Instance {
+    WorkloadGen::standard(m, 25, seed)
+        .generate()
+        .expect("valid")
+}
+
+#[test]
+fn random_order_never_fast_forwards() {
+    let m = 5;
+    let mut r = RandomOrder::new(m, 42);
+    assert!(
+        !r.allocation_stable_between_events(),
+        "RandomOrder consumes RNG state per call; it must not claim stability"
+    );
+    let res = simulate(&workload(m, 7), &mut r, &SimConfig::default()).expect("runs");
+    assert_eq!(
+        res.steps_executed, res.ticks_simulated,
+        "fast-forward on an unstable scheduler would skip RNG draws"
+    );
+}
+
+#[test]
+fn general_profit_scheduler_never_fast_forwards() {
+    let m = 5;
+    let mut s = SchedulerSProfit::with_epsilon(m, 1.0);
+    assert!(
+        !s.allocation_stable_between_events(),
+        "SProfit reassigns virtual slots per tick; it must not claim stability"
+    );
+    let res = simulate(&workload(m, 7), &mut s, &SimConfig::default()).expect("runs");
+    assert_eq!(res.steps_executed, res.ticks_simulated);
+}
+
+#[test]
+fn trace_recording_forces_reference_path() {
+    let m = 5;
+    let inst = workload(m, 11);
+    // SchedulerS *is* stable: without a trace the engine fast-forwards...
+    let plain = simulate(
+        &inst,
+        &mut SchedulerS::with_epsilon(m, 1.0),
+        &SimConfig::default(),
+    )
+    .expect("runs");
+    assert!(
+        plain.steps_executed < plain.ticks_simulated,
+        "precondition: this workload has fast-forwardable stretches"
+    );
+    // ...but a trace needs every tick, so recording must disable it.
+    let cfg = SimConfig {
+        record_trace: true,
+        ..SimConfig::default()
+    };
+    let traced = simulate(&inst, &mut SchedulerS::with_epsilon(m, 1.0), &cfg).expect("runs");
+    assert_eq!(traced.steps_executed, traced.ticks_simulated);
+    let trace = traced.trace.as_ref().expect("trace recorded");
+    assert_eq!(
+        trace.len() as u64,
+        traced.ticks_simulated,
+        "one trace record per simulated tick"
+    );
+    // (`same_outcome` also compares the trace field itself, which only the
+    // traced run carries — compare the schedule-relevant fields directly.)
+    assert_eq!(
+        plain.outcomes, traced.outcomes,
+        "path choice changed the schedule"
+    );
+    assert_eq!(plain.total_profit, traced.total_profit);
+    assert_eq!(plain.ticks_simulated, traced.ticks_simulated);
+    assert_eq!(plain.end_time, traced.end_time);
+}
+
+#[test]
+fn stability_flag_is_honored_at_other_speeds() {
+    let m = 4;
+    let inst = workload(m, 23);
+    for speed in [
+        Speed::new(3, 2).expect("positive"),
+        Speed::integer(2).expect("positive"),
+    ] {
+        let cfg = SimConfig {
+            speed,
+            ..SimConfig::default()
+        };
+        let res = simulate(&inst, &mut RandomOrder::new(m, 9), &cfg).expect("runs");
+        assert_eq!(
+            res.steps_executed, res.ticks_simulated,
+            "unstable scheduler fast-forwarded at speed {speed:?}"
+        );
+    }
+}

@@ -315,7 +315,12 @@ pub mod collection {
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.max_excl - self.size.min) as u64;
-            let len = self.size.min + if span <= 1 { 0 } else { rng.below(span) as usize };
+            let len = self.size.min
+                + if span <= 1 {
+                    0
+                } else {
+                    rng.below(span) as usize
+                };
             (0..len).map(|_| self.element.generate(rng)).collect()
         }
     }
@@ -438,7 +443,10 @@ mod tests {
     fn combinators_compose() {
         let mut rng = TestRng::deterministic();
         let strat = (1usize..=4).prop_flat_map(|k| {
-            (collection::vec(1u64..10, k), collection::vec(0.0f64..1.0, 0..3))
+            (
+                collection::vec(1u64..10, k),
+                collection::vec(0.0f64..1.0, 0..3),
+            )
                 .prop_map(|(ints, floats)| (ints, floats))
         });
         for _ in 0..1_000 {

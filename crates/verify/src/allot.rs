@@ -1,0 +1,157 @@
+//! Lemma 1 and the allocation discipline as continuously-checked invariants.
+
+use crate::model::{job_model, JobModel};
+use crate::violation::{Recorder, Violation};
+use dagsched_core::{AlgoParams, JobId, Speed, Time};
+use dagsched_engine::{AdmissionDecision, AdmissionEvent, JobInfo, SimObserver};
+use std::collections::HashMap;
+
+/// Checks scheduler S's allocation discipline on every window:
+///
+/// * Σ alloc ≤ m (independently of the engine's own validation);
+/// * every allocation goes to a *started* job, and grants it **exactly** its
+///   allotment `n_i` (the paper's S always hands a scheduled job its full
+///   allotment — surplus processors idle);
+/// * Lemma 1 at admission: `n_i ≤ b²m + 1` (the `+1` is the integrality
+///   slack of rounding the fractional allotment up).
+///
+/// The work-conserving variant S-wc deliberately backfills idle processors
+/// beyond allotments and onto waiting jobs; for it, enable
+/// [`allow_backfill`](AllotmentChecker::allow_backfill), which keeps the
+/// Σ ≤ m and Lemma 1 checks but drops the exact-allotment discipline.
+#[derive(Debug)]
+pub struct AllotmentChecker {
+    params: AlgoParams,
+    speed_hint: f64,
+    m: u32,
+    backfill: bool,
+    models: HashMap<JobId, JobModel>,
+    started: Vec<JobId>,
+    rec: Recorder,
+}
+
+impl AllotmentChecker {
+    /// Create the checker; `params` must match the scheduler's.
+    pub fn new(params: AlgoParams) -> AllotmentChecker {
+        AllotmentChecker {
+            params,
+            speed_hint: 1.0,
+            m: 0,
+            backfill: false,
+            models: HashMap::new(),
+            started: Vec::new(),
+            rec: Recorder::new("allotment"),
+        }
+    }
+
+    /// Mirror the scheduler's speed hint.
+    pub fn with_speed_hint(mut self, s: f64) -> AllotmentChecker {
+        assert!(s.is_finite() && s > 0.0);
+        self.speed_hint = s;
+        self
+    }
+
+    /// Relax the exact-allotment discipline for work-conserving backfill.
+    pub fn allow_backfill(mut self) -> AllotmentChecker {
+        self.backfill = true;
+        self
+    }
+
+    /// Collect violations instead of panicking under `verify-strict`.
+    pub fn lenient(mut self) -> AllotmentChecker {
+        self.rec.lenient();
+        self
+    }
+
+    /// Violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        self.rec.violations()
+    }
+}
+
+impl SimObserver for AllotmentChecker {
+    fn on_start(&mut self, m: u32, _speed: Speed, _horizon: Time) {
+        self.m = m;
+    }
+
+    fn on_job_arrival(&mut self, _now: Time, info: &JobInfo) {
+        self.models.insert(
+            info.id,
+            job_model(info, &self.params, self.m, self.speed_hint),
+        );
+    }
+
+    fn on_admission(&mut self, now: Time, event: AdmissionEvent) {
+        if event.decision != AdmissionDecision::Admitted {
+            return;
+        }
+        if !self.started.contains(&event.job) {
+            self.started.push(event.job);
+        }
+        // Lemma 1 (with integrality slack): an admitted job's allotment is
+        // at most b²m + 1.
+        if let Some(jm) = self.models.get(&event.job) {
+            let bound = self.params.b().powi(2) * self.m as f64 + 1.0;
+            if jm.allot as f64 > bound {
+                self.rec.flag(
+                    now,
+                    Some(event.job),
+                    format!(
+                        "Lemma 1 violated: allotment {} > b²m+1 = {bound:.3}",
+                        jm.allot
+                    ),
+                );
+            }
+        }
+    }
+
+    fn on_window(
+        &mut self,
+        at: Time,
+        _ticks: u64,
+        _jobs: &[(JobId, u32)],
+        alloc: &[(JobId, u32)],
+        _progress: &[(JobId, u64)],
+    ) {
+        let total: u64 = alloc.iter().map(|&(_, k)| k as u64).sum();
+        if total > self.m as u64 {
+            self.rec.flag(
+                at,
+                None,
+                format!("{total} processors allocated on an m = {} machine", self.m),
+            );
+        }
+        if self.backfill {
+            return;
+        }
+        for &(id, k) in alloc {
+            if !self.started.contains(&id) {
+                self.rec.flag(
+                    at,
+                    Some(id),
+                    format!("{k} processors for an un-started job"),
+                );
+                continue;
+            }
+            if let Some(jm) = self.models.get(&id) {
+                if k != jm.allot {
+                    self.rec.flag(
+                        at,
+                        Some(id),
+                        format!("holds {k} processors but allotment is {}", jm.allot),
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_job_complete(&mut self, _at: Time, job: JobId, _profit: u64) {
+        self.started.retain(|&j| j != job);
+        self.models.remove(&job);
+    }
+
+    fn on_job_expired(&mut self, _at: Time, job: JobId) {
+        self.started.retain(|&j| j != job);
+        self.models.remove(&job);
+    }
+}

@@ -1,0 +1,101 @@
+//! Violation records and the shared collection/strictness machinery.
+
+use dagsched_core::{JobId, Time};
+use std::fmt;
+
+/// One invariant violation, as recorded by a checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Name of the checker that flagged it.
+    pub checker: &'static str,
+    /// Simulation time of the violating event.
+    pub at: Time,
+    /// The job involved, when one is identifiable.
+    pub job: Option<JobId>,
+    /// Human-readable description of what was violated.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] t={}", self.checker, self.at.ticks())?;
+        if let Some(job) = self.job {
+            write!(f, " {job}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Shared per-checker violation sink.
+///
+/// Strictness defaults to the `verify-strict` cargo feature: with the
+/// feature on, the first violation panics at the offending event (the CI
+/// mode); without it, violations accumulate for the caller to inspect.
+/// [`lenient`](Recorder::lenient) forces collection regardless of the
+/// feature — the mutant tests use this so they pass under both settings.
+#[derive(Debug)]
+pub(crate) struct Recorder {
+    checker: &'static str,
+    strict: bool,
+    violations: Vec<Violation>,
+}
+
+impl Recorder {
+    pub(crate) fn new(checker: &'static str) -> Recorder {
+        Recorder {
+            checker,
+            strict: cfg!(feature = "verify-strict"),
+            violations: Vec::new(),
+        }
+    }
+
+    pub(crate) fn lenient(&mut self) {
+        self.strict = false;
+    }
+
+    pub(crate) fn flag(&mut self, at: Time, job: Option<JobId>, message: String) {
+        let v = Violation {
+            checker: self.checker,
+            at,
+            job,
+            message,
+        };
+        if self.strict {
+            panic!("invariant violation: {v}");
+        }
+        self.violations.push(v);
+    }
+
+    pub(crate) fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_checker_time_and_job() {
+        let v = Violation {
+            checker: "band-capacity",
+            at: Time(17),
+            job: Some(JobId(3)),
+            message: "load 9 > capacity 6.93".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("band-capacity"));
+        assert!(s.contains("t=17"));
+        assert!(s.contains("J3") || s.contains('3'));
+        assert!(s.contains("load 9"));
+    }
+
+    #[test]
+    fn lenient_recorder_collects_instead_of_panicking() {
+        let mut r = Recorder::new("test");
+        r.lenient();
+        r.flag(Time(1), None, "a".into());
+        r.flag(Time(2), Some(JobId(0)), "b".into());
+        assert_eq!(r.violations().len(), 2);
+    }
+}

@@ -31,6 +31,7 @@ pub use dagsched_experiments as experiments;
 pub use dagsched_metrics as metrics;
 pub use dagsched_opt as opt;
 pub use dagsched_sched as sched;
+pub use dagsched_verify as verify;
 pub use dagsched_workload as workload;
 
 /// The common imports for working with the library.
@@ -38,15 +39,19 @@ pub mod prelude {
     pub use dagsched_core::{AlgoParams, JobId, NodeId, Rng64, SchedError, Speed, Time, Work};
     pub use dagsched_dag::{gen as daggen, DagBuilder, DagJobSpec, UnfoldState};
     pub use dagsched_engine::{
-        simulate, JobInfo, JobStatus, NodePick, OnlineScheduler, SimConfig, SimResult, TickView,
-        Trace, TraceStats,
+        simulate, simulate_observed, JobInfo, JobStatus, NodePick, NullObserver, Observers,
+        OnlineScheduler, SimConfig, SimObserver, SimResult, TickView, Trace, TraceStats,
     };
     pub use dagsched_opt::{
         adversarial_makespan, clairvoyant_edf_profit, exact_subset_ub, fractional_ub, lpf_makespan,
     };
     pub use dagsched_sched::{
         federated_assignment, Edf, FederatedScheduler, Fifo, GreedyDensity, LeastLaxity,
-        RandomOrder, SchedulerS, SchedulerSProfit,
+        RandomOrder, SNoAdmission, SchedulerS, SchedulerSProfit,
+    };
+    pub use dagsched_verify::{
+        AllotmentChecker, BandCapacityChecker, DeltaGoodChecker, EventLog, InvariantSuite,
+        WorkConservationChecker,
     };
     pub use dagsched_workload::{
         ArrivalProcess, ClusterTraceGen, DagFamily, DeadlinePolicy, Instance, JobSpec,

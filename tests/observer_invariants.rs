@@ -1,0 +1,65 @@
+//! System-level runtime invariant checks through the facade crate.
+//!
+//! Scheduler S runs under the full verify suite on stress workloads; with
+//! `--features verify-strict` (the CI `verify` job) any violation panics at
+//! the offending event, otherwise it is collected and reported here.
+
+use dagsched::prelude::*;
+
+fn stress_workload(m: u32, load: f64, slack: f64, n: usize, seed: u64) -> Instance {
+    WorkloadGen {
+        arrivals: ArrivalProcess::poisson_for_load(load, 60.0, m),
+        deadlines: DeadlinePolicy::SlackFactor(slack),
+        ..WorkloadGen::standard(m, n, seed)
+    }
+    .generate()
+    .unwrap()
+}
+
+#[test]
+fn scheduler_s_passes_runtime_invariants_under_stress() {
+    for seed in 0..4u64 {
+        let inst = stress_workload(8, 4.0, 2.0, 80, seed);
+        let mut suite = InvariantSuite::for_scheduler_s(AlgoParams::from_epsilon(1.0).unwrap());
+        let mut s = SchedulerS::with_epsilon(8, 1.0);
+        simulate_observed(&inst, &mut s, &SimConfig::default(), &mut suite).unwrap();
+        suite.assert_clean();
+    }
+}
+
+#[test]
+fn work_conserving_variant_passes_with_backfill_allowance() {
+    for seed in 0..4u64 {
+        let inst = stress_workload(6, 5.0, 1.3, 80, seed);
+        let mut suite = InvariantSuite::for_scheduler_s(AlgoParams::from_epsilon(1.0).unwrap())
+            .allow_backfill();
+        let mut s = SchedulerS::with_epsilon(6, 1.0).work_conserving();
+        simulate_observed(&inst, &mut s, &SimConfig::default(), &mut suite).unwrap();
+        suite.assert_clean();
+    }
+}
+
+#[test]
+fn observed_and_plain_runs_agree() {
+    // Attaching observers must not change the schedule.
+    let inst = stress_workload(5, 3.0, 1.5, 60, 17);
+    let mut log = EventLog::new();
+    let observed = simulate_observed(
+        &inst,
+        &mut SchedulerS::with_epsilon(5, 1.0),
+        &SimConfig::default(),
+        &mut log,
+    )
+    .unwrap();
+    let plain = simulate(
+        &inst,
+        &mut SchedulerS::with_epsilon(5, 1.0),
+        &SimConfig::default(),
+    )
+    .unwrap();
+    assert!(observed.same_outcome(&plain));
+    assert!(
+        log.to_jsonl().lines().count() >= inst.len() + 2,
+        "stream too short"
+    );
+}

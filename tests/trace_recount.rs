@@ -1,0 +1,138 @@
+//! `TraceStats` against a brute-force recount on real engine traces.
+//!
+//! The unit tests in `crates/engine/src/trace.rs` pin the counting rules on
+//! hand-built traces; this test re-derives every aggregate from scratch —
+//! by a deliberately naive quadratic scan — on traces produced by actual
+//! simulations, where completions, expiries, idle gaps and allotment
+//! changes occur in combinations nobody hand-writes.
+
+use dagsched::prelude::*;
+
+/// Quadratic, obviously-correct recount of every `TraceStats` field.
+fn recount(trace: &Trace, m: u32, completions: &[(JobId, Time)]) -> TraceStats {
+    let ticks = trace.ticks();
+    let granted_to = |tick: &dagsched::engine::trace::TraceTick, id: JobId| -> Option<u32> {
+        tick.alloc.iter().find(|&&(j, _)| j == id).map(|&(_, k)| k)
+    };
+    let completed_at = |id: JobId| completions.iter().find(|&&(j, _)| j == id).map(|&(_, t)| t);
+
+    let mut busy_ticks = 0u64;
+    let mut processor_ticks = 0u64;
+    let mut util_sum = 0.0f64;
+    let mut jobs: Vec<JobId> = Vec::new();
+    for t in ticks {
+        let granted: u64 = t.alloc.iter().map(|&(_, k)| k as u64).sum();
+        processor_ticks += granted;
+        if granted > 0 {
+            busy_ticks += 1;
+            util_sum += granted as f64 / m as f64;
+        }
+        for &(id, _) in &t.alloc {
+            if !jobs.contains(&id) {
+                jobs.push(id);
+            }
+        }
+    }
+
+    let mut preemptions = 0u64;
+    let mut resize_events = 0u64;
+    for pair in ticks.windows(2) {
+        let (prev, cur) = (&pair[0], &pair[1]);
+        if prev.at.after(1) != cur.at {
+            continue; // idle gap: ticks are not adjacent in simulated time
+        }
+        for &(id, k_prev) in &prev.alloc {
+            match granted_to(cur, id) {
+                None => {
+                    if completed_at(id) != Some(cur.at) {
+                        preemptions += 1;
+                    }
+                }
+                Some(k_cur) if k_cur != k_prev => resize_events += 1,
+                Some(_) => {}
+            }
+        }
+    }
+
+    TraceStats {
+        busy_ticks,
+        processor_ticks,
+        mean_utilization: if busy_ticks > 0 {
+            util_sum / busy_ticks as f64
+        } else {
+            0.0
+        },
+        preemptions,
+        resize_events,
+        jobs_run: jobs.len(),
+    }
+}
+
+fn check(inst: &Instance, sched: &mut dyn OnlineScheduler, m: u32, label: &str) {
+    let cfg = SimConfig {
+        record_trace: true,
+        ..SimConfig::default()
+    };
+    let r = simulate(inst, sched, &cfg).expect("simulation runs");
+    let trace = r.trace.as_ref().expect("trace recorded");
+    let completions = r.completions();
+    let got = trace.stats(m, &completions);
+    let want = recount(trace, m, &completions);
+    assert_eq!(
+        got, want,
+        "{label}: stats disagree with brute-force recount"
+    );
+    // Cross-check against the engine's own accounting.
+    assert_eq!(
+        got.processor_ticks,
+        trace
+            .ticks()
+            .iter()
+            .flat_map(|t| t.alloc.iter())
+            .map(|&(_, k)| k as u64)
+            .sum::<u64>(),
+        "{label}: processor-tick total"
+    );
+    assert!(got.jobs_run <= inst.len(), "{label}: phantom jobs in trace");
+}
+
+#[test]
+fn stats_match_recount_on_random_instances() {
+    for seed in [3u64, 58, 477, 901] {
+        let m = 3 + (seed % 6) as u32;
+        let inst = WorkloadGen::standard(m, 30, seed)
+            .generate()
+            .expect("valid workload");
+        check(&inst, &mut SchedulerS::with_epsilon(m, 1.0), m, "S");
+        check(
+            &inst,
+            &mut SchedulerS::with_epsilon(m, 1.0).work_conserving(),
+            m,
+            "S-wc",
+        );
+        check(&inst, &mut GreedyDensity::new(m), m, "GREEDY-DENSITY");
+        check(&inst, &mut LeastLaxity::new(m), m, "LLF");
+    }
+}
+
+#[test]
+fn stats_match_recount_under_preemption_heavy_overload() {
+    // Tight deadlines force expiries mid-run; LLF reshuffles allotments
+    // constantly — the richest source of preemption/resize edge cases.
+    let m = 4;
+    let inst = WorkloadGen {
+        arrivals: ArrivalProcess::poisson_for_load(5.0, 40.0, m),
+        deadlines: DeadlinePolicy::SlackFactor(1.1),
+        ..WorkloadGen::standard(m, 60, 31)
+    }
+    .generate()
+    .expect("valid workload");
+    check(&inst, &mut LeastLaxity::new(m), m, "LLF overload");
+    check(&inst, &mut Edf::new(m), m, "EDF overload");
+    check(
+        &inst,
+        &mut SchedulerS::with_epsilon(m, 1.0),
+        m,
+        "S overload",
+    );
+}
