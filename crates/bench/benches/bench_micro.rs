@@ -3,11 +3,11 @@
 //! DAG generation + unfolding, and the PRNG.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use dagsched_core::{AlgoParams, JobId, Rng64, Speed};
+use dagsched_core::{AlgoParams, JobId, Rng64, Speed, Time, Work};
 use dagsched_dag::{gen, UnfoldState};
-use dagsched_engine::{simulate, SimConfig};
+use dagsched_engine::{simulate, Allocation, JobInfo, OnlineScheduler, SimConfig, TickView};
 use dagsched_sched::{bands::DensityBands, GreedyDensity, SchedulerS};
-use dagsched_workload::{DagFamily, WorkloadGen};
+use dagsched_workload::{DagFamily, StepProfitFn, WorkloadGen};
 
 fn bench_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
@@ -135,6 +135,84 @@ fn bench_bands(c: &mut Criterion) {
     g.finish();
 }
 
+/// The overload admission storm against the incremental band index: offer
+/// ρ× more jobs than the bands can hold (multi-band log-uniform densities
+/// over four decades), `fits` → greedy `insert`. The steady state is the
+/// interesting one: Q is full, so almost every offer is a rejected `fits`
+/// probe — O(log |Q|) on the treap, O(|Q|) on the legacy sweep it
+/// replaced (`dagsched-bench` measures that ratio; this group tracks the
+/// absolute cost of the new path, up to |P| = 10⁴).
+fn bench_admission(c: &mut Criterion) {
+    let mut g = c.benchmark_group("admission");
+    g.sample_size(15);
+    let params = AlgoParams::from_epsilon(1.0).unwrap();
+    // ~400 jobs of mean allotment 4.5 saturate 4 decades at 0.9·512.
+    let hold = 400usize;
+    for (rho, extra) in [(2usize, 0usize), (8, 0), (8, 10_000 - 8 * hold)] {
+        let n = rho * hold + extra;
+        let mut rng = Rng64::seed_from(0x5EED ^ n as u64);
+        let stream: Vec<(f64, u32)> = (0..n)
+            .map(|_| {
+                let d = 10f64.powf(rng.gen_f64_range(-2.0, 2.0));
+                (d, 1 + rng.gen_range(8) as u32)
+            })
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("storm/rho{rho}/p{n}"), |b| {
+            b.iter(|| {
+                let mut bands = DensityBands::new(params.c(), 0.9 * 512.0);
+                let mut admitted = 0u64;
+                for (i, &(d, a)) in stream.iter().enumerate() {
+                    if bands.fits(d, a) {
+                        bands.insert(JobId(i as u32), d, a);
+                        admitted += 1;
+                    }
+                }
+                admitted
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The work-conserving allocate of scheduler S on a hot state: hundreds of
+/// admitted (Q) and parked (P) jobs, all with spare ready nodes, so the
+/// backfill pass exercises the dense ready/slot scratch maps and the O(1)
+/// grant merge on every call.
+fn bench_backfill(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backfill");
+    g.sample_size(15);
+    let m = 512u32;
+    for n in [500usize, 2_000] {
+        let mut sched = SchedulerS::with_epsilon(m, 1.0).work_conserving();
+        let mut rng = Rng64::seed_from(0xBACF11);
+        let mut view_jobs = Vec::with_capacity(n);
+        for i in 0..n {
+            let info = JobInfo {
+                id: JobId(i as u32),
+                arrival: Time(0),
+                work: Work(40),
+                span: Work(8),
+                profit: StepProfitFn::deadline(
+                    Time(600 + rng.gen_range(200)),
+                    1 + rng.gen_range(1000),
+                ),
+            };
+            sched.on_arrival(&info, Time(0));
+            view_jobs.push((JobId(i as u32), 8u32));
+        }
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("wc-allocate/q{n}"), |b| {
+            let mut buf: Allocation = Vec::new();
+            b.iter(|| {
+                sched.allocate_into(&TickView::new(m, Time(1), &view_jobs), &mut buf);
+                buf.len()
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_dag(c: &mut Criterion) {
     let mut g = c.benchmark_group("dag");
     g.bench_function("gen/fig1/m64", |b| b.iter(|| gen::fig1(64, 100, 1)));
@@ -145,12 +223,13 @@ fn bench_dag(c: &mut Criterion) {
     let spec = gen::fig1(16, 200, 1).into_shared();
     g.throughput(Throughput::Elements(spec.total_work().units()));
     g.bench_function("unfold/fig1-drain", |b| {
+        let mut nodes = Vec::new();
         b.iter_batched(
             || UnfoldState::new(spec.clone(), 1),
             |mut st| {
                 while !st.is_complete() {
-                    let nodes = st.ready_prefix(16);
-                    for n in nodes {
+                    st.ready_prefix_into(16, &mut nodes);
+                    for &n in &nodes {
                         st.advance(n, u64::MAX);
                     }
                 }
@@ -176,6 +255,8 @@ criterion_group!(
     bench_engine,
     bench_fast_forward,
     bench_bands,
+    bench_admission,
+    bench_backfill,
     bench_dag,
     bench_rng
 );

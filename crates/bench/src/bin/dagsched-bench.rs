@@ -1,0 +1,102 @@
+//! Perf-regression exporter: run the hot-path harness and write
+//! `BENCH_pr3.json`, optionally failing against a committed baseline.
+//!
+//! ```text
+//! dagsched-bench [--quick] [--out PATH] [--baseline PATH] [--max-regress FRAC]
+//! ```
+//!
+//! * `--quick` — reduced sizes/iterations (the CI smoke configuration);
+//! * `--out PATH` — where to write the JSON report (default
+//!   `BENCH_pr3.json` in the current directory);
+//! * `--baseline PATH` — compare this run's admission/backfill speedups
+//!   against the ones recorded in `PATH`; exit non-zero if either fell
+//!   more than `--max-regress` (default `0.25`, i.e. 25%) below it.
+//!
+//! Speedups are legacy-vs-optimized ratios measured in the same process,
+//! so the baseline comparison is machine-independent: a regression means
+//! the optimized code got slower *relative to the frozen legacy code on
+//! the same box*, not that the box changed.
+
+use dagsched_bench::hotpath::{json_number, run_all};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = String::from("BENCH_pr3.json");
+    let mut baseline: Option<String> = None;
+    let mut max_regress = 0.25f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            "--max-regress" => {
+                max_regress = args
+                    .next()
+                    .expect("--max-regress needs a fraction")
+                    .parse()
+                    .expect("--max-regress must be a number")
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "dagsched-bench: running hot-path harness ({} mode)...",
+        if quick { "quick" } else { "full" }
+    );
+    let report = run_all(quick);
+    let json = report.to_json();
+    for c in report.admission.iter().chain(report.backfill.iter()) {
+        eprintln!(
+            "  {:<24} legacy {:>12.0} ns   new {:>12.0} ns   speedup {:>6.2}x",
+            c.id, c.legacy_ns, c.new_ns, c.speedup
+        );
+    }
+    let (adm, bf) = (report.admission_speedup(), report.backfill_speedup());
+    eprintln!("  admission_speedup {adm:.2}x, backfill_speedup {bf:.2}x");
+
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::from(1);
+    }
+    eprintln!("wrote {out}");
+
+    if let Some(path) = baseline {
+        let base = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("failed to read baseline {path}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        let mut failed = false;
+        for (key, current) in [("admission_speedup", adm), ("backfill_speedup", bf)] {
+            let Some(expected) = json_number(&base, key) else {
+                eprintln!("baseline {path} has no {key}");
+                failed = true;
+                continue;
+            };
+            let floor = expected * (1.0 - max_regress);
+            if current < floor {
+                eprintln!(
+                    "REGRESSION: {key} {current:.2}x is below {floor:.2}x \
+                     (baseline {expected:.2}x - {:.0}%)",
+                    max_regress * 100.0
+                );
+                failed = true;
+            } else {
+                eprintln!("ok: {key} {current:.2}x >= floor {floor:.2}x (baseline {expected:.2}x)");
+            }
+        }
+        if failed {
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,352 @@
+//! The perf-regression harness behind `dagsched-bench` (BENCH_pr3.json).
+//!
+//! Two measured hot paths, each timed as *legacy vs optimized in the same
+//! process and run*:
+//!
+//! * **admission** — an overload admission storm: a stream of jobs with
+//!   multi-band log-uniform densities (four decades, `10^[-2, 2]`) is
+//!   offered to the band structure, `fits` → `insert` greedily, on a
+//!   machine large enough that `|Q|` reaches the hundreds. Legacy is the
+//!   retained O(|Q|)-per-query sweep
+//!   ([`reference::ReferenceBands`](dagsched_sched::bands::reference)),
+//!   optimized is the incremental treap
+//!   ([`DensityBands`](dagsched_sched::bands::DensityBands)).
+//! * **backfill** — the work-conserving allocate of scheduler S on a hot
+//!   state (hundreds of admitted and parked jobs, every one with spare
+//!   ready nodes). Legacy is the frozen
+//!   [`OracleSchedulerS`](dagsched_sched::oracle::OracleSchedulerS) (per
+//!   call: two `HashMap`s plus an O(|out|) rescan per grant), optimized is
+//!   the current [`SchedulerS`](dagsched_sched::SchedulerS) with its dense
+//!   scratch maps and slot index.
+//!
+//! The report records *speedup ratios* (legacy time / optimized time), not
+//! absolute times, so the committed baseline stays meaningful across
+//! machines; the CI smoke job re-runs the harness with `--quick` and fails
+//! when a ratio falls more than the allowed fraction below the baseline.
+
+use dagsched_core::{AlgoParams, JobId, Rng64, Time, Work};
+use dagsched_engine::{Allocation, JobInfo, OnlineScheduler, TickView};
+use dagsched_sched::bands::{reference::ReferenceBands, DensityBands};
+use dagsched_sched::oracle::OracleSchedulerS;
+use dagsched_sched::SchedulerS;
+use dagsched_workload::StepProfitFn;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One legacy-vs-optimized measurement.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Case id, e.g. `"overload/p2000"`.
+    pub id: String,
+    /// Median legacy time per iteration, nanoseconds.
+    pub legacy_ns: f64,
+    /// Median optimized time per iteration, nanoseconds.
+    pub new_ns: f64,
+    /// `legacy_ns / new_ns`.
+    pub speedup: f64,
+}
+
+/// The full harness output, serialized to `BENCH_pr3.json`.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Whether the reduced `--quick` sizes were used.
+    pub quick: bool,
+    /// Admission-storm cases, ascending size.
+    pub admission: Vec<CaseResult>,
+    /// Backfill cases, ascending size.
+    pub backfill: Vec<CaseResult>,
+}
+
+impl BenchReport {
+    /// Admission speedup of record: the *minimum* over cases with at least
+    /// 10³ offered jobs (the acceptance bar measures the worst large case,
+    /// not a friendly small one).
+    pub fn admission_speedup(&self) -> f64 {
+        min_speedup(self.admission.iter().filter(|c| case_size(&c.id) >= 1_000))
+    }
+
+    /// Backfill speedup of record: minimum over all backfill cases.
+    pub fn backfill_speedup(&self) -> f64 {
+        min_speedup(self.backfill.iter())
+    }
+
+    /// Serialize to the committed JSON format.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"pr\": 3,\n");
+        s.push_str(&format!("  \"quick\": {},\n", self.quick));
+        for (name, cases) in [("admission", &self.admission), ("backfill", &self.backfill)] {
+            s.push_str(&format!("  \"{name}\": [\n"));
+            for (i, c) in cases.iter().enumerate() {
+                s.push_str(&format!(
+                    "    {{\"id\": \"{}\", \"legacy_ns\": {:.0}, \"new_ns\": {:.0}, \"speedup\": {:.3}}}{}\n",
+                    c.id,
+                    c.legacy_ns,
+                    c.new_ns,
+                    c.speedup,
+                    if i + 1 < cases.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("  ],\n");
+        }
+        s.push_str(&format!(
+            "  \"admission_speedup\": {:.3},\n",
+            self.admission_speedup()
+        ));
+        s.push_str(&format!(
+            "  \"backfill_speedup\": {:.3}\n",
+            self.backfill_speedup()
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn min_speedup<'a>(cases: impl Iterator<Item = &'a CaseResult>) -> f64 {
+    cases.map(|c| c.speedup).fold(f64::INFINITY, f64::min)
+}
+
+/// Parse the trailing integer out of a case id like `"overload/p2000"`.
+fn case_size(id: &str) -> u64 {
+    id.chars()
+        .rev()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0)
+}
+
+/// Extract `"key": <number>` from the harness's own JSON (used by the CI
+/// regression check — no JSON dependency in this tree).
+pub fn json_number(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Median wall time of `f` over `iters` runs (after one warmup), in ns.
+fn time_median_ns(iters: usize, mut f: impl FnMut() -> u64) -> f64 {
+    black_box(f()); // warmup
+    let mut samples: Vec<f64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        samples.push(t0.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The multi-band overload stream: `(density, allot)` pairs, densities
+/// log-uniform over four decades so the structure holds many disjoint
+/// `[v, c·v)` bands at once.
+fn admission_stream(n: usize, seed: u64) -> Vec<(f64, u32)> {
+    let mut rng = Rng64::seed_from(seed);
+    (0..n)
+        .map(|_| {
+            let d = 10f64.powf(rng.gen_f64_range(-2.0, 2.0));
+            let a = 1 + rng.gen_range(8) as u32;
+            (d, a)
+        })
+        .collect()
+}
+
+/// Greedy admission over the stream with the legacy sweep structure.
+fn legacy_admission(stream: &[(f64, u32)], c: f64, cap: f64) -> u64 {
+    let mut b = ReferenceBands::new(c, cap);
+    let mut admitted = 0u64;
+    for (i, &(d, a)) in stream.iter().enumerate() {
+        if b.fits(d, a) {
+            b.insert(JobId(i as u32), d, a);
+            admitted += 1;
+        }
+    }
+    admitted
+}
+
+/// Greedy admission over the stream with the incremental treap.
+fn treap_admission(stream: &[(f64, u32)], c: f64, cap: f64) -> u64 {
+    let mut b = DensityBands::new(c, cap);
+    let mut admitted = 0u64;
+    for (i, &(d, a)) in stream.iter().enumerate() {
+        if b.fits(d, a) {
+            b.insert(JobId(i as u32), d, a);
+            admitted += 1;
+        }
+    }
+    admitted
+}
+
+/// Run the admission-storm group at the given stream sizes.
+pub fn run_admission(sizes: &[usize], iters: usize) -> Vec<CaseResult> {
+    let params = AlgoParams::from_epsilon(1.0).expect("valid epsilon");
+    let (c, cap) = (params.c(), 0.9 * 512.0);
+    sizes
+        .iter()
+        .map(|&n| {
+            let stream = admission_stream(n, 0x5EED ^ n as u64);
+            // Sanity: both sides must admit the same set before timing.
+            assert_eq!(
+                legacy_admission(&stream, c, cap),
+                treap_admission(&stream, c, cap),
+                "legacy and treap disagree on the stream"
+            );
+            let legacy_ns = time_median_ns(iters, || legacy_admission(&stream, c, cap));
+            let new_ns = time_median_ns(iters, || treap_admission(&stream, c, cap));
+            CaseResult {
+                id: format!("overload/p{n}"),
+                legacy_ns,
+                new_ns,
+                speedup: legacy_ns / new_ns,
+            }
+        })
+        .collect()
+}
+
+/// Build a hot scheduler-S state: `n` jobs offered on an `m = 512` machine
+/// with ample deadlines, so a few hundred are admitted into Q (allotment 1,
+/// spread densities) and the band-capacity rest parks in P. Every job has 8
+/// ready nodes in the view, so the work-conserving pass both tops up Q jobs
+/// and backfills P jobs — the exact shape the grant-merge fix targets.
+fn backfill_state<S: OnlineScheduler>(mut sched: S, n: usize) -> (S, Vec<(JobId, u32)>) {
+    let mut rng = Rng64::seed_from(0xBACF11);
+    let mut view = Vec::with_capacity(n);
+    for i in 0..n {
+        let profit = 1 + rng.gen_range(1000);
+        let info = JobInfo {
+            id: JobId(i as u32),
+            arrival: Time(0),
+            work: Work(40),
+            span: Work(8),
+            // Deadline far out: allotment 1, every job δ-good.
+            profit: StepProfitFn::deadline(Time(600 + rng.gen_range(200)), profit),
+        };
+        sched.on_arrival(&info, Time(0));
+        view.push((JobId(i as u32), 8u32));
+    }
+    (sched, view)
+}
+
+/// Run the backfill group at the given alive-set sizes.
+pub fn run_backfill(sizes: &[usize], iters: usize) -> Vec<CaseResult> {
+    let m = 512u32;
+    sizes
+        .iter()
+        .map(|&n| {
+            let (mut legacy, view_jobs) =
+                backfill_state(OracleSchedulerS::with_epsilon(m, 1.0).work_conserving(), n);
+            let (mut new, _) =
+                backfill_state(SchedulerS::with_epsilon(m, 1.0).work_conserving(), n);
+            let view = TickView::new(m, Time(1), &view_jobs);
+            // Sanity: identical allocations before timing.
+            assert_eq!(legacy.allocate(&view), new.allocate(&view));
+            let legacy_ns = time_median_ns(iters, || {
+                let a = legacy.allocate(&view);
+                a.len() as u64
+            });
+            let mut buf: Allocation = Vec::new();
+            let new_ns = time_median_ns(iters, || {
+                new.allocate_into(&view, &mut buf);
+                buf.len() as u64
+            });
+            CaseResult {
+                id: format!("wc-allocate/q{n}"),
+                legacy_ns,
+                new_ns,
+                speedup: legacy_ns / new_ns,
+            }
+        })
+        .collect()
+}
+
+/// Run the whole harness. `quick` shrinks sizes and iteration counts for
+/// the CI smoke job; the full run is what gets committed as
+/// `BENCH_pr3.json`.
+pub fn run_all(quick: bool) -> BenchReport {
+    let (adm_sizes, bf_sizes, iters): (&[usize], &[usize], usize) = if quick {
+        (&[1_000], &[500], 9)
+    } else {
+        (&[1_000, 4_000, 10_000], &[500, 2_000], 21)
+    };
+    BenchReport {
+        quick,
+        admission: run_admission(adm_sizes, iters),
+        backfill: run_backfill(bf_sizes, iters),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrips_the_speedups() {
+        let report = BenchReport {
+            quick: true,
+            admission: vec![CaseResult {
+                id: "overload/p1000".into(),
+                legacy_ns: 4000.0,
+                new_ns: 1000.0,
+                speedup: 4.0,
+            }],
+            backfill: vec![CaseResult {
+                id: "wc-allocate/q500".into(),
+                legacy_ns: 900.0,
+                new_ns: 300.0,
+                speedup: 3.0,
+            }],
+        };
+        let json = report.to_json();
+        assert_eq!(json_number(&json, "admission_speedup"), Some(4.0));
+        assert_eq!(json_number(&json, "backfill_speedup"), Some(3.0));
+        assert!(json.contains("\"overload/p1000\""));
+    }
+
+    #[test]
+    fn admission_speedup_ignores_small_cases() {
+        let mk = |id: &str, speedup: f64| CaseResult {
+            id: id.into(),
+            legacy_ns: speedup,
+            new_ns: 1.0,
+            speedup,
+        };
+        let report = BenchReport {
+            quick: true,
+            admission: vec![mk("overload/p100", 0.5), mk("overload/p1000", 3.0)],
+            backfill: vec![mk("wc-allocate/q500", 2.0)],
+        };
+        assert_eq!(report.admission_speedup(), 3.0);
+        assert_eq!(report.backfill_speedup(), 2.0);
+    }
+
+    #[test]
+    fn both_admission_implementations_admit_identically() {
+        let params = AlgoParams::from_epsilon(1.0).unwrap();
+        let stream = admission_stream(600, 42);
+        assert_eq!(
+            legacy_admission(&stream, params.c(), 0.9 * 512.0),
+            treap_admission(&stream, params.c(), 0.9 * 512.0)
+        );
+    }
+
+    #[test]
+    fn harness_smoke_runs_and_reports_positive_ratios() {
+        // Tiny sizes: correctness of the harness, not perf claims.
+        let adm = run_admission(&[200], 3);
+        let bf = run_backfill(&[100], 3);
+        for c in adm.iter().chain(bf.iter()) {
+            assert!(
+                c.legacy_ns > 0.0 && c.new_ns > 0.0 && c.speedup > 0.0,
+                "{c:?}"
+            );
+        }
+    }
+}

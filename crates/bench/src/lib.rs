@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod hotpath;
+
 /// Convenience used by the per-experiment benches: assert the experiment
 /// produced at least one non-empty table (so a benchmark cannot silently
 /// measure a no-op).

@@ -98,6 +98,22 @@ pub trait OnlineScheduler {
     /// Decide this tick's processor assignment.
     fn allocate(&mut self, view: &TickView<'_>) -> Allocation;
 
+    /// Buffer-reusing variant of [`allocate`](Self::allocate): write this
+    /// tick's assignment into `out` instead of returning a fresh vector.
+    ///
+    /// The engine hoists one `Allocation` buffer across the whole run and
+    /// calls this method, so schedulers that override it (and otherwise
+    /// keep allocation off their event path) decide each tick without
+    /// touching the allocator. Implementations must leave `out` holding
+    /// exactly what `allocate` would have returned — the default clears
+    /// `out` and delegates, so overriders must also start from
+    /// `out.clear()` and must not read stale contents.
+    fn allocate_into(&mut self, view: &TickView<'_>, out: &mut Allocation) {
+        out.clear();
+        let alloc = self.allocate(view);
+        out.extend_from_slice(&alloc);
+    }
+
     /// Declare that this scheduler's allocation is *stable between events*,
     /// unlocking the engine's event-driven fast-forward path.
     ///

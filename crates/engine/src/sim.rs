@@ -22,7 +22,7 @@
 use crate::observe::{AdmissionEvent, NullObserver, SimObserver};
 use crate::pick::{NodePick, Picker};
 use crate::result::{JobStatus, SimResult};
-use crate::sched_api::{JobInfo, OnlineScheduler, TickView};
+use crate::sched_api::{Allocation, JobInfo, OnlineScheduler, TickView};
 use crate::trace::Trace;
 use dagsched_core::{JobId, NodeId, Result, SchedError, Speed, Time};
 use dagsched_dag::UnfoldState;
@@ -159,6 +159,7 @@ fn run<O: SimObserver + ?Sized>(
     // validation marks, expired ids, picked nodes, per-processor
     // continuations, and the fast-forward claim list.
     let mut granted = vec![false; n];
+    let mut alloc: Allocation = Vec::new();
     let mut expired: Vec<JobId> = Vec::new();
     let mut picked: Vec<NodeId> = Vec::new();
     let mut continuations: Vec<NodeId> = Vec::new();
@@ -251,7 +252,7 @@ fn run<O: SimObserver + ?Sized>(
             let l = live[id.index()].as_ref().expect("alive implies live");
             view_jobs.push((id, l.state.ready_count() as u32));
         }
-        let alloc = sched.allocate(&TickView::new(m, t, &view_jobs));
+        sched.allocate_into(&TickView::new(m, t, &view_jobs), &mut alloc);
 
         // 4. Validate. `granted` is a reusable scratch; only the entries set
         // here are reset below, keeping validation O(|alloc|).

@@ -17,12 +17,18 @@
 //! * [`SNoAdmission`] — ablation of scheduler S: same allotments `n_i` and
 //!   density order, but *every* job is admitted (no δ-good test, no band
 //!   condition). Quantifies what the admission machinery buys.
+//!
+//! Every priority key here is fixed at arrival, so the alive list is kept
+//! *insertion-sorted* by `(key, seq)` instead of being cloned and re-sorted
+//! per tick: the unique ascending `seq` tiebreak makes the maintained order
+//! identical to the old stable sort, and the per-tick path (a walk plus a
+//! dense ready-count scratch) allocates nothing.
 
+use crate::slab::DenseU32Map;
 use dagsched_core::{AlgoParams, JobId, Rng64, Time};
 use dagsched_engine::{
     AdmissionDecision, AdmissionEvent, Allocation, JobInfo, OnlineScheduler, TickView,
 };
-use std::collections::HashMap;
 
 /// Arrival-time facts a baseline keeps per alive job.
 #[derive(Debug, Clone, Copy)]
@@ -32,9 +38,11 @@ struct Entry {
     deadline: Time,
     density: f64,
     laxity_key: f64,
+    /// The owning scheduler's priority key, computed once at arrival.
+    sort_key: f64,
 }
 
-/// Shared alive-set bookkeeping.
+/// Shared alive-set bookkeeping: a `(sort_key, seq)`-sorted list.
 #[derive(Debug, Default)]
 struct Base {
     alive: Vec<Entry>,
@@ -42,7 +50,7 @@ struct Base {
 }
 
 impl Base {
-    fn add(&mut self, info: &JobInfo, m: u32) {
+    fn add(&mut self, info: &JobInfo, m: u32, key: fn(&Entry) -> f64) {
         let w = info.work.as_f64();
         let l = info.span.as_f64();
         let brent = (w - l) / m as f64 + l;
@@ -50,14 +58,26 @@ impl Base {
             info.arrival
                 .saturating_add(info.profit.last_useful_time().ticks())
         });
-        self.alive.push(Entry {
+        let mut e = Entry {
             id: info.id,
             seq: self.seq,
             deadline,
             density: info.profit.max_profit() as f64 / w,
             laxity_key: deadline.as_f64() - brent,
-        });
+            sort_key: 0.0,
+        };
+        e.sort_key = key(&e);
         self.seq += 1;
+        // `e.seq` is the largest seq so far, so among equal keys the new
+        // entry lands after every existing one — exactly where a stable
+        // sort by `(key, seq)` would put it.
+        let at = self.alive.partition_point(|x| {
+            x.sort_key
+                .total_cmp(&e.sort_key)
+                .then(x.seq.cmp(&e.seq))
+                .is_lt()
+        });
+        self.alive.insert(at, e);
     }
 
     fn remove(&mut self, id: JobId) {
@@ -66,22 +86,29 @@ impl Base {
 }
 
 /// Work-conserving fill: walk `order`, give each job `min(ready, left)`.
-fn fill(order: &[JobId], view: &TickView<'_>) -> Allocation {
-    let ready: HashMap<JobId, u32> = view.jobs().iter().copied().collect();
+/// `lut` is caller-owned scratch; `out` is appended to.
+fn fill_into(
+    order: impl Iterator<Item = JobId>,
+    view: &TickView<'_>,
+    lut: &mut DenseU32Map,
+    out: &mut Allocation,
+) {
+    lut.clear();
+    for &(id, r) in view.jobs() {
+        lut.set(id, r);
+    }
     let mut left = view.m;
-    let mut out = Vec::new();
-    for &id in order {
+    for id in order {
         if left == 0 {
             break;
         }
-        let Some(&r) = ready.get(&id) else { continue };
+        let Some(r) = lut.get(id) else { continue };
         let k = r.min(left);
         if k > 0 {
             out.push((id, k));
             left -= k;
         }
     }
-    out
 }
 
 macro_rules! baseline {
@@ -91,12 +118,13 @@ macro_rules! baseline {
         pub struct $name {
             m: u32,
             base: Base,
+            ready_lut: DenseU32Map,
         }
 
         impl $name {
             /// Create the scheduler for `m` processors.
             pub fn new(m: u32) -> $name {
-                $name { m, base: Base::default() }
+                $name { m, base: Base::default(), ready_lut: DenseU32Map::new() }
             }
         }
 
@@ -105,7 +133,7 @@ macro_rules! baseline {
                 $label.into()
             }
             fn on_arrival(&mut self, info: &JobInfo, _now: Time) {
-                self.base.add(info, self.m);
+                self.base.add(info, self.m, $key);
             }
             fn on_completion(&mut self, id: JobId, _now: Time) {
                 self.base.remove(id);
@@ -114,11 +142,18 @@ macro_rules! baseline {
                 self.base.remove(id);
             }
             fn allocate(&mut self, view: &TickView<'_>) -> Allocation {
-                let mut order: Vec<Entry> = self.base.alive.clone();
-                let key = $key;
-                order.sort_by(|a, b| key(a).total_cmp(&key(b)).then(a.seq.cmp(&b.seq)));
-                let ids: Vec<JobId> = order.iter().map(|e| e.id).collect();
-                fill(&ids, view)
+                let mut out = Vec::new();
+                self.allocate_into(view, &mut out);
+                out
+            }
+            fn allocate_into(&mut self, view: &TickView<'_>, out: &mut Allocation) {
+                out.clear();
+                fill_into(
+                    self.base.alive.iter().map(|e| e.id),
+                    view,
+                    &mut self.ready_lut,
+                    out,
+                );
             }
             fn allocation_stable_between_events(&self) -> bool {
                 // Every baseline orders by keys fixed at arrival (seq,
@@ -165,6 +200,8 @@ pub struct RandomOrder {
     m: u32,
     base: Base,
     rng: Rng64,
+    ids: Vec<JobId>,
+    ready_lut: DenseU32Map,
 }
 
 impl RandomOrder {
@@ -174,6 +211,8 @@ impl RandomOrder {
             m,
             base: Base::default(),
             rng: Rng64::seed_from(seed),
+            ids: Vec::new(),
+            ready_lut: DenseU32Map::new(),
         }
     }
 }
@@ -183,7 +222,9 @@ impl OnlineScheduler for RandomOrder {
         "RANDOM".into()
     }
     fn on_arrival(&mut self, info: &JobInfo, _now: Time) {
-        self.base.add(info, self.m);
+        // Arrival-sequence key: the pre-shuffle order stays the arrival
+        // order, exactly as before the sorted-list rework.
+        self.base.add(info, self.m, |e| e.seq as f64);
     }
     fn on_completion(&mut self, id: JobId, _now: Time) {
         self.base.remove(id);
@@ -192,9 +233,16 @@ impl OnlineScheduler for RandomOrder {
         self.base.remove(id);
     }
     fn allocate(&mut self, view: &TickView<'_>) -> Allocation {
-        let mut ids: Vec<JobId> = self.base.alive.iter().map(|e| e.id).collect();
-        self.rng.shuffle(&mut ids);
-        fill(&ids, view)
+        let mut out = Vec::new();
+        self.allocate_into(view, &mut out);
+        out
+    }
+    fn allocate_into(&mut self, view: &TickView<'_>, out: &mut Allocation) {
+        out.clear();
+        self.ids.clear();
+        self.ids.extend(self.base.alive.iter().map(|e| e.id));
+        self.rng.shuffle(&mut self.ids);
+        fill_into(self.ids.iter().copied(), view, &mut self.ready_lut, out);
     }
     fn allocation_stable_between_events(&self) -> bool {
         // Deliberately NOT stable: each call consumes RNG state and may
@@ -209,7 +257,8 @@ impl OnlineScheduler for RandomOrder {
 pub struct SNoAdmission {
     m: u32,
     params: AlgoParams,
-    /// (density, seq, id, allot) of alive jobs.
+    /// (density, seq, id, allot) of alive jobs, kept sorted by
+    /// (density desc, seq asc) — the allocate order.
     alive: Vec<(f64, u64, JobId, u32)>,
     seq: u64,
     report: Option<Vec<AdmissionEvent>>,
@@ -245,8 +294,15 @@ impl OnlineScheduler for SNoAdmission {
         };
         let x = AlgoParams::x_time(w, l, allot);
         let density = profit as f64 / (x * allot as f64);
-        self.alive.push((density, self.seq, info.id, allot));
+        let e = (density, self.seq, info.id, allot);
         self.seq += 1;
+        // Descending density, ascending seq; the new seq is the largest, so
+        // equal densities place it after every existing equal — matching
+        // the stable sort this list used to undergo per tick.
+        let at = self
+            .alive
+            .partition_point(|x| x.0.total_cmp(&e.0).reverse().then(x.1.cmp(&e.1)).is_lt());
+        self.alive.insert(at, e);
         if let Some(buf) = self.report.as_mut() {
             // The ablation's whole point: every job is admitted.
             buf.push(AdmissionEvent {
@@ -262,11 +318,14 @@ impl OnlineScheduler for SNoAdmission {
         self.alive.retain(|e| e.2 != id);
     }
     fn allocate(&mut self, view: &TickView<'_>) -> Allocation {
-        let mut order = self.alive.clone();
-        order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-        let mut left = view.m;
         let mut out = Vec::new();
-        for (_, _, id, allot) in order {
+        self.allocate_into(view, &mut out);
+        out
+    }
+    fn allocate_into(&mut self, view: &TickView<'_>, out: &mut Allocation) {
+        out.clear();
+        let mut left = view.m;
+        for &(_, _, id, allot) in &self.alive {
             if left == 0 {
                 break;
             }
@@ -275,7 +334,6 @@ impl OnlineScheduler for SNoAdmission {
                 left -= allot;
             }
         }
-        out
     }
     fn allocation_stable_between_events(&self) -> bool {
         // Pure walk over (density, seq, allot) tuples fixed at arrival.
@@ -350,6 +408,23 @@ mod tests {
         let jobs = [(JobId(0), 4u32), (JobId(1), 4)];
         let alloc = s.allocate(&TickView::new(4, Time(0), &jobs));
         assert_eq!(alloc[0].0, JobId(1));
+    }
+
+    #[test]
+    fn equal_keys_break_ties_by_arrival_order() {
+        // Three identical jobs under EDF: the maintained sorted list must
+        // keep them in arrival order, like the stable sort it replaced.
+        let mut s = Edf::new(8);
+        for id in 0..3 {
+            s.on_arrival(&info(id, 0, 10, 1, 50, 1), Time(0));
+        }
+        let jobs = [(JobId(2), 2u32), (JobId(0), 2), (JobId(1), 2)];
+        let alloc = s.allocate(&TickView::new(8, Time(0), &jobs));
+        assert_eq!(
+            alloc,
+            vec![(JobId(0), 2), (JobId(1), 2), (JobId(2), 2)],
+            "ties resolve by seq"
+        );
     }
 
     #[test]

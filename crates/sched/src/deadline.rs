@@ -19,15 +19,27 @@
 //! queue `P`; at each job completion, `δ`-fresh jobs from `P` that now pass
 //! the band check are started. Execution is greedy highest-density-first,
 //! granting each scheduled job its full allotment.
+//!
+//! ## Hot-path layout
+//!
+//! The per-event path (completion → [`admit_from_p`](SchedulerS) scan;
+//! window → [`allocate_into`](OnlineScheduler::allocate_into) + backfill)
+//! is allocation-free after warm-up: job records live in a dense
+//! [`JobSlab`] indexed by `JobId`, the density-ordered queues `Q` and `P`
+//! are sorted `Vec`s, the band condition is answered in O(log |Q|) by the
+//! incremental [`DensityBands`], and every per-call index (ready counts,
+//! grant slots, the admission candidate list) is a hoisted scratch buffer.
+//! The pre-refactor implementation survives as
+//! [`OracleSchedulerS`](crate::oracle::OracleSchedulerS), which the
+//! differential tests hold this one byte-identical to.
 
 use crate::bands::DensityBands;
+use crate::slab::{DenseU32Map, JobSlab};
 use dagsched_core::{AlgoParams, JobId, Time};
 use dagsched_engine::{
     AdmissionDecision, AdmissionEvent, AdmissionReason, Allocation, JobInfo, OnlineScheduler,
     TickView,
 };
-use std::collections::BTreeSet;
-use std::collections::HashMap;
 
 /// Totally-ordered f64 key for the density-sorted queues.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,8 +57,44 @@ impl Ord for OrdF64 {
     }
 }
 
+/// A sorted-`Vec` ordered set of `(density, id)` keys: the `BTreeSet` it
+/// replaces allocated a node per insert, which put the queues on the
+/// per-event allocation budget. Binary-search insert/remove keep the exact
+/// iteration order `BTreeSet` had (ascending by `(OrdF64, JobId)`), and a
+/// warmed-up queue reuses its backing storage forever.
+#[derive(Debug, Clone, Default)]
+struct DensityQueue {
+    items: Vec<(OrdF64, JobId)>,
+}
+
+impl DensityQueue {
+    fn insert(&mut self, key: (OrdF64, JobId)) {
+        let at = self.items.partition_point(|e| e < &key);
+        self.items.insert(at, key);
+    }
+
+    fn remove(&mut self, key: &(OrdF64, JobId)) -> bool {
+        match self.items.binary_search(key) {
+            Ok(at) => {
+                self.items.remove(at);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Iterate ascending by `(density, id)`.
+    fn iter(&self) -> std::slice::Iter<'_, (OrdF64, JobId)> {
+        self.items.iter()
+    }
+}
+
 /// Per-job quantities S computes at arrival.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct SJob {
     allot: u32,
     x: f64,
@@ -83,12 +131,12 @@ pub struct SchedulerSMetrics {
 pub struct SchedulerS {
     params: AlgoParams,
     m: u32,
-    jobs: HashMap<JobId, SJob>,
+    jobs: JobSlab<SJob>,
     /// Started jobs, ordered by (density, id) ascending; iterated in reverse
     /// for highest-density-first.
-    q: BTreeSet<(OrdF64, JobId)>,
+    q: DensityQueue,
     /// Waiting jobs, same order.
-    p: BTreeSet<(OrdF64, JobId)>,
+    p: DensityQueue,
     bands: DensityBands,
     metrics: SchedulerSMetrics,
     check_invariants: bool,
@@ -103,6 +151,12 @@ pub struct SchedulerS {
     /// Admission-decision buffer for the engine's observer plumbing
     /// (`None` = reporting off, the default: zero cost when unobserved).
     report: Option<Vec<AdmissionEvent>>,
+    /// Scratch: candidate ids for the completion-event admission scan.
+    admit_scratch: Vec<JobId>,
+    /// Scratch: ready counts of the current view, for backfill.
+    ready_lut: DenseU32Map,
+    /// Scratch: job → slot position in the allocation being built.
+    slot_lut: DenseU32Map,
 }
 
 impl SchedulerS {
@@ -113,15 +167,18 @@ impl SchedulerS {
         SchedulerS {
             params,
             m,
-            jobs: HashMap::new(),
-            q: BTreeSet::new(),
-            p: BTreeSet::new(),
+            jobs: JobSlab::new(),
+            q: DensityQueue::default(),
+            p: DensityQueue::default(),
             bands: DensityBands::new(params.c(), capacity),
             metrics: SchedulerSMetrics::default(),
             check_invariants: false,
             speed_hint: 1.0,
             work_conserving: false,
             report: None,
+            admit_scratch: Vec::new(),
+            ready_lut: DenseU32Map::new(),
+            slot_lut: DenseU32Map::new(),
         }
     }
 
@@ -151,7 +208,7 @@ impl SchedulerS {
     }
 
     /// Enable Observation-3 re-verification after every queue mutation
-    /// (O(|Q|²) per event; for tests).
+    /// (O(|Q| log |Q|) per event; for tests).
     pub fn with_invariant_checks(mut self) -> SchedulerS {
         self.check_invariants = true;
         self
@@ -169,7 +226,7 @@ impl SchedulerS {
 
     /// Is the job currently in the started queue `Q`? (test hook)
     pub fn in_q(&self, id: JobId) -> bool {
-        self.jobs.get(&id).is_some_and(|j| j.in_q)
+        self.jobs.get(id).is_some_and(|j| j.in_q)
     }
 
     /// Number of jobs waiting in `P`. (test hook)
@@ -195,7 +252,7 @@ impl SchedulerS {
 
     /// Admit into Q (caller verified the conditions).
     fn start_job(&mut self, id: JobId, from_p: bool) {
-        let job = self.jobs.get_mut(&id).expect("known job");
+        let job = self.jobs.get_mut(id).expect("known job");
         job.in_q = true;
         let key = (OrdF64(job.density), id);
         let (density, allot, profit) = (job.density, job.allot, job.profit);
@@ -216,7 +273,7 @@ impl SchedulerS {
 
     /// Drop a job from whichever queue holds it.
     fn forget(&mut self, id: JobId) {
-        if let Some(job) = self.jobs.remove(&id) {
+        if let Some(job) = self.jobs.remove(id) {
             let key = (OrdF64(job.density), id);
             if job.in_q {
                 self.q.remove(&key);
@@ -239,52 +296,72 @@ impl SchedulerS {
     /// 3. run waiting (`P`) jobs opportunistically — they stay officially
     ///    un-started, keeping the admission accounting intact, but spare
     ///    capacity does real work toward their completion.
-    fn backfill(&self, view: &TickView<'_>, mut left: u32, out: &mut Allocation) -> u32 {
-        use std::collections::HashMap;
-        let ready: HashMap<JobId, u32> = view.jobs().iter().copied().collect();
-        let mut granted: HashMap<JobId, u32> = out.iter().copied().collect();
+    ///
+    /// Ready counts and grant slots are tracked in dense scratch maps — no
+    /// per-call hashing or allocation, and the grant merge that used to
+    /// rescan `out` per grant (`out.iter_mut().find`) is now an O(1) slot
+    /// lookup.
+    fn backfill(&mut self, view: &TickView<'_>, mut left: u32, out: &mut Allocation) {
+        self.ready_lut.clear();
+        for &(id, r) in view.jobs() {
+            self.ready_lut.set(id, r);
+        }
+        self.slot_lut.clear();
+        for (slot, &(id, _)) in out.iter().enumerate() {
+            self.slot_lut.set(id, slot as u32);
+        }
         // Stage 1 + 2: walk Q by density again.
         for &(_, id) in self.q.iter().rev() {
             if left == 0 {
-                return 0;
+                return;
             }
-            let Some(&r) = ready.get(&id) else { continue };
-            let have = granted.get(&id).copied().unwrap_or(0);
+            let Some(r) = self.ready_lut.get(id) else {
+                continue;
+            };
+            let slot = self.slot_lut.get(id);
+            let have = slot.map_or(0, |s| out[s as usize].1);
             let want = r.saturating_sub(have).min(left);
             if want == 0 {
                 continue;
             }
             left -= want;
-            granted.insert(id, have + want);
-            match out.iter_mut().find(|(j, _)| *j == id) {
-                Some(slot) => slot.1 += want,
-                None => out.push((id, want)),
+            match slot {
+                Some(s) => out[s as usize].1 += want,
+                None => {
+                    self.slot_lut.set(id, out.len() as u32);
+                    out.push((id, want));
+                }
             }
         }
         // Stage 3: waiting jobs by density.
         for &(_, id) in self.p.iter().rev() {
             if left == 0 {
-                return 0;
+                return;
             }
-            let Some(&r) = ready.get(&id) else { continue };
+            let Some(r) = self.ready_lut.get(id) else {
+                continue;
+            };
             let want = r.min(left);
             if want == 0 {
                 continue;
             }
             left -= want;
-            debug_assert!(!granted.contains_key(&id), "P and Q are disjoint");
+            debug_assert!(self.slot_lut.get(id).is_none(), "P and Q are disjoint");
             out.push((id, want));
         }
-        left
     }
 
     /// The completion-event admission pass: scan `P` by density (desc),
     /// dropping dead jobs and starting every δ-fresh job that passes the
-    /// band condition.
+    /// band condition. With the incremental band index each candidate costs
+    /// O(log |Q|), so a pass is O((|P| + admitted) · log |Q|) instead of
+    /// the seed's O(|P| · |Q|).
     fn admit_from_p(&mut self, now: Time) {
-        let candidates: Vec<JobId> = self.p.iter().rev().map(|&(_, id)| id).collect();
-        for id in candidates {
-            let Some(job) = self.jobs.get(&id) else {
+        let mut candidates = std::mem::take(&mut self.admit_scratch);
+        candidates.clear();
+        candidates.extend(self.p.iter().rev().map(|&(_, id)| id));
+        for &id in &candidates {
+            let Some(job) = self.jobs.get(id).copied() else {
                 continue;
             };
             // Remove jobs whose absolute deadline has passed.
@@ -308,6 +385,7 @@ impl SchedulerS {
                 self.start_job(id, true);
             }
         }
+        self.admit_scratch = candidates;
     }
 }
 
@@ -389,23 +467,27 @@ impl OnlineScheduler for SchedulerS {
     }
 
     fn allocate(&mut self, view: &TickView<'_>) -> Allocation {
-        let mut left = view.m;
         let mut out = Vec::new();
+        self.allocate_into(view, &mut out);
+        out
+    }
+
+    fn allocate_into(&mut self, view: &TickView<'_>, out: &mut Allocation) {
+        out.clear();
+        let mut left = view.m;
         for &(_, id) in self.q.iter().rev() {
             if left == 0 {
                 break;
             }
-            let job = &self.jobs[&id];
+            let job = self.jobs.get(id).expect("queued job is known");
             if job.allot <= left {
                 out.push((id, job.allot));
                 left -= job.allot;
             }
         }
         if self.work_conserving && left > 0 {
-            left = self.backfill(view, left, &mut out);
+            self.backfill(view, left, out);
         }
-        let _ = left;
-        out
     }
 
     fn allocation_stable_between_events(&self) -> bool {
@@ -536,6 +618,20 @@ mod tests {
         assert_eq!(alloc[0].0, JobId(1));
         let total: u32 = alloc.iter().map(|(_, k)| *k).sum();
         assert!(total <= 8);
+    }
+
+    #[test]
+    fn allocate_into_reuses_the_buffer() {
+        let mut s = sched(8);
+        s.on_arrival(&info(0, 0, 64, 4, 23, 10), Time(0));
+        let jobs = [(JobId(0), 5u32)];
+        let view = TickView::new(8, Time(0), &jobs);
+        let mut buf = vec![(JobId(77), 99u32)]; // stale content must vanish
+        s.allocate_into(&view, &mut buf);
+        assert_eq!(buf, s.allocate(&view), "into-variant matches allocate");
+        let before_ptr = buf.as_ptr();
+        s.allocate_into(&view, &mut buf);
+        assert_eq!(buf.as_ptr(), before_ptr, "no reallocation on reuse");
     }
 
     #[test]

@@ -20,13 +20,17 @@
 //! so the test decrements only on completion). That bias is conservative:
 //! it can reject admissible jobs but never over-promises because of stale
 //! optimism.
+//!
+//! Admitted-job records live in a dense [`JobSlab`] and both the arrival
+//! test and the per-tick EDF sort run over hoisted scratch vectors, so the
+//! steady-state paths do not allocate.
 
+use crate::slab::JobSlab;
 use dagsched_core::{JobId, Time, Work};
 use dagsched_engine::{
     AdmissionDecision, AdmissionEvent, AdmissionReason, Allocation, JobInfo, OnlineScheduler,
     TickView,
 };
-use std::collections::HashMap;
 
 /// Per-admitted-job record.
 #[derive(Debug, Clone, Copy)]
@@ -40,11 +44,15 @@ struct AdmJob {
 #[derive(Debug)]
 pub struct EdfAc {
     m: u32,
-    admitted: HashMap<JobId, AdmJob>,
+    admitted: JobSlab<AdmJob>,
     seq: u64,
     /// Rejected-at-arrival count (reporting).
     rejected: usize,
     report: Option<Vec<AdmissionEvent>>,
+    /// Scratch: the sorted-deduped deadline horizon of the admission test.
+    deadline_scratch: Vec<Time>,
+    /// Scratch: this tick's `(deadline, seq, id, ready)` EDF order.
+    order_scratch: Vec<(Time, u64, JobId, u32)>,
 }
 
 impl EdfAc {
@@ -53,10 +61,12 @@ impl EdfAc {
         assert!(m >= 1);
         EdfAc {
             m,
-            admitted: HashMap::new(),
+            admitted: JobSlab::new(),
             seq: 0,
             rejected: 0,
             report: None,
+            deadline_scratch: Vec::new(),
+            order_scratch: Vec::new(),
         }
     }
 
@@ -69,7 +79,7 @@ impl EdfAc {
     /// deadline's demand within `m · (d − now)`? Returns the rejection
     /// reason, or `None` when the candidate passes.
     fn admission_failure(
-        &self,
+        &mut self,
         cand: &AdmJob,
         cand_span: Work,
         now: Time,
@@ -81,28 +91,30 @@ impl EdfAc {
         // Demand bound at every admitted deadline ≥ the candidate's
         // relevant horizon (jobs due later don't constrain earlier ones
         // under EDF).
-        let mut deadlines: Vec<Time> = self
-            .admitted
-            .values()
-            .map(|j| j.abs_deadline)
-            .chain(std::iter::once(cand.abs_deadline))
-            .collect();
+        let mut deadlines = std::mem::take(&mut self.deadline_scratch);
+        deadlines.clear();
+        deadlines.extend(self.admitted.iter().map(|(_, j)| j.abs_deadline));
+        deadlines.push(cand.abs_deadline);
         deadlines.sort_unstable();
         deadlines.dedup();
+        let mut failure = None;
         for &d in &deadlines {
             let window = d.since(now) as u128 * self.m as u128;
             let demand: u128 = self
                 .admitted
-                .values()
+                .iter()
+                .map(|(_, j)| j)
                 .chain(std::iter::once(cand))
                 .filter(|j| j.abs_deadline <= d)
                 .map(|j| j.work.units() as u128)
                 .sum();
             if demand > window {
-                return Some(AdmissionReason::DemandBound);
+                failure = Some(AdmissionReason::DemandBound);
+                break;
             }
         }
-        None
+        self.deadline_scratch = deadlines;
+        failure
     }
 }
 
@@ -141,35 +153,43 @@ impl OnlineScheduler for EdfAc {
     }
 
     fn on_completion(&mut self, id: JobId, _now: Time) {
-        self.admitted.remove(&id);
+        self.admitted.remove(id);
     }
 
     fn on_expiry(&mut self, id: JobId, _now: Time) {
-        self.admitted.remove(&id);
+        self.admitted.remove(id);
     }
 
     fn allocate(&mut self, view: &TickView<'_>) -> Allocation {
-        let mut order: Vec<(Time, u64, JobId)> = view
-            .jobs()
-            .iter()
-            .filter_map(|&(id, _)| self.admitted.get(&id).map(|j| (j.abs_deadline, j.seq, id)))
-            .collect();
-        order.sort_unstable();
-        let ready: HashMap<JobId, u32> = view.jobs().iter().copied().collect();
-        let mut left = view.m;
         let mut out = Vec::new();
-        for (_, _, id) in order {
+        self.allocate_into(view, &mut out);
+        out
+    }
+
+    fn allocate_into(&mut self, view: &TickView<'_>, out: &mut Allocation) {
+        out.clear();
+        let mut order = std::mem::take(&mut self.order_scratch);
+        order.clear();
+        order.extend(view.jobs().iter().filter_map(|&(id, r)| {
+            self.admitted
+                .get(id)
+                .map(|j| (j.abs_deadline, j.seq, id, r))
+        }));
+        // `(deadline, seq)` is already a unique key; the trailing ready
+        // count rides along so the fill below needs no lookup table.
+        order.sort_unstable();
+        let mut left = view.m;
+        for &(_, _, id, r) in &order {
             if left == 0 {
                 break;
             }
-            let r = ready.get(&id).copied().unwrap_or(0);
             let k = r.min(left);
             if k > 0 {
                 out.push((id, k));
                 left -= k;
             }
         }
-        out
+        self.order_scratch = order;
     }
 
     fn allocation_stable_between_events(&self) -> bool {

@@ -14,7 +14,11 @@
 //! * [`baselines`] — EDF, highest-density-first, FIFO, least-laxity and
 //!   random work-conserving schedulers, and an admission-less ablation of S;
 //! * [`federated`] — federated scheduling of sporadic DAG task sets (the
-//!   related-work real-time substrate), with its schedulability test.
+//!   related-work real-time substrate), with its schedulability test;
+//! * [`slab`] — dense `JobId`-indexed storage used by the allocation-free
+//!   scheduler hot paths;
+//! * [`oracle`] — frozen pre-optimization reference schedulers, kept only
+//!   for differential testing of the hot-path rewrites.
 //!
 //! All schedulers implement
 //! [`OnlineScheduler`](dagsched_engine::OnlineScheduler) and are therefore
@@ -28,7 +32,9 @@ pub mod baselines;
 pub mod deadline;
 pub mod edf_ac;
 pub mod federated;
+pub mod oracle;
 pub mod profit;
+pub mod slab;
 
 pub use baselines::{Edf, Fifo, GreedyDensity, LeastLaxity, RandomOrder, SNoAdmission};
 pub use deadline::{SchedulerS, SchedulerSMetrics};

@@ -1,0 +1,510 @@
+//! Pre-refactor scheduler implementations, kept as **test oracles**.
+//!
+//! This PR rewrote the hot paths of [`SchedulerS`](crate::SchedulerS),
+//! [`SNoAdmission`](crate::SNoAdmission) and [`EdfAc`](crate::EdfAc) to be
+//! allocation-free and incrementally indexed. The versions in this module
+//! are the seed implementations those rewrites must be *byte-identical* to:
+//! `HashMap` job state, `BTreeSet` queues, the O(n)-sweep
+//! [`ReferenceBands`], per-tick `Vec` allocations and all. They keep the
+//! production `name()` strings so a [`SimResult`](dagsched_engine) or a
+//! `dagsched-verify` JSONL log produced by an oracle compares equal to one
+//! produced by its rewritten counterpart — which is exactly what
+//! `crates/verify/tests/legacy_differential.rs` asserts over the
+//! stream-equivalence corpus. They also serve as the "before" leg of the
+//! `admission`/`backfill` benchmark groups.
+//!
+//! Do not optimize this module; its value is being frozen.
+
+use crate::bands::reference::ReferenceBands;
+use crate::deadline::OrdF64;
+use dagsched_core::{AlgoParams, JobId, Time, Work};
+use dagsched_engine::{
+    AdmissionDecision, AdmissionEvent, AdmissionReason, Allocation, JobInfo, OnlineScheduler,
+    TickView,
+};
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+/// Per-job quantities S computes at arrival.
+#[derive(Debug, Clone)]
+struct SJob {
+    allot: u32,
+    x: f64,
+    density: f64,
+    abs_deadline: Time,
+    admissible: bool,
+    in_q: bool,
+}
+
+/// The seed implementation of scheduler S (metrics and invariant hooks
+/// omitted — the oracle only has to *schedule* identically).
+#[derive(Debug)]
+pub struct OracleSchedulerS {
+    params: AlgoParams,
+    m: u32,
+    jobs: HashMap<JobId, SJob>,
+    q: BTreeSet<(OrdF64, JobId)>,
+    p: BTreeSet<(OrdF64, JobId)>,
+    bands: ReferenceBands,
+    speed_hint: f64,
+    work_conserving: bool,
+    report: Option<Vec<AdmissionEvent>>,
+}
+
+impl OracleSchedulerS {
+    /// Create the oracle for `m` processors with the given constants.
+    pub fn new(m: u32, params: AlgoParams) -> OracleSchedulerS {
+        assert!(m >= 1);
+        let capacity = params.b() * m as f64;
+        OracleSchedulerS {
+            params,
+            m,
+            jobs: HashMap::new(),
+            q: BTreeSet::new(),
+            p: BTreeSet::new(),
+            bands: ReferenceBands::new(params.c(), capacity),
+            speed_hint: 1.0,
+            work_conserving: false,
+            report: None,
+        }
+    }
+
+    /// Oracle counterpart of `SchedulerS::with_epsilon`.
+    pub fn with_epsilon(m: u32, epsilon: f64) -> OracleSchedulerS {
+        OracleSchedulerS::new(m, AlgoParams::from_epsilon(epsilon).expect("valid epsilon"))
+    }
+
+    /// Oracle counterpart of `SchedulerS::with_speed_hint`.
+    pub fn with_speed_hint(mut self, s: f64) -> OracleSchedulerS {
+        assert!(s.is_finite() && s > 0.0, "speed hint must be positive");
+        self.speed_hint = s;
+        self
+    }
+
+    /// Oracle counterpart of `SchedulerS::work_conserving`.
+    pub fn work_conserving(mut self) -> OracleSchedulerS {
+        self.work_conserving = true;
+        self
+    }
+
+    fn record(&mut self, job: JobId, decision: AdmissionDecision) {
+        if let Some(buf) = self.report.as_mut() {
+            buf.push(AdmissionEvent { job, decision });
+        }
+    }
+
+    fn start_job(&mut self, id: JobId, from_p: bool) {
+        let job = self.jobs.get_mut(&id).expect("known job");
+        job.in_q = true;
+        let key = (OrdF64(job.density), id);
+        let (density, allot) = (job.density, job.allot);
+        if from_p {
+            self.p.remove(&key);
+        }
+        self.q.insert(key);
+        self.bands.insert(id, density, allot);
+        self.record(id, AdmissionDecision::Admitted);
+    }
+
+    fn forget(&mut self, id: JobId) {
+        if let Some(job) = self.jobs.remove(&id) {
+            let key = (OrdF64(job.density), id);
+            if job.in_q {
+                self.q.remove(&key);
+                self.bands.remove(id);
+            } else {
+                self.p.remove(&key);
+            }
+        }
+    }
+
+    fn backfill(&self, view: &TickView<'_>, mut left: u32, out: &mut Allocation) -> u32 {
+        let ready: HashMap<JobId, u32> = view.jobs().iter().copied().collect();
+        let mut granted: HashMap<JobId, u32> = out.iter().copied().collect();
+        for &(_, id) in self.q.iter().rev() {
+            if left == 0 {
+                return 0;
+            }
+            let Some(&r) = ready.get(&id) else { continue };
+            let have = granted.get(&id).copied().unwrap_or(0);
+            let want = r.saturating_sub(have).min(left);
+            if want == 0 {
+                continue;
+            }
+            left -= want;
+            granted.insert(id, have + want);
+            match out.iter_mut().find(|(j, _)| *j == id) {
+                Some(slot) => slot.1 += want,
+                None => out.push((id, want)),
+            }
+        }
+        for &(_, id) in self.p.iter().rev() {
+            if left == 0 {
+                return 0;
+            }
+            let Some(&r) = ready.get(&id) else { continue };
+            let want = r.min(left);
+            if want == 0 {
+                continue;
+            }
+            left -= want;
+            debug_assert!(!granted.contains_key(&id), "P and Q are disjoint");
+            out.push((id, want));
+        }
+        left
+    }
+
+    fn admit_from_p(&mut self, now: Time) {
+        let candidates: Vec<JobId> = self.p.iter().rev().map(|&(_, id)| id).collect();
+        for id in candidates {
+            let Some(job) = self.jobs.get(&id) else {
+                continue;
+            };
+            if job.abs_deadline <= now {
+                self.forget(id);
+                self.record(
+                    id,
+                    AdmissionDecision::Rejected(AdmissionReason::DeadlinePassed),
+                );
+                continue;
+            }
+            if !job.admissible {
+                continue;
+            }
+            let slack = job.abs_deadline.since(now) as f64;
+            if slack < self.params.fresh_factor() * job.x {
+                continue;
+            }
+            if self.bands.fits(job.density, job.allot) {
+                self.start_job(id, true);
+            }
+        }
+    }
+}
+
+impl OnlineScheduler for OracleSchedulerS {
+    fn name(&self) -> String {
+        if self.work_conserving {
+            format!("S-wc(eps={})", self.params.epsilon())
+        } else {
+            format!("S(eps={})", self.params.epsilon())
+        }
+    }
+
+    fn on_arrival(&mut self, info: &JobInfo, _now: Time) {
+        let (d_rel, profit) = info
+            .profit
+            .as_deadline()
+            .unwrap_or((info.profit.flat_until(), info.profit.max_profit()));
+        let w = info.work.as_f64() / self.speed_hint;
+        let l = info.span.as_f64() / self.speed_hint;
+        let d = d_rel.as_f64();
+
+        let (allot, admissible) = match self.params.raw_allotment(w, l, d) {
+            Some(frac) => {
+                let n = (frac.ceil() as u32).max(1);
+                (n.min(self.m), n <= self.m)
+            }
+            None => (self.m, false),
+        };
+        let x = AlgoParams::x_time(w, l, allot);
+        let density = profit as f64 / (x * allot as f64);
+        let abs_deadline = info.arrival.saturating_add(d_rel.ticks());
+        let delta_good = admissible && d >= self.params.good_factor() * x;
+
+        self.jobs.insert(
+            info.id,
+            SJob {
+                allot,
+                x,
+                density,
+                abs_deadline,
+                admissible,
+                in_q: false,
+            },
+        );
+
+        if delta_good && self.bands.fits(density, allot) {
+            self.start_job(info.id, false);
+        } else {
+            let reason = if !admissible {
+                AdmissionReason::Infeasible
+            } else if !delta_good {
+                AdmissionReason::NotDeltaGood
+            } else {
+                AdmissionReason::BandCapacity
+            };
+            self.record(info.id, AdmissionDecision::Deferred(reason));
+            self.p.insert((OrdF64(density), info.id));
+        }
+    }
+
+    fn on_completion(&mut self, id: JobId, now: Time) {
+        self.forget(id);
+        self.admit_from_p(now);
+    }
+
+    fn on_expiry(&mut self, id: JobId, _now: Time) {
+        self.forget(id);
+    }
+
+    fn allocate(&mut self, view: &TickView<'_>) -> Allocation {
+        let mut left = view.m;
+        let mut out = Vec::new();
+        for &(_, id) in self.q.iter().rev() {
+            if left == 0 {
+                break;
+            }
+            let job = &self.jobs[&id];
+            if job.allot <= left {
+                out.push((id, job.allot));
+                left -= job.allot;
+            }
+        }
+        if self.work_conserving && left > 0 {
+            left = self.backfill(view, left, &mut out);
+        }
+        let _ = left;
+        out
+    }
+
+    fn allocation_stable_between_events(&self) -> bool {
+        true
+    }
+
+    fn enable_admission_reporting(&mut self) {
+        self.report.get_or_insert_with(Vec::new);
+    }
+
+    fn drain_admission_events(&mut self, out: &mut Vec<AdmissionEvent>) {
+        if let Some(buf) = self.report.as_mut() {
+            out.append(buf);
+        }
+    }
+}
+
+/// The seed implementation of the admission-less ablation of S.
+#[derive(Debug)]
+pub struct OracleSNoAdmission {
+    m: u32,
+    params: AlgoParams,
+    /// (density, seq, id, allot) of alive jobs.
+    alive: Vec<(f64, u64, JobId, u32)>,
+    seq: u64,
+    report: Option<Vec<AdmissionEvent>>,
+}
+
+impl OracleSNoAdmission {
+    /// Create the oracle ablation.
+    pub fn new(m: u32, params: AlgoParams) -> OracleSNoAdmission {
+        OracleSNoAdmission {
+            m,
+            params,
+            alive: Vec::new(),
+            seq: 0,
+            report: None,
+        }
+    }
+}
+
+impl OnlineScheduler for OracleSNoAdmission {
+    fn name(&self) -> String {
+        "S-noadmit".into()
+    }
+    fn on_arrival(&mut self, info: &JobInfo, _now: Time) {
+        let (d_rel, profit) = info
+            .profit
+            .as_deadline()
+            .unwrap_or((info.profit.flat_until(), info.profit.max_profit()));
+        let w = info.work.as_f64();
+        let l = info.span.as_f64();
+        let allot = match self.params.raw_allotment(w, l, d_rel.as_f64()) {
+            Some(frac) => ((frac.ceil() as u32).max(1)).min(self.m),
+            None => self.m,
+        };
+        let x = AlgoParams::x_time(w, l, allot);
+        let density = profit as f64 / (x * allot as f64);
+        self.alive.push((density, self.seq, info.id, allot));
+        self.seq += 1;
+        if let Some(buf) = self.report.as_mut() {
+            buf.push(AdmissionEvent {
+                job: info.id,
+                decision: AdmissionDecision::Admitted,
+            });
+        }
+    }
+    fn on_completion(&mut self, id: JobId, _now: Time) {
+        self.alive.retain(|e| e.2 != id);
+    }
+    fn on_expiry(&mut self, id: JobId, _now: Time) {
+        self.alive.retain(|e| e.2 != id);
+    }
+    fn allocate(&mut self, view: &TickView<'_>) -> Allocation {
+        let mut order = self.alive.clone();
+        order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut left = view.m;
+        let mut out = Vec::new();
+        for (_, _, id, allot) in order {
+            if left == 0 {
+                break;
+            }
+            if allot <= left {
+                out.push((id, allot));
+                left -= allot;
+            }
+        }
+        out
+    }
+    fn allocation_stable_between_events(&self) -> bool {
+        true
+    }
+    fn enable_admission_reporting(&mut self) {
+        self.report.get_or_insert_with(Vec::new);
+    }
+    fn drain_admission_events(&mut self, out: &mut Vec<AdmissionEvent>) {
+        if let Some(buf) = self.report.as_mut() {
+            out.append(buf);
+        }
+    }
+}
+
+/// Per-admitted-job record of the EDF-AC oracle.
+#[derive(Debug, Clone, Copy)]
+struct AdmJob {
+    abs_deadline: Time,
+    work: Work,
+    seq: u64,
+}
+
+/// The seed implementation of EDF with demand-bound admission control.
+#[derive(Debug)]
+pub struct OracleEdfAc {
+    m: u32,
+    admitted: HashMap<JobId, AdmJob>,
+    seq: u64,
+    report: Option<Vec<AdmissionEvent>>,
+}
+
+impl OracleEdfAc {
+    /// Create the oracle for `m` processors.
+    pub fn new(m: u32) -> OracleEdfAc {
+        assert!(m >= 1);
+        OracleEdfAc {
+            m,
+            admitted: HashMap::new(),
+            seq: 0,
+            report: None,
+        }
+    }
+
+    fn admission_failure(
+        &self,
+        cand: &AdmJob,
+        cand_span: Work,
+        now: Time,
+    ) -> Option<AdmissionReason> {
+        if cand.abs_deadline.since(now) < cand_span.units() {
+            return Some(AdmissionReason::SpanInfeasible);
+        }
+        let mut deadlines: Vec<Time> = self
+            .admitted
+            .values()
+            .map(|j| j.abs_deadline)
+            .chain(std::iter::once(cand.abs_deadline))
+            .collect();
+        deadlines.sort_unstable();
+        deadlines.dedup();
+        for &d in &deadlines {
+            let window = d.since(now) as u128 * self.m as u128;
+            let demand: u128 = self
+                .admitted
+                .values()
+                .chain(std::iter::once(cand))
+                .filter(|j| j.abs_deadline <= d)
+                .map(|j| j.work.units() as u128)
+                .sum();
+            if demand > window {
+                return Some(AdmissionReason::DemandBound);
+            }
+        }
+        None
+    }
+}
+
+impl OnlineScheduler for OracleEdfAc {
+    fn name(&self) -> String {
+        "EDF-AC".into()
+    }
+
+    fn on_arrival(&mut self, info: &JobInfo, now: Time) {
+        let abs_deadline = info.abs_deadline().unwrap_or_else(|| {
+            info.arrival
+                .saturating_add(info.profit.last_useful_time().ticks())
+        });
+        let cand = AdmJob {
+            abs_deadline,
+            work: info.work,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        let decision = match self.admission_failure(&cand, info.span, now) {
+            None => {
+                self.admitted.insert(info.id, cand);
+                AdmissionDecision::Admitted
+            }
+            Some(reason) => AdmissionDecision::Rejected(reason),
+        };
+        if let Some(buf) = self.report.as_mut() {
+            buf.push(AdmissionEvent {
+                job: info.id,
+                decision,
+            });
+        }
+    }
+
+    fn on_completion(&mut self, id: JobId, _now: Time) {
+        self.admitted.remove(&id);
+    }
+
+    fn on_expiry(&mut self, id: JobId, _now: Time) {
+        self.admitted.remove(&id);
+    }
+
+    fn allocate(&mut self, view: &TickView<'_>) -> Allocation {
+        let mut order: Vec<(Time, u64, JobId)> = view
+            .jobs()
+            .iter()
+            .filter_map(|&(id, _)| self.admitted.get(&id).map(|j| (j.abs_deadline, j.seq, id)))
+            .collect();
+        order.sort_unstable();
+        let ready: HashMap<JobId, u32> = view.jobs().iter().copied().collect();
+        let mut left = view.m;
+        let mut out = Vec::new();
+        for (_, _, id) in order {
+            if left == 0 {
+                break;
+            }
+            let r = ready.get(&id).copied().unwrap_or(0);
+            let k = r.min(left);
+            if k > 0 {
+                out.push((id, k));
+                left -= k;
+            }
+        }
+        out
+    }
+
+    fn allocation_stable_between_events(&self) -> bool {
+        true
+    }
+
+    fn enable_admission_reporting(&mut self) {
+        self.report.get_or_insert_with(Vec::new);
+    }
+
+    fn drain_admission_events(&mut self, out: &mut Vec<AdmissionEvent>) {
+        if let Some(buf) = self.report.as_mut() {
+            out.append(buf);
+        }
+    }
+}
