@@ -1,4 +1,4 @@
-//! The perf-regression harness behind `dagsched-bench` (BENCH_pr3.json).
+//! The perf-regression harness behind `dagsched-bench` (BENCH_pr4.json).
 //!
 //! Two measured hot paths, each timed as *legacy vs optimized in the same
 //! process and run*:
@@ -19,6 +19,13 @@
 //!   the current [`SchedulerS`](dagsched_sched::SchedulerS) with its dense
 //!   scratch maps and slot index.
 //!
+//! A third group measures **sweep throughput**: the B1 [`SweepGrid`] run
+//! sequentially vs sharded over 4 workers, in the same process. Unlike the
+//! legacy-vs-optimized ratios, this one is *hardware-dependent* — on a
+//! single-core box the 4-thread run cannot be faster — so the report also
+//! records [`host_cores`] and the CI gate only enforces a parallel-speedup
+//! floor when the machine actually has ≥ 4 cores.
+//!
 //! The report records *speedup ratios* (legacy time / optimized time), not
 //! absolute times, so the committed baseline stays meaningful across
 //! machines; the CI smoke job re-runs the harness with `--quick` and fails
@@ -26,12 +33,22 @@
 
 use dagsched_core::{AlgoParams, JobId, Rng64, Time, Work};
 use dagsched_engine::{Allocation, JobInfo, OnlineScheduler, TickView};
+use dagsched_experiments::SweepGrid;
 use dagsched_sched::bands::{reference::ReferenceBands, DensityBands};
 use dagsched_sched::oracle::OracleSchedulerS;
 use dagsched_sched::SchedulerS;
 use dagsched_workload::StepProfitFn;
 use std::hint::black_box;
 use std::time::Instant;
+
+/// Number of logical cores on this machine (1 if it cannot be queried).
+/// Recorded in the report so a committed baseline from a small box is not
+/// mistaken for a parallel-speedup claim.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
 
 /// One legacy-vs-optimized measurement.
 #[derive(Debug, Clone)]
@@ -46,15 +63,37 @@ pub struct CaseResult {
     pub speedup: f64,
 }
 
-/// The full harness output, serialized to `BENCH_pr3.json`.
+/// One sweep-throughput measurement: the same grid run sequentially and on
+/// `threads` workers, in the same process. `speedup` is `t1_ns / tn_ns` —
+/// it is **hardware-dependent** (bounded by `host_cores`), unlike the
+/// legacy-vs-optimized ratios.
+#[derive(Debug, Clone)]
+pub struct SweepCase {
+    /// Case id, e.g. `"sweep/b1-t4"`.
+    pub id: String,
+    /// Median sequential (1-thread) time per grid run, nanoseconds.
+    pub t1_ns: f64,
+    /// Median `threads`-worker time per grid run, nanoseconds.
+    pub tn_ns: f64,
+    /// Worker count of the parallel run.
+    pub threads: usize,
+    /// `t1_ns / tn_ns`.
+    pub speedup: f64,
+}
+
+/// The full harness output, serialized to `BENCH_pr4.json`.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
     /// Whether the reduced `--quick` sizes were used.
     pub quick: bool,
+    /// Logical cores of the measuring machine ([`host_cores`]).
+    pub host_cores: usize,
     /// Admission-storm cases, ascending size.
     pub admission: Vec<CaseResult>,
     /// Backfill cases, ascending size.
     pub backfill: Vec<CaseResult>,
+    /// Sweep-throughput cases (sequential vs sharded grid runs).
+    pub sweep: Vec<SweepCase>,
 }
 
 impl BenchReport {
@@ -70,12 +109,23 @@ impl BenchReport {
         min_speedup(self.backfill.iter())
     }
 
+    /// Sweep speedup of record: the minimum `t1/tN` ratio over sweep cases.
+    /// Only meaningful as a parallel-speedup claim when `host_cores` is at
+    /// least the case's thread count.
+    pub fn sweep_speedup(&self) -> f64 {
+        self.sweep
+            .iter()
+            .map(|c| c.speedup)
+            .fold(f64::INFINITY, f64::min)
+    }
+
     /// Serialize to the committed JSON format.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"pr\": 3,\n");
+        s.push_str("  \"pr\": 4,\n");
         s.push_str(&format!("  \"quick\": {},\n", self.quick));
+        s.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
         for (name, cases) in [("admission", &self.admission), ("backfill", &self.backfill)] {
             s.push_str(&format!("  \"{name}\": [\n"));
             for (i, c) in cases.iter().enumerate() {
@@ -90,13 +140,30 @@ impl BenchReport {
             }
             s.push_str("  ],\n");
         }
+        s.push_str("  \"sweep\": [\n");
+        for (i, c) in self.sweep.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": \"{}\", \"t1_ns\": {:.0}, \"tn_ns\": {:.0}, \"threads\": {}, \"speedup\": {:.3}}}{}\n",
+                c.id,
+                c.t1_ns,
+                c.tn_ns,
+                c.threads,
+                c.speedup,
+                if i + 1 < self.sweep.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
         s.push_str(&format!(
             "  \"admission_speedup\": {:.3},\n",
             self.admission_speedup()
         ));
         s.push_str(&format!(
-            "  \"backfill_speedup\": {:.3}\n",
+            "  \"backfill_speedup\": {:.3},\n",
             self.backfill_speedup()
+        ));
+        s.push_str(&format!(
+            "  \"sweep_speedup\": {:.3}\n",
+            self.sweep_speedup()
         ));
         s.push_str("}\n");
         s
@@ -267,19 +334,51 @@ pub fn run_backfill(sizes: &[usize], iters: usize) -> Vec<CaseResult> {
         .collect()
 }
 
+/// Run the sweep-throughput group: the given grid sequentially vs sharded
+/// over `threads` workers, median over `iters` runs each. The two runs are
+/// asserted byte-identical before timing (sharding must be invisible).
+pub fn run_sweep_grid(grid: &SweepGrid, threads: usize, iters: usize) -> Vec<SweepCase> {
+    assert_eq!(
+        grid.run(1),
+        grid.run(threads),
+        "sharded sweep diverged from sequential"
+    );
+    let checksum = |threads: usize| {
+        grid.run(threads)
+            .cells
+            .iter()
+            .map(|c| c.profit)
+            .fold(0u64, u64::wrapping_add)
+    };
+    let t1_ns = time_median_ns(iters, || checksum(1));
+    let tn_ns = time_median_ns(iters, || checksum(threads));
+    vec![SweepCase {
+        id: format!("sweep/{}-t{threads}", grid.name),
+        t1_ns,
+        tn_ns,
+        threads,
+        speedup: t1_ns / tn_ns,
+    }]
+}
+
 /// Run the whole harness. `quick` shrinks sizes and iteration counts for
 /// the CI smoke job; the full run is what gets committed as
-/// `BENCH_pr3.json`.
+/// `BENCH_pr4.json`.
 pub fn run_all(quick: bool) -> BenchReport {
     let (adm_sizes, bf_sizes, iters): (&[usize], &[usize], usize) = if quick {
         (&[1_000], &[500], 9)
     } else {
         (&[1_000, 4_000, 10_000], &[500, 2_000], 21)
     };
+    // The B1 grid takes ~50 ms sequentially, so even the full sweep group
+    // stays under a second.
+    let sweep_iters = if quick { 5 } else { 11 };
     BenchReport {
         quick,
+        host_cores: host_cores(),
         admission: run_admission(adm_sizes, iters),
         backfill: run_backfill(bf_sizes, iters),
+        sweep: run_sweep_grid(&SweepGrid::b1(), 4, sweep_iters),
     }
 }
 
@@ -291,6 +390,7 @@ mod tests {
     fn json_roundtrips_the_speedups() {
         let report = BenchReport {
             quick: true,
+            host_cores: 8,
             admission: vec![CaseResult {
                 id: "overload/p1000".into(),
                 legacy_ns: 4000.0,
@@ -303,11 +403,21 @@ mod tests {
                 new_ns: 300.0,
                 speedup: 3.0,
             }],
+            sweep: vec![SweepCase {
+                id: "sweep/b1-t4".into(),
+                t1_ns: 7000.0,
+                tn_ns: 2000.0,
+                threads: 4,
+                speedup: 3.5,
+            }],
         };
         let json = report.to_json();
         assert_eq!(json_number(&json, "admission_speedup"), Some(4.0));
         assert_eq!(json_number(&json, "backfill_speedup"), Some(3.0));
+        assert_eq!(json_number(&json, "sweep_speedup"), Some(3.5));
+        assert_eq!(json_number(&json, "host_cores"), Some(8.0));
         assert!(json.contains("\"overload/p1000\""));
+        assert!(json.contains("\"sweep/b1-t4\""));
     }
 
     #[test]
@@ -320,11 +430,14 @@ mod tests {
         };
         let report = BenchReport {
             quick: true,
+            host_cores: 1,
             admission: vec![mk("overload/p100", 0.5), mk("overload/p1000", 3.0)],
             backfill: vec![mk("wc-allocate/q500", 2.0)],
+            sweep: vec![],
         };
         assert_eq!(report.admission_speedup(), 3.0);
         assert_eq!(report.backfill_speedup(), 2.0);
+        assert_eq!(report.sweep_speedup(), f64::INFINITY);
     }
 
     #[test]
@@ -348,5 +461,17 @@ mod tests {
                 "{c:?}"
             );
         }
+    }
+
+    #[test]
+    fn sweep_harness_times_the_smoke_grid() {
+        // The smoke grid keeps this a harness-correctness test, not a perf
+        // claim; run_all uses B1.
+        let cases = run_sweep_grid(&SweepGrid::smoke(), 2, 1);
+        assert_eq!(cases.len(), 1);
+        let c = &cases[0];
+        assert_eq!(c.id, "sweep/smoke-t2");
+        assert!(c.t1_ns > 0.0 && c.tn_ns > 0.0 && c.speedup > 0.0, "{c:?}");
+        assert!(host_cores() >= 1);
     }
 }

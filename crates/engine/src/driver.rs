@@ -1,0 +1,648 @@
+//! The resumable simulation driver: the engine core as an explicit object.
+//!
+//! [`SimDriver`] composes the three state layers — [`Clock`](crate::clock),
+//! [`Platform`](crate::platform), [`Lifecycle`](crate::lifecycle) — with a
+//! scheduler, a pick policy, and an observer, and exposes the run as a
+//! sequence of explicit **steps**:
+//!
+//! * [`step`](SimDriver::step) executes exactly one engine scheduling round
+//!   — one reference tick or one bulk fast-forward window — and reports
+//!   whether the run is still live;
+//! * [`run_until`](SimDriver::run_until) steps until simulated time reaches
+//!   a target (a step may overshoot it: bulk windows are never split, which
+//!   is what keeps a stepped run byte-identical to a one-shot run);
+//! * [`finish`](SimDriver::finish) steps to the end and returns the
+//!   [`SimResult`].
+//!
+//! [`simulate`](crate::simulate) and
+//! [`simulate_observed`](crate::simulate_observed) are thin wrappers that
+//! construct a driver and call `finish` — there is exactly one loop body in
+//! the engine. A driver is generic over its observer so the unobserved
+//! instantiation ([`NullObserver`]) monomorphizes with every observation
+//! branch folded away; to keep access to an observer after the run, pass a
+//! `&mut dyn SimObserver` (which itself implements [`SimObserver`]).
+//!
+//! Driving the same schedule stepped or one-shot produces the same
+//! [`SimResult`] *including* `steps_executed` and the same event stream —
+//! the `driver_differential` suite in `crates/verify` holds this
+//! byte-identical over the stream-equivalence corpus.
+
+use crate::clock::{auto_horizon, Clock};
+use crate::lifecycle::Lifecycle;
+use crate::observe::{AdmissionEvent, NullObserver, SimObserver};
+use crate::pick::Picker;
+use crate::platform::Platform;
+use crate::result::SimResult;
+use crate::sched_api::{Allocation, OnlineScheduler, TickView};
+use crate::sim::SimConfig;
+use crate::trace::Trace;
+use dagsched_core::{JobId, NodeId, Result, SchedError, Time};
+use dagsched_workload::Instance;
+
+/// Scratch buffers reused across every step (no per-tick allocation):
+/// the tick view, validation output, expired ids, picked nodes,
+/// per-processor continuations, the fast-forward claim list, and the
+/// observation payload builders.
+#[derive(Default)]
+struct StepScratch {
+    view_jobs: Vec<(JobId, u32)>,
+    completions: Vec<JobId>,
+    alloc: Allocation,
+    expired: Vec<JobId>,
+    picked: Vec<NodeId>,
+    continuations: Vec<NodeId>,
+    claimed: Vec<(JobId, NodeId)>,
+    adm_events: Vec<AdmissionEvent>,
+    node_done: Vec<(JobId, NodeId)>,
+    progress: Vec<(JobId, u64)>,
+}
+
+/// A resumable simulation run. See the [module docs](self).
+pub struct SimDriver<'a, O: SimObserver = NullObserver> {
+    inst: &'a Instance,
+    sched: &'a mut dyn OnlineScheduler,
+    cfg: SimConfig,
+    obs: O,
+    clock: Clock,
+    platform: Platform,
+    life: Lifecycle,
+    picker: Picker,
+    trace: Option<Trace>,
+    /// Whether the event-driven fast-forward path is engaged (pinned at
+    /// construction: scheduler opt-in, deterministic pick, no trace).
+    fast_forward: bool,
+    /// `obs.is_active()`, pinned at construction; a compile-time `false`
+    /// for the [`NullObserver`] instantiation.
+    observing: bool,
+    done: bool,
+    poisoned: bool,
+    scratch: StepScratch,
+}
+
+impl<'a> SimDriver<'a, NullObserver> {
+    /// An unobserved driver for `sched` on `inst` under `cfg`.
+    pub fn new(
+        inst: &'a Instance,
+        sched: &'a mut dyn OnlineScheduler,
+        cfg: &SimConfig,
+    ) -> SimDriver<'a, NullObserver> {
+        SimDriver::with_observer(inst, sched, cfg, NullObserver)
+    }
+}
+
+impl<'a, O: SimObserver> SimDriver<'a, O> {
+    /// A driver whose event stream feeds `obs`. Fires
+    /// [`SimObserver::on_start`] immediately (construction is the start of
+    /// the run). When the observer is active, the scheduler is asked to
+    /// record admission decisions, exactly as in
+    /// [`simulate_observed`](crate::simulate_observed).
+    pub fn with_observer(
+        inst: &'a Instance,
+        sched: &'a mut dyn OnlineScheduler,
+        cfg: &SimConfig,
+        mut obs: O,
+    ) -> SimDriver<'a, O> {
+        let cfg = cfg.clone();
+        let jobs = inst.jobs();
+        let n = jobs.len();
+        let horizon = cfg.horizon.unwrap_or_else(|| auto_horizon(inst));
+        let trace = cfg.record_trace.then(Trace::new);
+        let observing = obs.is_active();
+        if observing {
+            sched.enable_admission_reporting();
+        }
+        obs.on_start(inst.m(), cfg.speed, horizon);
+        // The fast-forward path needs every source of per-tick variation
+        // pinned down: a scheduler whose allocation is stable between
+        // events, a deterministic pick policy, and no per-tick trace.
+        let fast_forward = cfg.fast_forward
+            && trace.is_none()
+            && cfg.pick.fast_forward_safe()
+            && sched.allocation_stable_between_events();
+        SimDriver {
+            clock: Clock::new(jobs[0].arrival, horizon),
+            platform: Platform::new(inst.m(), cfg.speed, n),
+            life: Lifecycle::new(n),
+            picker: Picker::new(cfg.pick.clone()),
+            trace,
+            fast_forward,
+            observing,
+            done: false,
+            poisoned: false,
+            scratch: StepScratch::default(),
+            inst,
+            sched,
+            cfg,
+            obs,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.clock.now()
+    }
+
+    /// Whether the run has ended ([`SimObserver::on_end`] has fired).
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The clock layer (read-only).
+    #[inline]
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The platform layer (read-only).
+    #[inline]
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The lifecycle layer (read-only).
+    #[inline]
+    pub fn lifecycle(&self) -> &Lifecycle {
+        &self.life
+    }
+
+    /// Execute one engine scheduling round: one reference tick, or one bulk
+    /// fast-forward window. Returns `Ok(true)` while the run is live;
+    /// `Ok(false)` once it has ended (the first such call fires
+    /// [`SimObserver::on_end`]; further calls are no-ops).
+    ///
+    /// # Errors
+    /// [`SchedError::InvalidAllocation`] exactly as
+    /// [`simulate`](crate::simulate). An error poisons the driver: every
+    /// later `step`/`run_until`/`finish` fails.
+    pub fn step(&mut self) -> Result<bool> {
+        if self.poisoned {
+            return Err(SchedError::InvalidAllocation(
+                "driver was poisoned by an earlier invalid allocation".into(),
+            ));
+        }
+        if self.done {
+            return Ok(false);
+        }
+        let jobs = self.inst.jobs();
+        if !((self.life.pending_arrivals() || !self.life.alive.is_empty())
+            && self.clock.before_horizon())
+        {
+            self.obs.on_end(self.clock.now());
+            self.done = true;
+            return Ok(false);
+        }
+
+        // Skip idle gaps between arrival waves.
+        if self.life.alive.is_empty() && jobs[self.life.next_arrival].arrival > self.clock.now() {
+            self.clock
+                .skip_idle_to(jobs[self.life.next_arrival].arrival);
+        }
+        let t = self.clock.now();
+        let units = self.platform.units_per_tick();
+
+        // 1. Arrivals.
+        let arrived = self.life.admit_arrivals(
+            jobs,
+            t,
+            self.platform.work_scale(),
+            self.sched,
+            &mut self.obs,
+        );
+        if self.observing && arrived {
+            self.sched
+                .drain_admission_events(&mut self.scratch.adm_events);
+            for ev in self.scratch.adm_events.drain(..) {
+                self.obs.on_admission(t, ev);
+            }
+        }
+
+        // 2. Expiry: zero-tail jobs that can no longer earn anything even
+        // if they complete this very tick (completion time would be t+1).
+        let expired_any = self.life.expire_hopeless(
+            jobs,
+            t,
+            self.sched,
+            &mut self.obs,
+            &mut self.scratch.expired,
+        );
+        if self.observing && expired_any {
+            self.sched
+                .drain_admission_events(&mut self.scratch.adm_events);
+            for ev in self.scratch.adm_events.drain(..) {
+                self.obs.on_admission(t, ev);
+            }
+        }
+
+        // 3. Ask the scheduler.
+        self.life.build_view(&mut self.scratch.view_jobs);
+        self.sched.allocate_into(
+            &TickView::new(self.platform.m(), t, &self.scratch.view_jobs),
+            &mut self.scratch.alloc,
+        );
+
+        // 4. Validate.
+        {
+            let life = &self.life;
+            if let Err(e) = self
+                .platform
+                .validate(t, &self.scratch.alloc, |id| life.is_alive(id))
+            {
+                self.poisoned = true;
+                self.done = true;
+                return Err(e);
+            }
+        }
+
+        if let Some(tr) = self.trace.as_mut() {
+            tr.push(t, &self.scratch.alloc);
+        }
+
+        // 5. Fast-forward: with a stable scheduler and a deterministic
+        // picker, nothing observable changes until the next event. Claim
+        // this tick's nodes exactly as the reference path's first picking
+        // round would, find the widest window in which no claimed node can
+        // finish and no arrival / expiry / horizon boundary falls, and
+        // advance the whole window in one engine step.
+        if self.fast_forward {
+            let sc = &mut self.scratch;
+            sc.claimed.clear();
+            // Minimum over claimed nodes of the ticks until completion,
+            // ceil(remaining / units): within `min_q - 1` ticks no claimed
+            // node finishes, so the ready sets — and with them every pick
+            // and every allocation — are frozen.
+            let mut min_q = u64::MAX;
+            for &(id, k) in &sc.alloc {
+                let l = self.life.live[id.index()]
+                    .as_mut()
+                    .expect("validated alive");
+                self.picker
+                    .pick_into(&l.state, &l.busy, k as usize, &mut sc.picked);
+                for &node in &sc.picked {
+                    l.busy[node.index()] = true;
+                    l.dirty.push(node.0);
+                    let rem = l.state.node_remaining(node).units();
+                    min_q = min_q.min(rem.div_ceil(units));
+                    sc.claimed.push((id, node));
+                }
+            }
+            // Window width in ticks. Every cap below is ≥ 1 (after the idle
+            // skip the next arrival is strictly in the future, after step 2
+            // every zero-tail job is strictly before its expiry boundary,
+            // and the run guard keeps t < horizon), so s == 0 iff a claimed
+            // node completes this very tick — which runs on the reference
+            // path. An empty claim set (empty allocation) also runs the
+            // reference tick: the naive path counts allocation-idle ticks
+            // one by one, and `ticks_simulated` must stay byte-identical.
+            if !sc.claimed.is_empty() {
+                let mut s = min_q.saturating_sub(1);
+                if self.life.pending_arrivals() {
+                    s = s.min(jobs[self.life.next_arrival].arrival.since(t));
+                }
+                for &id in &self.life.alive {
+                    let job = &jobs[id.index()];
+                    if job.profit.tail_value() == 0 {
+                        s = s.min(job.last_useful_abs().since(t));
+                    }
+                }
+                s = self.clock.cap_to_horizon(s);
+                if s > 0 {
+                    // No claimed node completes within the window: each
+                    // consumes its full `units` per tick (remaining >
+                    // s·units), exactly as `s` reference ticks would, and
+                    // no carryover, completion or hook can fire.
+                    for &(id, node) in &sc.claimed {
+                        let l = self.life.live[id.index()]
+                            .as_mut()
+                            .expect("claimed implies live");
+                        l.state.advance_bulk(node, s * units);
+                    }
+                    self.platform
+                        .record_units(sc.claimed.len() as u64 * s * units);
+                    if self.observing {
+                        // `claimed` lists each alloc entry's nodes
+                        // contiguously, in alloc order: walk it once to get
+                        // per-job claim counts (= work rate per tick /
+                        // units).
+                        sc.progress.clear();
+                        let mut rest = sc.claimed.as_slice();
+                        for &(id, _) in &sc.alloc {
+                            let cnt = rest.iter().take_while(|&&(j, _)| j == id).count();
+                            rest = &rest[cnt..];
+                            sc.progress.push((id, cnt as u64 * s * units));
+                        }
+                        self.obs
+                            .on_window(t, s, &sc.view_jobs, &sc.alloc, &sc.progress);
+                    }
+                    for &(id, _) in &sc.alloc {
+                        self.life.live[id.index()]
+                            .as_mut()
+                            .expect("validated alive")
+                            .release_claims();
+                    }
+                    self.clock.advance_window(s);
+                    return Ok(true);
+                }
+            }
+            // A completion is due this tick (or nothing was claimed):
+            // release the claim marks and run the tick on the reference
+            // path below (which re-picks the same nodes and handles
+            // completion, carryover and unlocking).
+            for &(id, _) in &sc.alloc {
+                self.life.live[id.index()]
+                    .as_mut()
+                    .expect("validated alive")
+                    .release_claims();
+            }
+        }
+
+        // 6. Execute (reference path).
+        let sc = &mut self.scratch;
+        sc.completions.clear();
+        if self.observing {
+            sc.progress.clear();
+            sc.node_done.clear();
+        }
+        for &(id, k) in &sc.alloc {
+            let l = self.life.live[id.index()]
+                .as_mut()
+                .expect("validated alive");
+            let mut entry_units = 0u64;
+            // Nodes that become ready *during* this tick may only be
+            // continued by the processor whose completion unlocked them —
+            // any other processor has already spent this tick's time.
+            // They are marked busy globally and kept in a per-processor
+            // continuation list.
+            for _ in 0..k {
+                let mut budget = units;
+                sc.continuations.clear();
+                while budget > 0 {
+                    let node = match sc.continuations.pop() {
+                        Some(n) => n,
+                        None => {
+                            self.picker.pick_into(&l.state, &l.busy, 1, &mut sc.picked);
+                            match sc.picked.first() {
+                                Some(&n) => {
+                                    l.busy[n.index()] = true;
+                                    l.dirty.push(n.0);
+                                    n
+                                }
+                                None => break,
+                            }
+                        }
+                    };
+                    let (consumed, node_finished) = l.state.advance(node, budget);
+                    self.platform.record_units(consumed);
+                    entry_units += consumed;
+                    budget -= consumed;
+                    if !node_finished {
+                        break;
+                    }
+                    if self.observing {
+                        sc.node_done.push((id, node));
+                    }
+                    // Lock newly-ready successors for the rest of the tick;
+                    // this processor may continue into them if allowed.
+                    // (Disjoint field borrows: the spec is read through
+                    // `l.state` while `l.busy`/`l.dirty` mutate — no Arc
+                    // clone per completed node.)
+                    for &succ in l.state.spec().successors(node) {
+                        if l.state.is_ready(succ) && !l.busy[succ.index()] {
+                            l.busy[succ.index()] = true;
+                            l.dirty.push(succ.0);
+                            if self.cfg.carryover {
+                                sc.continuations.push(succ);
+                            }
+                        }
+                    }
+                    if !self.cfg.carryover {
+                        break;
+                    }
+                }
+            }
+            l.release_claims();
+            if self.observing {
+                sc.progress.push((id, entry_units));
+            }
+            if l.state.is_complete() {
+                sc.completions.push(id);
+            }
+        }
+        if self.observing {
+            self.obs
+                .on_window(t, 1, &sc.view_jobs, &sc.alloc, &sc.progress);
+            for &(id, node) in &sc.node_done {
+                self.obs.on_node_complete(t, id, node);
+            }
+        }
+
+        // 7. Completions take effect at t+1.
+        let t_done = t.after(1);
+        self.life
+            .complete(jobs, t_done, &sc.completions, self.sched, &mut self.obs);
+        if self.observing && !sc.completions.is_empty() {
+            self.sched.drain_admission_events(&mut sc.adm_events);
+            for ev in sc.adm_events.drain(..) {
+                self.obs.on_admission(t_done, ev);
+            }
+        }
+
+        self.clock.advance_tick();
+        Ok(true)
+    }
+
+    /// Step until simulated time reaches `target` or the run ends,
+    /// whichever comes first. A step may overshoot the target — bulk
+    /// fast-forward windows are never split, which is what keeps a stepped
+    /// run byte-identical to a one-shot run. Returns `Ok(true)` while the
+    /// run is live.
+    ///
+    /// # Errors
+    /// As [`step`](Self::step).
+    pub fn run_until(&mut self, target: Time) -> Result<bool> {
+        if self.poisoned {
+            // Re-raise the canonical poisoned-driver error.
+            self.step()?;
+        }
+        while !self.done && self.clock.now() < target {
+            self.step()?;
+        }
+        Ok(!self.done)
+    }
+
+    /// Step to the end of the run and return the result.
+    ///
+    /// # Errors
+    /// As [`step`](Self::step).
+    pub fn finish(mut self) -> Result<SimResult> {
+        while self.step()? {}
+        Ok(SimResult {
+            scheduler: self.sched.name(),
+            outcomes: self.life.outcomes,
+            total_profit: self.life.total_profit,
+            scaled_units_processed: self.platform.scaled_units_processed(),
+            work_scale: self.platform.work_scale(),
+            ticks_simulated: self.clock.ticks_simulated(),
+            steps_executed: self.clock.steps_executed(),
+            end_time: self.clock.now(),
+            trace: self.trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::JobStatus;
+    use crate::sched_api::JobInfo;
+    use crate::sim::{simulate, SimConfig};
+    use dagsched_workload::WorkloadGen;
+
+    /// Work-conserving FIFO-by-arrival test scheduler (mirrors the one in
+    /// `sim::tests`): hands each alive job as many processors as it has
+    /// ready nodes, in arrival order.
+    struct Greedy;
+
+    impl OnlineScheduler for Greedy {
+        fn name(&self) -> String {
+            "greedy-test".into()
+        }
+        fn on_arrival(&mut self, _job: &JobInfo, _now: Time) {}
+        fn on_completion(&mut self, _id: JobId, _now: Time) {}
+        fn on_expiry(&mut self, _id: JobId, _now: Time) {}
+        fn allocate(&mut self, view: &TickView<'_>) -> Allocation {
+            let mut left = view.m;
+            let mut out = Vec::new();
+            for &(id, ready) in view.jobs() {
+                if left == 0 {
+                    break;
+                }
+                let k = ready.min(left);
+                if k > 0 {
+                    out.push((id, k));
+                    left -= k;
+                }
+            }
+            out
+        }
+        fn allocation_stable_between_events(&self) -> bool {
+            true
+        }
+    }
+
+    fn full_eq(a: &SimResult, b: &SimResult) {
+        assert!(a.same_outcome(b));
+        assert_eq!(
+            a.steps_executed, b.steps_executed,
+            "stepped and one-shot runs must agree on engine effort too"
+        );
+    }
+
+    #[test]
+    fn stepped_run_matches_one_shot_on_both_paths() {
+        for seed in 0..4u64 {
+            let inst = WorkloadGen::standard(4, 30, seed).generate().unwrap();
+            for fast_forward in [true, false] {
+                let cfg = SimConfig {
+                    fast_forward,
+                    ..SimConfig::default()
+                };
+                let one_shot = simulate(&inst, &mut Greedy, &cfg).unwrap();
+                let mut sched = Greedy;
+                let mut drv = SimDriver::new(&inst, &mut sched, &cfg);
+                let mut steps = 0u64;
+                while drv.step().unwrap() {
+                    steps += 1;
+                }
+                assert!(drv.is_done());
+                assert_eq!(steps, one_shot.steps_executed);
+                let stepped = drv.finish().unwrap();
+                full_eq(&stepped, &one_shot);
+            }
+        }
+    }
+
+    #[test]
+    fn run_until_pauses_and_resumes_without_perturbing_the_run() {
+        let inst = WorkloadGen::standard(4, 25, 9).generate().unwrap();
+        let one_shot = simulate(&inst, &mut Greedy, &SimConfig::default()).unwrap();
+        let mut sched = Greedy;
+        let cfg = SimConfig::default();
+        let mut drv = SimDriver::new(&inst, &mut sched, &cfg);
+        // Walk the horizon in uneven strides; each pause must leave the
+        // driver at or past the target without splitting any window.
+        let mut target = Time(1);
+        while drv.run_until(target).unwrap() {
+            assert!(drv.now() >= target || drv.is_done());
+            target = target.after(7);
+        }
+        let stepped = drv.finish().unwrap();
+        full_eq(&stepped, &one_shot);
+    }
+
+    #[test]
+    fn driver_exposes_layers_readonly() {
+        let inst = WorkloadGen::standard(2, 8, 3).generate().unwrap();
+        let cfg = SimConfig::default();
+        let mut sched = Greedy;
+        let mut drv = SimDriver::new(&inst, &mut sched, &cfg);
+        assert_eq!(drv.platform().m(), 2);
+        assert_eq!(drv.clock().steps_executed(), 0);
+        drv.step().unwrap();
+        assert_eq!(drv.clock().steps_executed(), 1);
+        assert!(!drv.lifecycle().alive().is_empty() || drv.lifecycle().total_profit() > 0);
+    }
+
+    #[test]
+    fn invalid_allocation_poisons_the_driver() {
+        use dagsched_dag::gen;
+        use dagsched_workload::{Instance, JobSpec, StepProfitFn};
+        struct Bad;
+        impl OnlineScheduler for Bad {
+            fn name(&self) -> String {
+                "bad".into()
+            }
+            fn on_arrival(&mut self, _j: &JobInfo, _t: Time) {}
+            fn on_completion(&mut self, _i: JobId, _t: Time) {}
+            fn on_expiry(&mut self, _i: JobId, _t: Time) {}
+            fn allocate(&mut self, _v: &TickView<'_>) -> Allocation {
+                vec![(JobId(42), 1)]
+            }
+        }
+        let inst = Instance::new(
+            1,
+            vec![JobSpec::new(
+                JobId(0),
+                Time(0),
+                gen::single(5).into_shared(),
+                StepProfitFn::deadline(Time(50), 1),
+            )],
+        )
+        .unwrap();
+        let mut sched = Bad;
+        let cfg = SimConfig::default();
+        let mut drv = SimDriver::new(&inst, &mut sched, &cfg);
+        assert!(drv.step().is_err());
+        // Poisoned: every later call fails rather than returning a bogus
+        // partial result.
+        assert!(drv.step().is_err());
+        assert!(drv.run_until(Time(10)).is_err());
+        assert!(drv.finish().is_err());
+    }
+
+    #[test]
+    fn completed_jobs_report_through_the_lifecycle_layer() {
+        let inst = WorkloadGen::standard(4, 10, 1).generate().unwrap();
+        let cfg = SimConfig::default();
+        let one_shot = simulate(&inst, &mut Greedy, &cfg).unwrap();
+        let mut sched = Greedy;
+        let mut drv = SimDriver::new(&inst, &mut sched, &cfg);
+        while drv.step().unwrap() {}
+        let done: usize = (0..inst.jobs().len())
+            .filter(|&i| matches!(drv.lifecycle().outcomes[i], JobStatus::Completed { .. }))
+            .count();
+        assert_eq!(done, one_shot.completed());
+        assert_eq!(drv.lifecycle().total_profit(), one_shot.total_profit);
+    }
+}

@@ -26,14 +26,20 @@
 
 #![warn(missing_docs)]
 
+pub mod clock;
+pub mod driver;
+pub mod lifecycle;
 pub mod observe;
 pub mod pick;
+pub mod platform;
 pub mod result;
 pub mod runner;
 pub mod sched_api;
 pub mod sim;
 pub mod trace;
 
+pub use clock::auto_horizon;
+pub use driver::SimDriver;
 pub use observe::{
     AdmissionDecision, AdmissionEvent, AdmissionReason, NullObserver, Observers, SimObserver,
 };

@@ -1,0 +1,203 @@
+//! The lifecycle layer: the arrival → (expiry | completion) state machine.
+//!
+//! A [`Lifecycle`] owns every per-job state the engine keeps — the dense
+//! slab of unfolded DAG states ([`Live`]), the arrival cursor, the alive
+//! list (always in arrival order), terminal outcomes, and earned profit —
+//! and the three transitions a job can make:
+//!
+//! * [`admit_arrivals`](Lifecycle::admit_arrivals) materializes every job
+//!   with `arrival ≤ t` and runs the scheduler's and observer's arrival
+//!   hooks;
+//! * [`expire_hopeless`](Lifecycle::expire_hopeless) abandons zero-tail jobs
+//!   past their last useful moment;
+//! * [`complete`](Lifecycle::complete) retires jobs whose last node
+//!   finished, paying `p(t_done − r)`.
+//!
+//! The scheduler and observer hooks fire *inside* the transition methods so
+//! that the ordering contract of [`observe`](crate::observe) is enforced in
+//! exactly one place.
+
+use crate::observe::SimObserver;
+use crate::result::JobStatus;
+use crate::sched_api::{JobInfo, OnlineScheduler};
+use dagsched_core::{JobId, Time};
+use dagsched_dag::UnfoldState;
+use dagsched_workload::JobSpec;
+
+/// Per-alive-job engine bookkeeping.
+pub(crate) struct Live {
+    /// Unfolded DAG execution state.
+    pub(crate) state: UnfoldState,
+    /// Nodes claimed by a processor in the current tick (dense by node id);
+    /// cleared via `dirty` after the tick.
+    pub(crate) busy: Vec<bool>,
+    pub(crate) dirty: Vec<u32>,
+}
+
+impl Live {
+    /// Release every node claimed this tick (the single place the
+    /// busy/dirty scratch pair is unwound).
+    #[inline]
+    pub(crate) fn release_claims(&mut self) {
+        for d in self.dirty.drain(..) {
+            self.busy[d as usize] = false;
+        }
+    }
+}
+
+/// The per-job state machine of one run. See the [module docs](self).
+pub struct Lifecycle {
+    /// Live execution state, dense by job index (`None` = not arrived or
+    /// already terminal).
+    pub(crate) live: Vec<Option<Live>>,
+    /// Terminal (or at-horizon) outcome per job.
+    pub(crate) outcomes: Vec<JobStatus>,
+    /// Arrived, unfinished, unexpired jobs — in arrival order.
+    pub(crate) alive: Vec<JobId>,
+    /// Index of the next not-yet-arrived job.
+    pub(crate) next_arrival: usize,
+    /// Σ profit of completed jobs.
+    pub(crate) total_profit: u64,
+}
+
+impl Lifecycle {
+    /// Fresh state for an instance of `n` jobs.
+    pub(crate) fn new(n: usize) -> Lifecycle {
+        let mut live: Vec<Option<Live>> = Vec::with_capacity(n);
+        live.resize_with(n, || None);
+        Lifecycle {
+            live,
+            outcomes: vec![JobStatus::Unfinished; n],
+            alive: Vec::new(),
+            next_arrival: 0,
+            total_profit: 0,
+        }
+    }
+
+    /// Jobs currently alive, in arrival order.
+    #[inline]
+    pub fn alive(&self) -> &[JobId] {
+        &self.alive
+    }
+
+    /// Profit earned so far.
+    #[inline]
+    pub fn total_profit(&self) -> u64 {
+        self.total_profit
+    }
+
+    /// Whether `id` is alive (bounds-checked: safe for scheduler-supplied
+    /// ids).
+    #[inline]
+    pub fn is_alive(&self, id: JobId) -> bool {
+        id.index() < self.live.len() && self.live[id.index()].is_some()
+    }
+
+    /// Whether any job has yet to arrive.
+    #[inline]
+    pub(crate) fn pending_arrivals(&self) -> bool {
+        self.next_arrival < self.live.len()
+    }
+
+    /// Materialize every job with `arrival ≤ t`, running the scheduler's
+    /// and observer's arrival hooks in arrival order. Returns whether any
+    /// job arrived (the driver drains admission decisions if so).
+    pub(crate) fn admit_arrivals<O: SimObserver + ?Sized>(
+        &mut self,
+        jobs: &[JobSpec],
+        t: Time,
+        scale: u64,
+        sched: &mut dyn OnlineScheduler,
+        obs: &mut O,
+    ) -> bool {
+        let first = self.next_arrival;
+        while self.next_arrival < jobs.len() && jobs[self.next_arrival].arrival <= t {
+            let job = &jobs[self.next_arrival];
+            let state = UnfoldState::new(job.dag.clone(), scale);
+            let nodes = state.spec().num_nodes();
+            self.live[job.id.index()] = Some(Live {
+                state,
+                busy: vec![false; nodes],
+                dirty: Vec::new(),
+            });
+            self.alive.push(job.id);
+            let info = JobInfo {
+                id: job.id,
+                arrival: job.arrival,
+                work: job.work(),
+                span: job.span(),
+                profit: job.profit.clone(),
+            };
+            sched.on_arrival(&info, t);
+            obs.on_job_arrival(t, &info);
+            self.next_arrival += 1;
+        }
+        self.next_arrival > first
+    }
+
+    /// Abandon zero-tail jobs that can no longer earn anything even if they
+    /// complete this very tick (completion time would be `t + 1`), running
+    /// the expiry hooks. The expired ids are left in `expired` for the
+    /// driver's fast-forward boundary logic. Returns whether any expired.
+    pub(crate) fn expire_hopeless<O: SimObserver + ?Sized>(
+        &mut self,
+        jobs: &[JobSpec],
+        t: Time,
+        sched: &mut dyn OnlineScheduler,
+        obs: &mut O,
+        expired: &mut Vec<JobId>,
+    ) -> bool {
+        expired.clear();
+        let live = &mut self.live;
+        let outcomes = &mut self.outcomes;
+        self.alive.retain(|&id| {
+            let job = &jobs[id.index()];
+            if job.profit.tail_value() == 0 && t >= job.last_useful_abs() {
+                outcomes[id.index()] = JobStatus::Expired { at: t };
+                live[id.index()] = None;
+                expired.push(id);
+                false
+            } else {
+                true
+            }
+        });
+        for &id in expired.iter() {
+            sched.on_expiry(id, t);
+            obs.on_job_expired(t, id);
+        }
+        !expired.is_empty()
+    }
+
+    /// The scheduler's tick view: `(id, ready_count)` per alive job, in
+    /// arrival order.
+    pub(crate) fn build_view(&self, out: &mut Vec<(JobId, u32)>) {
+        out.clear();
+        for &id in &self.alive {
+            let l = self.live[id.index()].as_ref().expect("alive implies live");
+            out.push((id, l.state.ready_count() as u32));
+        }
+    }
+
+    /// Retire `completions` at `t_done`, paying each job's profit function
+    /// at its relative completion time and running the completion hooks.
+    pub(crate) fn complete<O: SimObserver + ?Sized>(
+        &mut self,
+        jobs: &[JobSpec],
+        t_done: Time,
+        completions: &[JobId],
+        sched: &mut dyn OnlineScheduler,
+        obs: &mut O,
+    ) {
+        for &id in completions {
+            let job = &jobs[id.index()];
+            let rel = Time(t_done.since(job.arrival));
+            let profit = job.profit.eval(rel);
+            self.total_profit += profit;
+            self.outcomes[id.index()] = JobStatus::Completed { at: t_done, profit };
+            self.live[id.index()] = None;
+            self.alive.retain(|&a| a != id);
+            sched.on_completion(id, t_done);
+            obs.on_job_complete(t_done, id, profit);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The platform layer: machine-size and speed accounting.
+//!
+//! A [`Platform`] owns what the paper calls the machine — `m` identical
+//! processors running at a rational speed — plus the two things that follow
+//! directly from it: exact speed arithmetic (`units` scaled work units per
+//! tick at scale `scale`) and per-tick allocation validation (every grant to
+//! an alive job, every count ≥ 1, no duplicates, total ≤ `m`). The processed
+//! scaled-units counter also lives here, since it is the platform's view of
+//! consumed capacity.
+
+use crate::sched_api::Allocation;
+use dagsched_core::{JobId, Result, SchedError, Speed, Time};
+
+/// The simulated machine: size, speed, and capacity accounting. See the
+/// [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Platform {
+    m: u32,
+    speed: Speed,
+    scale: u64,
+    units: u64,
+    units_processed: u64,
+    /// Validation scratch, dense by job index; entries are set and cleared
+    /// within one [`validate`](Platform::validate) call, keeping validation
+    /// O(|alloc|).
+    granted: Vec<bool>,
+}
+
+impl Platform {
+    /// A machine of `m` processors at `speed`, for an instance of `n` jobs.
+    pub(crate) fn new(m: u32, speed: Speed, n: usize) -> Platform {
+        Platform {
+            m,
+            speed,
+            scale: speed.work_scale(),
+            units: speed.units_per_tick(),
+            units_processed: 0,
+            granted: vec![false; n],
+        }
+    }
+
+    /// Machine size.
+    #[inline]
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Processor speed (resource augmentation).
+    #[inline]
+    pub fn speed(&self) -> Speed {
+        self.speed
+    }
+
+    /// The work scale (speed denominator) all node work is multiplied by.
+    #[inline]
+    pub fn work_scale(&self) -> u64 {
+        self.scale
+    }
+
+    /// Scaled work units one processor completes per tick (speed numerator).
+    #[inline]
+    pub fn units_per_tick(&self) -> u64 {
+        self.units
+    }
+
+    /// Scaled work units consumed so far.
+    #[inline]
+    pub fn scaled_units_processed(&self) -> u64 {
+        self.units_processed
+    }
+
+    /// Record `u` scaled units of consumed capacity.
+    #[inline]
+    pub(crate) fn record_units(&mut self, u: u64) {
+        self.units_processed += u;
+    }
+
+    /// Validate one tick's allocation against the machine and the alive set.
+    ///
+    /// # Errors
+    /// [`SchedError::InvalidAllocation`] on a grant to a dead job, a zero
+    /// grant, a duplicated job, or over-subscription past `m`.
+    pub(crate) fn validate(
+        &mut self,
+        t: Time,
+        alloc: &Allocation,
+        is_alive: impl Fn(JobId) -> bool,
+    ) -> Result<()> {
+        let mut used: u64 = 0;
+        let mut bad = None;
+        for &(id, k) in alloc {
+            if !is_alive(id) {
+                bad = Some(format!("tick {t}: job {id} is not alive"));
+                break;
+            }
+            if k == 0 {
+                bad = Some(format!("tick {t}: zero processors for {id}"));
+                break;
+            }
+            if self.granted[id.index()] {
+                bad = Some(format!("tick {t}: duplicate allocation for {id}"));
+                break;
+            }
+            self.granted[id.index()] = true;
+            used += k as u64;
+            if used > self.m as u64 {
+                bad = Some(format!(
+                    "tick {t}: {used} processors allocated but m = {}",
+                    self.m
+                ));
+                break;
+            }
+        }
+        for &(id, _) in alloc {
+            if id.index() < self.granted.len() {
+                self.granted[id.index()] = false;
+            }
+        }
+        match bad {
+            Some(msg) => Err(SchedError::InvalidAllocation(msg)),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> Platform {
+        Platform::new(2, Speed::new(3, 2).unwrap(), 4)
+    }
+
+    #[test]
+    fn speed_arithmetic_is_exposed_exactly() {
+        let p = platform();
+        assert_eq!(p.m(), 2);
+        assert_eq!(p.work_scale(), 2);
+        assert_eq!(p.units_per_tick(), 3);
+    }
+
+    #[test]
+    fn validate_accepts_good_and_rejects_bad() {
+        let mut p = platform();
+        let alive = |id: JobId| id.index() < 3;
+        assert!(p
+            .validate(Time(0), &vec![(JobId(0), 1), (JobId(1), 1)], alive)
+            .is_ok());
+        // Dead job.
+        assert!(p.validate(Time(0), &vec![(JobId(3), 1)], alive).is_err());
+        // Zero grant.
+        assert!(p.validate(Time(0), &vec![(JobId(0), 0)], alive).is_err());
+        // Duplicate.
+        assert!(p
+            .validate(Time(0), &vec![(JobId(0), 1), (JobId(0), 1)], alive)
+            .is_err());
+        // Over-subscription.
+        assert!(p
+            .validate(Time(0), &vec![(JobId(0), 2), (JobId(1), 1)], alive)
+            .is_err());
+        // The scratch is clean after a failure: a good allocation passes.
+        assert!(p.validate(Time(1), &vec![(JobId(0), 2)], alive).is_ok());
+        assert!(p.validate(Time(2), &vec![(JobId(0), 2)], alive).is_ok());
+    }
+}

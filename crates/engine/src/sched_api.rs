@@ -63,8 +63,18 @@ impl<'a> TickView<'a> {
     }
 
     /// Ready-node count of one job (`None` if it is not alive).
+    ///
+    /// O(log n) by binary search: engine-built views list jobs in arrival
+    /// order, and [`Instance::new`](dagsched_workload::Instance::new)
+    /// guarantees ids are assigned in arrival order, so `jobs` is ascending
+    /// by id. Hand-built test views must keep ids sorted for this lookup
+    /// (views with unsorted ids may still be *iterated* via
+    /// [`jobs`](Self::jobs)).
     pub fn ready_count(&self, id: JobId) -> Option<u32> {
-        self.jobs.iter().find(|(j, _)| *j == id).map(|(_, r)| *r)
+        self.jobs
+            .binary_search_by_key(&id, |&(j, _)| j)
+            .ok()
+            .map(|i| self.jobs[i].1)
     }
 }
 
@@ -151,6 +161,20 @@ pub trait OnlineScheduler {
     /// event to the attached observer — on both execution paths, so the
     /// decisions land at identical stream positions. Default: none.
     fn drain_admission_events(&mut self, _out: &mut Vec<AdmissionEvent>) {}
+
+    /// Return this scheduler to its freshly-constructed state, keeping any
+    /// allocated capacity, and report whether that was done.
+    ///
+    /// Returning `true` is a contract: after `reset()`, every subsequent
+    /// run must be byte-identical to one on a newly constructed scheduler
+    /// with the same parameters. Sweep runners use this to reuse one
+    /// scheduler value (and its buffers) across many cells instead of
+    /// rebuilding it per run. The default returns `false` — "I did not
+    /// reset, build a fresh one" — so implementations that carry hidden
+    /// cross-run state are never reused by accident.
+    fn reset(&mut self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
@@ -180,5 +204,21 @@ mod tests {
         assert_eq!(view.jobs().len(), 2);
         assert_eq!(view.m, 4);
         assert_eq!(view.now, Time(9));
+    }
+
+    #[test]
+    fn ready_count_binary_search_agrees_with_linear_scan() {
+        // A sparse ascending view, as the engine builds them: present and
+        // absent ids interleaved, including both ends.
+        let jobs: Vec<(JobId, u32)> = (0..200u32)
+            .filter(|i| i % 3 != 1)
+            .map(|i| (JobId(i), i * 7))
+            .collect();
+        let view = TickView::new(8, Time(0), &jobs);
+        for probe in 0..210u32 {
+            let id = JobId(probe);
+            let linear = jobs.iter().find(|(j, _)| *j == id).map(|(_, r)| *r);
+            assert_eq!(view.ready_count(id), linear, "probe {probe}");
+        }
     }
 }

@@ -1,4 +1,5 @@
-//! The discrete-time execution engine.
+//! The discrete-time execution engine: configuration and the one-shot
+//! entry points.
 //!
 //! Two execution paths produce identical results:
 //!
@@ -18,14 +19,19 @@
 //! to the reference path, so opting in is always safe for correctness
 //! *checking* — and the equivalence property tests in
 //! `crates/engine/tests/fastforward.rs` hold the two paths byte-identical.
+//!
+//! Both entry points are thin wrappers over the layered, resumable
+//! [`SimDriver`](crate::driver::SimDriver): [`simulate`] drives it with the
+//! zero-cost [`NullObserver`] instantiation and [`simulate_observed`] with a
+//! dynamic observer — there is exactly one loop body in the engine (see
+//! [`driver`](crate::driver) for the layer diagram).
 
-use crate::observe::{AdmissionEvent, NullObserver, SimObserver};
-use crate::pick::{NodePick, Picker};
-use crate::result::{JobStatus, SimResult};
-use crate::sched_api::{Allocation, JobInfo, OnlineScheduler, TickView};
-use crate::trace::Trace;
-use dagsched_core::{JobId, NodeId, Result, SchedError, Speed, Time};
-use dagsched_dag::UnfoldState;
+use crate::driver::SimDriver;
+use crate::observe::SimObserver;
+use crate::pick::NodePick;
+use crate::result::SimResult;
+use crate::sched_api::OnlineScheduler;
+use dagsched_core::{Result, Speed, Time};
 use dagsched_workload::Instance;
 
 /// Engine configuration.
@@ -76,28 +82,19 @@ impl SimConfig {
     }
 }
 
-/// Per-alive-job engine bookkeeping.
-struct Live {
-    state: UnfoldState,
-    /// Nodes claimed by a processor in the current tick (dense by node id);
-    /// cleared via `dirty` after the tick.
-    busy: Vec<bool>,
-    dirty: Vec<u32>,
-}
-
 /// Run `sched` on `inst` under `cfg`.
 ///
 /// # Errors
-/// [`SchedError::InvalidAllocation`] if the scheduler ever over-subscribes
-/// processors, allocates to a job that is not alive, allocates zero
-/// processors, or repeats a job within one tick. Engine-model violations are
-/// bugs and surface as panics, not errors.
+/// [`SchedError`](dagsched_core::SchedError)`::InvalidAllocation` if the
+/// scheduler ever over-subscribes processors, allocates to a job that is not
+/// alive, allocates zero processors, or repeats a job within one tick.
+/// Engine-model violations are bugs and surface as panics, not errors.
 pub fn simulate(
     inst: &Instance,
     sched: &mut dyn OnlineScheduler,
     cfg: &SimConfig,
 ) -> Result<SimResult> {
-    run(inst, sched, cfg, &mut NullObserver)
+    SimDriver::new(inst, sched, cfg).finish()
 }
 
 /// Run `sched` on `inst` under `cfg` with `obs` receiving the event stream.
@@ -119,400 +116,15 @@ pub fn simulate_observed(
     cfg: &SimConfig,
     obs: &mut dyn SimObserver,
 ) -> Result<SimResult> {
-    run(inst, sched, cfg, obs)
-}
-
-/// The engine core, generic over the observer so the unobserved path
-/// ([`NullObserver`]) monomorphizes with every observation branch folded
-/// away.
-fn run<O: SimObserver + ?Sized>(
-    inst: &Instance,
-    sched: &mut dyn OnlineScheduler,
-    cfg: &SimConfig,
-    obs: &mut O,
-) -> Result<SimResult> {
-    let m = inst.m();
-    let jobs = inst.jobs();
-    let n = jobs.len();
-    let scale = cfg.speed.work_scale();
-    let units = cfg.speed.units_per_tick();
-    let horizon = cfg.horizon.unwrap_or_else(|| auto_horizon(inst));
-
-    let mut live: Vec<Option<Live>> = Vec::with_capacity(n);
-    live.resize_with(n, || None);
-    let mut outcomes = vec![JobStatus::Unfinished; n];
-    let mut alive: Vec<JobId> = Vec::new();
-    let mut picker = Picker::new(cfg.pick.clone());
-
-    let mut next_arrival = 0usize;
-    let mut t = jobs[0].arrival;
-    let mut ticks_simulated = 0u64;
-    let mut steps_executed = 0u64;
-    let mut total_profit = 0u64;
-    let mut units_processed = 0u64;
-
-    let mut view_jobs: Vec<(JobId, u32)> = Vec::new();
-    let mut completions: Vec<JobId> = Vec::new();
-    let mut trace = cfg.record_trace.then(Trace::new);
-
-    // Scratch buffers reused across the whole run (no per-tick allocation):
-    // validation marks, expired ids, picked nodes, per-processor
-    // continuations, and the fast-forward claim list.
-    let mut granted = vec![false; n];
-    let mut alloc: Allocation = Vec::new();
-    let mut expired: Vec<JobId> = Vec::new();
-    let mut picked: Vec<NodeId> = Vec::new();
-    let mut continuations: Vec<NodeId> = Vec::new();
-    let mut claimed: Vec<(JobId, NodeId)> = Vec::new();
-
-    // Observation scratch. `observing` is a compile-time constant `false`
-    // for the NullObserver instantiation, so every payload-assembly branch
-    // below folds away on the unobserved path.
-    let observing = obs.is_active();
-    let mut adm_events: Vec<AdmissionEvent> = Vec::new();
-    let mut node_done: Vec<(JobId, NodeId)> = Vec::new();
-    let mut progress: Vec<(JobId, u64)> = Vec::new();
-    if observing {
-        sched.enable_admission_reporting();
-    }
-    obs.on_start(m, cfg.speed, horizon);
-
-    // The fast-forward path needs every source of per-tick variation pinned
-    // down: a scheduler whose allocation is stable between events, a
-    // deterministic pick policy, and no per-tick trace recording.
-    let fast_forward = cfg.fast_forward
-        && trace.is_none()
-        && cfg.pick.fast_forward_safe()
-        && sched.allocation_stable_between_events();
-
-    while (next_arrival < n || !alive.is_empty()) && t < horizon {
-        // Skip idle gaps between arrival waves.
-        if alive.is_empty() && jobs[next_arrival].arrival > t {
-            t = jobs[next_arrival].arrival;
-        }
-
-        // 1. Arrivals.
-        let first_arrival = next_arrival;
-        while next_arrival < n && jobs[next_arrival].arrival <= t {
-            let job = &jobs[next_arrival];
-            let state = UnfoldState::new(job.dag.clone(), scale);
-            let nodes = state.spec().num_nodes();
-            live[job.id.index()] = Some(Live {
-                state,
-                busy: vec![false; nodes],
-                dirty: Vec::new(),
-            });
-            alive.push(job.id);
-            let info = JobInfo {
-                id: job.id,
-                arrival: job.arrival,
-                work: job.work(),
-                span: job.span(),
-                profit: job.profit.clone(),
-            };
-            sched.on_arrival(&info, t);
-            obs.on_job_arrival(t, &info);
-            next_arrival += 1;
-        }
-        if observing && next_arrival > first_arrival {
-            sched.drain_admission_events(&mut adm_events);
-            for ev in adm_events.drain(..) {
-                obs.on_admission(t, ev);
-            }
-        }
-
-        // 2. Expiry: zero-tail jobs that can no longer earn anything even if
-        // they complete this very tick (completion time would be t+1).
-        expired.clear();
-        alive.retain(|&id| {
-            let job = &jobs[id.index()];
-            if job.profit.tail_value() == 0 && t >= job.last_useful_abs() {
-                outcomes[id.index()] = JobStatus::Expired { at: t };
-                live[id.index()] = None;
-                expired.push(id);
-                false
-            } else {
-                true
-            }
-        });
-        for &id in &expired {
-            sched.on_expiry(id, t);
-            obs.on_job_expired(t, id);
-        }
-        if observing && !expired.is_empty() {
-            sched.drain_admission_events(&mut adm_events);
-            for ev in adm_events.drain(..) {
-                obs.on_admission(t, ev);
-            }
-        }
-
-        // 3. Ask the scheduler.
-        view_jobs.clear();
-        for &id in &alive {
-            let l = live[id.index()].as_ref().expect("alive implies live");
-            view_jobs.push((id, l.state.ready_count() as u32));
-        }
-        sched.allocate_into(&TickView::new(m, t, &view_jobs), &mut alloc);
-
-        // 4. Validate. `granted` is a reusable scratch; only the entries set
-        // here are reset below, keeping validation O(|alloc|).
-        let mut used: u64 = 0;
-        for &(id, k) in &alloc {
-            if id.index() >= n || live[id.index()].is_none() {
-                return Err(SchedError::InvalidAllocation(format!(
-                    "tick {t}: job {id} is not alive"
-                )));
-            }
-            if k == 0 {
-                return Err(SchedError::InvalidAllocation(format!(
-                    "tick {t}: zero processors for {id}"
-                )));
-            }
-            if granted[id.index()] {
-                return Err(SchedError::InvalidAllocation(format!(
-                    "tick {t}: duplicate allocation for {id}"
-                )));
-            }
-            granted[id.index()] = true;
-            used += k as u64;
-            if used > m as u64 {
-                return Err(SchedError::InvalidAllocation(format!(
-                    "tick {t}: {used} processors allocated but m = {m}"
-                )));
-            }
-        }
-        for &(id, _) in &alloc {
-            granted[id.index()] = false;
-        }
-
-        if let Some(tr) = trace.as_mut() {
-            tr.push(t, &alloc);
-        }
-
-        // 5. Fast-forward: with a stable scheduler and a deterministic
-        // picker, nothing observable changes until the next event. Claim
-        // this tick's nodes exactly as the reference path's first picking
-        // round would, find the widest window in which no claimed node can
-        // finish and no arrival / expiry / horizon boundary falls, and
-        // advance the whole window in one engine step.
-        if fast_forward {
-            claimed.clear();
-            // Minimum over claimed nodes of the ticks until completion,
-            // ceil(remaining / units): within `min_q - 1` ticks no claimed
-            // node finishes, so the ready sets — and with them every pick
-            // and every allocation — are frozen.
-            let mut min_q = u64::MAX;
-            for &(id, k) in &alloc {
-                let l = live[id.index()].as_mut().expect("validated alive");
-                picker.pick_into(&l.state, &l.busy, k as usize, &mut picked);
-                for &node in &picked {
-                    l.busy[node.index()] = true;
-                    l.dirty.push(node.0);
-                    let rem = l.state.node_remaining(node).units();
-                    min_q = min_q.min(rem.div_ceil(units));
-                    claimed.push((id, node));
-                }
-            }
-            // Window width in ticks. Every cap below is ≥ 1 (after step 1
-            // the next arrival is strictly in the future, after step 2 every
-            // zero-tail job is strictly before its expiry boundary, and the
-            // loop guard keeps t < horizon), so s == 0 iff a claimed node
-            // completes this very tick — which runs on the reference path.
-            // An empty claim set (empty allocation) also runs the reference
-            // tick: the naive path counts allocation-idle ticks one by one,
-            // and `ticks_simulated` must stay byte-identical.
-            if !claimed.is_empty() {
-                let mut s = min_q.saturating_sub(1);
-                if next_arrival < n {
-                    s = s.min(jobs[next_arrival].arrival.since(t));
-                }
-                for &id in &alive {
-                    let job = &jobs[id.index()];
-                    if job.profit.tail_value() == 0 {
-                        s = s.min(job.last_useful_abs().since(t));
-                    }
-                }
-                s = s.min(horizon.since(t));
-                if s > 0 {
-                    // No claimed node completes within the window: each
-                    // consumes its full `units` per tick (remaining >
-                    // s·units), exactly as `s` reference ticks would, and no
-                    // carryover, completion or hook can fire.
-                    for &(id, node) in &claimed {
-                        let l = live[id.index()].as_mut().expect("claimed implies live");
-                        l.state.advance_bulk(node, s * units);
-                    }
-                    units_processed += claimed.len() as u64 * s * units;
-                    if observing {
-                        // `claimed` lists each alloc entry's nodes
-                        // contiguously, in alloc order: walk it once to get
-                        // per-job claim counts (= work rate per tick / units).
-                        progress.clear();
-                        let mut rest = claimed.as_slice();
-                        for &(id, _) in &alloc {
-                            let cnt = rest.iter().take_while(|&&(j, _)| j == id).count();
-                            rest = &rest[cnt..];
-                            progress.push((id, cnt as u64 * s * units));
-                        }
-                        obs.on_window(t, s, &view_jobs, &alloc, &progress);
-                    }
-                    for &(id, _) in &alloc {
-                        let l = live[id.index()].as_mut().expect("validated alive");
-                        for d in l.dirty.drain(..) {
-                            l.busy[d as usize] = false;
-                        }
-                    }
-                    t = t.after(s);
-                    ticks_simulated += s;
-                    steps_executed += 1;
-                    continue;
-                }
-            }
-            // A completion is due this tick (or nothing was claimed):
-            // release the claim marks and run the tick on the reference path
-            // below (which re-picks the same nodes and handles completion,
-            // carryover and unlocking).
-            for &(id, _) in &alloc {
-                let l = live[id.index()].as_mut().expect("validated alive");
-                for d in l.dirty.drain(..) {
-                    l.busy[d as usize] = false;
-                }
-            }
-        }
-
-        // 6. Execute (reference path).
-        completions.clear();
-        if observing {
-            progress.clear();
-            node_done.clear();
-        }
-        for &(id, k) in &alloc {
-            let l = live[id.index()].as_mut().expect("validated alive");
-            let mut entry_units = 0u64;
-            // Nodes that become ready *during* this tick may only be
-            // continued by the processor whose completion unlocked them —
-            // any other processor has already spent this tick's time.
-            // They are marked busy globally and kept in a per-processor
-            // continuation list.
-            for _ in 0..k {
-                let mut budget = units;
-                continuations.clear();
-                while budget > 0 {
-                    let node = match continuations.pop() {
-                        Some(n) => n,
-                        None => {
-                            picker.pick_into(&l.state, &l.busy, 1, &mut picked);
-                            match picked.first() {
-                                Some(&n) => {
-                                    l.busy[n.index()] = true;
-                                    l.dirty.push(n.0);
-                                    n
-                                }
-                                None => break,
-                            }
-                        }
-                    };
-                    let (consumed, done) = l.state.advance(node, budget);
-                    units_processed += consumed;
-                    entry_units += consumed;
-                    budget -= consumed;
-                    if !done {
-                        break;
-                    }
-                    if observing {
-                        node_done.push((id, node));
-                    }
-                    // Lock newly-ready successors for the rest of the tick;
-                    // this processor may continue into them if allowed.
-                    // (Disjoint field borrows: the spec is read through
-                    // `l.state` while `l.busy`/`l.dirty` mutate — no Arc
-                    // clone per completed node.)
-                    for &succ in l.state.spec().successors(node) {
-                        if l.state.is_ready(succ) && !l.busy[succ.index()] {
-                            l.busy[succ.index()] = true;
-                            l.dirty.push(succ.0);
-                            if cfg.carryover {
-                                continuations.push(succ);
-                            }
-                        }
-                    }
-                    if !cfg.carryover {
-                        break;
-                    }
-                }
-            }
-            for d in l.dirty.drain(..) {
-                l.busy[d as usize] = false;
-            }
-            if observing {
-                progress.push((id, entry_units));
-            }
-            if l.state.is_complete() {
-                completions.push(id);
-            }
-        }
-        if observing {
-            obs.on_window(t, 1, &view_jobs, &alloc, &progress);
-            for &(id, node) in &node_done {
-                obs.on_node_complete(t, id, node);
-            }
-        }
-
-        // 7. Completions take effect at t+1.
-        let t_done = t.after(1);
-        for &id in &completions {
-            let job = &jobs[id.index()];
-            let rel = Time(t_done.since(job.arrival));
-            let profit = job.profit.eval(rel);
-            total_profit += profit;
-            outcomes[id.index()] = JobStatus::Completed { at: t_done, profit };
-            live[id.index()] = None;
-            alive.retain(|&a| a != id);
-            sched.on_completion(id, t_done);
-            obs.on_job_complete(t_done, id, profit);
-        }
-        if observing && !completions.is_empty() {
-            sched.drain_admission_events(&mut adm_events);
-            for ev in adm_events.drain(..) {
-                obs.on_admission(t_done, ev);
-            }
-        }
-
-        t = t_done;
-        ticks_simulated += 1;
-        steps_executed += 1;
-    }
-
-    obs.on_end(t);
-
-    Ok(SimResult {
-        scheduler: sched.name(),
-        outcomes,
-        total_profit,
-        scaled_units_processed: units_processed,
-        work_scale: scale,
-        ticks_simulated,
-        steps_executed,
-        end_time: t,
-        trace,
-    })
-}
-
-/// A horizon every work-conserving schedule fits in: after the last useful
-/// moment of any job, one processor could still drain all remaining work.
-fn auto_horizon(inst: &Instance) -> Time {
-    let stats = inst.stats();
-    stats
-        .horizon
-        .saturating_add(stats.total_work.as_ticks())
-        .saturating_add(1)
+    SimDriver::with_observer(inst, sched, cfg, obs).finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sched_api::Allocation;
-    use dagsched_core::{JobId, Work};
+    use crate::result::JobStatus;
+    use crate::sched_api::{Allocation, JobInfo, TickView};
+    use dagsched_core::{JobId, NodeId, SchedError, Work};
     use dagsched_dag::gen;
     use dagsched_workload::{Instance, JobSpec, StepProfitFn};
     use std::sync::Arc;

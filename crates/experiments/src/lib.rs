@@ -37,8 +37,10 @@ pub mod node_pick;
 pub mod profit_general;
 pub mod speed_sweep;
 pub mod sporadic_rt;
+pub mod sweep;
 
 pub use common::SchedKind;
+pub use sweep::{CellResult, SweepGrid, SweepResult};
 
 /// Run every experiment (the `all` binary).
 pub fn run_all(quick: bool) -> Vec<dagsched_metrics::Table> {

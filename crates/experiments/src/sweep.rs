@@ -1,0 +1,467 @@
+//! The sharded parallel sweep runtime.
+//!
+//! A [`SweepGrid`] is the cross product *workload seed × scheduler × speed ×
+//! machine size*. [`SweepGrid::run`] shards the cells over `threads` workers
+//! (scoped threads pulling cells from an atomic cursor) and merges the
+//! per-cell results back **in grid order**, so the output is byte-identical
+//! regardless of thread count or OS scheduling:
+//!
+//! * every cell is self-seeding — its workload seed is derived from the
+//!   grid's base seed and the cell coordinates via [`Rng64::child`] chains,
+//!   never from which worker ran it or in what order;
+//! * the engine is deterministic per (instance, scheduler, config);
+//! * workers return `(cell index, result)` pairs and the merge step writes
+//!   them into a dense grid-ordered vector; summary statistics fold
+//!   [`RunningStats`] partials in that same fixed order.
+//!
+//! Workers keep two caches: generated instances per `(seed, m)` (the
+//! workload axis is shared across schedulers and speeds, so comparisons are
+//! paired), and one scheduler value per `(kind, m)` reused across cells when
+//! [`OnlineScheduler::reset`] reports the scheduler restored itself —
+//! otherwise a fresh one is built, so reuse is purely an allocation saving,
+//! never a semantic one.
+//!
+//! The module also carries the `dagsched sweep` CLI (parse + execute,
+//! unit-tested here; `src/main.rs` at the workspace root is a thin wrapper).
+
+use crate::common::SchedKind;
+use dagsched_core::{Rng64, SchedError, Speed};
+use dagsched_engine::{simulate, OnlineScheduler, SimConfig};
+use dagsched_metrics::RunningStats;
+use dagsched_workload::{Instance, WorkloadGen};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A sweep over workload seeds × schedulers × speeds × machine sizes.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Grid name (reported in the output header).
+    pub name: String,
+    /// Workload-seed axis (one generated instance per `(seed, m)`).
+    pub seeds: Vec<u64>,
+    /// Scheduler axis.
+    pub scheds: Vec<SchedKind>,
+    /// Engine-speed axis.
+    pub speeds: Vec<Speed>,
+    /// Machine-size axis.
+    pub ms: Vec<u32>,
+    /// Jobs per generated instance.
+    pub n_jobs: usize,
+    /// Base seed the per-cell workload seeds are derived from.
+    pub base_seed: u64,
+}
+
+/// One cell's coordinates (axis values, not indices, except the scheduler).
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    seed: u64,
+    sched_idx: usize,
+    speed: Speed,
+    m: u32,
+}
+
+/// The outcome of one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Scheduler label ([`SchedKind::label`]).
+    pub sched: String,
+    /// Machine size.
+    pub m: u32,
+    /// Engine speed.
+    pub speed: Speed,
+    /// Workload-axis seed.
+    pub seed: u64,
+    /// Total profit earned.
+    pub profit: u64,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Jobs expired.
+    pub expired: usize,
+    /// Jobs unfinished at the horizon.
+    pub unfinished: usize,
+    /// Ticks of simulated time.
+    pub ticks: u64,
+    /// Engine steps executed (events on the fast-forward path).
+    pub steps: u64,
+}
+
+/// A completed sweep: the grid's cells in grid order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// The grid's name.
+    pub grid: String,
+    /// Per-cell results, in grid order (seed-major, then scheduler, speed,
+    /// machine size) — identical for every thread count.
+    pub cells: Vec<CellResult>,
+}
+
+/// Derive the workload seed of one `(axis seed, m)` pair. Independent of
+/// the scheduler and speed axes so those comparisons are paired, and
+/// independent of sharding by construction.
+fn workload_seed(base: u64, axis_seed: u64, m: u32) -> u64 {
+    Rng64::seed_from(base)
+        .child(axis_seed)
+        .child(m as u64)
+        .next_u64()
+}
+
+impl SweepGrid {
+    /// The tiny grid the CI smoke job diffs across thread counts.
+    pub fn smoke() -> SweepGrid {
+        SweepGrid {
+            name: "smoke".into(),
+            seeds: vec![1, 2],
+            scheds: vec![
+                SchedKind::S { epsilon: 1.0 },
+                SchedKind::Edf,
+                SchedKind::Fifo,
+            ],
+            speeds: vec![Speed::ONE],
+            ms: vec![4],
+            n_jobs: 16,
+            base_seed: 0xDA65_C4ED,
+        }
+    }
+
+    /// The benchmark grid (B1): the production schedulers over two machine
+    /// sizes and two speeds, six seeds each.
+    pub fn b1() -> SweepGrid {
+        SweepGrid {
+            name: "b1".into(),
+            seeds: (1..=6).collect(),
+            scheds: vec![
+                SchedKind::S { epsilon: 1.0 },
+                SchedKind::SWc { epsilon: 1.0 },
+                SchedKind::Edf,
+                SchedKind::EdfAc,
+                SchedKind::Fifo,
+                SchedKind::Hdf,
+                SchedKind::Llf,
+            ],
+            speeds: vec![Speed::ONE, Speed::new(3, 2).expect("positive")],
+            ms: vec![8, 16],
+            n_jobs: 60,
+            base_seed: 0xDA65_C4ED,
+        }
+    }
+
+    /// Number of cells in the grid.
+    pub fn len(&self) -> usize {
+        self.seeds.len() * self.scheds.len() * self.speeds.len() * self.ms.len()
+    }
+
+    /// True iff any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cell list in grid order.
+    fn cells(&self) -> Vec<Cell> {
+        let mut out = Vec::with_capacity(self.len());
+        for &seed in &self.seeds {
+            for sched_idx in 0..self.scheds.len() {
+                for &speed in &self.speeds {
+                    for &m in &self.ms {
+                        out.push(Cell {
+                            seed,
+                            sched_idx,
+                            speed,
+                            m,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Run one cell with worker-local caches.
+    fn run_cell(
+        &self,
+        cell: &Cell,
+        instances: &mut HashMap<(u64, u32), Instance>,
+        scheds: &mut HashMap<String, Box<dyn OnlineScheduler>>,
+    ) -> CellResult {
+        let inst = instances.entry((cell.seed, cell.m)).or_insert_with(|| {
+            let wseed = workload_seed(self.base_seed, cell.seed, cell.m);
+            WorkloadGen::standard(cell.m, self.n_jobs, wseed)
+                .generate()
+                .expect("standard workloads generate")
+        });
+        let kind = &self.scheds[cell.sched_idx];
+        let key = format!("{kind:?}@{}", cell.m);
+        let reusable = scheds.get_mut(&key).is_some_and(|s| s.reset());
+        if !reusable {
+            scheds.insert(key.clone(), kind.build(cell.m));
+        }
+        let sched = scheds.get_mut(&key).expect("present by construction");
+        let r = simulate(inst, sched.as_mut(), &SimConfig::at_speed(cell.speed))
+            .expect("production schedulers emit valid allocations");
+        CellResult {
+            sched: kind.label(),
+            m: cell.m,
+            speed: cell.speed,
+            seed: cell.seed,
+            profit: r.total_profit,
+            completed: r.completed(),
+            expired: r.expired(),
+            unfinished: r.unfinished(),
+            ticks: r.ticks_simulated,
+            steps: r.steps_executed,
+        }
+    }
+
+    /// Run the whole grid on `threads` workers (0 is treated as 1).
+    ///
+    /// Workers pull cell indices from a shared cursor and return
+    /// `(index, result)` pairs; the merge writes them into a grid-ordered
+    /// vector, so the returned [`SweepResult`] is byte-identical for every
+    /// thread count.
+    pub fn run(&self, threads: usize) -> SweepResult {
+        let cells = self.cells();
+        let workers = threads.max(1).min(cells.len().max(1));
+        let cursor = AtomicUsize::new(0);
+        let mut merged: Vec<Option<CellResult>> = vec![None; cells.len()];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut instances = HashMap::new();
+                        let mut scheds = HashMap::new();
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(cell) = cells.get(i) else { break };
+                            local.push((i, self.run_cell(cell, &mut instances, &mut scheds)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("sweep worker panicked") {
+                    merged[i] = Some(r);
+                }
+            }
+        });
+        SweepResult {
+            grid: self.name.clone(),
+            cells: merged
+                .into_iter()
+                .map(|c| c.expect("every cell index was claimed exactly once"))
+                .collect(),
+        }
+    }
+}
+
+impl SweepResult {
+    /// Render the sweep as CSV: one row per cell in grid order, then a
+    /// `# summary` section aggregating profit over the seed axis with
+    /// [`RunningStats`] folded in grid order. The string is identical for
+    /// every thread count.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# sweep grid: {}", self.grid);
+        let _ = writeln!(
+            out,
+            "sched,m,speed,seed,profit,completed,expired,unfinished,ticks,steps"
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "{},{},{}/{},{},{},{},{},{},{},{}",
+                c.sched,
+                c.m,
+                c.speed.num(),
+                c.speed.den(),
+                c.seed,
+                c.profit,
+                c.completed,
+                c.expired,
+                c.unfinished,
+                c.ticks,
+                c.steps
+            );
+        }
+        let _ = writeln!(out, "# summary (profit over seeds)");
+        let _ = writeln!(out, "sched,m,speed,n,mean,min,max");
+        // Fold per (sched, speed, m) group in grid order: the cell list is
+        // seed-major, so walking it once in order feeds each group's
+        // RunningStats its seeds in ascending-axis order.
+        let mut order: Vec<(String, u32, Speed)> = Vec::new();
+        let mut groups: HashMap<(String, u32, Speed), RunningStats> = HashMap::new();
+        for c in &self.cells {
+            let key = (c.sched.clone(), c.m, c.speed);
+            groups
+                .entry(key.clone())
+                .or_insert_with(|| {
+                    order.push(key);
+                    RunningStats::new()
+                })
+                .push(c.profit as f64);
+        }
+        for key in order {
+            let s = &groups[&key];
+            let _ = writeln!(
+                out,
+                "{},{},{}/{},{},{:.3},{:.3},{:.3}",
+                key.0,
+                key.1,
+                key.2.num(),
+                key.2.den(),
+                s.count(),
+                s.mean().unwrap_or(0.0),
+                s.min().unwrap_or(0.0),
+                s.max().unwrap_or(0.0)
+            );
+        }
+        out
+    }
+}
+
+/// A parsed `sweep` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepCommand {
+    /// Run a named grid.
+    Run {
+        /// Which grid (`smoke` or `b1`).
+        grid: String,
+        /// Worker-thread count.
+        threads: usize,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// The `sweep` usage text.
+pub const USAGE: &str = "\
+usage: dagsched sweep [options]
+
+options:
+  --grid smoke|b1   which grid to run      (default smoke)
+  --threads N       worker threads         (default: available parallelism)
+
+The output (CSV rows in grid order plus a summary section) is byte-identical
+for every --threads value.
+";
+
+fn take_val<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parse `sweep` arguments (without the `sweep` word itself).
+pub fn parse(args: &[String]) -> Result<SweepCommand, SchedError> {
+    if args
+        .first()
+        .is_some_and(|a| a == "help" || a == "--help" || a == "-h")
+    {
+        return Ok(SweepCommand::Help);
+    }
+    let grid = take_val(args, "--grid").unwrap_or("smoke");
+    if grid != "smoke" && grid != "b1" {
+        return Err(SchedError::Unsupported(format!("unknown --grid {grid:?}")));
+    }
+    let threads = match take_val(args, "--threads") {
+        Some(t) => t.parse::<usize>().ok().filter(|&t| t >= 1).ok_or_else(|| {
+            SchedError::Unsupported("--threads expects a positive integer".into())
+        })?,
+        None => dagsched_engine::runner::default_threads(),
+    };
+    Ok(SweepCommand::Run {
+        grid: grid.to_string(),
+        threads,
+    })
+}
+
+/// Execute a parsed `sweep` command, returning the report.
+pub fn execute(cmd: &SweepCommand) -> Result<String, SchedError> {
+    match cmd {
+        SweepCommand::Help => Ok(USAGE.to_string()),
+        SweepCommand::Run { grid, threads } => {
+            let grid = match grid.as_str() {
+                "smoke" => SweepGrid::smoke(),
+                "b1" => SweepGrid::b1(),
+                other => return Err(SchedError::Unsupported(format!("unknown grid {other:?}"))),
+            };
+            Ok(grid.run(*threads).to_csv())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_variants() {
+        assert_eq!(parse(&argv("help")).unwrap(), SweepCommand::Help);
+        assert_eq!(
+            parse(&argv("--grid b1 --threads 4")).unwrap(),
+            SweepCommand::Run {
+                grid: "b1".into(),
+                threads: 4
+            }
+        );
+        match parse(&[]).unwrap() {
+            SweepCommand::Run { grid, threads } => {
+                assert_eq!(grid, "smoke");
+                assert!(threads >= 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("--grid nope")).is_err());
+        assert!(parse(&argv("--threads 0")).is_err());
+        assert!(parse(&argv("--threads x")).is_err());
+    }
+
+    #[test]
+    fn smoke_grid_runs_and_reports_every_cell() {
+        let grid = SweepGrid::smoke();
+        let r = grid.run(1);
+        assert_eq!(r.cells.len(), grid.len());
+        let csv = r.to_csv();
+        assert!(csv.starts_with("# sweep grid: smoke"));
+        assert!(csv.contains("# summary"));
+        // One row per cell plus headers and summary rows.
+        let rows = csv.lines().filter(|l| l.contains(",1/1,")).count();
+        assert!(rows >= grid.len());
+    }
+
+    #[test]
+    fn workload_axis_is_shared_across_schedulers() {
+        // Same (seed, m): every scheduler must see the same instance, which
+        // shows as identical tick counts being *possible*; assert directly
+        // on the derivation.
+        assert_eq!(workload_seed(7, 1, 4), workload_seed(7, 1, 4));
+        assert_ne!(workload_seed(7, 1, 4), workload_seed(7, 2, 4));
+        assert_ne!(workload_seed(7, 1, 4), workload_seed(7, 1, 8));
+        assert_ne!(workload_seed(7, 1, 4), workload_seed(8, 1, 4));
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_the_output() {
+        let grid = SweepGrid::smoke();
+        let one = grid.run(1).to_csv();
+        let three = grid.run(3).to_csv();
+        assert_eq!(one, three, "sharding leaked into the results");
+    }
+
+    #[test]
+    fn execute_help_and_run() {
+        assert!(execute(&SweepCommand::Help).unwrap().contains("--grid"));
+        let out = execute(&SweepCommand::Run {
+            grid: "smoke".into(),
+            threads: 2,
+        })
+        .unwrap();
+        assert!(out.contains("sched,m,speed,seed"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Sharding must be invisible: a sweep's merged output is byte-identical
+//! for every thread count, including thread counts above the cell count.
+
+use dagsched_experiments::sweep::{execute, SweepCommand, SweepGrid};
+
+#[test]
+fn merged_output_is_byte_identical_at_1_2_and_8_threads() {
+    let grid = SweepGrid::smoke();
+    let one = grid.run(1);
+    let two = grid.run(2);
+    let eight = grid.run(8);
+    assert_eq!(one, two, "2 threads diverged from sequential");
+    assert_eq!(one, eight, "8 threads diverged from sequential");
+    assert_eq!(one.to_csv(), two.to_csv());
+    assert_eq!(one.to_csv(), eight.to_csv());
+}
+
+#[test]
+fn cli_execute_is_thread_count_invariant() {
+    let run = |threads| {
+        execute(&SweepCommand::Run {
+            grid: "smoke".into(),
+            threads,
+        })
+        .unwrap()
+    };
+    let base = run(1);
+    assert_eq!(base, run(2));
+    assert_eq!(base, run(8));
+    assert!(base.contains("# summary"));
+}
+
+#[test]
+fn cells_are_ordered_and_complete() {
+    let grid = SweepGrid::smoke();
+    let r = grid.run(4);
+    assert_eq!(r.cells.len(), grid.len());
+    // Grid order is seed-major: the seed column must be non-decreasing.
+    let seeds: Vec<u64> = r.cells.iter().map(|c| c.seed).collect();
+    let mut sorted = seeds.clone();
+    sorted.sort_unstable();
+    assert_eq!(seeds, sorted, "cells not merged in grid order");
+}

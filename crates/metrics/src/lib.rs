@@ -14,5 +14,5 @@ pub mod table;
 
 pub use histogram::LogHistogram;
 pub use plot::Series;
-pub use stats::Summary;
+pub use stats::{RunningStats, Summary};
 pub use table::Table;

@@ -61,6 +61,86 @@ impl Summary {
     }
 }
 
+/// A mergeable running aggregate: count, sum, min, max.
+///
+/// [`Summary`] wants the whole sample at once; sharded sweeps instead
+/// produce one aggregate per cell and fold them afterwards. `merge` is
+/// exact for `n`, `min` and `max`; the sum is floating-point, so callers
+/// that need byte-identical output across thread counts must fold partials
+/// in a fixed order (the sweep runtime folds in grid order) — under that
+/// discipline every derived statistic is bit-reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningStats {
+    n: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for RunningStats {
+    fn default() -> Self {
+        RunningStats::new()
+    }
+}
+
+impl RunningStats {
+    /// An empty aggregate.
+    pub fn new() -> RunningStats {
+        RunningStats {
+            n: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Absorb one observation. Non-finite values are ignored (they would
+    /// silently poison every statistic, as in [`Summary::of`]).
+    pub fn push(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.n += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Absorb another aggregate (fold partials in a fixed order for
+    /// bit-reproducible sums).
+    pub fn merge(&mut self, other: &RunningStats) {
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations absorbed.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.sum / self.n as f64)
+    }
+
+    /// Minimum (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
 /// Pairwise ratio `a[i] / b[i]`, skipping pairs with `b[i] == 0`.
 /// Used for per-seed competitive ratios (algorithm vs bound on the *same*
 /// instance — never ratio-of-means, which would mix instances).
@@ -124,6 +204,42 @@ mod tests {
     fn ratios_skip_zero_denominators() {
         let r = pairwise_ratios(&[4.0, 9.0, 5.0], &[2.0, 3.0, 0.0]);
         assert_eq!(r, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn running_stats_push_and_merge_match_whole_sample() {
+        let sample = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut whole = RunningStats::new();
+        for v in sample {
+            whole.push(v);
+        }
+        // Two shards folded in order must equal the sequential aggregate.
+        let (a, b) = sample.split_at(3);
+        let mut left = RunningStats::new();
+        a.iter().for_each(|&v| left.push(v));
+        let mut right = RunningStats::new();
+        b.iter().for_each(|&v| right.push(v));
+        left.merge(&right);
+        assert_eq!(left, whole);
+        assert_eq!(whole.count(), 8);
+        assert_eq!(whole.min(), Some(1.0));
+        assert_eq!(whole.max(), Some(9.0));
+        assert_eq!(whole.mean(), Some(sample.iter().sum::<f64>() / 8.0));
+    }
+
+    #[test]
+    fn running_stats_empty_and_nonfinite() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        s.push(f64::NAN);
+        s.push(f64::INFINITY);
+        assert_eq!(s.count(), 0, "non-finite observations are dropped");
+        let mut other = RunningStats::new();
+        other.push(2.0);
+        s.merge(&other);
+        assert_eq!(s.mean(), Some(2.0));
     }
 
     #[test]

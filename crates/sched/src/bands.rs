@@ -74,6 +74,11 @@ pub struct DensityBands {
     capacity: f64,
 }
 
+/// Seed of the deterministic treap-priority stream (also replayed by
+/// [`DensityBands::clear`] so a cleared structure rebuilds the exact shapes
+/// a new one would).
+const PRIO_SEED: u64 = 0x8BAD_F00D_0B57_AC1E;
+
 impl DensityBands {
     /// Create a structure with band width `c` and capacity `b·m`.
     pub fn new(c: f64, capacity: f64) -> DensityBands {
@@ -84,10 +89,22 @@ impl DensityBands {
             free: Vec::new(),
             index: HashMap::new(),
             root: NIL,
-            prio_rng: Rng64::seed_from(0x8BAD_F00D_0B57_AC1E),
+            prio_rng: Rng64::seed_from(PRIO_SEED),
             c,
             capacity,
         }
+    }
+
+    /// Return to the freshly-constructed state (same `c` and capacity),
+    /// keeping allocated storage. The priority stream restarts from
+    /// [`PRIO_SEED`], so subsequent inserts replay exactly what a new
+    /// structure would build.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.index.clear();
+        self.root = NIL;
+        self.prio_rng = Rng64::seed_from(PRIO_SEED);
     }
 
     /// Number of queued jobs.

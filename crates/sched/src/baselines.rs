@@ -83,6 +83,11 @@ impl Base {
     fn remove(&mut self, id: JobId) {
         self.alive.retain(|e| e.id != id);
     }
+
+    fn clear(&mut self) {
+        self.alive.clear();
+        self.seq = 0;
+    }
 }
 
 /// Work-conserving fill: walk `order`, give each job `min(ready, left)`.
@@ -162,6 +167,10 @@ macro_rules! baseline {
                 // alive set and ready counts, independent of `now`.
                 true
             }
+            fn reset(&mut self) -> bool {
+                self.base.clear();
+                true
+            }
         }
     };
 }
@@ -199,6 +208,7 @@ baseline!(
 pub struct RandomOrder {
     m: u32,
     base: Base,
+    seed: u64,
     rng: Rng64,
     ids: Vec<JobId>,
     ready_lut: DenseU32Map,
@@ -210,6 +220,7 @@ impl RandomOrder {
         RandomOrder {
             m,
             base: Base::default(),
+            seed,
             rng: Rng64::seed_from(seed),
             ids: Vec::new(),
             ready_lut: DenseU32Map::new(),
@@ -248,6 +259,11 @@ impl OnlineScheduler for RandomOrder {
         // Deliberately NOT stable: each call consumes RNG state and may
         // return a different order. Must stay on the naive engine path.
         false
+    }
+    fn reset(&mut self) -> bool {
+        self.base.clear();
+        self.rng = Rng64::seed_from(self.seed);
+        true
     }
 }
 
@@ -348,6 +364,13 @@ impl OnlineScheduler for SNoAdmission {
         if let Some(buf) = self.report.as_mut() {
             out.append(buf);
         }
+    }
+
+    fn reset(&mut self) -> bool {
+        self.alive.clear();
+        self.seq = 0;
+        self.report = None;
+        true
     }
 }
 

@@ -83,6 +83,10 @@ impl DensityQueue {
         }
     }
 
+    fn clear(&mut self) {
+        self.items.clear();
+    }
+
     fn len(&self) -> usize {
         self.items.len()
     }
@@ -506,6 +510,20 @@ impl OnlineScheduler for SchedulerS {
         if let Some(buf) = self.report.as_mut() {
             out.append(buf);
         }
+    }
+
+    fn reset(&mut self) -> bool {
+        // Everything run-dependent goes; the construction parameters
+        // (params, m, speed_hint, work_conserving, check_invariants) and the
+        // scratch buffers stay. `bands.clear()` restarts its priority
+        // stream, so queue shapes replay identically.
+        self.jobs.clear();
+        self.q.clear();
+        self.p.clear();
+        self.bands.clear();
+        self.metrics = SchedulerSMetrics::default();
+        self.report = None;
+        true
     }
 }
 

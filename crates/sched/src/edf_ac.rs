@@ -207,6 +207,14 @@ impl OnlineScheduler for EdfAc {
             out.append(buf);
         }
     }
+
+    fn reset(&mut self) -> bool {
+        self.admitted.clear();
+        self.seq = 0;
+        self.rejected = 0;
+        self.report = None;
+        true
+    }
 }
 
 #[cfg(test)]

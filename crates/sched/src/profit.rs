@@ -280,6 +280,17 @@ impl OnlineScheduler for SchedulerSProfit {
         // no job event in between. Must stay on the naive engine path.
         false
     }
+
+    fn reset(&mut self) -> bool {
+        // The maps are only ever probed by key (no iteration reaches the
+        // allocation), so clearing them restores fresh-construction behavior
+        // exactly; `params` and `m` are construction parameters and stay.
+        self.jobs.clear();
+        self.slots.clear();
+        self.history.clear();
+        self.metrics = SchedulerSProfitMetrics::default();
+        true
+    }
 }
 
 impl SchedulerSProfit {

@@ -50,6 +50,14 @@ impl<T> JobSlab<T> {
         self.live == 0
     }
 
+    /// Drop every live entry, keeping the slot storage for reuse.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.live = 0;
+    }
+
     /// Insert `value` under `id`, returning the previous value if any.
     pub fn insert(&mut self, id: JobId, value: T) -> Option<T> {
         let i = id.index();

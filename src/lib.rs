@@ -40,8 +40,9 @@ pub mod prelude {
     pub use dagsched_dag::{gen as daggen, DagBuilder, DagJobSpec, UnfoldState};
     pub use dagsched_engine::{
         simulate, simulate_observed, JobInfo, JobStatus, NodePick, NullObserver, Observers,
-        OnlineScheduler, SimConfig, SimObserver, SimResult, TickView, Trace, TraceStats,
+        OnlineScheduler, SimConfig, SimDriver, SimObserver, SimResult, TickView, Trace, TraceStats,
     };
+    pub use dagsched_experiments::{SchedKind, SweepGrid, SweepResult};
     pub use dagsched_opt::{
         adversarial_makespan, clairvoyant_edf_profit, exact_subset_ub, fractional_ub, lpf_makespan,
     };
