@@ -1,5 +1,5 @@
 //! Perf-regression exporter: run the hot-path harness and write
-//! `BENCH_pr4.json`, optionally failing against a committed baseline.
+//! `BENCH_pr5.json`, optionally failing against a committed baseline.
 //!
 //! ```text
 //! dagsched-bench [--quick] [--out PATH] [--baseline PATH]
@@ -8,12 +8,12 @@
 //!
 //! * `--quick` — reduced sizes/iterations (the CI smoke configuration);
 //! * `--out PATH` — where to write the JSON report (default
-//!   `BENCH_pr4.json` in the current directory);
-//! * `--baseline PATH` — compare this run's admission/backfill speedups
-//!   against the ones recorded in `PATH`; exit non-zero if either fell
-//!   more than `--max-regress` (default `0.25`, i.e. 25%) below it. A
-//!   baseline without sweep keys (e.g. the older `BENCH_pr3.json` format)
-//!   is accepted — the sweep comparison is simply skipped;
+//!   `BENCH_pr5.json` in the current directory);
+//! * `--baseline PATH` — compare this run's admission/backfill/arrival
+//!   speedups against the ones recorded in `PATH`; exit non-zero if any
+//!   fell more than `--max-regress` (default `0.25`, i.e. 25%) below it. A
+//!   baseline without sweep or arrival keys (an older `BENCH_prN.json`
+//!   format) is accepted — the missing comparison is simply skipped;
 //! * `--min-sweep-speedup X` — require the B1 sweep's 4-thread speedup to
 //!   reach at least `X`. Only enforced when the machine has ≥ 4 cores: a
 //!   parallel speedup is physically bounded by the core count, so on a
@@ -31,7 +31,7 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut quick = false;
-    let mut out = String::from("BENCH_pr4.json");
+    let mut out = String::from("BENCH_pr5.json");
     let mut baseline: Option<String> = None;
     let mut max_regress = 0.25f64;
     let mut min_sweep_speedup: Option<f64> = None;
@@ -70,7 +70,12 @@ fn main() -> ExitCode {
     );
     let report = run_all(quick);
     let json = report.to_json();
-    for c in report.admission.iter().chain(report.backfill.iter()) {
+    for c in report
+        .admission
+        .iter()
+        .chain(report.backfill.iter())
+        .chain(report.arrival.iter())
+    {
         eprintln!(
             "  {:<24} legacy {:>12.0} ns   new {:>12.0} ns   speedup {:>6.2}x",
             c.id, c.legacy_ns, c.new_ns, c.speedup
@@ -82,14 +87,15 @@ fn main() -> ExitCode {
             c.id, c.t1_ns, c.threads, c.tn_ns, c.speedup
         );
     }
-    let (adm, bf, sw) = (
+    let (adm, bf, arr, sw) = (
         report.admission_speedup(),
         report.backfill_speedup(),
+        report.arrival_speedup(),
         report.sweep_speedup(),
     );
     eprintln!(
         "  admission_speedup {adm:.2}x, backfill_speedup {bf:.2}x, \
-         sweep_speedup {sw:.2}x (host_cores {})",
+         arrival_speedup {arr:.2}x, sweep_speedup {sw:.2}x (host_cores {})",
         report.host_cores
     );
 
@@ -108,8 +114,19 @@ fn main() -> ExitCode {
                 return ExitCode::from(1);
             }
         };
-        for (key, current) in [("admission_speedup", adm), ("backfill_speedup", bf)] {
+        for (key, current) in [
+            ("admission_speedup", adm),
+            ("backfill_speedup", bf),
+            ("arrival_speedup", arr),
+        ] {
             let Some(expected) = json_number(&base, key) else {
+                // An older baseline (pre-arrival format) simply lacks the
+                // key; the legacy-vs-optimized keys of its own era are
+                // still gated.
+                if key == "arrival_speedup" {
+                    eprintln!("note: baseline {path} has no {key} (skipping)");
+                    continue;
+                }
                 eprintln!("baseline {path} has no {key}");
                 failed = true;
                 continue;

@@ -1,6 +1,6 @@
-//! The perf-regression harness behind `dagsched-bench` (BENCH_pr4.json).
+//! The perf-regression harness behind `dagsched-bench` (BENCH_pr5.json).
 //!
-//! Two measured hot paths, each timed as *legacy vs optimized in the same
+//! Three measured hot paths, each timed as *legacy vs optimized in the same
 //! process and run*:
 //!
 //! * **admission** — an overload admission storm: a stream of jobs with
@@ -18,6 +18,12 @@
 //!   call: two `HashMap`s plus an O(|out|) rescan per grant), optimized is
 //!   the current [`SchedulerS`](dagsched_sched::SchedulerS) with its dense
 //!   scratch maps and slot index.
+//! * **arrival storm** — many small jobs churning through per-job runtime
+//!   state. Legacy is the frozen pre-CSR path
+//!   ([`dagsched_dag::reference`]): nested `Vec<Vec<NodeId>>` adjacency, a
+//!   fresh-allocated unfold state plus busy buffer per arrival. Optimized
+//!   is the CSR spec with one pooled [`UnfoldState`](dagsched_dag::UnfoldState)
+//!   recycled through `reset_from`, as the engine lifecycle pool does.
 //!
 //! A third group measures **sweep throughput**: the B1 [`SweepGrid`] run
 //! sequentially vs sharded over 4 workers, in the same process. Unlike the
@@ -32,6 +38,9 @@
 //! when a ratio falls more than the allowed fraction below the baseline.
 
 use dagsched_core::{AlgoParams, JobId, Rng64, Time, Work};
+use dagsched_dag::reference::{ReferenceDag, ReferenceUnfold};
+use dagsched_dag::spec::DagJobSpec;
+use dagsched_dag::{gen, UnfoldState};
 use dagsched_engine::{Allocation, JobInfo, OnlineScheduler, TickView};
 use dagsched_experiments::SweepGrid;
 use dagsched_sched::bands::{reference::ReferenceBands, DensityBands};
@@ -39,6 +48,7 @@ use dagsched_sched::oracle::OracleSchedulerS;
 use dagsched_sched::SchedulerS;
 use dagsched_workload::StepProfitFn;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Number of logical cores on this machine (1 if it cannot be queried).
@@ -92,6 +102,9 @@ pub struct BenchReport {
     pub admission: Vec<CaseResult>,
     /// Backfill cases, ascending size.
     pub backfill: Vec<CaseResult>,
+    /// Arrival-storm cases (fresh-per-arrival vs pooled job state),
+    /// ascending size.
+    pub arrival: Vec<CaseResult>,
     /// Sweep-throughput cases (sequential vs sharded grid runs).
     pub sweep: Vec<SweepCase>,
 }
@@ -109,6 +122,11 @@ impl BenchReport {
         min_speedup(self.backfill.iter())
     }
 
+    /// Arrival-storm speedup of record: minimum over all arrival cases.
+    pub fn arrival_speedup(&self) -> f64 {
+        min_speedup(self.arrival.iter())
+    }
+
     /// Sweep speedup of record: the minimum `t1/tN` ratio over sweep cases.
     /// Only meaningful as a parallel-speedup claim when `host_cores` is at
     /// least the case's thread count.
@@ -123,10 +141,14 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"pr\": 4,\n");
+        s.push_str("  \"pr\": 5,\n");
         s.push_str(&format!("  \"quick\": {},\n", self.quick));
         s.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
-        for (name, cases) in [("admission", &self.admission), ("backfill", &self.backfill)] {
+        for (name, cases) in [
+            ("admission", &self.admission),
+            ("backfill", &self.backfill),
+            ("arrival", &self.arrival),
+        ] {
             s.push_str(&format!("  \"{name}\": [\n"));
             for (i, c) in cases.iter().enumerate() {
                 s.push_str(&format!(
@@ -160,6 +182,10 @@ impl BenchReport {
         s.push_str(&format!(
             "  \"backfill_speedup\": {:.3},\n",
             self.backfill_speedup()
+        ));
+        s.push_str(&format!(
+            "  \"arrival_speedup\": {:.3},\n",
+            self.arrival_speedup()
         ));
         s.push_str(&format!(
             "  \"sweep_speedup\": {:.3}\n",
@@ -334,6 +360,86 @@ pub fn run_backfill(sizes: &[usize], iters: usize) -> Vec<CaseResult> {
         .collect()
 }
 
+/// The many-small-jobs mix for the arrival storm: the shapes an overloaded
+/// deadline stream is made of — short chains and small diamonds, a handful
+/// of nodes each, so per-arrival state setup dominates per-node work.
+fn storm_specs() -> Vec<Arc<DagJobSpec>> {
+    vec![
+        gen::chain(3, 2).into_shared(),
+        gen::diamond(4, 2).into_shared(),
+        gen::chain(5, 1).into_shared(),
+        gen::diamond(6, 1).into_shared(),
+    ]
+}
+
+/// Per-node budget large enough to finish any storm node in one `advance`.
+const STORM_BUDGET: u64 = 1 << 30;
+
+/// The pre-PR5 arrival path: every arrival heap-allocates a fresh unfold
+/// state (plus the engine's busy buffer) over the nested-`Vec` adjacency,
+/// unfolds the job to completion, and drops it all.
+fn legacy_storm(dags: &[ReferenceDag], arrivals: usize) -> u64 {
+    let mut consumed = 0u64;
+    for i in 0..arrivals {
+        let dag = &dags[i % dags.len()];
+        let mut st = ReferenceUnfold::new(dag, 1);
+        let busy = vec![false; dag.num_nodes()];
+        black_box(&busy);
+        while let Some(n) = st.first_ready() {
+            consumed += st.advance(dag, n, STORM_BUDGET).0;
+        }
+    }
+    consumed
+}
+
+/// The pooled CSR path: one `UnfoldState` and one busy buffer recycled
+/// through `reset_from` across every arrival, as the lifecycle pool does.
+fn pooled_storm(specs: &[Arc<DagJobSpec>], arrivals: usize) -> u64 {
+    let mut consumed = 0u64;
+    let mut st = UnfoldState::new(specs[0].clone(), 1);
+    let mut busy: Vec<bool> = Vec::new();
+    for i in 0..arrivals {
+        let spec = &specs[i % specs.len()];
+        st.reset_from(spec.clone(), 1);
+        busy.clear();
+        busy.resize(spec.num_nodes(), false);
+        black_box(&busy);
+        loop {
+            let Some(n) = st.ready_iter().next() else {
+                break;
+            };
+            consumed += st.advance(n, STORM_BUDGET).0;
+        }
+    }
+    consumed
+}
+
+/// Run the arrival-storm group at the given arrival counts.
+pub fn run_arrival_storm(sizes: &[usize], iters: usize) -> Vec<CaseResult> {
+    let specs = storm_specs();
+    let dags: Vec<ReferenceDag> = specs.iter().map(|s| ReferenceDag::from_spec(s)).collect();
+    sizes
+        .iter()
+        .map(|&n| {
+            // Sanity: both sides must consume identical total work before
+            // timing (same jobs, same FIFO unfold order).
+            assert_eq!(
+                legacy_storm(&dags, n),
+                pooled_storm(&specs, n),
+                "legacy and pooled storms diverged"
+            );
+            let legacy_ns = time_median_ns(iters, || legacy_storm(&dags, n));
+            let new_ns = time_median_ns(iters, || pooled_storm(&specs, n));
+            CaseResult {
+                id: format!("arrival-storm/j{n}"),
+                legacy_ns,
+                new_ns,
+                speedup: legacy_ns / new_ns,
+            }
+        })
+        .collect()
+}
+
 /// Run the sweep-throughput group: the given grid sequentially vs sharded
 /// over `threads` workers, median over `iters` runs each. The two runs are
 /// asserted byte-identical before timing (sharding must be invisible).
@@ -363,12 +469,18 @@ pub fn run_sweep_grid(grid: &SweepGrid, threads: usize, iters: usize) -> Vec<Swe
 
 /// Run the whole harness. `quick` shrinks sizes and iteration counts for
 /// the CI smoke job; the full run is what gets committed as
-/// `BENCH_pr4.json`.
+/// `BENCH_pr5.json`.
 pub fn run_all(quick: bool) -> BenchReport {
-    let (adm_sizes, bf_sizes, iters): (&[usize], &[usize], usize) = if quick {
-        (&[1_000], &[500], 9)
+    let (adm_sizes, bf_sizes, storm_sizes, iters): (&[usize], &[usize], &[usize], usize) = if quick
+    {
+        (&[1_000], &[500], &[10_000], 9)
     } else {
-        (&[1_000, 4_000, 10_000], &[500, 2_000], 21)
+        (
+            &[1_000, 4_000, 10_000],
+            &[500, 2_000],
+            &[10_000, 50_000],
+            21,
+        )
     };
     // The B1 grid takes ~50 ms sequentially, so even the full sweep group
     // stays under a second.
@@ -378,6 +490,7 @@ pub fn run_all(quick: bool) -> BenchReport {
         host_cores: host_cores(),
         admission: run_admission(adm_sizes, iters),
         backfill: run_backfill(bf_sizes, iters),
+        arrival: run_arrival_storm(storm_sizes, iters),
         sweep: run_sweep_grid(&SweepGrid::b1(), 4, sweep_iters),
     }
 }
@@ -403,6 +516,12 @@ mod tests {
                 new_ns: 300.0,
                 speedup: 3.0,
             }],
+            arrival: vec![CaseResult {
+                id: "arrival-storm/j10000".into(),
+                legacy_ns: 5000.0,
+                new_ns: 2500.0,
+                speedup: 2.0,
+            }],
             sweep: vec![SweepCase {
                 id: "sweep/b1-t4".into(),
                 t1_ns: 7000.0,
@@ -414,9 +533,11 @@ mod tests {
         let json = report.to_json();
         assert_eq!(json_number(&json, "admission_speedup"), Some(4.0));
         assert_eq!(json_number(&json, "backfill_speedup"), Some(3.0));
+        assert_eq!(json_number(&json, "arrival_speedup"), Some(2.0));
         assert_eq!(json_number(&json, "sweep_speedup"), Some(3.5));
         assert_eq!(json_number(&json, "host_cores"), Some(8.0));
         assert!(json.contains("\"overload/p1000\""));
+        assert!(json.contains("\"arrival-storm/j10000\""));
         assert!(json.contains("\"sweep/b1-t4\""));
     }
 
@@ -433,10 +554,15 @@ mod tests {
             host_cores: 1,
             admission: vec![mk("overload/p100", 0.5), mk("overload/p1000", 3.0)],
             backfill: vec![mk("wc-allocate/q500", 2.0)],
+            arrival: vec![
+                mk("arrival-storm/j10000", 2.5),
+                mk("arrival-storm/j50000", 1.8),
+            ],
             sweep: vec![],
         };
         assert_eq!(report.admission_speedup(), 3.0);
         assert_eq!(report.backfill_speedup(), 2.0);
+        assert_eq!(report.arrival_speedup(), 1.8);
         assert_eq!(report.sweep_speedup(), f64::INFINITY);
     }
 
@@ -455,11 +581,21 @@ mod tests {
         // Tiny sizes: correctness of the harness, not perf claims.
         let adm = run_admission(&[200], 3);
         let bf = run_backfill(&[100], 3);
-        for c in adm.iter().chain(bf.iter()) {
+        let storm = run_arrival_storm(&[500], 3);
+        for c in adm.iter().chain(bf.iter()).chain(storm.iter()) {
             assert!(
                 c.legacy_ns > 0.0 && c.new_ns > 0.0 && c.speedup > 0.0,
                 "{c:?}"
             );
+        }
+    }
+
+    #[test]
+    fn storm_paths_consume_identical_work() {
+        let specs = storm_specs();
+        let dags: Vec<ReferenceDag> = specs.iter().map(|s| ReferenceDag::from_spec(s)).collect();
+        for n in [1, 7, 100] {
+            assert_eq!(legacy_storm(&dags, n), pooled_storm(&specs, n));
         }
     }
 

@@ -11,10 +11,17 @@ use std::sync::Arc;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DagJobSpec {
     node_work: Vec<Work>,
-    /// Successor adjacency, sorted per node.
-    succs: Vec<Vec<NodeId>>,
+    /// Successor adjacency in compressed-sparse-row form: node `v`'s
+    /// successors are `succ_flat[succ_off[v] .. succ_off[v+1]]`, sorted per
+    /// node. One flat allocation instead of one `Vec` per node keeps every
+    /// successor walk on a single contiguous cache line stream.
+    succ_flat: Vec<NodeId>,
+    /// CSR row offsets, length `n + 1`.
+    succ_off: Vec<u32>,
     /// Number of predecessors per node.
     pred_count: Vec<u32>,
+    /// Nodes with no predecessors, in id order (the initial ready set).
+    sources: Vec<NodeId>,
     /// Total work `W` = Σ node works.
     total_work: Work,
     /// Critical-path length `L` (work-weighted longest path).
@@ -66,7 +73,8 @@ impl DagJobSpec {
     /// Successors of a node (sorted).
     #[inline]
     pub fn successors(&self, node: NodeId) -> &[NodeId] {
-        &self.succs[node.index()]
+        let i = node.index();
+        &self.succ_flat[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
     }
 
     /// Number of predecessors of a node.
@@ -88,16 +96,18 @@ impl DagJobSpec {
     }
 
     /// Nodes with no predecessors, in id order (the initial ready set).
-    pub fn sources(&self) -> Vec<NodeId> {
-        (0..self.num_nodes() as u32)
-            .map(NodeId)
-            .filter(|n| self.pred_count[n.index()] == 0)
-            .collect()
+    /// Precomputed at [`build`](DagBuilder::build) time — callers on the
+    /// arrival hot path (e.g. `UnfoldState::reset_from`) get a slice, not a
+    /// fresh allocation.
+    #[inline]
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources
     }
 
-    /// Number of edges.
+    /// Number of edges (the CSR flat length; no rescan).
+    #[inline]
     pub fn num_edges(&self) -> usize {
-        self.succs.iter().map(Vec::len).sum()
+        self.succ_flat.len()
     }
 
     /// Wrap in an [`Arc`] for sharing with the engine.
@@ -192,33 +202,49 @@ impl DagBuilder {
         if let Some(i) = self.node_work.iter().position(|w| w.is_zero()) {
             return Err(SchedError::InvalidDag(format!("node n{i} has zero work")));
         }
-        let mut succs: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        let mut pred_count = vec![0u32; n];
-        {
-            let mut sorted = self.edges.clone();
-            sorted.sort_unstable();
-            if sorted.windows(2).any(|w| w[0] == w[1]) {
-                return Err(SchedError::InvalidDag("duplicate edge".into()));
-            }
-            for (from, to) in sorted {
-                succs[from.index()].push(to);
-                pred_count[to.index()] += 1;
-            }
+        if u32::try_from(self.edges.len()).is_err() {
+            return Err(SchedError::InvalidDag(format!(
+                "too many edges for CSR offsets: {}",
+                self.edges.len()
+            )));
         }
+        // CSR adjacency: sorting the edge list by (from, to) puts each
+        // node's successors contiguously (and sorted), so the flat array and
+        // the row offsets fall out of one pass.
+        let mut sorted = self.edges;
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(SchedError::InvalidDag("duplicate edge".into()));
+        }
+        let mut succ_flat: Vec<NodeId> = Vec::with_capacity(sorted.len());
+        let mut succ_off: Vec<u32> = vec![0; n + 1];
+        let mut pred_count = vec![0u32; n];
+        for &(from, to) in &sorted {
+            succ_off[from.index() + 1] += 1;
+            pred_count[to.index()] += 1;
+            succ_flat.push(to);
+        }
+        for i in 0..n {
+            succ_off[i + 1] += succ_off[i];
+        }
+        let succs_of = |v: NodeId| -> &[NodeId] {
+            &succ_flat[succ_off[v.index()] as usize..succ_off[v.index() + 1] as usize]
+        };
+        let sources: Vec<NodeId> = (0..n as u32)
+            .map(NodeId)
+            .filter(|v| pred_count[v.index()] == 0)
+            .collect();
 
         // Kahn's algorithm: topological order + cycle detection.
         let mut indeg = pred_count.clone();
-        let mut queue: Vec<NodeId> = (0..n as u32)
-            .map(NodeId)
-            .filter(|v| indeg[v.index()] == 0)
-            .collect();
+        let mut queue: Vec<NodeId> = sources.clone();
         let mut topo = Vec::with_capacity(n);
         let mut head = 0;
         while head < queue.len() {
             let v = queue[head];
             head += 1;
             topo.push(v);
-            for &s in &succs[v.index()] {
+            for &s in succs_of(v) {
                 indeg[s.index()] -= 1;
                 if indeg[s.index()] == 0 {
                     queue.push(s);
@@ -237,7 +263,7 @@ impl DagBuilder {
         // instances but we use checked adds to fail loudly.
         let mut heights = vec![Work::ZERO; n];
         for &v in topo.iter().rev() {
-            let best_succ = succs[v.index()]
+            let best_succ = succs_of(v)
                 .iter()
                 .map(|s| heights[s.index()].units())
                 .max()
@@ -257,8 +283,10 @@ impl DagBuilder {
 
         Ok(DagJobSpec {
             node_work: self.node_work,
-            succs,
+            succ_flat,
+            succ_off,
             pred_count,
+            sources,
             total_work: Work(total),
             span,
             topo,
@@ -388,6 +416,53 @@ mod tests {
         };
         assert!(pos[5] < pos[0]);
         assert!(pos[3] < pos[1]);
+    }
+
+    #[test]
+    fn precomputed_sources_and_edges_match_brute_force() {
+        use dagsched_core::Rng64;
+        // The build()-time fields must agree with a from-scratch recount on
+        // random DAGs: sources = nodes with pred_count 0 in id order,
+        // num_edges = Σ successors(v).len() = edges added to the builder.
+        let mut rng = Rng64::seed_from(0xC5A0);
+        for _ in 0..50 {
+            let n = 1 + rng.gen_range(40) as u32;
+            let mut b = DagBuilder::new();
+            let ids: Vec<NodeId> = (0..n)
+                .map(|_| b.add_node(Work(1 + rng.gen_range(9))))
+                .collect();
+            let mut added = 0usize;
+            for i in 0..n as usize {
+                for j in (i + 1)..n as usize {
+                    if rng.gen_bool(0.15) {
+                        b.add_edge(ids[i], ids[j]).unwrap();
+                        added += 1;
+                    }
+                }
+            }
+            let d = b.build().unwrap();
+            let brute_sources: Vec<NodeId> = (0..n)
+                .map(NodeId)
+                .filter(|v| d.pred_count(*v) == 0)
+                .collect();
+            assert_eq!(d.sources(), brute_sources);
+            let brute_edges: usize = (0..n).map(|v| d.successors(NodeId(v)).len()).sum();
+            assert_eq!(d.num_edges(), brute_edges);
+            assert_eq!(d.num_edges(), added);
+            // CSR successor slices are sorted per node and consistent with
+            // pred counts.
+            let mut pred_recount = vec![0u32; n as usize];
+            for v in 0..n {
+                let succ = d.successors(NodeId(v));
+                assert!(succ.windows(2).all(|w| w[0] < w[1]), "unsorted row {v}");
+                for s in succ {
+                    pred_recount[s.index()] += 1;
+                }
+            }
+            for v in 0..n {
+                assert_eq!(pred_recount[v as usize], d.pred_count(NodeId(v)));
+            }
+        }
     }
 
     #[test]

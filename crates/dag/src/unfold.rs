@@ -44,6 +44,22 @@ impl ReadyList {
         }
     }
 
+    /// Restore the empty state for a (possibly different) node count,
+    /// reusing the link/membership vectors. `clear` + `resize` never
+    /// shrinks capacity, so a pooled list reaches its high-water mark once
+    /// and then resets allocation-free.
+    fn reset(&mut self, capacity: usize) {
+        self.next.clear();
+        self.next.resize(capacity, NIL);
+        self.prev.clear();
+        self.prev.resize(capacity, NIL);
+        self.member.clear();
+        self.member.resize(capacity, false);
+        self.head = NIL;
+        self.tail = NIL;
+        self.len = 0;
+    }
+
     fn push_back(&mut self, v: NodeId) {
         let i = v.0;
         debug_assert!(!self.member[i as usize], "node already in ready list");
@@ -128,28 +144,53 @@ impl UnfoldState {
     /// # Panics
     /// If any scaled work overflows `u64`.
     pub fn new(spec: Arc<DagJobSpec>, scale: u64) -> UnfoldState {
+        let mut st = UnfoldState {
+            spec: spec.clone(),
+            remaining: Vec::new(),
+            waiting_preds: Vec::new(),
+            ready: ReadyList::new(0),
+            completed_nodes: 0,
+            remaining_total: Work::ZERO,
+            scale: 1,
+        };
+        st.reset_from(spec, scale);
+        st
+    }
+
+    /// Reinitialize this state to execute `spec` at `scale`, exactly as
+    /// [`new`](Self::new) would — but reusing the `remaining`,
+    /// `waiting_preds` and ready-list vectors. The engine's job pool calls
+    /// this on recycled slots so arrival storms are allocation-free once
+    /// every buffer has reached its high-water node count.
+    ///
+    /// Observational identity with a fresh state is pinned by
+    /// `tests/pooled_reset.rs`; determinism is unaffected because every
+    /// observable field (per-node remaining work, waiting-predecessor
+    /// counts, the FIFO ready order seeded from `spec.sources()` in id
+    /// order, counters) is overwritten, never carried over.
+    ///
+    /// # Panics
+    /// If any scaled work overflows `u64`.
+    pub fn reset_from(&mut self, spec: Arc<DagJobSpec>, scale: u64) {
         assert!(scale >= 1, "scale must be at least 1");
         let n = spec.num_nodes();
-        let remaining: Vec<Work> = spec
-            .node_works()
-            .iter()
-            .map(|w| w.checked_scale(scale).expect("scaled work overflows u64"))
-            .collect();
-        let remaining_total = Work(remaining.iter().map(|w| w.units()).sum());
-        let waiting_preds: Vec<u32> = (0..n as u32).map(|i| spec.pred_count(NodeId(i))).collect();
-        let mut ready = ReadyList::new(n);
-        for s in spec.sources() {
-            ready.push_back(s);
+        self.remaining.clear();
+        self.remaining.extend(
+            spec.node_works()
+                .iter()
+                .map(|w| w.checked_scale(scale).expect("scaled work overflows u64")),
+        );
+        self.remaining_total = Work(self.remaining.iter().map(|w| w.units()).sum());
+        self.waiting_preds.clear();
+        self.waiting_preds
+            .extend((0..n as u32).map(|i| spec.pred_count(NodeId(i))));
+        self.ready.reset(n);
+        for &s in spec.sources() {
+            self.ready.push_back(s);
         }
-        UnfoldState {
-            spec,
-            remaining,
-            waiting_preds,
-            ready,
-            completed_nodes: 0,
-            remaining_total,
-            scale,
-        }
+        self.completed_nodes = 0;
+        self.scale = scale;
+        self.spec = spec;
     }
 
     /// The immutable spec this state executes.
@@ -490,6 +531,43 @@ mod tests {
         assert_eq!(buf.as_ptr(), ptr, "no reallocation on reuse");
         st.ready_prefix_into(0, &mut buf);
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn reset_from_matches_fresh_and_reuses_buffers() {
+        // Dirty a state on one spec, reset onto a different (smaller) one:
+        // every observable must equal a fresh state's, with no reallocation
+        // once capacities cover the new spec.
+        let mut pooled = UnfoldState::new(diamond(), 3);
+        pooled.advance(NodeId(0), 3);
+        pooled.advance(NodeId(1), 5);
+        let small = chain(&[4, 2]);
+        let remaining_ptr = pooled.remaining.as_ptr();
+        pooled.reset_from(small.clone(), 2);
+        let mut fresh = UnfoldState::new(small, 2);
+        assert_eq!(pooled.remaining, fresh.remaining);
+        assert_eq!(pooled.waiting_preds, fresh.waiting_preds);
+        assert_eq!(pooled.remaining_total(), fresh.remaining_total());
+        assert_eq!(pooled.scale(), fresh.scale());
+        assert_eq!(pooled.completed_nodes(), 0);
+        assert_eq!(
+            pooled.ready_prefix(16),
+            fresh.ready_prefix(16),
+            "FIFO ready order must match a fresh unfold"
+        );
+        assert_eq!(
+            pooled.remaining.as_ptr(),
+            remaining_ptr,
+            "reset within capacity must not reallocate"
+        );
+        // The reset state unfolds exactly like the fresh one.
+        while !fresh.is_complete() {
+            let a = pooled.ready_prefix(1)[0];
+            let b = fresh.ready_prefix(1)[0];
+            assert_eq!(a, b);
+            assert_eq!(pooled.advance(a, 3), fresh.advance(b, 3));
+        }
+        assert!(pooled.is_complete());
     }
 
     #[test]

@@ -58,6 +58,11 @@ pub struct Lifecycle {
     pub(crate) next_arrival: usize,
     /// Σ profit of completed jobs.
     pub(crate) total_profit: u64,
+    /// Free list of retired [`Live`] slots. Terminal transitions push here
+    /// instead of dropping, and `admit_arrivals` pops + `reset_from`s, so an
+    /// arrival storm is allocation-free once the pool reaches the high-water
+    /// mark of concurrently alive jobs.
+    pool: Vec<Live>,
 }
 
 impl Lifecycle {
@@ -71,7 +76,14 @@ impl Lifecycle {
             alive: Vec::new(),
             next_arrival: 0,
             total_profit: 0,
+            pool: Vec::new(),
         }
+    }
+
+    /// Pooled slots currently available for reuse (test/diagnostic hook).
+    #[cfg(test)]
+    pub(crate) fn pool_len(&self) -> usize {
+        self.pool.len()
     }
 
     /// Jobs currently alive, in arrival order.
@@ -113,13 +125,22 @@ impl Lifecycle {
         let first = self.next_arrival;
         while self.next_arrival < jobs.len() && jobs[self.next_arrival].arrival <= t {
             let job = &jobs[self.next_arrival];
-            let state = UnfoldState::new(job.dag.clone(), scale);
-            let nodes = state.spec().num_nodes();
-            self.live[job.id.index()] = Some(Live {
-                state,
-                busy: vec![false; nodes],
-                dirty: Vec::new(),
-            });
+            let mut slot = match self.pool.pop() {
+                Some(mut recycled) => {
+                    recycled.state.reset_from(job.dag.clone(), scale);
+                    recycled
+                }
+                None => Live {
+                    state: UnfoldState::new(job.dag.clone(), scale),
+                    busy: Vec::new(),
+                    dirty: Vec::new(),
+                },
+            };
+            let nodes = slot.state.spec().num_nodes();
+            slot.busy.clear();
+            slot.busy.resize(nodes, false);
+            slot.dirty.clear();
+            self.live[job.id.index()] = Some(slot);
             self.alive.push(job.id);
             let info = JobInfo {
                 id: job.id,
@@ -150,11 +171,14 @@ impl Lifecycle {
         expired.clear();
         let live = &mut self.live;
         let outcomes = &mut self.outcomes;
+        let pool = &mut self.pool;
         self.alive.retain(|&id| {
             let job = &jobs[id.index()];
             if job.profit.tail_value() == 0 && t >= job.last_useful_abs() {
                 outcomes[id.index()] = JobStatus::Expired { at: t };
-                live[id.index()] = None;
+                if let Some(slot) = live[id.index()].take() {
+                    pool.push(slot);
+                }
                 expired.push(id);
                 false
             } else {
@@ -194,10 +218,79 @@ impl Lifecycle {
             let profit = job.profit.eval(rel);
             self.total_profit += profit;
             self.outcomes[id.index()] = JobStatus::Completed { at: t_done, profit };
-            self.live[id.index()] = None;
+            if let Some(slot) = self.live[id.index()].take() {
+                self.pool.push(slot);
+            }
             self.alive.retain(|&a| a != id);
             sched.on_completion(id, t_done);
             obs.on_job_complete(t_done, id, profit);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::NullObserver;
+    use crate::sched_api::{Allocation, TickView};
+    use dagsched_core::{JobId, Time};
+    use dagsched_dag::gen;
+    use dagsched_workload::StepProfitFn;
+
+    struct NopSched;
+    impl OnlineScheduler for NopSched {
+        fn name(&self) -> String {
+            "nop".into()
+        }
+        fn on_arrival(&mut self, _job: &JobInfo, _now: Time) {}
+        fn on_completion(&mut self, _id: JobId, _now: Time) {}
+        fn on_expiry(&mut self, _id: JobId, _now: Time) {}
+        fn allocate(&mut self, _view: &TickView<'_>) -> Allocation {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn terminal_transitions_recycle_live_slots() {
+        let dag = gen::chain(3, 2).into_shared();
+        let jobs: Vec<JobSpec> = (0..4u32)
+            .map(|i| {
+                JobSpec::new(
+                    JobId(i),
+                    Time(u64::from(i)),
+                    dag.clone(),
+                    StepProfitFn::deadline(Time(1), 10),
+                )
+            })
+            .collect();
+        let mut lc = Lifecycle::new(jobs.len());
+        let mut sched = NopSched;
+        let mut obs = NullObserver;
+        let mut expired = Vec::new();
+
+        // Admit the first two jobs: pool empty, both slots fresh.
+        assert!(lc.admit_arrivals(&jobs, Time(1), 1, &mut sched, &mut obs));
+        assert_eq!(lc.pool_len(), 0);
+
+        // Complete job 0: its slot must land in the pool, not be dropped.
+        lc.complete(&jobs, Time(1), &[JobId(0)], &mut sched, &mut obs);
+        assert_eq!(lc.pool_len(), 1);
+
+        // Job 2 arrives and must consume the pooled slot.
+        assert!(lc.admit_arrivals(&jobs, Time(2), 1, &mut sched, &mut obs));
+        assert_eq!(lc.pool_len(), 0);
+        let l = lc.live[2].as_ref().expect("job 2 alive");
+        assert_eq!(l.busy.len(), 3);
+        assert!(l.busy.iter().all(|&b| !b));
+        assert!(l.dirty.is_empty());
+        assert_eq!(l.state.ready_count(), 1);
+        assert_eq!(l.state.remaining_total(), dag.total_work());
+
+        // Deadline 1 relative to arrival: by a late enough tick every alive
+        // job (1 and 2) is hopeless; both slots return to the pool.
+        lc.expire_hopeless(&jobs, Time(100), &mut sched, &mut obs, &mut expired);
+        assert_eq!(expired.len(), 2);
+        assert!(lc.alive().is_empty());
+        assert_eq!(lc.pool_len(), 2);
     }
 }

@@ -14,12 +14,17 @@
 //!   them into a dense grid-ordered vector; summary statistics fold
 //!   [`RunningStats`] partials in that same fixed order.
 //!
-//! Workers keep two caches: generated instances per `(seed, m)` (the
-//! workload axis is shared across schedulers and speeds, so comparisons are
-//! paired), and one scheduler value per `(kind, m)` reused across cells when
-//! [`OnlineScheduler::reset`] reports the scheduler restored itself —
-//! otherwise a fresh one is built, so reuse is purely an allocation saving,
-//! never a semantic one.
+//! Generated instances live in a **grid-owned slab** of
+//! `OnceLock<Arc<Instance>>` cells shared by all workers — `get_or_init`
+//! runs its closure exactly once per `(seed, m)` no matter how many workers
+//! race to the same cell, so every workload is generated once per run
+//! regardless of thread count (the workload axis is shared across schedulers
+//! and speeds, so comparisons are paired). Each worker additionally keeps
+//! one scheduler value per `(scheduler, m)` in a dense index-keyed slab,
+//! reused across cells when [`OnlineScheduler::reset`] reports the scheduler
+//! restored itself — otherwise a fresh one is built, so reuse is purely an
+//! allocation saving, never a semantic one. Neither cache does any string
+//! formatting or hashing on the per-cell path.
 //!
 //! The module also carries the `dagsched sweep` CLI (parse + execute,
 //! unit-tested here; `src/main.rs` at the workspace root is a thin wrapper).
@@ -31,6 +36,7 @@ use dagsched_metrics::RunningStats;
 use dagsched_workload::{Instance, WorkloadGen};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// A sweep over workload seeds × schedulers × speeds × machine sizes.
 #[derive(Debug, Clone)]
@@ -51,13 +57,16 @@ pub struct SweepGrid {
     pub base_seed: u64,
 }
 
-/// One cell's coordinates (axis values, not indices, except the scheduler).
+/// One cell's coordinates: axis values plus the dense axis indices the
+/// instance slab and scheduler cache are keyed by.
 #[derive(Debug, Clone, Copy)]
 struct Cell {
     seed: u64,
+    seed_idx: usize,
     sched_idx: usize,
     speed: Speed,
     m: u32,
+    m_idx: usize,
 }
 
 /// The outcome of one cell.
@@ -93,6 +102,12 @@ pub struct SweepResult {
     /// Per-cell results, in grid order (seed-major, then scheduler, speed,
     /// machine size) — identical for every thread count.
     pub cells: Vec<CellResult>,
+    /// How many workload instances were generated during the run. The
+    /// shared `OnceLock` slab guarantees exactly one generation per
+    /// distinct `(seed, m)` pair, so this equals
+    /// `seeds.len() × ms.len()` at every thread count — a deterministic
+    /// field, safe for the cross-thread-count equality checks.
+    pub instances_generated: usize,
 }
 
 /// Derive the workload seed of one `(axis seed, m)` pair. Independent of
@@ -158,15 +173,17 @@ impl SweepGrid {
     /// The cell list in grid order.
     fn cells(&self) -> Vec<Cell> {
         let mut out = Vec::with_capacity(self.len());
-        for &seed in &self.seeds {
+        for (seed_idx, &seed) in self.seeds.iter().enumerate() {
             for sched_idx in 0..self.scheds.len() {
                 for &speed in &self.speeds {
-                    for &m in &self.ms {
+                    for (m_idx, &m) in self.ms.iter().enumerate() {
                         out.push(Cell {
                             seed,
+                            seed_idx,
                             sched_idx,
                             speed,
                             m,
+                            m_idx,
                         });
                     }
                 }
@@ -175,26 +192,35 @@ impl SweepGrid {
         out
     }
 
-    /// Run one cell with worker-local caches.
+    /// Run one cell against the shared instance slab and the worker's
+    /// scheduler cache. No string formatting or hashing happens here: the
+    /// instance is a dense `(seed_idx, m_idx)` slab lookup and the
+    /// scheduler a dense `(sched_idx, m_idx)` one.
     fn run_cell(
         &self,
         cell: &Cell,
-        instances: &mut HashMap<(u64, u32), Instance>,
-        scheds: &mut HashMap<String, Box<dyn OnlineScheduler>>,
+        instances: &[OnceLock<Arc<Instance>>],
+        generated: &AtomicUsize,
+        scheds: &mut [Option<Box<dyn OnlineScheduler>>],
     ) -> CellResult {
-        let inst = instances.entry((cell.seed, cell.m)).or_insert_with(|| {
+        let inst = instances[cell.seed_idx * self.ms.len() + cell.m_idx].get_or_init(|| {
+            // `get_or_init` runs this closure exactly once per cell even
+            // when workers race, so the counter is exact, not a sample.
+            generated.fetch_add(1, Ordering::Relaxed);
             let wseed = workload_seed(self.base_seed, cell.seed, cell.m);
-            WorkloadGen::standard(cell.m, self.n_jobs, wseed)
-                .generate()
-                .expect("standard workloads generate")
+            Arc::new(
+                WorkloadGen::standard(cell.m, self.n_jobs, wseed)
+                    .generate()
+                    .expect("standard workloads generate"),
+            )
         });
         let kind = &self.scheds[cell.sched_idx];
-        let key = format!("{kind:?}@{}", cell.m);
-        let reusable = scheds.get_mut(&key).is_some_and(|s| s.reset());
+        let entry = &mut scheds[cell.sched_idx * self.ms.len() + cell.m_idx];
+        let reusable = entry.as_mut().is_some_and(|s| s.reset());
         if !reusable {
-            scheds.insert(key.clone(), kind.build(cell.m));
+            *entry = Some(kind.build(cell.m));
         }
-        let sched = scheds.get_mut(&key).expect("present by construction");
+        let sched = entry.as_mut().expect("present by construction");
         let r = simulate(inst, sched.as_mut(), &SimConfig::at_speed(cell.speed))
             .expect("production schedulers emit valid allocations");
         CellResult {
@@ -221,18 +247,30 @@ impl SweepGrid {
         let cells = self.cells();
         let workers = threads.max(1).min(cells.len().max(1));
         let cursor = AtomicUsize::new(0);
+        // The instance slab is grid-owned and shared by every worker: one
+        // `OnceLock` cell per distinct (seed, m), so each workload is
+        // generated exactly once per run regardless of thread count.
+        let instances: Vec<OnceLock<Arc<Instance>>> = (0..self.seeds.len() * self.ms.len())
+            .map(|_| OnceLock::new())
+            .collect();
+        let generated = AtomicUsize::new(0);
         let mut merged: Vec<Option<CellResult>> = vec![None; cells.len()];
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
-                        let mut instances = HashMap::new();
-                        let mut scheds = HashMap::new();
+                        let mut scheds: Vec<Option<Box<dyn OnlineScheduler>>> =
+                            (0..self.scheds.len() * self.ms.len())
+                                .map(|_| None)
+                                .collect();
                         let mut local = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(cell) = cells.get(i) else { break };
-                            local.push((i, self.run_cell(cell, &mut instances, &mut scheds)));
+                            local.push((
+                                i,
+                                self.run_cell(cell, &instances, &generated, &mut scheds),
+                            ));
                         }
                         local
                     })
@@ -250,6 +288,7 @@ impl SweepGrid {
                 .into_iter()
                 .map(|c| c.expect("every cell index was claimed exactly once"))
                 .collect(),
+            instances_generated: generated.load(Ordering::Relaxed),
         }
     }
 }
@@ -284,6 +323,7 @@ impl SweepResult {
                 c.steps
             );
         }
+        let _ = writeln!(out, "# instances generated: {}", self.instances_generated);
         let _ = writeln!(out, "# summary (profit over seeds)");
         let _ = writeln!(out, "sched,m,speed,n,mean,min,max");
         // Fold per (sched, speed, m) group in grid order: the cell list is
@@ -452,6 +492,22 @@ mod tests {
         let one = grid.run(1).to_csv();
         let three = grid.run(3).to_csv();
         assert_eq!(one, three, "sharding leaked into the results");
+    }
+
+    #[test]
+    fn every_workload_is_generated_exactly_once_per_run() {
+        let grid = SweepGrid::smoke();
+        let distinct = grid.seeds.len() * grid.ms.len();
+        for threads in [1, 8] {
+            let r = grid.run(threads);
+            assert_eq!(
+                r.instances_generated, distinct,
+                "expected one generation per (seed, m) at {threads} threads"
+            );
+            assert!(r
+                .to_csv()
+                .contains(&format!("# instances generated: {distinct}")));
+        }
     }
 
     #[test]

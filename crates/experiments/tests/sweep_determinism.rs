@@ -31,6 +31,17 @@ fn cli_execute_is_thread_count_invariant() {
 }
 
 #[test]
+fn instance_generation_counter_is_exact_at_1_and_8_threads() {
+    // The shared OnceLock slab must generate each (seed, m) workload
+    // exactly once per run — more would mean workers duplicated generation
+    // work, fewer would mean a cell ran against a missing instance.
+    let grid = SweepGrid::smoke();
+    let distinct = grid.seeds.len() * grid.ms.len();
+    assert_eq!(grid.run(1).instances_generated, distinct);
+    assert_eq!(grid.run(8).instances_generated, distinct);
+}
+
+#[test]
 fn cells_are_ordered_and_complete() {
     let grid = SweepGrid::smoke();
     let r = grid.run(4);

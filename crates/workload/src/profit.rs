@@ -12,6 +12,7 @@
 //! zero after.
 
 use dagsched_core::{Result, SchedError, Time};
+use std::sync::Arc;
 
 /// A non-increasing step function `p(t)` over relative completion time.
 ///
@@ -23,9 +24,14 @@ use dagsched_core::{Result, SchedError, Time};
 /// * `p(t) = v_tail` for `t > b_last`.
 ///
 /// Profits are integers so experiment totals are exact.
+///
+/// Segments live behind an `Arc` so cloning — which the engine does once per
+/// job **arrival** to build the scheduler's [`JobInfo`] — is a reference-count
+/// bump, not a heap allocation. Profit functions are immutable after
+/// construction, so the sharing is unobservable.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StepProfitFn {
-    segments: Vec<(Time, u64)>,
+    segments: Arc<[(Time, u64)]>,
     tail: u64,
 }
 
@@ -34,7 +40,7 @@ impl StepProfitFn {
     /// `rel_deadline` ticks of arrival.
     pub fn deadline(rel_deadline: Time, profit: u64) -> StepProfitFn {
         StepProfitFn {
-            segments: vec![(rel_deadline, profit)],
+            segments: Arc::new([(rel_deadline, profit)]),
             tail: 0,
         }
     }
@@ -76,12 +82,15 @@ impl StepProfitFn {
                 "tail {tail} must be below the last segment value {last_val}"
             )));
         }
-        Ok(StepProfitFn { segments, tail })
+        Ok(StepProfitFn {
+            segments: segments.into(),
+            tail,
+        })
     }
 
     /// Evaluate `p(t)` for a relative completion time `t`.
     pub fn eval(&self, t: Time) -> u64 {
-        for &(bound, value) in &self.segments {
+        for &(bound, value) in self.segments.iter() {
             if t <= bound {
                 return value;
             }
