@@ -1,23 +1,29 @@
 //! Perf-regression exporter: run the hot-path harness and write
-//! `BENCH_pr5.json`, optionally failing against a committed baseline.
+//! `BENCH_pr6.json`, optionally failing against a committed baseline.
 //!
 //! ```text
 //! dagsched-bench [--quick] [--out PATH] [--baseline PATH]
 //!                [--max-regress FRAC] [--min-sweep-speedup X]
+//!                [--min-kernel-speedup X]
 //! ```
 //!
 //! * `--quick` — reduced sizes/iterations (the CI smoke configuration);
 //! * `--out PATH` — where to write the JSON report (default
-//!   `BENCH_pr5.json` in the current directory);
-//! * `--baseline PATH` — compare this run's admission/backfill/arrival
-//!   speedups against the ones recorded in `PATH`; exit non-zero if any
+//!   `BENCH_pr6.json` in the current directory);
+//! * `--baseline PATH` — compare this run's
+//!   admission/backfill/arrival/event-kernel speedups against the ones
+//!   recorded in `PATH`; exit non-zero if any
 //!   fell more than `--max-regress` (default `0.25`, i.e. 25%) below it. A
 //!   baseline without sweep or arrival keys (an older `BENCH_prN.json`
 //!   format) is accepted — the missing comparison is simply skipped;
 //! * `--min-sweep-speedup X` — require the B1 sweep's 4-thread speedup to
 //!   reach at least `X`. Only enforced when the machine has ≥ 4 cores: a
 //!   parallel speedup is physically bounded by the core count, so on a
-//!   smaller box the measured ratio is recorded but not gated.
+//!   smaller box the measured ratio is recorded but not gated;
+//! * `--min-kernel-speedup X` — require the event-kernel group's dense-case
+//!   speedup (heap windows vs the frozen horizon scan) to reach at least
+//!   `X`. Unlike the sweep gate this is a same-process legacy-vs-optimized
+//!   ratio, so it is enforced unconditionally.
 //!
 //! Admission/backfill speedups are legacy-vs-optimized ratios measured in
 //! the same process, so the baseline comparison is machine-independent: a
@@ -31,10 +37,11 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut quick = false;
-    let mut out = String::from("BENCH_pr5.json");
+    let mut out = String::from("BENCH_pr6.json");
     let mut baseline: Option<String> = None;
     let mut max_regress = 0.25f64;
     let mut min_sweep_speedup: Option<f64> = None;
+    let mut min_kernel_speedup: Option<f64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -57,6 +64,14 @@ fn main() -> ExitCode {
                         .expect("--min-sweep-speedup must be a number"),
                 )
             }
+            "--min-kernel-speedup" => {
+                min_kernel_speedup = Some(
+                    args.next()
+                        .expect("--min-kernel-speedup needs a number")
+                        .parse()
+                        .expect("--min-kernel-speedup must be a number"),
+                )
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 return ExitCode::from(2);
@@ -75,6 +90,7 @@ fn main() -> ExitCode {
         .iter()
         .chain(report.backfill.iter())
         .chain(report.arrival.iter())
+        .chain(report.event_kernel.iter())
     {
         eprintln!(
             "  {:<24} legacy {:>12.0} ns   new {:>12.0} ns   speedup {:>6.2}x",
@@ -87,15 +103,17 @@ fn main() -> ExitCode {
             c.id, c.t1_ns, c.threads, c.tn_ns, c.speedup
         );
     }
-    let (adm, bf, arr, sw) = (
+    let (adm, bf, arr, ek, sw) = (
         report.admission_speedup(),
         report.backfill_speedup(),
         report.arrival_speedup(),
+        report.event_kernel_speedup(),
         report.sweep_speedup(),
     );
     eprintln!(
         "  admission_speedup {adm:.2}x, backfill_speedup {bf:.2}x, \
-         arrival_speedup {arr:.2}x, sweep_speedup {sw:.2}x (host_cores {})",
+         arrival_speedup {arr:.2}x, event_kernel_speedup {ek:.2}x, \
+         sweep_speedup {sw:.2}x (host_cores {})",
         report.host_cores
     );
 
@@ -118,12 +136,13 @@ fn main() -> ExitCode {
             ("admission_speedup", adm),
             ("backfill_speedup", bf),
             ("arrival_speedup", arr),
+            ("event_kernel_speedup", ek),
         ] {
             let Some(expected) = json_number(&base, key) else {
-                // An older baseline (pre-arrival format) simply lacks the
-                // key; the legacy-vs-optimized keys of its own era are
-                // still gated.
-                if key == "arrival_speedup" {
+                // An older baseline simply lacks keys added after its era
+                // (pre-arrival or pre-kernel formats); the
+                // legacy-vs-optimized keys it does carry are still gated.
+                if key == "arrival_speedup" || key == "event_kernel_speedup" {
                     eprintln!("note: baseline {path} has no {key} (skipping)");
                     continue;
                 }
@@ -169,6 +188,15 @@ fn main() -> ExitCode {
                     }
                 }
             }
+        }
+    }
+
+    if let Some(min) = min_kernel_speedup {
+        if ek < min {
+            eprintln!("FAIL: event_kernel_speedup {ek:.2}x is below the required {min:.2}x");
+            failed = true;
+        } else {
+            eprintln!("ok: event_kernel_speedup {ek:.2}x >= required {min:.2}x");
         }
     }
 

@@ -1,6 +1,6 @@
-//! The perf-regression harness behind `dagsched-bench` (BENCH_pr5.json).
+//! The perf-regression harness behind `dagsched-bench` (BENCH_pr6.json).
 //!
-//! Three measured hot paths, each timed as *legacy vs optimized in the same
+//! Four measured hot paths, each timed as *legacy vs optimized in the same
 //! process and run*:
 //!
 //! * **admission** — an overload admission storm: a stream of jobs with
@@ -25,7 +25,19 @@
 //!   is the CSR spec with one pooled [`UnfoldState`](dagsched_dag::UnfoldState)
 //!   recycled through `reset_from`, as the engine lifecycle pool does.
 //!
-//! A third group measures **sweep throughput**: the B1 [`SweepGrid`] run
+//! * **event-kernel** — full engine runs on event-dense workloads, timed
+//!   with the heap-based [`WindowMode::EventKernel`] vs the frozen
+//!   [`WindowMode::ReferenceScan`] twin
+//!   ([`HorizonScan`](dagsched_engine::HorizonScan)). The gated cases
+//!   (`dense/…`) park thousands of zero-tail deadline jobs in the alive
+//!   set while a saturating foreground stream forces a step every tick, so
+//!   the scan pays two O(alive) passes per step (window minimum and expiry
+//!   rescan) where the kernel pays O(log n) pops; the `steady/…` case is
+//!   informational — on sparse multi-node streams the scan's passes are
+//!   cheap and the kernel's per-step heap traffic makes it the slower
+//!   side, which is recorded, not gated.
+//!
+//! A further group measures **sweep throughput**: the B1 [`SweepGrid`] run
 //! sequentially vs sharded over 4 workers, in the same process. Unlike the
 //! legacy-vs-optimized ratios, this one is *hardware-dependent* — on a
 //! single-core box the 4-thread run cannot be faster — so the report also
@@ -41,12 +53,14 @@ use dagsched_core::{AlgoParams, JobId, Rng64, Time, Work};
 use dagsched_dag::reference::{ReferenceDag, ReferenceUnfold};
 use dagsched_dag::spec::DagJobSpec;
 use dagsched_dag::{gen, UnfoldState};
-use dagsched_engine::{Allocation, JobInfo, OnlineScheduler, TickView};
+use dagsched_engine::{
+    simulate, Allocation, JobInfo, OnlineScheduler, SimConfig, TickView, WindowMode,
+};
 use dagsched_experiments::SweepGrid;
 use dagsched_sched::bands::{reference::ReferenceBands, DensityBands};
 use dagsched_sched::oracle::OracleSchedulerS;
-use dagsched_sched::SchedulerS;
-use dagsched_workload::StepProfitFn;
+use dagsched_sched::{Edf, SchedulerS};
+use dagsched_workload::{Instance, JobSpec, StepProfitFn, WorkloadGen};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
@@ -105,6 +119,9 @@ pub struct BenchReport {
     /// Arrival-storm cases (fresh-per-arrival vs pooled job state),
     /// ascending size.
     pub arrival: Vec<CaseResult>,
+    /// Event-kernel cases (heap windows vs the frozen horizon scan);
+    /// `legacy_ns` is the scan, `new_ns` the kernel.
+    pub event_kernel: Vec<CaseResult>,
     /// Sweep-throughput cases (sequential vs sharded grid runs).
     pub sweep: Vec<SweepCase>,
 }
@@ -127,6 +144,18 @@ impl BenchReport {
         min_speedup(self.arrival.iter())
     }
 
+    /// Event-kernel speedup of record: the minimum over the *dense* cases
+    /// (`dense/…` ids). The `steady/…` cases are informational — on sparse
+    /// event streams the scan's O(alive) passes are cheap and parity is the
+    /// expected result, so they are recorded but not gated.
+    pub fn event_kernel_speedup(&self) -> f64 {
+        min_speedup(
+            self.event_kernel
+                .iter()
+                .filter(|c| c.id.starts_with("dense/")),
+        )
+    }
+
     /// Sweep speedup of record: the minimum `t1/tN` ratio over sweep cases.
     /// Only meaningful as a parallel-speedup claim when `host_cores` is at
     /// least the case's thread count.
@@ -141,13 +170,14 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"pr\": 5,\n");
+        s.push_str("  \"pr\": 6,\n");
         s.push_str(&format!("  \"quick\": {},\n", self.quick));
         s.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
         for (name, cases) in [
             ("admission", &self.admission),
             ("backfill", &self.backfill),
             ("arrival", &self.arrival),
+            ("event_kernel", &self.event_kernel),
         ] {
             s.push_str(&format!("  \"{name}\": [\n"));
             for (i, c) in cases.iter().enumerate() {
@@ -186,6 +216,10 @@ impl BenchReport {
         s.push_str(&format!(
             "  \"arrival_speedup\": {:.3},\n",
             self.arrival_speedup()
+        ));
+        s.push_str(&format!(
+            "  \"event_kernel_speedup\": {:.3},\n",
+            self.event_kernel_speedup()
         ));
         s.push_str(&format!(
             "  \"sweep_speedup\": {:.3}\n",
@@ -440,6 +474,107 @@ pub fn run_arrival_storm(sizes: &[usize], iters: usize) -> Vec<CaseResult> {
         .collect()
 }
 
+/// A parked-set instance, the regime the event kernel targets: `n`
+/// *background* deadline jobs arrive at `t = 0` with huge work and a
+/// far-out deadline, so under EDF they sit alive — and zero-tail — for the
+/// whole run without being scheduled, while a *foreground* stream of tiny
+/// tight-deadline jobs saturates the `m = 4` machine and drives a
+/// completion-and-arrival event every tick. Every step, the scan walks the
+/// whole parked set twice (window minimum over zero-tail jobs, expiry
+/// rescan) even though none of those jobs is anywhere near its boundary;
+/// the kernel holds each as one armed far-future entry and pays O(log n).
+/// The run ends with the parked set expiring in one wave, which both modes
+/// process as a single batch.
+///
+/// `chains` picks the foreground shape: `false` is two single-node jobs of
+/// work 2 per tick; `true` is one 2-node chain of work 4 per tick, adding
+/// intra-job ready-count events at node boundaries. Both keep the
+/// foreground load exactly at `m`.
+fn parked_instance(n: usize, chains: bool) -> Instance {
+    let far = Time(500_000);
+    let mut jobs: Vec<JobSpec> = (0..n)
+        .map(|i| {
+            JobSpec::new(
+                JobId(i as u32),
+                Time(0),
+                gen::single(10_000).into_shared(),
+                StepProfitFn::deadline(far, 1),
+            )
+        })
+        .collect();
+    let per_tick = if chains { 1 } else { 2 };
+    for i in 0..n {
+        let dag = if chains {
+            gen::chain(2, 2).into_shared()
+        } else {
+            gen::single(2).into_shared()
+        };
+        jobs.push(JobSpec::new(
+            JobId((n + i) as u32),
+            Time((i / per_tick) as u64),
+            dag,
+            StepProfitFn::deadline(Time(60), 3),
+        ));
+    }
+    Instance::new(4, jobs).expect("valid parked instance")
+}
+
+/// One full EDF engine run under the given window mode; the checksum keeps
+/// the run from being optimized away and doubles as an equivalence probe.
+/// EDF (not FIFO) so the parked cases' background jobs — earliest ids,
+/// latest deadlines — yield the machine to the foreground stream.
+fn kernel_run(inst: &Instance, mode: WindowMode) -> u64 {
+    let cfg = SimConfig {
+        window: mode,
+        ..SimConfig::default()
+    };
+    let mut sched = Edf::new(inst.m());
+    let r = simulate(inst, &mut sched, &cfg).expect("bench run succeeds");
+    r.total_profit
+        .wrapping_mul(1_000_003)
+        .wrapping_add(r.steps_executed)
+}
+
+/// Run the event-kernel group: each case times complete engine runs with
+/// heap windows (`new_ns`) vs the frozen horizon scan (`legacy_ns`). The
+/// two modes are asserted step-identical before timing. `dense/…` cases
+/// are the gated ones; `steady/…` is informational (sparse events).
+pub fn run_event_kernel(
+    dense_sizes: &[usize],
+    steady_jobs: usize,
+    iters: usize,
+) -> Vec<CaseResult> {
+    let mut cases: Vec<(String, Instance)> = Vec::new();
+    for &n in dense_sizes {
+        cases.push((format!("dense/parked-j{n}"), parked_instance(n, false)));
+        cases.push((format!("dense/chains-j{n}"), parked_instance(n, true)));
+    }
+    cases.push((
+        format!("steady/standard-j{steady_jobs}"),
+        WorkloadGen::standard(8, steady_jobs, 11)
+            .generate()
+            .expect("valid steady workload"),
+    ));
+    cases
+        .into_iter()
+        .map(|(id, inst)| {
+            assert_eq!(
+                kernel_run(&inst, WindowMode::ReferenceScan),
+                kernel_run(&inst, WindowMode::EventKernel),
+                "kernel and scan diverged on {id}"
+            );
+            let legacy_ns = time_median_ns(iters, || kernel_run(&inst, WindowMode::ReferenceScan));
+            let new_ns = time_median_ns(iters, || kernel_run(&inst, WindowMode::EventKernel));
+            CaseResult {
+                id,
+                legacy_ns,
+                new_ns,
+                speedup: legacy_ns / new_ns,
+            }
+        })
+        .collect()
+}
+
 /// Run the sweep-throughput group: the given grid sequentially vs sharded
 /// over `threads` workers, median over `iters` runs each. The two runs are
 /// asserted byte-identical before timing (sharding must be invisible).
@@ -482,6 +617,13 @@ pub fn run_all(quick: bool) -> BenchReport {
             21,
         )
     };
+    // Full engine runs are the unit of one event-kernel iteration, so this
+    // group uses its own (smaller) iteration count.
+    let (ek_sizes, ek_steady, ek_iters): (&[usize], usize, usize) = if quick {
+        (&[1_000], 150, 5)
+    } else {
+        (&[1_000, 3_000], 400, 9)
+    };
     // The B1 grid takes ~50 ms sequentially, so even the full sweep group
     // stays under a second.
     let sweep_iters = if quick { 5 } else { 11 };
@@ -491,7 +633,25 @@ pub fn run_all(quick: bool) -> BenchReport {
         admission: run_admission(adm_sizes, iters),
         backfill: run_backfill(bf_sizes, iters),
         arrival: run_arrival_storm(storm_sizes, iters),
+        event_kernel: run_event_kernel(ek_sizes, ek_steady, ek_iters),
         sweep: run_sweep_grid(&SweepGrid::b1(), 4, sweep_iters),
+    }
+}
+
+/// A seconds-scale harness pass at tiny sizes for the `dagsched bench` CLI
+/// smoke command: every report group and JSON key is exercised, but the
+/// measured ratios are *not* perf claims and must not be gated.
+pub fn run_smoke() -> BenchReport {
+    BenchReport {
+        quick: true,
+        host_cores: host_cores(),
+        // 1000 offered jobs: the smallest size admission_speedup() counts
+        // (smaller cases are filtered out, which would leave the key `inf`).
+        admission: run_admission(&[1_000], 3),
+        backfill: run_backfill(&[150], 3),
+        arrival: run_arrival_storm(&[1_000], 3),
+        event_kernel: run_event_kernel(&[300], 60, 3),
+        sweep: run_sweep_grid(&SweepGrid::smoke(), 2, 3),
     }
 }
 
@@ -522,6 +682,20 @@ mod tests {
                 new_ns: 2500.0,
                 speedup: 2.0,
             }],
+            event_kernel: vec![
+                CaseResult {
+                    id: "dense/parked-j1000".into(),
+                    legacy_ns: 3000.0,
+                    new_ns: 2000.0,
+                    speedup: 1.5,
+                },
+                CaseResult {
+                    id: "steady/standard-j400".into(),
+                    legacy_ns: 1000.0,
+                    new_ns: 1250.0,
+                    speedup: 0.8,
+                },
+            ],
             sweep: vec![SweepCase {
                 id: "sweep/b1-t4".into(),
                 t1_ns: 7000.0,
@@ -534,10 +708,16 @@ mod tests {
         assert_eq!(json_number(&json, "admission_speedup"), Some(4.0));
         assert_eq!(json_number(&json, "backfill_speedup"), Some(3.0));
         assert_eq!(json_number(&json, "arrival_speedup"), Some(2.0));
+        assert_eq!(
+            json_number(&json, "event_kernel_speedup"),
+            Some(1.5),
+            "steady cases must not drag the gated dense minimum"
+        );
         assert_eq!(json_number(&json, "sweep_speedup"), Some(3.5));
         assert_eq!(json_number(&json, "host_cores"), Some(8.0));
         assert!(json.contains("\"overload/p1000\""));
         assert!(json.contains("\"arrival-storm/j10000\""));
+        assert!(json.contains("\"dense/parked-j1000\""));
         assert!(json.contains("\"sweep/b1-t4\""));
     }
 
@@ -558,11 +738,17 @@ mod tests {
                 mk("arrival-storm/j10000", 2.5),
                 mk("arrival-storm/j50000", 1.8),
             ],
+            event_kernel: vec![
+                mk("dense/parked-j1000", 2.2),
+                mk("dense/chains-j1000", 2.6),
+                mk("steady/standard-j400", 0.9),
+            ],
             sweep: vec![],
         };
         assert_eq!(report.admission_speedup(), 3.0);
         assert_eq!(report.backfill_speedup(), 2.0);
         assert_eq!(report.arrival_speedup(), 1.8);
+        assert_eq!(report.event_kernel_speedup(), 2.2);
         assert_eq!(report.sweep_speedup(), f64::INFINITY);
     }
 
@@ -583,6 +769,23 @@ mod tests {
         let bf = run_backfill(&[100], 3);
         let storm = run_arrival_storm(&[500], 3);
         for c in adm.iter().chain(bf.iter()).chain(storm.iter()) {
+            assert!(
+                c.legacy_ns > 0.0 && c.new_ns > 0.0 && c.speedup > 0.0,
+                "{c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn event_kernel_harness_runs_and_covers_both_case_families() {
+        // Tiny sizes: the embedded kernel-vs-scan equivalence assert is the
+        // point here, not the measured ratio.
+        let cases = run_event_kernel(&[200], 40, 1);
+        assert_eq!(cases.len(), 3);
+        assert!(cases[0].id.starts_with("dense/parked-"));
+        assert!(cases[1].id.starts_with("dense/chains-"));
+        assert!(cases[2].id.starts_with("steady/"));
+        for c in &cases {
             assert!(
                 c.legacy_ns > 0.0 && c.new_ns > 0.0 && c.speedup > 0.0,
                 "{c:?}"

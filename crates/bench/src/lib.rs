@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod hotpath;
 
 /// Convenience used by the per-experiment benches: assert the experiment

@@ -28,10 +28,12 @@
 //! byte-identical over the stream-equivalence corpus.
 
 use crate::clock::{auto_horizon, Clock};
+use crate::events::{EventKernel, WindowMode};
 use crate::lifecycle::Lifecycle;
 use crate::observe::{AdmissionEvent, NullObserver, SimObserver};
 use crate::pick::Picker;
 use crate::platform::Platform;
+use crate::reference::HorizonScan;
 use crate::result::SimResult;
 use crate::sched_api::{Allocation, OnlineScheduler, TickView};
 use crate::sim::SimConfig;
@@ -67,10 +69,20 @@ pub struct SimDriver<'a, O: SimObserver = NullObserver> {
     platform: Platform,
     life: Lifecycle,
     picker: Picker,
+    kernel: EventKernel,
     trace: Option<Trace>,
     /// Whether the event-driven fast-forward path is engaged (pinned at
     /// construction: scheduler opt-in, deterministic pick, no trace).
     fast_forward: bool,
+    /// Whether the [`EventKernel`] is maintained at all
+    /// ([`SimConfig::window`] is [`WindowMode::EventKernel`]). Governs the
+    /// expiry index and idle-skip source on *both* execution paths.
+    kernel_on: bool,
+    /// Whether fast-forward windows come from the kernel (`kernel_on`, the
+    /// fast-forward path is engaged, and the scheduler's completion keys
+    /// are stable). Otherwise the fast-forward path falls back to the
+    /// [`HorizonScan`] twin.
+    kernel_windows: bool,
     /// `obs.is_active()`, pinned at construction; a compile-time `false`
     /// for the [`NullObserver`] instantiation.
     observing: bool,
@@ -119,13 +131,27 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
             && trace.is_none()
             && cfg.pick.fast_forward_safe()
             && sched.allocation_stable_between_events();
+        let kernel_on = matches!(cfg.window, WindowMode::EventKernel);
+        // Kernel windows additionally need stable completion keys: a
+        // claimed node's entry is re-keyed only when its frontier moves,
+        // which is sound only if the allocation cannot silently reshuffle
+        // between events.
+        let kernel_windows = kernel_on && fast_forward && sched.completion_keys_stable();
+        let mut kernel = EventKernel::new(n);
+        if kernel_on {
+            kernel.arm_horizon(horizon);
+            kernel.arm_arrival(jobs[0].arrival);
+        }
         SimDriver {
             clock: Clock::new(jobs[0].arrival, horizon),
             platform: Platform::new(inst.m(), cfg.speed, n),
             life: Lifecycle::new(n),
             picker: Picker::new(cfg.pick.clone()),
+            kernel,
             trace,
             fast_forward,
+            kernel_on,
+            kernel_windows,
             observing,
             done: false,
             poisoned: false,
@@ -194,15 +220,26 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
             return Ok(false);
         }
 
-        // Skip idle gaps between arrival waves.
-        if self.life.alive.is_empty() && jobs[self.life.next_arrival].arrival > self.clock.now() {
-            self.clock
-                .skip_idle_to(jobs[self.life.next_arrival].arrival);
+        // Skip idle gaps between arrival waves. (The run guard above
+        // ensures an arrival is pending whenever nothing is alive, so both
+        // sources always have a target here.)
+        if self.life.alive.is_empty() {
+            let next = if self.kernel_on {
+                self.kernel
+                    .armed_arrival()
+                    .expect("pending arrival is armed")
+            } else {
+                jobs[self.life.next_arrival].arrival
+            };
+            if next > self.clock.now() {
+                self.clock.skip_idle_to(next);
+            }
         }
         let t = self.clock.now();
         let units = self.platform.units_per_tick();
 
         // 1. Arrivals.
+        let first_arrival = self.life.next_arrival;
         let arrived = self.life.admit_arrivals(
             jobs,
             t,
@@ -210,29 +247,45 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
             self.sched,
             &mut self.obs,
         );
-        if self.observing && arrived {
-            self.sched
-                .drain_admission_events(&mut self.scratch.adm_events);
-            for ev in self.scratch.adm_events.drain(..) {
-                self.obs.on_admission(t, ev);
+        if arrived && self.kernel_on {
+            // Arm each admitted zero-tail job's expiry boundary and re-arm
+            // the arrival cursor past the admitted batch.
+            for job in &jobs[first_arrival..self.life.next_arrival] {
+                if job.profit.tail_value() == 0 {
+                    self.kernel.arm_expiry(job.id, job.last_useful_abs());
+                }
             }
+            match jobs.get(self.life.next_arrival) {
+                Some(next) => self.kernel.arm_arrival(next.arrival),
+                None => self.kernel.disarm_arrival(),
+            }
+        }
+        if self.observing && arrived {
+            self.forward_admissions(t);
         }
 
         // 2. Expiry: zero-tail jobs that can no longer earn anything even
         // if they complete this very tick (completion time would be t+1).
-        let expired_any = self.life.expire_hopeless(
-            jobs,
-            t,
-            self.sched,
-            &mut self.obs,
-            &mut self.scratch.expired,
-        );
+        let expired_any = if self.kernel_on {
+            self.life.expire_hopeless_indexed(
+                t,
+                &mut self.kernel,
+                self.sched,
+                &mut self.obs,
+                &mut self.scratch.expired,
+            )
+        } else {
+            HorizonScan::expire(
+                &mut self.life,
+                jobs,
+                t,
+                self.sched,
+                &mut self.obs,
+                &mut self.scratch.expired,
+            )
+        };
         if self.observing && expired_any {
-            self.sched
-                .drain_admission_events(&mut self.scratch.adm_events);
-            for ev in self.scratch.adm_events.drain(..) {
-                self.obs.on_admission(t, ev);
-            }
+            self.forward_admissions(t);
         }
 
         // 3. Ask the scheduler.
@@ -266,12 +319,22 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
         // finish and no arrival / expiry / horizon boundary falls, and
         // advance the whole window in one engine step.
         if self.fast_forward {
+            // Kernel windows: stamp this step's claim epoch; every node
+            // claimed below refreshes its stamp, and its completion entry
+            // is (re-)pushed only when its frontier actually moved.
+            let epoch = if self.kernel_windows {
+                self.kernel.begin_step()
+            } else {
+                0
+            };
             let sc = &mut self.scratch;
             sc.claimed.clear();
             // Minimum over claimed nodes of the ticks until completion,
             // ceil(remaining / units): within `min_q - 1` ticks no claimed
             // node finishes, so the ready sets — and with them every pick
-            // and every allocation — are frozen.
+            // and every allocation — are frozen. On the kernel path the
+            // same quantity lives in the heap as per-node completion
+            // frontiers `t + q - 1` instead of a per-step fold.
             let mut min_q = u64::MAX;
             for &(id, k) in &sc.alloc {
                 let l = self.life.live[id.index()]
@@ -283,11 +346,23 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
                     l.busy[node.index()] = true;
                     l.dirty.push(node.0);
                     let rem = l.state.node_remaining(node).units();
-                    min_q = min_q.min(rem.div_ceil(units));
+                    let q = rem.div_ceil(units);
+                    if self.kernel_windows {
+                        let frontier = t.after(q - 1);
+                        let prev = l.armed_done[node.index()];
+                        if prev != frontier {
+                            l.armed_done[node.index()] = frontier;
+                            self.kernel
+                                .arm_completion(id, node, frontier, prev != Time::MAX);
+                        }
+                        l.claim_epoch[node.index()] = epoch;
+                    } else {
+                        min_q = min_q.min(q);
+                    }
                     sc.claimed.push((id, node));
                 }
             }
-            // Window width in ticks. Every cap below is ≥ 1 (after the idle
+            // Window width in ticks. Every cap is ≥ 1 (after the idle
             // skip the next arrival is strictly in the future, after step 2
             // every zero-tail job is strictly before its expiry boundary,
             // and the run guard keeps t < horizon), so s == 0 iff a claimed
@@ -296,17 +371,11 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
             // reference tick: the naive path counts allocation-idle ticks
             // one by one, and `ticks_simulated` must stay byte-identical.
             if !sc.claimed.is_empty() {
-                let mut s = min_q.saturating_sub(1);
-                if self.life.pending_arrivals() {
-                    s = s.min(jobs[self.life.next_arrival].arrival.since(t));
-                }
-                for &id in &self.life.alive {
-                    let job = &jobs[id.index()];
-                    if job.profit.tail_value() == 0 {
-                        s = s.min(job.last_useful_abs().since(t));
-                    }
-                }
-                s = self.clock.cap_to_horizon(s);
+                let s = if self.kernel_windows {
+                    self.kernel.window(t, &self.life)
+                } else {
+                    HorizonScan::window(min_q, jobs, &self.life, &self.clock, t)
+                };
                 if s > 0 {
                     // No claimed node completes within the window: each
                     // consumes its full `units` per tick (remaining >
@@ -441,15 +510,30 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
         let t_done = t.after(1);
         self.life
             .complete(jobs, t_done, &sc.completions, self.sched, &mut self.obs);
-        if self.observing && !sc.completions.is_empty() {
-            self.sched.drain_admission_events(&mut sc.adm_events);
-            for ev in sc.adm_events.drain(..) {
-                self.obs.on_admission(t_done, ev);
+        let completed_any = !sc.completions.is_empty();
+        if completed_any && self.kernel_on {
+            for &id in &sc.completions {
+                self.kernel.disarm_expiry(id);
             }
+        }
+        if self.observing && completed_any {
+            self.forward_admissions(t_done);
         }
 
         self.clock.advance_tick();
         Ok(true)
+    }
+
+    /// Drain the scheduler's recorded admission decisions and forward them
+    /// to the observer at `at` — the one shared implementation behind the
+    /// arrival, expiry, and completion drain points (the stream position of
+    /// each batch is fixed by where `step` calls this).
+    fn forward_admissions(&mut self, at: Time) {
+        self.sched
+            .drain_admission_events(&mut self.scratch.adm_events);
+        for ev in self.scratch.adm_events.drain(..) {
+            self.obs.on_admission(at, ev);
+        }
     }
 
     /// Step until simulated time reaches `target` or the run ends,

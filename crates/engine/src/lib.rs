@@ -28,10 +28,12 @@
 
 pub mod clock;
 pub mod driver;
+pub mod events;
 pub mod lifecycle;
 pub mod observe;
 pub mod pick;
 pub mod platform;
+pub mod reference;
 pub mod result;
 pub mod runner;
 pub mod sched_api;
@@ -40,10 +42,12 @@ pub mod trace;
 
 pub use clock::auto_horizon;
 pub use driver::SimDriver;
+pub use events::WindowMode;
 pub use observe::{
     AdmissionDecision, AdmissionEvent, AdmissionReason, NullObserver, Observers, SimObserver,
 };
 pub use pick::NodePick;
+pub use reference::HorizonScan;
 pub use result::{JobStatus, SimResult};
 pub use runner::parallel_map;
 pub use sched_api::{Allocation, JobInfo, OnlineScheduler, TickView};

@@ -32,6 +32,14 @@ pub(crate) struct Live {
     /// cleared via `dirty` after the tick.
     pub(crate) busy: Vec<bool>,
     pub(crate) dirty: Vec<u32>,
+    /// Armed completion frontier per node (`Time::MAX` = never armed) —
+    /// the [`EventKernel`](crate::events::EventKernel)'s validity record
+    /// for this job's completion entries. Only meaningful together with a
+    /// current `claim_epoch` stamp.
+    pub(crate) armed_done: Vec<Time>,
+    /// Kernel claim-phase epoch stamp per node: a completion entry is live
+    /// only if its node was claimed in the current step.
+    pub(crate) claim_epoch: Vec<u64>,
 }
 
 impl Live {
@@ -134,12 +142,18 @@ impl Lifecycle {
                     state: UnfoldState::new(job.dag.clone(), scale),
                     busy: Vec::new(),
                     dirty: Vec::new(),
+                    armed_done: Vec::new(),
+                    claim_epoch: Vec::new(),
                 },
             };
             let nodes = slot.state.spec().num_nodes();
             slot.busy.clear();
             slot.busy.resize(nodes, false);
             slot.dirty.clear();
+            slot.armed_done.clear();
+            slot.armed_done.resize(nodes, Time::MAX);
+            slot.claim_epoch.clear();
+            slot.claim_epoch.resize(nodes, 0);
             self.live[job.id.index()] = Some(slot);
             self.alive.push(job.id);
             let info = JobInfo {
@@ -190,6 +204,76 @@ impl Lifecycle {
             obs.on_job_expired(t, id);
         }
         !expired.is_empty()
+    }
+
+    /// Indexed variant of [`expire_hopeless`](Self::expire_hopeless): pull
+    /// the due expiries from the kernel's sorted boundary index instead of
+    /// rescanning every alive job. O(due · log n) against the scan's
+    /// O(alive) — and O(1) on the (typical) step where nothing is due.
+    ///
+    /// Byte-identical to the scan by construction: the kernel returns due
+    /// ids ascending, which *is* arrival order (instance ids are assigned
+    /// in arrival order), so outcomes, pool pushes, and the expiry hooks
+    /// all fire in the scan's order.
+    pub(crate) fn expire_hopeless_indexed<O: SimObserver + ?Sized>(
+        &mut self,
+        t: Time,
+        kernel: &mut crate::events::EventKernel,
+        sched: &mut dyn OnlineScheduler,
+        obs: &mut O,
+        expired: &mut Vec<JobId>,
+    ) -> bool {
+        expired.clear();
+        kernel.pop_due_expiries(t, self, expired);
+        if expired.is_empty() {
+            return false;
+        }
+        // `alive` and `expired` are both ascending: one merge pass.
+        let mut next = 0;
+        self.alive.retain(|&id| {
+            if next < expired.len() && expired[next] == id {
+                next += 1;
+                false
+            } else {
+                true
+            }
+        });
+        debug_assert_eq!(next, expired.len(), "every due expiry must be alive");
+        for &id in expired.iter() {
+            self.outcomes[id.index()] = JobStatus::Expired { at: t };
+            if let Some(slot) = self.live[id.index()].take() {
+                self.pool.push(slot);
+            }
+        }
+        for &id in expired.iter() {
+            sched.on_expiry(id, t);
+            obs.on_job_expired(t, id);
+        }
+        true
+    }
+
+    /// Kernel validity check for a completion entry: the job is live, the
+    /// node's armed frontier matches, and the node was claimed in the
+    /// current step (epoch stamp).
+    pub(crate) fn completion_armed(&self, job: u32, node: u32, time: Time, epoch: u64) -> bool {
+        self.live
+            .get(job as usize)
+            .and_then(Option::as_ref)
+            .is_some_and(|l| {
+                l.armed_done.get(node as usize).copied() == Some(time)
+                    && l.claim_epoch.get(node as usize).copied() == Some(epoch)
+            })
+    }
+
+    /// Epoch-free variant of [`completion_armed`](Self::completion_armed)
+    /// for heap compaction: an epoch-stale entry whose key is still armed
+    /// is kept — harmless (lazy checks skip it), and retention then never
+    /// has to reason about which step's epoch is "current" mid-compaction.
+    pub(crate) fn completion_key_current(&self, job: u32, node: u32, time: Time) -> bool {
+        self.live
+            .get(job as usize)
+            .and_then(Option::as_ref)
+            .is_some_and(|l| l.armed_done.get(node as usize).copied() == Some(time))
     }
 
     /// The scheduler's tick view: `(id, ready_count)` per alive job, in

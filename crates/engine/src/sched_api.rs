@@ -147,6 +147,26 @@ pub trait OnlineScheduler {
         false
     }
 
+    /// Declare that this scheduler's *completion keys* are stable between
+    /// events, unlocking the engine's heap-based window computation
+    /// ([`EventKernel`](crate::events::EventKernel)).
+    ///
+    /// Returning `true` strengthens
+    /// [`allocation_stable_between_events`](Self::allocation_stable_between_events):
+    /// the kernel re-keys a claimed node's completion entry only when the
+    /// node's allocation width (and with it its completion frontier)
+    /// actually changes, rather than re-deriving every claimed node's
+    /// distance each step. That is sound exactly when the inter-event
+    /// allocation is stable, so the default forwards to
+    /// `allocation_stable_between_events` and virtually no implementation
+    /// needs to override it. Override only to return `false` while staying
+    /// allocation-stable — a scheduler that wants scan-based windows (the
+    /// [`HorizonScan`](crate::reference::HorizonScan) twin) without giving
+    /// up the fast-forward path itself.
+    fn completion_keys_stable(&self) -> bool {
+        self.allocation_stable_between_events()
+    }
+
     /// Ask the scheduler to start recording admission decisions for
     /// [`drain_admission_events`](Self::drain_admission_events). The engine
     /// calls this once at simulation start when an active

@@ -27,6 +27,7 @@
 //! [`driver`](crate::driver) for the layer diagram).
 
 use crate::driver::SimDriver;
+use crate::events::WindowMode;
 use crate::observe::SimObserver;
 use crate::pick::NodePick;
 use crate::result::SimResult;
@@ -57,6 +58,11 @@ pub struct SimConfig {
     /// policy support it (on by default). Turn off to force the naive
     /// reference path, e.g. for differential testing.
     pub fast_forward: bool,
+    /// Next-event selection: the O(log n) [`WindowMode::EventKernel`]
+    /// (default) or the frozen O(alive + claimed)
+    /// [`WindowMode::ReferenceScan`] twin, kept for differential testing
+    /// and the perf harness. Both are byte-identical by contract.
+    pub window: WindowMode,
 }
 
 impl Default for SimConfig {
@@ -68,6 +74,7 @@ impl Default for SimConfig {
             horizon: None,
             record_trace: false,
             fast_forward: true,
+            window: WindowMode::EventKernel,
         }
     }
 }

@@ -1,0 +1,308 @@
+//! Differential oracle for the discrete-event kernel: with every other
+//! knob fixed, [`WindowMode::EventKernel`] and [`WindowMode::ReferenceScan`]
+//! must be **byte-identical** — same `SimResult` (including
+//! `steps_executed`), same JSONL event stream.
+//!
+//! `stream_equiv.rs` proves fast-forward vs naive; `driver_differential.rs`
+//! proves pacing is invisible. This file closes the third axis: *which
+//! next-event selection* computed each window and expiry batch. It runs the
+//! kernel against the frozen [`HorizonScan`] twin over the same corpus
+//! (standard seeds + overload), over hand-built adversarial-tie instances
+//! (simultaneous arrival + expiry + completion on one tick, events exactly
+//! on window edges), over proptest-generated collision-dense instances, and
+//! through `run_until` at proptest-chosen pause horizons.
+
+use dagsched_core::{AlgoParams, JobId, Speed, Time};
+use dagsched_engine::{
+    simulate_observed, NodePick, OnlineScheduler, SimConfig, SimDriver, SimObserver, SimResult,
+    WindowMode,
+};
+use dagsched_sched::{Edf, EdfAc, Fifo, GreedyDensity, LeastLaxity, SNoAdmission, SchedulerS};
+use dagsched_verify::EventLog;
+use dagsched_workload::{
+    ArrivalProcess, DeadlinePolicy, Instance, JobSpec, StepProfitFn, WorkloadGen,
+};
+
+type SchedFactory = Box<dyn Fn() -> Box<dyn OnlineScheduler>>;
+
+fn factories(m: u32) -> Vec<(&'static str, SchedFactory)> {
+    let params = AlgoParams::from_epsilon(1.0).expect("valid epsilon");
+    vec![
+        (
+            "S",
+            Box::new(move || Box::new(SchedulerS::with_epsilon(m, 1.0)) as _),
+        ),
+        (
+            "S-wc",
+            Box::new(move || Box::new(SchedulerS::with_epsilon(m, 1.0).work_conserving()) as _),
+        ),
+        (
+            "S-noadmit",
+            Box::new(move || Box::new(SNoAdmission::new(m, params)) as _),
+        ),
+        ("FIFO", Box::new(move || Box::new(Fifo::new(m)) as _)),
+        ("EDF", Box::new(move || Box::new(Edf::new(m)) as _)),
+        (
+            "HDF",
+            Box::new(move || Box::new(GreedyDensity::new(m)) as _),
+        ),
+        ("LLF", Box::new(move || Box::new(LeastLaxity::new(m)) as _)),
+        ("EDF-AC", Box::new(move || Box::new(EdfAc::new(m)) as _)),
+    ]
+}
+
+/// One observed run under the given window mode.
+fn run_mode(
+    inst: &Instance,
+    mk: &dyn Fn() -> Box<dyn OnlineScheduler>,
+    cfg: &SimConfig,
+    window: WindowMode,
+) -> (SimResult, String) {
+    let cfg = SimConfig {
+        window,
+        ..cfg.clone()
+    };
+    let mut log = EventLog::new();
+    let r = simulate_observed(inst, mk().as_mut(), &cfg, &mut log).expect("run succeeds");
+    (r, log.to_jsonl())
+}
+
+fn assert_matches(label: &str, kernel: (SimResult, String), scan: &(SimResult, String)) {
+    assert!(
+        kernel.0.same_outcome(&scan.0),
+        "{label}: kernel outcome diverges from scan\n\
+         kernel: profit {} ticks {}\nscan  : profit {} ticks {}",
+        kernel.0.total_profit,
+        kernel.0.ticks_simulated,
+        scan.0.total_profit,
+        scan.0.ticks_simulated,
+    );
+    assert_eq!(
+        kernel.0.steps_executed, scan.0.steps_executed,
+        "{label}: step count diverges (a window boundary moved)"
+    );
+    if kernel.1 != scan.1 {
+        for (i, (k, s)) in kernel.1.lines().zip(scan.1.lines()).enumerate() {
+            assert_eq!(k, s, "{label}: event streams diverge at line {i}");
+        }
+        panic!(
+            "{label}: streams are a prefix of each other ({} vs {} lines)",
+            kernel.1.lines().count(),
+            scan.1.lines().count()
+        );
+    }
+}
+
+fn check_pair(
+    inst: &Instance,
+    mk: &dyn Fn() -> Box<dyn OnlineScheduler>,
+    cfg: &SimConfig,
+    label: &str,
+) {
+    let scan = run_mode(inst, mk, cfg, WindowMode::ReferenceScan);
+    let kernel = run_mode(inst, mk, cfg, WindowMode::EventKernel);
+    assert_matches(label, kernel, &scan);
+}
+
+fn check_all(inst: &Instance, m: u32, label: &str) {
+    for speed in [
+        Speed::ONE,
+        Speed::new(3, 2).expect("positive"),
+        Speed::integer(2).expect("positive"),
+    ] {
+        for pick in [NodePick::Fifo, NodePick::CriticalPathFirst] {
+            let cfg = SimConfig {
+                speed,
+                pick: pick.clone(),
+                ..SimConfig::default()
+            };
+            for (name, mk) in &factories(m) {
+                check_pair(
+                    inst,
+                    mk,
+                    &cfg,
+                    &format!("{label}: {name} at speed {speed:?} pick {pick:?}"),
+                );
+            }
+        }
+    }
+    // The kernel's expiry index is maintained on the naive path too: one
+    // representative naive configuration per instance.
+    let naive = SimConfig {
+        fast_forward: false,
+        ..SimConfig::default()
+    };
+    for (name, mk) in &factories(m) {
+        check_pair(inst, mk, &naive, &format!("{label}: {name} naive"));
+    }
+}
+
+#[test]
+fn kernel_matches_scan_on_standard_workloads() {
+    for seed in [7u64, 191, 2024] {
+        let m = 4 + (seed % 5) as u32;
+        let inst = WorkloadGen::standard(m, 30, seed)
+            .generate()
+            .expect("valid workload");
+        check_all(&inst, m, &format!("standard seed {seed}"));
+    }
+}
+
+#[test]
+fn kernel_matches_scan_under_overload() {
+    // Tight deadlines + hot arrivals: the densest event stream, where every
+    // source kind keeps re-arming.
+    let m = 6;
+    let inst = WorkloadGen {
+        arrivals: ArrivalProcess::poisson_for_load(4.0, 60.0, m),
+        deadlines: DeadlinePolicy::SlackFactor(1.2),
+        ..WorkloadGen::standard(m, 50, 99)
+    }
+    .generate()
+    .expect("valid workload");
+    check_all(&inst, m, "overload");
+}
+
+/// Hand-built tie nest: on one machine of 2 processors, tick 10 carries a
+/// completion frontier (job 0's 11-unit node claimed from t = 0), an expiry
+/// boundary (job 1, deadline exactly 10 with an unstartable workload), and
+/// an arrival (job 2) — all three source kinds due on the same tick, which
+/// is also exactly the preceding window's edge.
+fn triple_tie_instance() -> Instance {
+    use dagsched_dag::gen;
+    let jobs = vec![
+        JobSpec::new(
+            JobId(0),
+            Time(0),
+            gen::single(11).into_shared(),
+            StepProfitFn::deadline(Time(100), 7),
+        ),
+        JobSpec::new(
+            JobId(1),
+            Time(0),
+            gen::chain(4, 25).into_shared(),
+            StepProfitFn::deadline(Time(10), 5),
+        ),
+        JobSpec::new(
+            JobId(2),
+            Time(10),
+            gen::single(3).into_shared(),
+            StepProfitFn::deadline(Time(20), 3),
+        ),
+    ];
+    Instance::new(2, jobs).expect("valid tie instance")
+}
+
+#[test]
+fn simultaneous_arrival_expiry_completion_tie() {
+    let inst = triple_tie_instance();
+    check_all(&inst, 2, "triple tie at t=10");
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Collision-dense random instances: arrivals, works, and deadlines all
+    /// drawn from single-digit ranges so simultaneous events and
+    /// window-edge coincidences are the norm, not the exception.
+    fn collision_instance(seed: u64, n: usize, m: u32) -> Instance {
+        use dagsched_dag::gen;
+        let mut rng = dagsched_core::Rng64::seed_from(seed);
+        let mut arrivals: Vec<u64> = (0..n).map(|_| rng.gen_range(8)).collect();
+        arrivals.sort_unstable();
+        let jobs: Vec<JobSpec> = arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                let work = 1 + rng.gen_range(6);
+                let dag = if rng.gen_range(2) == 0 {
+                    gen::single(work).into_shared()
+                } else {
+                    gen::chain(2, work.max(1)).into_shared()
+                };
+                let deadline = 1 + rng.gen_range(9);
+                JobSpec::new(
+                    JobId(i as u32),
+                    Time(a),
+                    dag,
+                    StepProfitFn::deadline(Time(deadline), 1 + rng.gen_range(5)),
+                )
+            })
+            .collect();
+        Instance::new(m, jobs).expect("valid collision instance")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Kernel == scan on collision-dense instances for every production
+        /// scheduler, fast-forward and naive.
+        #[test]
+        fn kernel_matches_scan_under_adversarial_ties(
+            seed in 0u64..1000,
+            n in 3usize..14,
+            m in 1u32..4,
+            sched_idx in 0usize..8,
+            ff in 0u8..2,
+        ) {
+            let inst = collision_instance(seed, n, m);
+            let cfg = SimConfig {
+                fast_forward: ff == 1,
+                ..SimConfig::default()
+            };
+            let mks = factories(m);
+            let (name, mk) = &mks[sched_idx % mks.len()];
+            check_pair(
+                &inst,
+                mk,
+                &cfg,
+                &format!("ties seed {seed} n {n} m {m} {name} ff {ff}"),
+            );
+        }
+
+        /// Pausing a kernel-mode driver at arbitrary horizons matches the
+        /// one-shot scan-mode run: mode and pacing are jointly invisible.
+        #[test]
+        fn paused_kernel_run_matches_one_shot_scan(
+            seed in 0u64..500,
+            hseed in 0u64..500,
+            n_pauses in 1usize..12,
+            sched_idx in 0usize..8,
+        ) {
+            let m = 4 + (seed % 5) as u32;
+            let inst = WorkloadGen::standard(m, 20, seed)
+                .generate()
+                .expect("valid workload");
+            let mks = factories(m);
+            let (name, mk) = &mks[sched_idx % mks.len()];
+            let scan = run_mode(&inst, mk, &SimConfig::default(), WindowMode::ReferenceScan);
+
+            let span = inst.stats().horizon.ticks() + 8;
+            let mut rng = dagsched_core::Rng64::seed_from(hseed);
+            let kernel_cfg = SimConfig {
+                window: WindowMode::EventKernel,
+                ..SimConfig::default()
+            };
+            let mut log = EventLog::new();
+            let mut sched = mk();
+            let mut driver = SimDriver::with_observer(
+                &inst,
+                sched.as_mut(),
+                &kernel_cfg,
+                &mut log as &mut dyn SimObserver,
+            );
+            for _ in 0..n_pauses {
+                driver
+                    .run_until(Time(rng.gen_range(span.max(1))))
+                    .expect("run_until runs");
+            }
+            let r = driver.finish().expect("finish runs");
+            assert_matches(
+                &format!("paused kernel seed {seed} {name}"),
+                (r, log.to_jsonl()),
+                &scan,
+            );
+        }
+    }
+}

@@ -1,8 +1,8 @@
 //! The `dagsched` command-line entry point.
 //!
-//! Parsing and execution are unit-tested in the library
-//! (`dagsched_experiments::sweep`); this binary only dispatches and sets the
-//! exit code.
+//! Parsing and execution are unit-tested in the libraries
+//! (`dagsched_experiments::sweep`, `dagsched_bench::cli`); this binary only
+//! dispatches and sets the exit code.
 
 use std::process::ExitCode;
 
@@ -12,6 +12,8 @@ usage: dagsched <command> [options]
 commands:
   sweep  run a scheduler sweep grid sharded over worker threads
            (see `dagsched sweep help`)
+  bench  run the hot-path perf harness at smoke sizes and validate
+           its report schema (see `dagsched bench help`)
   help   print this message
 ";
 
@@ -28,6 +30,20 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("dagsched sweep: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("bench") => {
+            let report = dagsched_bench::cli::parse(&args[1..])
+                .and_then(|cmd| dagsched_bench::cli::execute(&cmd));
+            match report {
+                Ok(text) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("dagsched bench: {e}");
                     ExitCode::FAILURE
                 }
             }
