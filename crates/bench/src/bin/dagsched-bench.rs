@@ -1,5 +1,5 @@
 //! Perf-regression exporter: run the hot-path harness and write
-//! `BENCH_pr6.json`, optionally failing against a committed baseline.
+//! `BENCH_pr7.json`, optionally failing against a committed baseline.
 //!
 //! ```text
 //! dagsched-bench [--quick] [--out PATH] [--baseline PATH]
@@ -9,7 +9,7 @@
 //!
 //! * `--quick` — reduced sizes/iterations (the CI smoke configuration);
 //! * `--out PATH` — where to write the JSON report (default
-//!   `BENCH_pr6.json` in the current directory);
+//!   `BENCH_pr7.json` in the current directory);
 //! * `--baseline PATH` — compare this run's
 //!   admission/backfill/arrival/event-kernel speedups against the ones
 //!   recorded in `PATH`; exit non-zero if any
@@ -37,7 +37,7 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut quick = false;
-    let mut out = String::from("BENCH_pr6.json");
+    let mut out = String::from("BENCH_pr7.json");
     let mut baseline: Option<String> = None;
     let mut max_regress = 0.25f64;
     let mut min_sweep_speedup: Option<f64> = None;
@@ -103,6 +103,12 @@ fn main() -> ExitCode {
             c.id, c.t1_ns, c.threads, c.tn_ns, c.speedup
         );
     }
+    for c in &report.fuzz {
+        eprintln!(
+            "  {:<24} {:>6} execs in {:>10.0} ns   {:>7.0} execs/sec ({} features)",
+            c.id, c.execs, c.elapsed_ns, c.execs_per_sec, c.features
+        );
+    }
     let (adm, bf, arr, ek, sw) = (
         report.admission_speedup(),
         report.backfill_speedup(),
@@ -113,7 +119,8 @@ fn main() -> ExitCode {
     eprintln!(
         "  admission_speedup {adm:.2}x, backfill_speedup {bf:.2}x, \
          arrival_speedup {arr:.2}x, event_kernel_speedup {ek:.2}x, \
-         sweep_speedup {sw:.2}x (host_cores {})",
+         sweep_speedup {sw:.2}x, fuzz {:.0} execs/sec (host_cores {})",
+        report.fuzz_execs_per_sec(),
         report.host_cores
     );
 

@@ -23,6 +23,7 @@ pub const REQUIRED_KEYS: &[&str] = &[
     "arrival_speedup",
     "event_kernel_speedup",
     "sweep_speedup",
+    "fuzz_execs_per_sec",
 ];
 
 /// What `dagsched bench` should print.
@@ -103,6 +104,12 @@ fn summarize(report: &BenchReport) -> String {
         "sweep",
         report.sweep.len(),
         report.sweep_speedup()
+    ));
+    s.push_str(&format!(
+        "  {:<13} {} case(s), {:.0} execs/sec (absolute, not gated)\n",
+        "fuzz",
+        report.fuzz.len(),
+        report.fuzz_execs_per_sec()
     ));
     s.push_str("  schema: all required keys present\n");
     s

@@ -1,4 +1,4 @@
-//! The perf-regression harness behind `dagsched-bench` (BENCH_pr6.json).
+//! The perf-regression harness behind `dagsched-bench` (BENCH_pr7.json).
 //!
 //! Four measured hot paths, each timed as *legacy vs optimized in the same
 //! process and run*:
@@ -43,6 +43,12 @@
 //! single-core box the 4-thread run cannot be faster — so the report also
 //! records [`host_cores`] and the CI gate only enforces a parallel-speedup
 //! floor when the machine actually has ≥ 4 cores.
+//!
+//! A final group measures **fuzz-loop throughput**: a bounded
+//! coverage-guided run of `dagsched fuzz` (fixed master seed, all three
+//! oracle heads) timed end to end, reported as `fuzz_execs_per_sec`. Like
+//! the sweep ratio it is *hardware-dependent* — recorded for
+//! trend-watching, never gated against a baseline from a different box.
 //!
 //! The report records *speedup ratios* (legacy time / optimized time), not
 //! absolute times, so the committed baseline stays meaningful across
@@ -105,7 +111,25 @@ pub struct SweepCase {
     pub speedup: f64,
 }
 
-/// The full harness output, serialized to `BENCH_pr4.json`.
+/// One fuzz-throughput measurement: a bounded coverage-guided loop under a
+/// fixed master seed, timed end to end. Absolute throughput — hardware-
+/// dependent, recorded but never baseline-gated.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Case id, e.g. `"fuzz/e600"`.
+    pub id: String,
+    /// Execs attempted.
+    pub execs: u64,
+    /// Wall-clock nanoseconds for the whole loop.
+    pub elapsed_ns: f64,
+    /// `execs / seconds`.
+    pub execs_per_sec: f64,
+    /// Distinct coverage features the run discovered (a sanity probe that
+    /// the measured loop was doing real judging work, not spinning).
+    pub features: usize,
+}
+
+/// The full harness output, serialized to `BENCH_pr7.json`.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
     /// Whether the reduced `--quick` sizes were used.
@@ -124,6 +148,8 @@ pub struct BenchReport {
     pub event_kernel: Vec<CaseResult>,
     /// Sweep-throughput cases (sequential vs sharded grid runs).
     pub sweep: Vec<SweepCase>,
+    /// Fuzz-loop throughput cases (bounded coverage-guided runs).
+    pub fuzz: Vec<FuzzCase>,
 }
 
 impl BenchReport {
@@ -166,11 +192,20 @@ impl BenchReport {
             .fold(f64::INFINITY, f64::min)
     }
 
+    /// Fuzz-loop throughput of record: the minimum execs/sec over fuzz
+    /// cases (absolute, hardware-dependent — recorded, not gated).
+    pub fn fuzz_execs_per_sec(&self) -> f64 {
+        self.fuzz
+            .iter()
+            .map(|c| c.execs_per_sec)
+            .fold(f64::INFINITY, f64::min)
+    }
+
     /// Serialize to the committed JSON format.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"pr\": 6,\n");
+        s.push_str("  \"pr\": 7,\n");
         s.push_str(&format!("  \"quick\": {},\n", self.quick));
         s.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
         for (name, cases) in [
@@ -205,6 +240,19 @@ impl BenchReport {
             ));
         }
         s.push_str("  ],\n");
+        s.push_str("  \"fuzz\": [\n");
+        for (i, c) in self.fuzz.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": \"{}\", \"execs\": {}, \"elapsed_ns\": {:.0}, \"execs_per_sec\": {:.0}, \"features\": {}}}{}\n",
+                c.id,
+                c.execs,
+                c.elapsed_ns,
+                c.execs_per_sec,
+                c.features,
+                if i + 1 < self.fuzz.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
         s.push_str(&format!(
             "  \"admission_speedup\": {:.3},\n",
             self.admission_speedup()
@@ -222,8 +270,12 @@ impl BenchReport {
             self.event_kernel_speedup()
         ));
         s.push_str(&format!(
-            "  \"sweep_speedup\": {:.3}\n",
+            "  \"sweep_speedup\": {:.3},\n",
             self.sweep_speedup()
+        ));
+        s.push_str(&format!(
+            "  \"fuzz_execs_per_sec\": {:.0}\n",
+            self.fuzz_execs_per_sec()
         ));
         s.push_str("}\n");
         s
@@ -602,9 +654,47 @@ pub fn run_sweep_grid(grid: &SweepGrid, threads: usize, iters: usize) -> Vec<Swe
     }]
 }
 
+/// Run the fuzz-throughput group: one bounded coverage-guided loop per
+/// exec budget, fixed master seed, all three oracle heads, minimization
+/// off (a clean scheduler never reaches the minimizer anyway — keeping it
+/// off makes the timed work identical even if a future regression trips an
+/// oracle). The loop must find failures *never*: a failure here is a
+/// correctness bug, not a perf result, so it aborts the harness.
+pub fn run_fuzz_throughput(budgets: &[u64]) -> Vec<FuzzCase> {
+    use dagsched_fuzz::{FuzzConfig, FuzzSession};
+    budgets
+        .iter()
+        .map(|&execs| {
+            let report = FuzzSession::new(FuzzConfig {
+                master_seed: 0x0DA6_5EED,
+                max_execs: execs,
+                minimize: false,
+                ..FuzzConfig::default()
+            })
+            .run();
+            assert!(
+                report.failures.is_empty(),
+                "fuzz throughput run found real failures: {:?}",
+                report
+                    .failures
+                    .iter()
+                    .map(|f| (&f.oracle, &f.detail))
+                    .collect::<Vec<_>>()
+            );
+            FuzzCase {
+                id: format!("fuzz/e{execs}"),
+                execs: report.execs,
+                elapsed_ns: report.elapsed.as_nanos() as f64,
+                execs_per_sec: report.execs_per_sec(),
+                features: report.features,
+            }
+        })
+        .collect()
+}
+
 /// Run the whole harness. `quick` shrinks sizes and iteration counts for
 /// the CI smoke job; the full run is what gets committed as
-/// `BENCH_pr5.json`.
+/// `BENCH_pr7.json`.
 pub fn run_all(quick: bool) -> BenchReport {
     let (adm_sizes, bf_sizes, storm_sizes, iters): (&[usize], &[usize], &[usize], usize) = if quick
     {
@@ -635,6 +725,7 @@ pub fn run_all(quick: bool) -> BenchReport {
         arrival: run_arrival_storm(storm_sizes, iters),
         event_kernel: run_event_kernel(ek_sizes, ek_steady, ek_iters),
         sweep: run_sweep_grid(&SweepGrid::b1(), 4, sweep_iters),
+        fuzz: run_fuzz_throughput(if quick { &[200] } else { &[1_000] }),
     }
 }
 
@@ -652,6 +743,7 @@ pub fn run_smoke() -> BenchReport {
         arrival: run_arrival_storm(&[1_000], 3),
         event_kernel: run_event_kernel(&[300], 60, 3),
         sweep: run_sweep_grid(&SweepGrid::smoke(), 2, 3),
+        fuzz: run_fuzz_throughput(&[60]),
     }
 }
 
@@ -703,6 +795,13 @@ mod tests {
                 threads: 4,
                 speedup: 3.5,
             }],
+            fuzz: vec![FuzzCase {
+                id: "fuzz/e600".into(),
+                execs: 600,
+                elapsed_ns: 2_000_000_000.0,
+                execs_per_sec: 300.0,
+                features: 80,
+            }],
         };
         let json = report.to_json();
         assert_eq!(json_number(&json, "admission_speedup"), Some(4.0));
@@ -714,6 +813,7 @@ mod tests {
             "steady cases must not drag the gated dense minimum"
         );
         assert_eq!(json_number(&json, "sweep_speedup"), Some(3.5));
+        assert_eq!(json_number(&json, "fuzz_execs_per_sec"), Some(300.0));
         assert_eq!(json_number(&json, "host_cores"), Some(8.0));
         assert!(json.contains("\"overload/p1000\""));
         assert!(json.contains("\"arrival-storm/j10000\""));
@@ -744,6 +844,7 @@ mod tests {
                 mk("steady/standard-j400", 0.9),
             ],
             sweep: vec![],
+            fuzz: vec![],
         };
         assert_eq!(report.admission_speedup(), 3.0);
         assert_eq!(report.backfill_speedup(), 2.0);
@@ -800,6 +901,17 @@ mod tests {
         for n in [1, 7, 100] {
             assert_eq!(legacy_storm(&dags, n), pooled_storm(&specs, n));
         }
+    }
+
+    #[test]
+    fn fuzz_harness_reports_real_throughput() {
+        let cases = run_fuzz_throughput(&[20]);
+        assert_eq!(cases.len(), 1);
+        let c = &cases[0];
+        assert_eq!(c.id, "fuzz/e20");
+        assert_eq!(c.execs, 20);
+        assert!(c.elapsed_ns > 0.0 && c.execs_per_sec > 0.0, "{c:?}");
+        assert!(c.features > 0, "the timed loop must be doing real work");
     }
 
     #[test]

@@ -533,6 +533,87 @@ mod tests {
         assert_eq!(k.window(Time(7), &lc), 93, "only the horizon remains");
     }
 
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Adversarial arm/disarm churn over the arrival cursor and the
+        /// expiry boundaries: after every query the heap stays bounded by
+        /// the live armed state plus the compaction slack, and no live key
+        /// is ever dropped — the due-expiry pops and the window always
+        /// agree with a naive mirror of the armed state.
+        ///
+        /// Arrival re-arms land far above every pop instant (the driver
+        /// runs admissions before popping, so a *valid* due arrival entry
+        /// cannot exist — the kernel debug-asserts exactly that).
+        #[test]
+        fn churn_keeps_the_heap_bounded_and_drops_no_live_key(
+            ops in proptest::collection::vec((0u8..4, 0u32..16, 0u64..40), 1..300)
+        ) {
+            use proptest::prelude::{prop_assert, prop_assert_eq};
+            let (_jobs, lc) = admitted_lifecycle(16);
+            let mut k = EventKernel::new(16);
+            let horizon = Time(1_000_000);
+            k.arm_horizon(horizon);
+            let mut now = Time(0);
+            // Mirror of the armed state: expiry per job, arrival cursor.
+            let mut mirror = [Time::MAX; 16];
+            let mut arrival: Option<Time> = None;
+            let mut due = Vec::new();
+            for &(sel, job, dt) in &ops {
+                match sel {
+                    0 => {
+                        let at = Time(now.0 + dt);
+                        k.arm_expiry(JobId(job), at);
+                        mirror[job as usize] = at;
+                    }
+                    1 => {
+                        k.disarm_expiry(JobId(job));
+                        mirror[job as usize] = Time::MAX;
+                    }
+                    2 => {
+                        let at = Time(500_000 + dt);
+                        k.arm_arrival(at);
+                        arrival = Some(at);
+                    }
+                    _ => {
+                        now = Time(now.0 + dt);
+                        due.clear();
+                        k.pop_due_expiries(now, &lc, &mut due);
+                        let expect: Vec<JobId> = (0..16u32)
+                            .filter(|&j| mirror[j as usize] <= now)
+                            .map(JobId)
+                            .collect();
+                        prop_assert_eq!(due.clone(), expect, "due set diverges at t={}", now.0);
+                        for j in &due {
+                            mirror[j.index()] = Time::MAX;
+                        }
+                        // Every armed expiry > now must still bound the
+                        // window (no live key dropped by compaction).
+                        let min_live = mirror
+                            .iter()
+                            .copied()
+                            .chain(arrival)
+                            .chain(std::iter::once(horizon))
+                            .min()
+                            .expect("horizon is always armed");
+                        prop_assert_eq!(k.window(now, &lc), min_live.since(now));
+                        // Heap bound: one live entry per armed key plus the
+                        // corpses compaction is allowed to defer.
+                        let live = mirror.iter().filter(|&&t| t != Time::MAX).count()
+                            + usize::from(arrival.is_some())
+                            + 1;
+                        prop_assert!(
+                            k.len() <= 2 * live + COMPACT_MIN_STALE + 2,
+                            "heap holds {} entries for {} live keys",
+                            k.len(),
+                            live
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn compaction_bounds_the_heap_under_rekey_churn() {
         let (_jobs, lc) = admitted_lifecycle(1);

@@ -11,27 +11,42 @@
 //! buffer.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 use dagsched_core::{JobId, Time};
 use dagsched_dag::gen;
 use dagsched_engine::{Allocation, JobInfo, OnlineScheduler, SimConfig, SimDriver, TickView};
 use dagsched_workload::{Instance, JobSpec, StepProfitFn};
 
-/// Counts every allocator entry (alloc and realloc) on top of [`System`].
+/// Counts every allocator entry (alloc and realloc) on top of [`System`],
+/// per thread. The count must be thread-local rather than a process-wide
+/// atomic: libtest runs its own harness threads concurrently with the test
+/// thread, and a stray harness allocation landing inside the measurement
+/// window would flake an otherwise deterministic run. The whole simulation
+/// executes on the test thread, so its counter alone is the proof.
 struct CountingAlloc;
 
-static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static ALLOC_CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // `try_with` instead of `with`: the allocator can be entered during
+    // thread teardown after the TLS slot is destroyed; those allocations
+    // belong to no measurement window anyway.
+    let _ = ALLOC_CALLS.try_with(|c| c.set(c.get() + 1));
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.alloc(layout) }
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         unsafe { System.dealloc(ptr, layout) }
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -40,7 +55,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocations() -> u64 {
-    ALLOC_CALLS.load(Ordering::Relaxed)
+    ALLOC_CALLS.with(Cell::get)
 }
 
 /// Work-conserving FIFO scheduler whose steady-state event path is

@@ -1,0 +1,179 @@
+//! The deterministic seed corpus: one starting point per adversarial family.
+//!
+//! Each entry is a small instance already *near* a family the mutators are
+//! biased toward, so the loop spends its budget at the interesting
+//! boundaries instead of random-walking toward them. Entries are fixed —
+//! no randomness beyond hard-coded seeds — so the corpus trajectory is a
+//! pure function of the master seed.
+
+use crate::ir::{dag_to_ir, FuzzInstance, FuzzJob};
+use crate::mutate::{self, Mutator};
+use dagsched_core::Rng64;
+use dagsched_dag::gen;
+use dagsched_workload::{Instance, WorkloadGen};
+
+/// The hand-built triple-tie nest from the kernel differential suite: on 2
+/// processors, tick 10 carries a completion frontier, an expiry boundary
+/// and an arrival at once.
+fn triple_tie() -> FuzzInstance {
+    FuzzInstance {
+        m: 2,
+        jobs: vec![
+            FuzzJob {
+                arrival: 0,
+                deadline: 100,
+                profit: 7,
+                works: vec![11],
+                edges: vec![],
+            },
+            FuzzJob {
+                arrival: 0,
+                deadline: 10,
+                profit: 5,
+                works: vec![25, 25, 25, 25],
+                edges: vec![(0, 1), (1, 2), (2, 3)],
+            },
+            FuzzJob {
+                arrival: 10,
+                deadline: 20,
+                profit: 3,
+                works: vec![3],
+                edges: vec![],
+            },
+        ],
+    }
+}
+
+/// Collision-dense: single-digit arrivals, works and deadlines, so
+/// simultaneous events are the norm.
+fn collisions() -> FuzzInstance {
+    let mut rng = Rng64::seed_from(11);
+    let jobs = (0..8)
+        .map(|_| {
+            let work = 1 + rng.gen_range(6);
+            let chain = rng.gen_range(2) == 1;
+            FuzzJob {
+                arrival: rng.gen_range(8),
+                deadline: 1 + rng.gen_range(9),
+                profit: 1 + rng.gen_range(5),
+                works: if chain { vec![work, work] } else { vec![work] },
+                edges: if chain { vec![(0, 1)] } else { vec![] },
+            }
+        })
+        .collect();
+    FuzzInstance { m: 2, jobs }
+}
+
+/// Two Figure 1 lower-bound jobs with near-Brent deadlines.
+fn fig1_family() -> FuzzInstance {
+    let m = 3;
+    let (works, edges) = dag_to_ir(&gen::fig1(m, 6, 2));
+    let mk = |arrival: u64| {
+        let mut job = FuzzJob {
+            arrival,
+            deadline: 1,
+            profit: 4,
+            works: works.clone(),
+            edges: edges.clone(),
+        };
+        job.deadline = (job.total_work() - job.span()).div_ceil(m as u64) + job.span();
+        job
+    };
+    FuzzInstance {
+        m,
+        jobs: vec![mk(0), mk(1)],
+    }
+}
+
+/// An arrival burst of identical work with densities in three bands.
+fn band_burst() -> FuzzInstance {
+    let profits = [4u64, 4, 6, 6, 9, 9];
+    let jobs = profits
+        .iter()
+        .map(|&p| FuzzJob {
+            arrival: 3,
+            deadline: 6,
+            profit: p,
+            works: vec![4],
+            edges: vec![],
+        })
+        .collect();
+    FuzzInstance { m: 2, jobs }
+}
+
+/// A plain generated workload, to keep one unbiased starting point.
+fn standard() -> FuzzInstance {
+    let inst = WorkloadGen::standard(3, 10, 42)
+        .generate()
+        .expect("valid workload");
+    FuzzInstance::from_instance(&inst)
+}
+
+/// The full seed corpus, in fixed order.
+pub fn seed_corpus() -> Vec<FuzzInstance> {
+    vec![
+        triple_tie(),
+        collisions(),
+        fig1_family(),
+        band_burst(),
+        standard(),
+    ]
+}
+
+/// Generate `count` valid collision-dense instances by running the
+/// collision mutators over the seed corpus — the helper the triple-tie
+/// pause tests use to get event-coincidence-heavy workloads cheaply.
+pub fn collision_instances(seed: u64, count: usize) -> Vec<Instance> {
+    let mut rng = Rng64::seed_from(seed);
+    let seeds = seed_corpus();
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let mut fi = seeds[rng.gen_range(seeds.len() as u64) as usize].clone();
+        for _ in 0..4 {
+            let m = match rng.gen_range(4) {
+                0 => Mutator::CollideArrival,
+                1 => Mutator::CollideExpiry,
+                2 => Mutator::Burst,
+                _ => Mutator::TightenDeadline,
+            };
+            mutate::apply(m, &mut rng, &mut fi);
+        }
+        if let Ok(inst) = fi.to_instance() {
+            out.push(inst);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_seed_converts() {
+        let seeds = seed_corpus();
+        assert_eq!(seeds.len(), 5);
+        for (i, s) in seeds.iter().enumerate() {
+            let inst = s.to_instance().unwrap_or_else(|e| panic!("seed {i}: {e}"));
+            assert!(inst.len() >= 2, "seed {i} too small");
+        }
+    }
+
+    #[test]
+    fn collision_instances_are_deterministic_and_collide() {
+        let a = collision_instances(9, 6);
+        let b = collision_instances(9, 6);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                dagsched_workload::codec::encode(x),
+                dagsched_workload::codec::encode(y)
+            );
+        }
+        // At least one instance has two jobs sharing an arrival tick.
+        let shared = a
+            .iter()
+            .any(|inst| inst.jobs().windows(2).any(|w| w[0].arrival == w[1].arrival));
+        assert!(shared, "collision mutators should produce shared instants");
+    }
+}

@@ -1,0 +1,269 @@
+//! The coverage signal: cheap execution features driving corpus retention.
+//!
+//! Classic fuzzers use branch coverage; here the interesting "branches" are
+//! semantic and already surface on the [`SimObserver`] stream, so coverage
+//! is a set of small integer *feature ids* derived from it:
+//!
+//! * which admission verdict × reason combinations fired;
+//! * which density bands (powers of `c` of the density) admitted jobs
+//!   landed in — Observation 3's unit of accounting;
+//! * expiry-batch sizes (log₂ buckets) — the kernel's sorted batch pops;
+//! * execution-window widths (log₂ buckets) — fast-forward horizon shapes;
+//! * which event kinds collided on one tick (arrival/expiry/completion
+//!   masks) — the kernel's tie-break cases as seen from the stream;
+//! * end-time and peak-alive-set buckets.
+//!
+//! A candidate that produces any feature id the corpus has not produced
+//! before is retained. The feature space is a few hundred ids, so the
+//! corpus saturates quickly on boring mutations and only structurally new
+//! behavior survives — which is the point.
+
+use dagsched_core::{JobId, NodeId, Speed, Time};
+use dagsched_engine::{AdmissionDecision, AdmissionEvent, AdmissionReason, JobInfo, SimObserver};
+use std::collections::BTreeSet;
+
+/// `floor(log2(x)) + 1` for x > 0, else 0 — a stable small bucket index.
+fn log2_bucket(x: u64) -> u32 {
+    64 - x.leading_zeros()
+}
+
+fn reason_index(r: AdmissionReason) -> u32 {
+    match r {
+        AdmissionReason::BandCapacity => 0,
+        AdmissionReason::NotDeltaGood => 1,
+        AdmissionReason::Infeasible => 2,
+        AdmissionReason::DemandBound => 3,
+        AdmissionReason::SpanInfeasible => 4,
+        AdmissionReason::DeadlinePassed => 5,
+        AdmissionReason::Unconditional => 6,
+    }
+}
+
+const ARRIVED: u8 = 1;
+const EXPIRED: u8 = 2;
+const COMPLETED: u8 = 4;
+
+/// Observer that folds one run's event stream into a feature-id set.
+#[derive(Debug)]
+pub struct CoverageObserver {
+    /// Band base `c` (densities are bucketed by `floor(log_c v)`).
+    c: f64,
+    /// Density per job id, recorded at arrival.
+    density: Vec<f64>,
+    features: BTreeSet<u32>,
+    // Per-tick collision mask state.
+    cur_t: u64,
+    cur_mask: u8,
+    // Run-length state for expiry batches.
+    expiry_t: u64,
+    expiry_run: u64,
+}
+
+impl CoverageObserver {
+    /// A fresh observer bucketing densities by powers of `c`.
+    pub fn new(c: f64) -> CoverageObserver {
+        CoverageObserver {
+            c,
+            density: Vec::new(),
+            features: BTreeSet::new(),
+            cur_t: u64::MAX,
+            cur_mask: 0,
+            expiry_t: u64::MAX,
+            expiry_run: 0,
+        }
+    }
+
+    /// The feature ids this run produced. Call after the run (flushing of
+    /// per-tick state happens in [`SimObserver::on_end`]).
+    pub fn features(&self) -> &BTreeSet<u32> {
+        &self.features
+    }
+
+    /// Consume the observer, returning its feature set.
+    pub fn into_features(self) -> BTreeSet<u32> {
+        self.features
+    }
+
+    fn flush_tick(&mut self) {
+        if self.cur_mask.count_ones() >= 2 {
+            // Feature block 152..160: event kinds colliding on one tick.
+            self.features.insert(152 + self.cur_mask as u32);
+        }
+        self.cur_mask = 0;
+    }
+
+    fn flush_expiry_run(&mut self) {
+        if self.expiry_run > 0 {
+            // Feature block 96..112: expiry-batch size buckets.
+            self.features
+                .insert(96 + log2_bucket(self.expiry_run).min(15));
+            self.expiry_run = 0;
+        }
+    }
+
+    fn note(&mut self, t: Time, bit: u8) {
+        if t.ticks() != self.cur_t {
+            self.flush_tick();
+            self.cur_t = t.ticks();
+        }
+        self.cur_mask |= bit;
+    }
+}
+
+impl SimObserver for CoverageObserver {
+    fn on_job_arrival(&mut self, now: Time, info: &JobInfo) {
+        let idx = info.id.index();
+        if self.density.len() <= idx {
+            self.density.resize(idx + 1, 0.0);
+        }
+        self.density[idx] = info.profit.max_profit() as f64 / info.work.units().max(1) as f64;
+        self.note(now, ARRIVED);
+    }
+
+    fn on_admission(&mut self, _now: Time, event: AdmissionEvent) {
+        // Feature block 0..24: verdict × reason.
+        let id = match event.decision {
+            AdmissionDecision::Admitted => 7,
+            AdmissionDecision::Deferred(r) => 8 + reason_index(r),
+            AdmissionDecision::Rejected(r) => 16 + reason_index(r),
+        };
+        self.features.insert(id);
+        if matches!(event.decision, AdmissionDecision::Admitted) {
+            // Feature block 32..96: the density band the admitted job
+            // occupies, `floor(log_c v)` clamped to ±31.
+            let v = self
+                .density
+                .get(event.job.index())
+                .copied()
+                .unwrap_or(1.0)
+                .max(f64::MIN_POSITIVE);
+            let band = (v.ln() / self.c.ln()).floor().clamp(-31.0, 32.0) as i32;
+            self.features.insert(32 + (band + 31) as u32);
+        }
+    }
+
+    fn on_window(
+        &mut self,
+        _at: Time,
+        ticks: u64,
+        jobs: &[(JobId, u32)],
+        _alloc: &[(JobId, u32)],
+        _progress: &[(JobId, u64)],
+    ) {
+        // Feature block 112..152: window-width buckets.
+        self.features.insert(112 + log2_bucket(ticks).min(39));
+        // Feature block 200..232: alive-set size buckets.
+        self.features
+            .insert(200 + log2_bucket(jobs.len() as u64).min(31));
+        self.flush_expiry_run();
+    }
+
+    fn on_node_complete(&mut self, _at: Time, _job: JobId, _node: NodeId) {}
+
+    fn on_job_complete(&mut self, at: Time, _job: JobId, _profit: u64) {
+        self.note(at, COMPLETED);
+        self.flush_expiry_run();
+    }
+
+    fn on_job_expired(&mut self, at: Time, job: JobId) {
+        let _ = job;
+        self.note(at, EXPIRED);
+        if at.ticks() == self.expiry_t {
+            self.expiry_run += 1;
+        } else {
+            self.flush_expiry_run();
+            self.expiry_t = at.ticks();
+            self.expiry_run = 1;
+        }
+    }
+
+    fn on_end(&mut self, at: Time) {
+        self.flush_tick();
+        self.flush_expiry_run();
+        // Feature block 160..200: end-time buckets.
+        self.features.insert(160 + log2_bucket(at.ticks()).min(39));
+    }
+
+    fn on_start(&mut self, _m: u32, _speed: Speed, _horizon: Time) {}
+}
+
+/// The accumulated corpus-wide feature set.
+#[derive(Debug, Default)]
+pub struct CoverageMap {
+    seen: BTreeSet<u32>,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> CoverageMap {
+        CoverageMap::default()
+    }
+
+    /// Merge one run's features; returns how many were new.
+    pub fn merge(&mut self, features: &BTreeSet<u32>) -> usize {
+        let before = self.seen.len();
+        self.seen.extend(features.iter().copied());
+        self.seen.len() - before
+    }
+
+    /// Total distinct features observed so far.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_engine::{simulate_observed, SimConfig};
+    use dagsched_sched::SchedulerS;
+    use dagsched_workload::WorkloadGen;
+
+    #[test]
+    fn expiry_batches_and_collisions_bucket() {
+        let mut cov = CoverageObserver::new(2.0);
+        cov.on_job_expired(Time(5), JobId(0));
+        cov.on_job_expired(Time(5), JobId(1));
+        cov.on_job_expired(Time(5), JobId(2));
+        cov.on_job_complete(Time(5), JobId(3), 1);
+        cov.on_end(Time(6));
+        // Batch of 3 -> bucket 2; expiry+completion collided at t=5.
+        assert!(cov.features().contains(&(96 + 2)));
+        assert!(cov
+            .features()
+            .contains(&(152 + (EXPIRED | COMPLETED) as u32)));
+    }
+
+    #[test]
+    fn a_real_run_produces_stable_features() {
+        let inst = WorkloadGen::standard(3, 12, 5).generate().unwrap();
+        let run = || {
+            let mut cov = CoverageObserver::new(1.5);
+            let mut s = SchedulerS::with_epsilon(3, 1.0);
+            simulate_observed(&inst, &mut s, &SimConfig::default(), &mut cov).unwrap();
+            cov.into_features()
+        };
+        let f = run();
+        assert!(!f.is_empty());
+        assert_eq!(f, run(), "features are deterministic");
+        // At least one admission verdict and one window width fired.
+        assert!(f.iter().any(|&id| id < 24));
+        assert!(f.iter().any(|&id| (112..152).contains(&id)));
+    }
+
+    #[test]
+    fn coverage_map_counts_new_features_only() {
+        let mut map = CoverageMap::new();
+        let a: BTreeSet<u32> = [1, 2, 3].into_iter().collect();
+        let b: BTreeSet<u32> = [3, 4].into_iter().collect();
+        assert_eq!(map.merge(&a), 3);
+        assert_eq!(map.merge(&b), 1);
+        assert_eq!(map.merge(&b), 0);
+        assert_eq!(map.len(), 4);
+    }
+}

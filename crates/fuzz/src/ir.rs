@@ -1,0 +1,293 @@
+//! Mutable intermediate representation of a workload instance.
+//!
+//! [`Instance`] and `DagJobSpec` are validated, immutable values — every
+//! construction re-checks sortedness, acyclicity and id density. Mutators
+//! need the opposite: a representation that tolerates any intermediate
+//! state and can always be *repaired* into a valid instance. [`FuzzInstance`]
+//! is that representation. Edges are kept forward-only (`from < to` in node
+//! index order), which makes every reachable edge set acyclic by
+//! construction, and [`FuzzInstance::to_instance`] clamps, sorts and
+//! re-labels so that the conversion cannot fail on any sanitizable state.
+
+use dagsched_core::{JobId, NodeId, Result, SchedError, Time, Work};
+use dagsched_dag::{DagBuilder, DagJobSpec};
+use dagsched_workload::{Instance, JobSpec, StepProfitFn};
+
+/// Upper bounds keeping mutated instances small enough that one fuzz exec
+/// stays in the microsecond-to-millisecond range. Values past a bound are
+/// clamped, not rejected — mutators never have to check.
+pub mod limits {
+    /// Maximum machine count.
+    pub const MAX_M: u32 = 8;
+    /// Maximum number of jobs per instance.
+    pub const MAX_JOBS: usize = 24;
+    /// Maximum DAG nodes per job.
+    pub const MAX_NODES: usize = 24;
+    /// Maximum work per node.
+    pub const MAX_WORK: u64 = 64;
+    /// Maximum arrival time.
+    pub const MAX_ARRIVAL: u64 = 400;
+    /// Maximum relative deadline.
+    pub const MAX_DEADLINE: u64 = 600;
+    /// Maximum per-job profit.
+    pub const MAX_PROFIT: u64 = 1 << 20;
+}
+
+/// One job in mutable form: a deadline-profit job with a forward-edge DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzJob {
+    /// Arrival time.
+    pub arrival: u64,
+    /// Relative deadline (single profit step at `arrival + deadline`).
+    pub deadline: u64,
+    /// Profit for completing by the deadline.
+    pub profit: u64,
+    /// Node works, indexed by node id.
+    pub works: Vec<u64>,
+    /// DAG edges; only pairs with `from < to` survive sanitization, so any
+    /// edge list denotes an acyclic graph.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl FuzzJob {
+    /// Total work `W` (after clamping node works to the limits).
+    pub fn total_work(&self) -> u64 {
+        self.works
+            .iter()
+            .take(limits::MAX_NODES)
+            .map(|&w| w.clamp(1, limits::MAX_WORK))
+            .sum()
+    }
+
+    /// Span `L`: the longest path in clamped work, computed by a forward DP
+    /// (valid because sanitized edges always point forward).
+    pub fn span(&self) -> u64 {
+        let n = self.works.len().min(limits::MAX_NODES);
+        if n == 0 {
+            return 1;
+        }
+        let w = |i: usize| -> u64 { self.works[i].clamp(1, limits::MAX_WORK) };
+        let mut height: Vec<u64> = (0..n).map(w).collect();
+        let mut edges: Vec<(u32, u32)> = self
+            .edges
+            .iter()
+            .copied()
+            .filter(|&(u, v)| (u as usize) < n && (v as usize) < n && u < v)
+            .collect();
+        edges.sort_unstable();
+        for &(u, v) in &edges {
+            let via = height[u as usize] + w(v as usize);
+            if via > height[v as usize] {
+                height[v as usize] = via;
+            }
+        }
+        height.iter().copied().max().unwrap_or(1)
+    }
+
+    /// Absolute expiry `arrival + deadline` (clamped).
+    pub fn expiry(&self) -> u64 {
+        self.arrival.min(limits::MAX_ARRIVAL) + self.deadline.clamp(1, limits::MAX_DEADLINE)
+    }
+}
+
+/// A whole instance in mutable form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzInstance {
+    /// Machine count.
+    pub m: u32,
+    /// The jobs, in no particular order (sorted at conversion).
+    pub jobs: Vec<FuzzJob>,
+}
+
+/// Extract `(works, edges)` from a built DAG, re-labeling nodes into
+/// topological order so every edge points forward.
+pub fn dag_to_ir(dag: &DagJobSpec) -> (Vec<u64>, Vec<(u32, u32)>) {
+    let n = dag.num_nodes();
+    let topo = dag.topo_order();
+    let mut pos = vec![0u32; n];
+    for (rank, &node) in topo.iter().enumerate() {
+        pos[node.0 as usize] = rank as u32;
+    }
+    let mut works = vec![0u64; n];
+    for (i, w) in dag.node_works().iter().enumerate() {
+        works[pos[i] as usize] = w.units();
+    }
+    let mut edges = Vec::with_capacity(dag.num_edges());
+    for u in 0..n as u32 {
+        for &v in dag.successors(NodeId(u)) {
+            edges.push((pos[u as usize], pos[v.0 as usize]));
+        }
+    }
+    edges.sort_unstable();
+    (works, edges)
+}
+
+impl FuzzInstance {
+    /// Build the IR from a validated instance. General profit functions are
+    /// projected onto their deadline envelope (last useful time, max
+    /// profit) — the adversarial families this fuzzer targets are all
+    /// deadline instances.
+    pub fn from_instance(inst: &Instance) -> FuzzInstance {
+        let jobs = inst
+            .jobs()
+            .iter()
+            .map(|j| {
+                let (works, edges) = dag_to_ir(&j.dag);
+                let deadline = j
+                    .rel_deadline()
+                    .unwrap_or_else(|| j.profit.last_useful_time())
+                    .ticks()
+                    .max(1);
+                FuzzJob {
+                    arrival: j.arrival.ticks(),
+                    deadline,
+                    profit: j.max_profit().max(1),
+                    works,
+                    edges,
+                }
+            })
+            .collect();
+        FuzzInstance { m: inst.m(), jobs }
+    }
+
+    /// Repair and convert into a validated [`Instance`].
+    ///
+    /// Sanitization: clamp `m`, truncate the job list, clamp every numeric
+    /// field, keep only in-range forward edges (deduplicated), then sort
+    /// jobs by arrival and assign dense ids. The only unrepairable state is
+    /// an empty job list.
+    ///
+    /// # Errors
+    /// [`SchedError::InvalidInstance`] when there are no jobs.
+    pub fn to_instance(&self) -> Result<Instance> {
+        if self.jobs.is_empty() {
+            return Err(SchedError::InvalidInstance(
+                "fuzz instance has no jobs".into(),
+            ));
+        }
+        let m = self.m.clamp(1, limits::MAX_M);
+        let mut jobs: Vec<&FuzzJob> = self.jobs.iter().take(limits::MAX_JOBS).collect();
+        jobs.sort_by_key(|j| j.arrival.min(limits::MAX_ARRIVAL));
+        let specs: Vec<JobSpec> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| {
+                let n = j.works.len().clamp(1, limits::MAX_NODES);
+                let mut builder = DagBuilder::with_capacity(n, j.edges.len());
+                for k in 0..n {
+                    let w = j.works.get(k).copied().unwrap_or(1);
+                    builder.add_node(Work(w.clamp(1, limits::MAX_WORK)));
+                }
+                let mut edges: Vec<(u32, u32)> = j
+                    .edges
+                    .iter()
+                    .copied()
+                    .filter(|&(u, v)| u < v && (v as usize) < n)
+                    .collect();
+                edges.sort_unstable();
+                edges.dedup();
+                for (u, v) in edges {
+                    builder
+                        .add_edge(NodeId(u), NodeId(v))
+                        .expect("forward in-range edges are valid");
+                }
+                let dag = builder
+                    .build()
+                    .expect("forward edges cannot form a cycle")
+                    .into_shared();
+                let profit = StepProfitFn::deadline(
+                    Time(j.deadline.clamp(1, limits::MAX_DEADLINE)),
+                    j.profit.clamp(1, limits::MAX_PROFIT),
+                );
+                JobSpec::new(
+                    JobId(i as u32),
+                    Time(j.arrival.min(limits::MAX_ARRIVAL)),
+                    dag,
+                    profit,
+                )
+            })
+            .collect();
+        Instance::new(m, specs)
+    }
+}
+
+/// FNV-1a over a byte slice; the fuzzer's cheap deterministic content hash
+/// (used to derive per-instance pause schedules and trajectory digests).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_workload::WorkloadGen;
+
+    #[test]
+    fn round_trip_preserves_shape() {
+        let inst = WorkloadGen::standard(4, 12, 7).generate().unwrap();
+        let ir = FuzzInstance::from_instance(&inst);
+        let back = ir.to_instance().unwrap();
+        assert_eq!(back.m(), inst.m());
+        assert_eq!(back.len(), inst.len());
+        for (a, b) in inst.jobs().iter().zip(back.jobs()) {
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.work(), b.work());
+            assert_eq!(a.span(), b.span(), "topo relabeling preserves the span");
+            assert_eq!(a.dag.num_edges(), b.dag.num_edges());
+        }
+    }
+
+    #[test]
+    fn hostile_states_are_repaired() {
+        let fi = FuzzInstance {
+            m: 999,
+            jobs: vec![FuzzJob {
+                arrival: u64::MAX,
+                deadline: 0,
+                profit: 0,
+                works: vec![0, u64::MAX, 3],
+                // Backward, self-loop, out-of-range and duplicate edges.
+                edges: vec![(2, 1), (1, 1), (0, 40), (0, 2), (0, 2), (1, 2)],
+            }],
+        };
+        let inst = fi.to_instance().expect("repairable");
+        assert_eq!(inst.m(), limits::MAX_M);
+        let j = &inst.jobs()[0];
+        assert_eq!(j.arrival, Time(limits::MAX_ARRIVAL));
+        assert_eq!(j.rel_deadline(), Some(Time(1)));
+        assert_eq!(j.max_profit(), 1);
+        assert_eq!(j.dag.num_nodes(), 3);
+        assert_eq!(j.dag.num_edges(), 2, "only 0->2 and 1->2 survive");
+    }
+
+    #[test]
+    fn empty_job_list_is_the_only_failure() {
+        assert!(FuzzInstance { m: 2, jobs: vec![] }.to_instance().is_err());
+    }
+
+    #[test]
+    fn span_matches_built_dag() {
+        let fi = FuzzJob {
+            arrival: 0,
+            deadline: 10,
+            profit: 1,
+            works: vec![2, 3, 4, 5],
+            edges: vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+        };
+        // Longest path 2 -> (3|4) -> 5 = 2 + 4 + 5.
+        assert_eq!(fi.span(), 11);
+        assert_eq!(fi.total_work(), 14);
+        let inst = FuzzInstance {
+            m: 2,
+            jobs: vec![fi],
+        }
+        .to_instance()
+        .unwrap();
+        assert_eq!(inst.jobs()[0].span().units(), 11);
+    }
+}

@@ -1,0 +1,350 @@
+//! The three-headed oracle: what "the fuzzer found something" means.
+//!
+//! Every candidate instance is judged by up to three independent checks,
+//! in order, stopping at the first failure:
+//!
+//! 1. **Invariants** — the `dagsched-verify` suite (band capacity per
+//!    Observation 3, allotment discipline per Lemma 1, δ-goodness, work
+//!    conservation) attached to a full run. The suite is built lenient so
+//!    the loop collects violations rather than unwinding; under the
+//!    `verify-strict` feature the semantics are identical, only the
+//!    failure transport differs.
+//! 2. **Kernel vs scan** — the run repeated under
+//!    [`WindowMode::EventKernel`] and [`WindowMode::ReferenceScan`] must
+//!    produce the same outcome, the same step count, and byte-identical
+//!    JSONL event streams.
+//! 3. **Paused vs one-shot** — a [`SimDriver`] paused at several
+//!    deterministically-derived horizons must finish byte-identical to the
+//!    one-shot kernel run (the pacing-invisibility contract).
+//!
+//! A simulation error from any head is itself a failure (`sim-error`) —
+//! that is how scheduler mutants that emit invalid allocations are caught.
+//!
+//! The coverage features of head 1's run are returned alongside the
+//! verdict, so one exec yields both signals with at most four simulations.
+
+use crate::coverage::CoverageObserver;
+use dagsched_core::{AlgoParams, Rng64, Time};
+use dagsched_engine::{
+    simulate_observed, Observers, OnlineScheduler, SimConfig, SimDriver, SimObserver, SimResult,
+    WindowMode,
+};
+use dagsched_sched::SchedulerS;
+use dagsched_verify::{EventLog, InvariantSuite, WorkConservationChecker};
+use dagsched_workload::Instance;
+use std::collections::BTreeSet;
+
+/// Which invariant checkers apply to a subject scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantProfile {
+    /// The full scheduler-S suite (band, allotment, δ-good, work).
+    SchedulerS {
+        /// Relax the exact-allotment discipline (the S-wc variant).
+        backfill: bool,
+    },
+    /// Only the universal work-conservation checker (baseline schedulers).
+    WorkOnly,
+    /// No invariant head (differential oracles only).
+    Off,
+}
+
+/// The scheduler under test plus the invariant vocabulary that applies to
+/// it. The default subject is the paper's scheduler S; the mutant-kill
+/// tests substitute deliberately broken schedulers.
+pub struct Subject {
+    name: String,
+    profile: InvariantProfile,
+    make: Box<dyn Fn(u32) -> Box<dyn OnlineScheduler>>,
+}
+
+impl Subject {
+    /// A subject from a factory closure (called once per simulation with
+    /// the instance's machine count).
+    pub fn new(
+        name: impl Into<String>,
+        profile: InvariantProfile,
+        make: impl Fn(u32) -> Box<dyn OnlineScheduler> + 'static,
+    ) -> Subject {
+        Subject {
+            name: name.into(),
+            profile,
+            make: Box::new(make),
+        }
+    }
+
+    /// The default subject: scheduler S at ε = 1 with the full suite.
+    pub fn scheduler_s() -> Subject {
+        Subject::new("S", InvariantProfile::SchedulerS { backfill: false }, |m| {
+            Box::new(SchedulerS::with_epsilon(m, 1.0))
+        })
+    }
+
+    /// The subject's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Instantiate the scheduler for `m` machines.
+    pub fn instantiate(&self, m: u32) -> Box<dyn OnlineScheduler> {
+        (self.make)(m)
+    }
+}
+
+/// Which oracle heads run. All on by default; the mutant-kill tests switch
+/// the differential heads off for speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleSet {
+    /// Head 1: the invariant suite.
+    pub invariants: bool,
+    /// Head 2: kernel-vs-scan byte equality.
+    pub kernel_diff: bool,
+    /// Head 3: paused-vs-one-shot byte equality.
+    pub pause_diff: bool,
+}
+
+impl Default for OracleSet {
+    fn default() -> OracleSet {
+        OracleSet {
+            invariants: true,
+            kernel_diff: true,
+            pause_diff: true,
+        }
+    }
+}
+
+/// A failed oracle head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleFailure {
+    /// Which head failed: `invariants`, `kernel-vs-scan`,
+    /// `paused-vs-oneshot`, or `sim-error`.
+    pub oracle: &'static str,
+    /// Human-readable evidence (violation list or first diverging line).
+    pub detail: String,
+}
+
+/// The result of one fuzz exec: coverage features plus an optional failure.
+#[derive(Debug)]
+pub struct ExecOutcome {
+    /// Feature ids from the invariant head's run.
+    pub features: BTreeSet<u32>,
+    /// The first failing oracle head, if any.
+    pub failure: Option<OracleFailure>,
+}
+
+fn first_diff(label: &str, a: &str, b: &str) -> String {
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return format!("{label}: line {i}: {la:.120} != {lb:.120}");
+        }
+    }
+    format!(
+        "{label}: streams are a prefix of each other ({} vs {} lines)",
+        a.lines().count(),
+        b.lines().count()
+    )
+}
+
+fn run_windowed(
+    inst: &Instance,
+    subject: &Subject,
+    cfg: &SimConfig,
+    window: WindowMode,
+) -> Result<(SimResult, String), OracleFailure> {
+    let cfg = SimConfig {
+        window,
+        ..cfg.clone()
+    };
+    let mut log = EventLog::new();
+    let mut sched = subject.instantiate(inst.m());
+    match simulate_observed(inst, sched.as_mut(), &cfg, &mut log) {
+        Ok(r) => Ok((r, log.to_jsonl())),
+        Err(e) => Err(OracleFailure {
+            oracle: "sim-error",
+            detail: format!("{window:?}: {e}"),
+        }),
+    }
+}
+
+/// Run one candidate through the enabled oracle heads.
+///
+/// `pause_salt` seeds head 3's pause schedule; the caller derives it
+/// deterministically (from the master RNG in the fuzz loop, from the
+/// instance's content hash on replay). `replay_seed`, when given, is
+/// published to `dagsched-verify`'s panic context so a strict-mode unwind
+/// prints a reproduction command.
+pub fn run_exec(
+    inst: &Instance,
+    subject: &Subject,
+    set: &OracleSet,
+    pause_salt: u64,
+    replay_seed: Option<u64>,
+) -> ExecOutcome {
+    let params = AlgoParams::from_epsilon(1.0).expect("valid epsilon");
+    let cfg = SimConfig::default();
+    if let Some(seed) = replay_seed {
+        dagsched_verify::context::set_replay_seed(seed);
+    }
+
+    // Head 1 (always simulated — it carries the coverage signal).
+    let mut cov = CoverageObserver::new(params.c());
+    let mut failure: Option<OracleFailure>;
+    {
+        let mut sched = subject.instantiate(inst.m());
+        let run_with =
+            |obs: &mut dyn SimObserver, sched: &mut dyn OnlineScheduler| -> Option<OracleFailure> {
+                match simulate_observed(inst, sched, &cfg, obs) {
+                    Ok(_) => None,
+                    Err(e) => Some(OracleFailure {
+                        oracle: "sim-error",
+                        detail: e.to_string(),
+                    }),
+                }
+            };
+        match subject.profile {
+            InvariantProfile::SchedulerS { backfill } if set.invariants => {
+                let mut suite = InvariantSuite::for_scheduler_s(params);
+                if backfill {
+                    suite = suite.allow_backfill();
+                }
+                let mut suite = suite.lenient();
+                {
+                    let mut fan = Observers::new(vec![&mut suite, &mut cov]);
+                    failure = run_with(&mut fan, sched.as_mut());
+                }
+                if failure.is_none() {
+                    let vs = suite.violations();
+                    if !vs.is_empty() {
+                        let mut lines: Vec<String> =
+                            vs.iter().take(4).map(|v| v.to_string()).collect();
+                        if vs.len() > 4 {
+                            lines.push(format!("... and {} more", vs.len() - 4));
+                        }
+                        failure = Some(OracleFailure {
+                            oracle: "invariants",
+                            detail: lines.join("; "),
+                        });
+                    }
+                }
+            }
+            InvariantProfile::WorkOnly if set.invariants => {
+                let mut work = WorkConservationChecker::new().lenient();
+                {
+                    let mut fan = Observers::new(vec![&mut work, &mut cov]);
+                    failure = run_with(&mut fan, sched.as_mut());
+                }
+                if failure.is_none() && !work.violations().is_empty() {
+                    failure = Some(OracleFailure {
+                        oracle: "invariants",
+                        detail: work.violations()[0].to_string(),
+                    });
+                }
+            }
+            _ => {
+                failure = run_with(&mut cov, sched.as_mut());
+            }
+        }
+    }
+    if failure.is_some() {
+        return ExecOutcome {
+            features: cov.into_features(),
+            failure,
+        };
+    }
+
+    // Head 2: kernel vs scan byte equality.
+    let mut one_shot: Option<(SimResult, String)> = None;
+    if set.kernel_diff {
+        let kernel = run_windowed(inst, subject, &cfg, WindowMode::EventKernel);
+        let scan = run_windowed(inst, subject, &cfg, WindowMode::ReferenceScan);
+        match (kernel, scan) {
+            (Ok(k), Ok(s)) => {
+                if !k.0.same_outcome(&s.0) || k.0.steps_executed != s.0.steps_executed {
+                    failure =
+                        Some(OracleFailure {
+                            oracle: "kernel-vs-scan",
+                            detail: format!(
+                            "outcome diverges: kernel profit {} steps {}, scan profit {} steps {}",
+                            k.0.total_profit, k.0.steps_executed, s.0.total_profit,
+                            s.0.steps_executed
+                        ),
+                        });
+                } else if k.1 != s.1 {
+                    failure = Some(OracleFailure {
+                        oracle: "kernel-vs-scan",
+                        detail: first_diff("kernel != scan", &k.1, &s.1),
+                    });
+                } else {
+                    one_shot = Some(k);
+                }
+            }
+            (Err(f), _) | (_, Err(f)) => failure = Some(f),
+        }
+    }
+    if failure.is_some() {
+        return ExecOutcome {
+            features: cov.into_features(),
+            failure,
+        };
+    }
+
+    // Head 3: paused driver vs one-shot, kernel mode.
+    if set.pause_diff {
+        let one_shot = match one_shot {
+            Some(k) => Ok(k),
+            None => run_windowed(inst, subject, &cfg, WindowMode::EventKernel),
+        };
+        match one_shot {
+            Ok(base) => {
+                let span = inst.stats().horizon.ticks() + 8;
+                let mut prng = Rng64::seed_from(pause_salt);
+                let n_pauses = 1 + prng.gen_range(6) as usize;
+                let mut log = EventLog::new();
+                let mut sched = subject.instantiate(inst.m());
+                let mut driver = SimDriver::with_observer(
+                    inst,
+                    sched.as_mut(),
+                    &cfg,
+                    &mut log as &mut dyn SimObserver,
+                );
+                let mut pause_err: Option<OracleFailure> = None;
+                for _ in 0..n_pauses {
+                    if let Err(e) = driver.run_until(Time(prng.gen_range(span.max(1)))) {
+                        pause_err = Some(OracleFailure {
+                            oracle: "sim-error",
+                            detail: format!("paused run: {e}"),
+                        });
+                        break;
+                    }
+                }
+                let paused = match pause_err {
+                    Some(f) => Err(f),
+                    None => driver.finish().map_err(|e| OracleFailure {
+                        oracle: "sim-error",
+                        detail: format!("paused finish: {e}"),
+                    }),
+                };
+                match paused {
+                    Ok(r) => {
+                        let jsonl = log.to_jsonl();
+                        if !r.same_outcome(&base.0)
+                            || r.steps_executed != base.0.steps_executed
+                            || jsonl != base.1
+                        {
+                            failure = Some(OracleFailure {
+                                oracle: "paused-vs-oneshot",
+                                detail: first_diff("paused != one-shot", &jsonl, &base.1),
+                            });
+                        }
+                    }
+                    Err(f) => failure = Some(f),
+                }
+            }
+            Err(f) => failure = Some(f),
+        }
+    }
+
+    ExecOutcome {
+        features: cov.into_features(),
+        failure,
+    }
+}

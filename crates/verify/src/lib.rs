@@ -29,6 +29,7 @@
 
 pub mod allot;
 pub mod band;
+pub mod context;
 pub mod good;
 pub mod log;
 pub mod model;
@@ -126,18 +127,22 @@ impl InvariantSuite {
 
 impl SimObserver for InvariantSuite {
     fn on_start(&mut self, m: u32, speed: Speed, horizon: Time) {
+        context::reset_event_index();
+        context::bump_event_index();
         self.band.on_start(m, speed, horizon);
         self.allot.on_start(m, speed, horizon);
         self.good.on_start(m, speed, horizon);
         self.work.on_start(m, speed, horizon);
     }
     fn on_job_arrival(&mut self, now: Time, info: &JobInfo) {
+        context::bump_event_index();
         self.band.on_job_arrival(now, info);
         self.allot.on_job_arrival(now, info);
         self.good.on_job_arrival(now, info);
         self.work.on_job_arrival(now, info);
     }
     fn on_admission(&mut self, now: Time, event: AdmissionEvent) {
+        context::bump_event_index();
         self.band.on_admission(now, event);
         self.allot.on_admission(now, event);
         self.good.on_admission(now, event);
@@ -151,30 +156,35 @@ impl SimObserver for InvariantSuite {
         alloc: &[(JobId, u32)],
         progress: &[(JobId, u64)],
     ) {
+        context::bump_event_index();
         self.band.on_window(at, ticks, jobs, alloc, progress);
         self.allot.on_window(at, ticks, jobs, alloc, progress);
         self.good.on_window(at, ticks, jobs, alloc, progress);
         self.work.on_window(at, ticks, jobs, alloc, progress);
     }
     fn on_node_complete(&mut self, at: Time, job: JobId, node: NodeId) {
+        context::bump_event_index();
         self.band.on_node_complete(at, job, node);
         self.allot.on_node_complete(at, job, node);
         self.good.on_node_complete(at, job, node);
         self.work.on_node_complete(at, job, node);
     }
     fn on_job_complete(&mut self, at: Time, job: JobId, profit: u64) {
+        context::bump_event_index();
         self.band.on_job_complete(at, job, profit);
         self.allot.on_job_complete(at, job, profit);
         self.good.on_job_complete(at, job, profit);
         self.work.on_job_complete(at, job, profit);
     }
     fn on_job_expired(&mut self, at: Time, job: JobId) {
+        context::bump_event_index();
         self.band.on_job_expired(at, job);
         self.allot.on_job_expired(at, job);
         self.good.on_job_expired(at, job);
         self.work.on_job_expired(at, job);
     }
     fn on_end(&mut self, at: Time) {
+        context::bump_event_index();
         self.band.on_end(at);
         self.allot.on_end(at);
         self.good.on_end(at);

@@ -53,6 +53,13 @@ impl Recorder {
         self.strict = false;
     }
 
+    /// Force strict mode regardless of the cargo feature (tests of the
+    /// panic path itself).
+    #[cfg(test)]
+    pub(crate) fn force_strict(&mut self) {
+        self.strict = true;
+    }
+
     pub(crate) fn flag(&mut self, at: Time, job: Option<JobId>, message: String) {
         let v = Violation {
             checker: self.checker,
@@ -61,7 +68,7 @@ impl Recorder {
             message,
         };
         if self.strict {
-            panic!("invariant violation: {v}");
+            panic!("invariant violation: {v}{}", crate::context::describe());
         }
         self.violations.push(v);
     }
@@ -97,5 +104,30 @@ mod tests {
         r.flag(Time(1), None, "a".into());
         r.flag(Time(2), Some(JobId(0)), "b".into());
         assert_eq!(r.violations().len(), 2);
+    }
+
+    /// Strict panics carry the stream event index and, when published, a
+    /// ready-to-paste replay command — a CI failure is reproducible from
+    /// the log alone.
+    #[test]
+    fn strict_panic_names_event_index_and_replay_seed() {
+        crate::context::clear();
+        crate::context::set_replay_seed(1234);
+        for _ in 0..7 {
+            crate::context::bump_event_index();
+        }
+        let payload = std::panic::catch_unwind(|| {
+            let mut r = Recorder::new("band-capacity");
+            r.force_strict();
+            r.flag(Time(3), Some(JobId(1)), "overload".into());
+        })
+        .expect_err("strict flag must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic payload is a String");
+        assert!(msg.contains("overload"), "{msg}");
+        assert!(msg.contains("stream event #7"), "{msg}");
+        assert!(msg.contains("dagsched fuzz --replay 1234"), "{msg}");
+        crate::context::clear();
     }
 }

@@ -306,3 +306,123 @@ mod properties {
         }
     }
 }
+
+/// Satellite: pausing `run_until` *exactly* on a tie instant — the tick
+/// where a completion, an arrival, and an expiry all fire — must be
+/// invisible under both window modes. A pause boundary landing on the tie
+/// is the sharpest pacing test there is: the driver must split the window
+/// on the instant without reordering any of the three coincident events.
+mod paused_at_ties {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// Per-tick bitmask of job-level event kinds: 1 = arrival,
+    /// 2 = completion, 4 = expiry.
+    #[derive(Default)]
+    struct TieFinder {
+        ticks: BTreeMap<u64, u8>,
+    }
+
+    impl SimObserver for TieFinder {
+        fn on_job_arrival(&mut self, now: Time, _info: &dagsched_engine::JobInfo) {
+            *self.ticks.entry(now.0).or_default() |= 1;
+        }
+        fn on_job_complete(&mut self, at: Time, _job: JobId, _profit: u64) {
+            *self.ticks.entry(at.0).or_default() |= 2;
+        }
+        fn on_job_expired(&mut self, at: Time, _job: JobId) {
+            *self.ticks.entry(at.0).or_default() |= 4;
+        }
+    }
+
+    /// A driver run paused at the given instants, under the given mode.
+    fn run_paused(
+        inst: &Instance,
+        mk: &dyn Fn() -> Box<dyn OnlineScheduler>,
+        window: WindowMode,
+        pauses: &[Time],
+    ) -> (SimResult, String) {
+        let cfg = SimConfig {
+            window,
+            ..SimConfig::default()
+        };
+        let mut log = EventLog::new();
+        let mut sched = mk();
+        let mut driver =
+            SimDriver::with_observer(inst, sched.as_mut(), &cfg, &mut log as &mut dyn SimObserver);
+        for &p in pauses {
+            driver.run_until(p).expect("run_until runs");
+        }
+        let r = driver.finish().expect("finish runs");
+        (r, log.to_jsonl())
+    }
+
+    /// The hand-built triple tie at t = 10: pause exactly on the tie, one
+    /// tick before, one tick after, and repeatedly on the same instant —
+    /// for every scheduler, under both window modes, against the one-shot
+    /// reference scan.
+    #[test]
+    fn pausing_exactly_on_the_triple_tie_is_invisible() {
+        let inst = triple_tie_instance();
+        let tie = Time(10);
+        let schedules: [&[Time]; 4] = [
+            &[tie],
+            &[Time(9), tie, Time(11)],
+            &[tie, tie, Time(11)],
+            &[Time(9), Time(9), tie],
+        ];
+        for (name, mk) in &factories(2) {
+            let scan = run_mode(&inst, mk, &SimConfig::default(), WindowMode::ReferenceScan);
+            for window in [WindowMode::EventKernel, WindowMode::ReferenceScan] {
+                for (i, pauses) in schedules.iter().enumerate() {
+                    let paused = run_paused(&inst, mk, window, pauses);
+                    assert_matches(
+                        &format!("triple-tie pause #{i} {name} {window:?}"),
+                        paused,
+                        &scan,
+                    );
+                }
+            }
+        }
+    }
+
+    /// The fuzzer's collision family: discover every tie instant (ticks
+    /// where at least two event kinds coincide) with an observer pass, then
+    /// pause exactly on each of them under both modes. At least one *triple*
+    /// tie must exist across the corpus, or the family has lost its teeth.
+    #[test]
+    fn pausing_on_discovered_tie_instants_is_invisible() {
+        let corpus = dagsched_fuzz::collision_instances(0xC0111DE, 24);
+        let mut saw_triple = false;
+        for (ci, inst) in corpus.iter().enumerate() {
+            let m = inst.m();
+            let mks = factories(m);
+            let (name, mk) = &mks[0]; // scheduler S
+            let mut finder = TieFinder::default();
+            simulate_observed(inst, mk().as_mut(), &SimConfig::default(), &mut finder)
+                .expect("finder run");
+            let ties: Vec<Time> = finder
+                .ticks
+                .iter()
+                .filter(|&(_, &mask)| mask.count_ones() >= 2)
+                .map(|(&t, _)| Time(t))
+                .collect();
+            saw_triple |= finder.ticks.values().any(|&mask| mask == 7);
+            let scan = run_mode(inst, mk, &SimConfig::default(), WindowMode::ReferenceScan);
+            for &tie in &ties {
+                for window in [WindowMode::EventKernel, WindowMode::ReferenceScan] {
+                    let paused = run_paused(inst, mk, window, &[tie]);
+                    assert_matches(
+                        &format!("collision #{ci} pause at {} {name} {window:?}", tie.0),
+                        paused,
+                        &scan,
+                    );
+                }
+            }
+        }
+        assert!(
+            saw_triple,
+            "no completion = arrival = expiry instant in the collision corpus"
+        );
+    }
+}

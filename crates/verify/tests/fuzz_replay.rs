@@ -1,0 +1,67 @@
+//! Replay regression for the fuzzer's promoted fixtures.
+//!
+//! Each fixture under `tests/fixtures/` is a hand-minimized near-miss from
+//! the adversarial families (triple-tie instants, Figure 1 DAGs at the
+//! Brent bound, density-band burst ties). None currently violates an
+//! oracle — the regression is that they stay green under all three heads
+//! (invariants, kernel-vs-scan, paused-vs-one-shot) as the engine evolves,
+//! and that any future counterexample promoted here immediately fails CI.
+
+use dagsched_fuzz::cli::replay_instance;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn assert_replays_clean(name: &str) {
+    let text = fixture(name);
+    let verdict =
+        replay_instance(&text).unwrap_or_else(|e| panic!("{name} fails an oracle head:\n{e}"));
+    // All three heads must have actually run and passed.
+    assert_eq!(
+        verdict.matches("PASS").count(),
+        3,
+        "{name}: expected three PASS lines, got:\n{verdict}"
+    );
+    for head in ["invariants", "kernel-vs-scan", "paused-vs-oneshot"] {
+        assert!(
+            verdict.contains(head),
+            "{name}: head {head} missing from verdict:\n{verdict}"
+        );
+    }
+}
+
+#[test]
+fn triple_tie_fixture_replays_clean() {
+    assert_replays_clean("triple-tie.txt");
+}
+
+#[test]
+fn fig1_tight_fixture_replays_clean() {
+    assert_replays_clean("fig1-tight.txt");
+}
+
+#[test]
+fn band_burst_fixture_replays_clean() {
+    assert_replays_clean("band-burst.txt");
+}
+
+/// The fixture texts round-trip through the codec — a fixture that decodes
+/// to something other than what it prints would make the replay command
+/// lie about what it tested.
+#[test]
+fn fixtures_round_trip_through_the_codec() {
+    use dagsched_workload::codec;
+    for name in ["triple-tie.txt", "fig1-tight.txt", "band-burst.txt"] {
+        let text = fixture(name);
+        let inst = codec::decode(&text).expect("fixture decodes");
+        let reencoded = codec::encode(&inst);
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.trim_start().starts_with('#'))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(reencoded, stripped, "{name} does not round-trip");
+    }
+}

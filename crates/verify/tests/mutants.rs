@@ -281,3 +281,135 @@ fn work_checker_fires_on_finished_expiry() {
         "expiring a fully-processed job must flag"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Bounded-fuzz mutant kills: the coverage-guided loop, pointed at each
+// seeded mutant with a fixed master seed and a small exec budget, must find
+// a killing counterexample. This closes the loop the hand-written fixtures
+// above cannot: the fuzzer *discovers* the violating workload instead of
+// being handed one.
+// ---------------------------------------------------------------------------
+
+use dagsched_fuzz::{FuzzConfig, FuzzSession, InvariantProfile, OracleSet, Subject};
+
+/// Invariant-head-only fuzz config: deterministic, bounded well under the
+/// 10k-exec ceiling, stops at the first kill, skips minimization for speed.
+fn kill_cfg(seed: u64) -> FuzzConfig {
+    FuzzConfig {
+        master_seed: seed,
+        max_execs: 2000,
+        max_failures: 1,
+        oracles: OracleSet {
+            invariants: true,
+            kernel_diff: false,
+            pause_diff: false,
+        },
+        minimize: false,
+        ..FuzzConfig::default()
+    }
+}
+
+fn assert_killed(subject: Subject, seed: u64, oracle: &str, detail_needle: &str) {
+    let name = subject.name().to_string();
+    let report = FuzzSession::with_subject(kill_cfg(seed), subject).run();
+    assert!(
+        !report.failures.is_empty(),
+        "{name}: not killed within {} execs",
+        report.execs
+    );
+    let f = &report.failures[0];
+    assert_eq!(
+        f.oracle, oracle,
+        "{name}: wrong oracle: [{}] {}",
+        f.oracle, f.detail
+    );
+    assert!(
+        f.detail.contains(detail_needle),
+        "{name}: kill evidence lacks {detail_needle:?}: {}",
+        f.detail
+    );
+    assert!(
+        report.execs <= 10_000,
+        "{name}: kill exceeded the 10k exec bound"
+    );
+}
+
+/// The no-admission ablation is killed through the full suite — admitting
+/// everything violates δ-goodness on the corpus's tight-deadline chains.
+#[test]
+fn fuzz_kills_no_admission_mutant() {
+    let subject = Subject::new(
+        "S-no-admission",
+        InvariantProfile::SchedulerS { backfill: false },
+        |m| Box::new(SNoAdmission::new(m, params())),
+    );
+    assert_killed(subject, 0xBEEF, "invariants", "");
+}
+
+/// The one-processor mutant is killed via the Lemma 1 allotment discipline:
+/// the fuzzer tightens a deadline until the paper allotment exceeds one.
+#[test]
+fn fuzz_kills_one_proc_mutant() {
+    let subject = Subject::new(
+        "one-proc",
+        InvariantProfile::SchedulerS { backfill: false },
+        |_m| {
+            Box::new(OneProcMutant {
+                alive: Vec::new(),
+                report: None,
+            })
+        },
+    );
+    assert_killed(subject, 0xBEEF, "invariants", "allotment");
+}
+
+/// The ghost mutant (allocates without ever admitting) is killed on the
+/// very first corpus entry: any allocation to an unadmitted job flags.
+#[test]
+fn fuzz_kills_ghost_mutant() {
+    let subject = Subject::new(
+        "ghost",
+        InvariantProfile::SchedulerS { backfill: false },
+        |_m| Box::new(GhostMutant { alive: Vec::new() }),
+    );
+    assert_killed(subject, 0xBEEF, "invariants", "");
+}
+
+/// An over-allocating mutant: hands one job more processors than exist.
+/// The engine itself rejects the allocation, surfacing as `sim-error`.
+struct OverAllocMutant {
+    m: u32,
+    alive: Vec<JobId>,
+}
+
+impl OnlineScheduler for OverAllocMutant {
+    fn name(&self) -> String {
+        "over-alloc-mutant".into()
+    }
+    fn on_arrival(&mut self, info: &JobInfo, _now: Time) {
+        self.alive.push(info.id);
+    }
+    fn on_completion(&mut self, id: JobId, _now: Time) {
+        self.alive.retain(|&j| j != id);
+    }
+    fn on_expiry(&mut self, id: JobId, _now: Time) {
+        self.alive.retain(|&j| j != id);
+    }
+    fn allocate(&mut self, _view: &TickView<'_>) -> Allocation {
+        self.alive
+            .first()
+            .map(|&id| vec![(id, self.m + 1)])
+            .unwrap_or_default()
+    }
+}
+
+#[test]
+fn fuzz_kills_over_allocating_mutant() {
+    let subject = Subject::new("over-alloc", InvariantProfile::Off, |m| {
+        Box::new(OverAllocMutant {
+            m,
+            alive: Vec::new(),
+        })
+    });
+    assert_killed(subject, 0xBEEF, "sim-error", "");
+}

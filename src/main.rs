@@ -14,6 +14,8 @@ commands:
            (see `dagsched sweep help`)
   bench  run the hot-path perf harness at smoke sizes and validate
            its report schema (see `dagsched bench help`)
+  fuzz   coverage-guided adversarial workload fuzzing against the
+           invariant and differential oracles (see `dagsched fuzz help`)
   help   print this message
 ";
 
@@ -44,6 +46,20 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("dagsched bench: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("fuzz") => {
+            let report = dagsched_fuzz::cli::parse(&args[1..])
+                .and_then(|cmd| dagsched_fuzz::cli::execute(&cmd));
+            match report {
+                Ok(text) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("dagsched fuzz: {e}");
                     ExitCode::FAILURE
                 }
             }
