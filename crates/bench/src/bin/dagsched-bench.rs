@@ -1,21 +1,22 @@
 //! Perf-regression exporter: run the hot-path harness and write
-//! `BENCH_pr7.json`, optionally failing against a committed baseline.
+//! `BENCH_pr8.json`, optionally failing against a committed baseline.
 //!
 //! ```text
 //! dagsched-bench [--quick] [--out PATH] [--baseline PATH]
 //!                [--max-regress FRAC] [--min-sweep-speedup X]
-//!                [--min-kernel-speedup X]
+//!                [--min-kernel-speedup X] [--min-view-delta-speedup X]
 //! ```
 //!
 //! * `--quick` — reduced sizes/iterations (the CI smoke configuration);
 //! * `--out PATH` — where to write the JSON report (default
-//!   `BENCH_pr7.json` in the current directory);
+//!   `BENCH_pr8.json` in the current directory);
 //! * `--baseline PATH` — compare this run's
-//!   admission/backfill/arrival/event-kernel speedups against the ones
-//!   recorded in `PATH`; exit non-zero if any
+//!   admission/backfill/arrival/event-kernel/view-delta speedups against
+//!   the ones recorded in `PATH`; exit non-zero if any
 //!   fell more than `--max-regress` (default `0.25`, i.e. 25%) below it. A
-//!   baseline without sweep or arrival keys (an older `BENCH_prN.json`
-//!   format) is accepted — the missing comparison is simply skipped;
+//!   baseline without sweep, arrival, or view-delta keys (an older
+//!   `BENCH_prN.json` format) is accepted — the missing comparison is
+//!   simply skipped;
 //! * `--min-sweep-speedup X` — require the B1 sweep's 4-thread speedup to
 //!   reach at least `X`. Only enforced when the machine has ≥ 4 cores: a
 //!   parallel speedup is physically bounded by the core count, so on a
@@ -23,7 +24,11 @@
 //! * `--min-kernel-speedup X` — require the event-kernel group's dense-case
 //!   speedup (heap windows vs the frozen horizon scan) to reach at least
 //!   `X`. Unlike the sweep gate this is a same-process legacy-vs-optimized
-//!   ratio, so it is enforced unconditionally.
+//!   ratio, so it is enforced unconditionally;
+//! * `--min-view-delta-speedup X` — require the view-delta group's gated
+//!   minimum (delta handoff vs the frozen full rebuild, dense and combined
+//!   cases) to reach at least `X`. Same-process ratio, enforced
+//!   unconditionally.
 //!
 //! Admission/backfill speedups are legacy-vs-optimized ratios measured in
 //! the same process, so the baseline comparison is machine-independent: a
@@ -37,11 +42,12 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut quick = false;
-    let mut out = String::from("BENCH_pr7.json");
+    let mut out = String::from("BENCH_pr8.json");
     let mut baseline: Option<String> = None;
     let mut max_regress = 0.25f64;
     let mut min_sweep_speedup: Option<f64> = None;
     let mut min_kernel_speedup: Option<f64> = None;
+    let mut min_view_delta_speedup: Option<f64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -72,6 +78,14 @@ fn main() -> ExitCode {
                         .expect("--min-kernel-speedup must be a number"),
                 )
             }
+            "--min-view-delta-speedup" => {
+                min_view_delta_speedup = Some(
+                    args.next()
+                        .expect("--min-view-delta-speedup needs a number")
+                        .parse()
+                        .expect("--min-view-delta-speedup must be a number"),
+                )
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 return ExitCode::from(2);
@@ -91,6 +105,7 @@ fn main() -> ExitCode {
         .chain(report.backfill.iter())
         .chain(report.arrival.iter())
         .chain(report.event_kernel.iter())
+        .chain(report.view_delta.iter())
     {
         eprintln!(
             "  {:<24} legacy {:>12.0} ns   new {:>12.0} ns   speedup {:>6.2}x",
@@ -109,17 +124,19 @@ fn main() -> ExitCode {
             c.id, c.execs, c.elapsed_ns, c.execs_per_sec, c.features
         );
     }
-    let (adm, bf, arr, ek, sw) = (
+    let (adm, bf, arr, ek, vd, sw) = (
         report.admission_speedup(),
         report.backfill_speedup(),
         report.arrival_speedup(),
         report.event_kernel_speedup(),
+        report.view_delta_speedup(),
         report.sweep_speedup(),
     );
     eprintln!(
         "  admission_speedup {adm:.2}x, backfill_speedup {bf:.2}x, \
          arrival_speedup {arr:.2}x, event_kernel_speedup {ek:.2}x, \
-         sweep_speedup {sw:.2}x, fuzz {:.0} execs/sec (host_cores {})",
+         view_delta_speedup {vd:.2}x, sweep_speedup {sw:.2}x, \
+         fuzz {:.0} execs/sec (host_cores {})",
         report.fuzz_execs_per_sec(),
         report.host_cores
     );
@@ -144,12 +161,16 @@ fn main() -> ExitCode {
             ("backfill_speedup", bf),
             ("arrival_speedup", arr),
             ("event_kernel_speedup", ek),
+            ("view_delta_speedup", vd),
         ] {
             let Some(expected) = json_number(&base, key) else {
                 // An older baseline simply lacks keys added after its era
-                // (pre-arrival or pre-kernel formats); the
+                // (pre-arrival, pre-kernel, or pre-delta formats); the
                 // legacy-vs-optimized keys it does carry are still gated.
-                if key == "arrival_speedup" || key == "event_kernel_speedup" {
+                if key == "arrival_speedup"
+                    || key == "event_kernel_speedup"
+                    || key == "view_delta_speedup"
+                {
                     eprintln!("note: baseline {path} has no {key} (skipping)");
                     continue;
                 }
@@ -204,6 +225,15 @@ fn main() -> ExitCode {
             failed = true;
         } else {
             eprintln!("ok: event_kernel_speedup {ek:.2}x >= required {min:.2}x");
+        }
+    }
+
+    if let Some(min) = min_view_delta_speedup {
+        if vd < min {
+            eprintln!("FAIL: view_delta_speedup {vd:.2}x is below the required {min:.2}x");
+            failed = true;
+        } else {
+            eprintln!("ok: view_delta_speedup {vd:.2}x >= required {min:.2}x");
         }
     }
 

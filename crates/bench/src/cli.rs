@@ -18,10 +18,12 @@ pub const REQUIRED_KEYS: &[&str] = &[
     "pr",
     "quick",
     "host_cores",
+    "git_rev",
     "admission_speedup",
     "backfill_speedup",
     "arrival_speedup",
     "event_kernel_speedup",
+    "view_delta_speedup",
     "sweep_speedup",
     "fuzz_execs_per_sec",
 ];
@@ -60,11 +62,12 @@ pub fn parse(args: &[String]) -> Result<BenchCmd, String> {
 }
 
 /// Validate that `json` carries every [`REQUIRED_KEYS`] entry as a number.
-/// (`"quick": true` is the one boolean — presence is checked instead.)
+/// (`"quick"` is the one boolean and `"git_rev"` the one string —
+/// presence is checked instead.)
 fn validate_schema(json: &str) -> Result<(), String> {
     for key in REQUIRED_KEYS {
-        let present = if *key == "quick" {
-            json.contains("\"quick\":")
+        let present = if *key == "quick" || *key == "git_rev" {
+            json.contains(&format!("\"{key}\":"))
         } else {
             json_number(json, key).is_some()
         };
@@ -93,6 +96,11 @@ fn summarize(report: &BenchReport) -> String {
             "event-kernel",
             report.event_kernel.len(),
             report.event_kernel_speedup(),
+        ),
+        (
+            "view-delta",
+            report.view_delta.len(),
+            report.view_delta_speedup(),
         ),
     ] {
         s.push_str(&format!(
@@ -161,6 +169,7 @@ mod tests {
         }
         let summary = execute(&BenchCmd::Summary).expect("summary run succeeds");
         assert!(summary.contains("event-kernel"));
+        assert!(summary.contains("view-delta"));
         assert!(summary.contains("schema: all required keys present"));
         assert_eq!(execute(&BenchCmd::Help).unwrap(), USAGE);
     }

@@ -1,6 +1,6 @@
-//! The perf-regression harness behind `dagsched-bench` (BENCH_pr7.json).
+//! The perf-regression harness behind `dagsched-bench` (BENCH_pr8.json).
 //!
-//! Four measured hot paths, each timed as *legacy vs optimized in the same
+//! Five measured hot paths, each timed as *legacy vs optimized in the same
 //! process and run*:
 //!
 //! * **admission** — an overload admission storm: a stream of jobs with
@@ -37,6 +37,18 @@
 //!   cheap and the kernel's per-step heap traffic makes it the slower
 //!   side, which is recorded, not gated.
 //!
+//! * **view-delta** — full engine runs on the same parked-set workloads,
+//!   timed with the incremental [`HandoffMode::Delta`] scheduler handoff
+//!   vs the frozen full-rebuild twin ([`HandoffMode::Rebuild`], the
+//!   verbatim pre-PR8 `build_view` in
+//!   [`ViewRebuild`](dagsched_engine::ViewRebuild)). The rebuild pays an
+//!   O(alive) view reconstruction plus an O(alive) scheduler re-sort every
+//!   step; the delta path pays O(changed) and, on event-free steps,
+//!   replays the cached allocation outright. The `combined/…` cases stack
+//!   both PR7+PR8 optimizations (kernel window + delta handoff) against
+//!   the full legacy pipeline (horizon scan + rebuild); `steady/…` is
+//!   informational, exactly as in the event-kernel group.
+//!
 //! A further group measures **sweep throughput**: the B1 [`SweepGrid`] run
 //! sequentially vs sharded over 4 workers, in the same process. Unlike the
 //! legacy-vs-optimized ratios, this one is *hardware-dependent* — on a
@@ -45,7 +57,7 @@
 //! floor when the machine actually has ≥ 4 cores.
 //!
 //! A final group measures **fuzz-loop throughput**: a bounded
-//! coverage-guided run of `dagsched fuzz` (fixed master seed, all three
+//! coverage-guided run of `dagsched fuzz` (fixed master seed, all four
 //! oracle heads) timed end to end, reported as `fuzz_execs_per_sec`. Like
 //! the sweep ratio it is *hardware-dependent* — recorded for
 //! trend-watching, never gated against a baseline from a different box.
@@ -60,7 +72,7 @@ use dagsched_dag::reference::{ReferenceDag, ReferenceUnfold};
 use dagsched_dag::spec::DagJobSpec;
 use dagsched_dag::{gen, UnfoldState};
 use dagsched_engine::{
-    simulate, Allocation, JobInfo, OnlineScheduler, SimConfig, TickView, WindowMode,
+    simulate, Allocation, HandoffMode, JobInfo, OnlineScheduler, SimConfig, TickView, WindowMode,
 };
 use dagsched_experiments::SweepGrid;
 use dagsched_sched::bands::{reference::ReferenceBands, DensityBands};
@@ -78,6 +90,21 @@ pub fn host_cores() -> usize {
     std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
+}
+
+/// Short git revision of the working tree (`"unknown"` outside a checkout).
+/// Recorded in the report — and in every group — so a committed baseline
+/// can be traced back to the exact code that produced it.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// One legacy-vs-optimized measurement.
@@ -129,13 +156,15 @@ pub struct FuzzCase {
     pub features: usize,
 }
 
-/// The full harness output, serialized to `BENCH_pr7.json`.
+/// The full harness output, serialized to `BENCH_pr8.json`.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
     /// Whether the reduced `--quick` sizes were used.
     pub quick: bool,
     /// Logical cores of the measuring machine ([`host_cores`]).
     pub host_cores: usize,
+    /// Git revision the harness ran on ([`git_rev`]).
+    pub git_rev: String,
     /// Admission-storm cases, ascending size.
     pub admission: Vec<CaseResult>,
     /// Backfill cases, ascending size.
@@ -146,6 +175,9 @@ pub struct BenchReport {
     /// Event-kernel cases (heap windows vs the frozen horizon scan);
     /// `legacy_ns` is the scan, `new_ns` the kernel.
     pub event_kernel: Vec<CaseResult>,
+    /// View-delta cases (incremental handoff vs the frozen full rebuild);
+    /// `legacy_ns` is the rebuild, `new_ns` the delta path.
+    pub view_delta: Vec<CaseResult>,
     /// Sweep-throughput cases (sequential vs sharded grid runs).
     pub sweep: Vec<SweepCase>,
     /// Fuzz-loop throughput cases (bounded coverage-guided runs).
@@ -182,6 +214,18 @@ impl BenchReport {
         )
     }
 
+    /// View-delta speedup of record: the minimum over the `dense/…` and
+    /// `combined/…` cases. As in the event-kernel group, `steady/…` is
+    /// informational — on sparse streams the per-step rebuild is small and
+    /// parity is the expected result — so it is recorded but not gated.
+    pub fn view_delta_speedup(&self) -> f64 {
+        min_speedup(
+            self.view_delta
+                .iter()
+                .filter(|c| !c.id.starts_with("steady/")),
+        )
+    }
+
     /// Sweep speedup of record: the minimum `t1/tN` ratio over sweep cases.
     /// Only meaningful as a parallel-speedup claim when `host_cores` is at
     /// least the case's thread count.
@@ -201,20 +245,33 @@ impl BenchReport {
             .fold(f64::INFINITY, f64::min)
     }
 
-    /// Serialize to the committed JSON format.
+    /// Serialize to the committed JSON format. The top-level `host_cores`
+    /// is written *before* any group so [`json_number`] (first occurrence
+    /// wins) keeps reading the machine-level value; every group object
+    /// repeats `host_cores` and `git_rev` so a group copied out of a report
+    /// — or diffed between reports — still identifies the box and revision
+    /// that produced it.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"pr\": 7,\n");
+        s.push_str("  \"pr\": 8,\n");
         s.push_str(&format!("  \"quick\": {},\n", self.quick));
         s.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
+        s.push_str(&format!("  \"git_rev\": \"{}\",\n", self.git_rev));
+        let group_head = |name: &str| {
+            format!(
+                "  \"{name}\": {{\"host_cores\": {}, \"git_rev\": \"{}\", \"cases\": [\n",
+                self.host_cores, self.git_rev
+            )
+        };
         for (name, cases) in [
             ("admission", &self.admission),
             ("backfill", &self.backfill),
             ("arrival", &self.arrival),
             ("event_kernel", &self.event_kernel),
+            ("view_delta", &self.view_delta),
         ] {
-            s.push_str(&format!("  \"{name}\": [\n"));
+            s.push_str(&group_head(name));
             for (i, c) in cases.iter().enumerate() {
                 s.push_str(&format!(
                     "    {{\"id\": \"{}\", \"legacy_ns\": {:.0}, \"new_ns\": {:.0}, \"speedup\": {:.3}}}{}\n",
@@ -225,9 +282,9 @@ impl BenchReport {
                     if i + 1 < cases.len() { "," } else { "" }
                 ));
             }
-            s.push_str("  ],\n");
+            s.push_str("  ]},\n");
         }
-        s.push_str("  \"sweep\": [\n");
+        s.push_str(&group_head("sweep"));
         for (i, c) in self.sweep.iter().enumerate() {
             s.push_str(&format!(
                 "    {{\"id\": \"{}\", \"t1_ns\": {:.0}, \"tn_ns\": {:.0}, \"threads\": {}, \"speedup\": {:.3}}}{}\n",
@@ -239,8 +296,8 @@ impl BenchReport {
                 if i + 1 < self.sweep.len() { "," } else { "" }
             ));
         }
-        s.push_str("  ],\n");
-        s.push_str("  \"fuzz\": [\n");
+        s.push_str("  ]},\n");
+        s.push_str(&group_head("fuzz"));
         for (i, c) in self.fuzz.iter().enumerate() {
             s.push_str(&format!(
                 "    {{\"id\": \"{}\", \"execs\": {}, \"elapsed_ns\": {:.0}, \"execs_per_sec\": {:.0}, \"features\": {}}}{}\n",
@@ -252,7 +309,7 @@ impl BenchReport {
                 if i + 1 < self.fuzz.len() { "," } else { "" }
             ));
         }
-        s.push_str("  ],\n");
+        s.push_str("  ]},\n");
         s.push_str(&format!(
             "  \"admission_speedup\": {:.3},\n",
             self.admission_speedup()
@@ -268,6 +325,10 @@ impl BenchReport {
         s.push_str(&format!(
             "  \"event_kernel_speedup\": {:.3},\n",
             self.event_kernel_speedup()
+        ));
+        s.push_str(&format!(
+            "  \"view_delta_speedup\": {:.3},\n",
+            self.view_delta_speedup()
         ));
         s.push_str(&format!(
             "  \"sweep_speedup\": {:.3},\n",
@@ -542,7 +603,7 @@ pub fn run_arrival_storm(sizes: &[usize], iters: usize) -> Vec<CaseResult> {
 /// work 2 per tick; `true` is one 2-node chain of work 4 per tick, adding
 /// intra-job ready-count events at node boundaries. Both keep the
 /// foreground load exactly at `m`.
-fn parked_instance(n: usize, chains: bool) -> Instance {
+pub fn parked_instance(n: usize, chains: bool) -> Instance {
     let far = Time(500_000);
     let mut jobs: Vec<JobSpec> = (0..n)
         .map(|i| {
@@ -571,13 +632,15 @@ fn parked_instance(n: usize, chains: bool) -> Instance {
     Instance::new(4, jobs).expect("valid parked instance")
 }
 
-/// One full EDF engine run under the given window mode; the checksum keeps
-/// the run from being optimized away and doubles as an equivalence probe.
-/// EDF (not FIFO) so the parked cases' background jobs — earliest ids,
-/// latest deadlines — yield the machine to the foreground stream.
-fn kernel_run(inst: &Instance, mode: WindowMode) -> u64 {
+/// One full EDF engine run under the given window and handoff modes; the
+/// checksum keeps the run from being optimized away and doubles as an
+/// equivalence probe. EDF (not FIFO) so the parked cases' background jobs —
+/// earliest ids, latest deadlines — yield the machine to the foreground
+/// stream.
+pub fn handoff_run(inst: &Instance, window: WindowMode, handoff: HandoffMode) -> u64 {
     let cfg = SimConfig {
-        window: mode,
+        window,
+        handoff,
         ..SimConfig::default()
     };
     let mut sched = Edf::new(inst.m());
@@ -585,6 +648,10 @@ fn kernel_run(inst: &Instance, mode: WindowMode) -> u64 {
     r.total_profit
         .wrapping_mul(1_000_003)
         .wrapping_add(r.steps_executed)
+}
+
+fn kernel_run(inst: &Instance, mode: WindowMode) -> u64 {
+    handoff_run(inst, mode, HandoffMode::default())
 }
 
 /// Run the event-kernel group: each case times complete engine runs with
@@ -627,6 +694,69 @@ pub fn run_event_kernel(
         .collect()
 }
 
+/// Run the view-delta group: each case times complete engine runs with the
+/// incremental delta handoff (`new_ns`) vs the frozen full-rebuild twin
+/// (`legacy_ns`). `dense/…` cases hold both runs on the event kernel so
+/// the handoff is the only variable; the `combined/…` cases stack the PR7
+/// and PR8 optimizations (kernel + delta) against the full legacy pipeline
+/// (horizon scan + rebuild); `steady/…` is informational. All four
+/// window×handoff combinations are asserted checksum-identical before
+/// timing.
+pub fn run_view_delta(dense_sizes: &[usize], steady_jobs: usize, iters: usize) -> Vec<CaseResult> {
+    let mut cases: Vec<(String, Instance, WindowMode)> = Vec::new();
+    for &n in dense_sizes {
+        cases.push((
+            format!("dense/parked-j{n}"),
+            parked_instance(n, false),
+            WindowMode::EventKernel,
+        ));
+        cases.push((
+            format!("dense/chains-j{n}"),
+            parked_instance(n, true),
+            WindowMode::EventKernel,
+        ));
+        cases.push((
+            format!("combined/parked-j{n}"),
+            parked_instance(n, false),
+            WindowMode::ReferenceScan,
+        ));
+    }
+    cases.push((
+        format!("steady/standard-j{steady_jobs}"),
+        WorkloadGen::standard(8, steady_jobs, 11)
+            .generate()
+            .expect("valid steady workload"),
+        WindowMode::EventKernel,
+    ));
+    cases
+        .into_iter()
+        .map(|(id, inst, legacy_window)| {
+            let reference = handoff_run(&inst, WindowMode::EventKernel, HandoffMode::Delta);
+            for window in [WindowMode::EventKernel, WindowMode::ReferenceScan] {
+                for handoff in [HandoffMode::Delta, HandoffMode::Rebuild] {
+                    assert_eq!(
+                        handoff_run(&inst, window, handoff),
+                        reference,
+                        "handoff/window combinations diverged on {id}"
+                    );
+                }
+            }
+            let legacy_ns = time_median_ns(iters, || {
+                handoff_run(&inst, legacy_window, HandoffMode::Rebuild)
+            });
+            let new_ns = time_median_ns(iters, || {
+                handoff_run(&inst, WindowMode::EventKernel, HandoffMode::Delta)
+            });
+            CaseResult {
+                id,
+                legacy_ns,
+                new_ns,
+                speedup: legacy_ns / new_ns,
+            }
+        })
+        .collect()
+}
+
 /// Run the sweep-throughput group: the given grid sequentially vs sharded
 /// over `threads` workers, median over `iters` runs each. The two runs are
 /// asserted byte-identical before timing (sharding must be invisible).
@@ -655,7 +785,7 @@ pub fn run_sweep_grid(grid: &SweepGrid, threads: usize, iters: usize) -> Vec<Swe
 }
 
 /// Run the fuzz-throughput group: one bounded coverage-guided loop per
-/// exec budget, fixed master seed, all three oracle heads, minimization
+/// exec budget, fixed master seed, all four oracle heads, minimization
 /// off (a clean scheduler never reaches the minimizer anyway — keeping it
 /// off makes the timed work identical even if a future regression trips an
 /// oracle). The loop must find failures *never*: a failure here is a
@@ -694,7 +824,7 @@ pub fn run_fuzz_throughput(budgets: &[u64]) -> Vec<FuzzCase> {
 
 /// Run the whole harness. `quick` shrinks sizes and iteration counts for
 /// the CI smoke job; the full run is what gets committed as
-/// `BENCH_pr7.json`.
+/// `BENCH_pr8.json`.
 pub fn run_all(quick: bool) -> BenchReport {
     let (adm_sizes, bf_sizes, storm_sizes, iters): (&[usize], &[usize], &[usize], usize) = if quick
     {
@@ -720,10 +850,12 @@ pub fn run_all(quick: bool) -> BenchReport {
     BenchReport {
         quick,
         host_cores: host_cores(),
+        git_rev: git_rev(),
         admission: run_admission(adm_sizes, iters),
         backfill: run_backfill(bf_sizes, iters),
         arrival: run_arrival_storm(storm_sizes, iters),
         event_kernel: run_event_kernel(ek_sizes, ek_steady, ek_iters),
+        view_delta: run_view_delta(ek_sizes, ek_steady, ek_iters),
         sweep: run_sweep_grid(&SweepGrid::b1(), 4, sweep_iters),
         fuzz: run_fuzz_throughput(if quick { &[200] } else { &[1_000] }),
     }
@@ -736,12 +868,14 @@ pub fn run_smoke() -> BenchReport {
     BenchReport {
         quick: true,
         host_cores: host_cores(),
+        git_rev: git_rev(),
         // 1000 offered jobs: the smallest size admission_speedup() counts
         // (smaller cases are filtered out, which would leave the key `inf`).
         admission: run_admission(&[1_000], 3),
         backfill: run_backfill(&[150], 3),
         arrival: run_arrival_storm(&[1_000], 3),
         event_kernel: run_event_kernel(&[300], 60, 3),
+        view_delta: run_view_delta(&[300], 60, 3),
         sweep: run_sweep_grid(&SweepGrid::smoke(), 2, 3),
         fuzz: run_fuzz_throughput(&[60]),
     }
@@ -756,6 +890,7 @@ mod tests {
         let report = BenchReport {
             quick: true,
             host_cores: 8,
+            git_rev: "abc1234".into(),
             admission: vec![CaseResult {
                 id: "overload/p1000".into(),
                 legacy_ns: 4000.0,
@@ -788,6 +923,26 @@ mod tests {
                     speedup: 0.8,
                 },
             ],
+            view_delta: vec![
+                CaseResult {
+                    id: "dense/parked-j1000".into(),
+                    legacy_ns: 4200.0,
+                    new_ns: 2000.0,
+                    speedup: 2.1,
+                },
+                CaseResult {
+                    id: "combined/parked-j1000".into(),
+                    legacy_ns: 9000.0,
+                    new_ns: 2000.0,
+                    speedup: 4.5,
+                },
+                CaseResult {
+                    id: "steady/standard-j400".into(),
+                    legacy_ns: 1000.0,
+                    new_ns: 1100.0,
+                    speedup: 0.9,
+                },
+            ],
             sweep: vec![SweepCase {
                 id: "sweep/b1-t4".into(),
                 t1_ns: 7000.0,
@@ -812,12 +967,29 @@ mod tests {
             Some(1.5),
             "steady cases must not drag the gated dense minimum"
         );
+        assert_eq!(
+            json_number(&json, "view_delta_speedup"),
+            Some(2.1),
+            "the gated minimum spans dense and combined, never steady"
+        );
         assert_eq!(json_number(&json, "sweep_speedup"), Some(3.5));
         assert_eq!(json_number(&json, "fuzz_execs_per_sec"), Some(300.0));
-        assert_eq!(json_number(&json, "host_cores"), Some(8.0));
+        assert_eq!(
+            json_number(&json, "host_cores"),
+            Some(8.0),
+            "the first host_cores occurrence stays the top-level one"
+        );
+        assert!(json.contains("\"git_rev\": \"abc1234\""));
+        assert_eq!(
+            json.matches("\"host_cores\": 8").count(),
+            8,
+            "top level plus one per group"
+        );
+        assert_eq!(json.matches("\"git_rev\": \"abc1234\"").count(), 8);
         assert!(json.contains("\"overload/p1000\""));
         assert!(json.contains("\"arrival-storm/j10000\""));
         assert!(json.contains("\"dense/parked-j1000\""));
+        assert!(json.contains("\"combined/parked-j1000\""));
         assert!(json.contains("\"sweep/b1-t4\""));
     }
 
@@ -832,6 +1004,7 @@ mod tests {
         let report = BenchReport {
             quick: true,
             host_cores: 1,
+            git_rev: "abc1234".into(),
             admission: vec![mk("overload/p100", 0.5), mk("overload/p1000", 3.0)],
             backfill: vec![mk("wc-allocate/q500", 2.0)],
             arrival: vec![
@@ -843,6 +1016,11 @@ mod tests {
                 mk("dense/chains-j1000", 2.6),
                 mk("steady/standard-j400", 0.9),
             ],
+            view_delta: vec![
+                mk("dense/parked-j1000", 1.9),
+                mk("combined/parked-j1000", 3.4),
+                mk("steady/standard-j400", 0.8),
+            ],
             sweep: vec![],
             fuzz: vec![],
         };
@@ -850,6 +1028,11 @@ mod tests {
         assert_eq!(report.backfill_speedup(), 2.0);
         assert_eq!(report.arrival_speedup(), 1.8);
         assert_eq!(report.event_kernel_speedup(), 2.2);
+        assert_eq!(
+            report.view_delta_speedup(),
+            1.9,
+            "steady cases are informational, not gated"
+        );
         assert_eq!(report.sweep_speedup(), f64::INFINITY);
     }
 
@@ -886,6 +1069,24 @@ mod tests {
         assert!(cases[0].id.starts_with("dense/parked-"));
         assert!(cases[1].id.starts_with("dense/chains-"));
         assert!(cases[2].id.starts_with("steady/"));
+        for c in &cases {
+            assert!(
+                c.legacy_ns > 0.0 && c.new_ns > 0.0 && c.speedup > 0.0,
+                "{c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn view_delta_harness_runs_and_covers_the_case_families() {
+        // Tiny sizes: the embedded delta-vs-rebuild equivalence assert is
+        // the point here, not the measured ratio.
+        let cases = run_view_delta(&[200], 40, 1);
+        assert_eq!(cases.len(), 4);
+        assert!(cases[0].id.starts_with("dense/parked-"));
+        assert!(cases[1].id.starts_with("dense/chains-"));
+        assert!(cases[2].id.starts_with("combined/parked-"));
+        assert!(cases[3].id.starts_with("steady/"));
         for c in &cases {
             assert!(
                 c.legacy_ns > 0.0 && c.new_ns > 0.0 && c.speedup > 0.0,

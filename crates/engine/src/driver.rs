@@ -33,10 +33,10 @@ use crate::lifecycle::Lifecycle;
 use crate::observe::{AdmissionEvent, NullObserver, SimObserver};
 use crate::pick::Picker;
 use crate::platform::Platform;
-use crate::reference::HorizonScan;
+use crate::reference::{HorizonScan, ViewRebuild};
 use crate::result::SimResult;
 use crate::sched_api::{Allocation, OnlineScheduler, TickView};
-use crate::sim::SimConfig;
+use crate::sim::{HandoffMode, SimConfig};
 use crate::trace::Trace;
 use dagsched_core::{JobId, NodeId, Result, SchedError, Time};
 use dagsched_workload::Instance;
@@ -83,6 +83,10 @@ pub struct SimDriver<'a, O: SimObserver = NullObserver> {
     /// are stable). Otherwise the fast-forward path falls back to the
     /// [`HorizonScan`] twin.
     kernel_windows: bool,
+    /// Whether the scheduler handoff runs on the maintained view + delta
+    /// path ([`HandoffMode::Delta`]). Otherwise every step rebuilds the
+    /// view via the frozen [`ViewRebuild`] twin and calls `allocate_into`.
+    delta_on: bool,
     /// `obs.is_active()`, pinned at construction; a compile-time `false`
     /// for the [`NullObserver`] instantiation.
     observing: bool,
@@ -137,6 +141,7 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
         // which is sound only if the allocation cannot silently reshuffle
         // between events.
         let kernel_windows = kernel_on && fast_forward && sched.completion_keys_stable();
+        let delta_on = matches!(cfg.handoff, HandoffMode::Delta);
         let mut kernel = EventKernel::new(n);
         if kernel_on {
             kernel.arm_horizon(horizon);
@@ -152,6 +157,7 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
             fast_forward,
             kernel_on,
             kernel_windows,
+            delta_on,
             observing,
             done: false,
             poisoned: false,
@@ -288,12 +294,29 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
             self.forward_admissions(t);
         }
 
-        // 3. Ask the scheduler.
-        self.life.build_view(&mut self.scratch.view_jobs);
-        self.sched.allocate_into(
-            &TickView::new(self.platform.m(), t, &self.scratch.view_jobs),
-            &mut self.scratch.alloc,
-        );
+        // 3. Ask the scheduler. Delta handoff: the maintained view is
+        // already current (phases 1–2 and the previous step's execution
+        // kept it patched), so offer the scheduler the accumulated delta
+        // first and fall back to a full `allocate_into` over the same view
+        // if it declines. Rebuild handoff: the frozen twin reconstructs
+        // the view from scratch into the hoisted buffer.
+        if self.delta_on {
+            let view = TickView::new(self.platform.m(), t, self.life.view());
+            if !self
+                .sched
+                .allocate_delta(&self.life.delta, &view, &mut self.scratch.alloc)
+            {
+                self.sched.allocate_into(&view, &mut self.scratch.alloc);
+            }
+            self.life.delta.clear();
+        } else {
+            ViewRebuild::build(&self.life, &mut self.scratch.view_jobs);
+            self.life.delta.clear();
+            self.sched.allocate_into(
+                &TickView::new(self.platform.m(), t, &self.scratch.view_jobs),
+                &mut self.scratch.alloc,
+            );
+        }
 
         // 4. Validate.
         {
@@ -401,8 +424,12 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
                             rest = &rest[cnt..];
                             sc.progress.push((id, cnt as u64 * s * units));
                         }
-                        self.obs
-                            .on_window(t, s, &sc.view_jobs, &sc.alloc, &sc.progress);
+                        let vj: &[(JobId, u32)] = if self.delta_on {
+                            self.life.view()
+                        } else {
+                            &sc.view_jobs
+                        };
+                        self.obs.on_window(t, s, vj, &sc.alloc, &sc.progress);
                     }
                     for &(id, _) in &sc.alloc {
                         self.life.live[id.index()]
@@ -499,10 +526,28 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
             }
         }
         if self.observing {
-            self.obs
-                .on_window(t, 1, &sc.view_jobs, &sc.alloc, &sc.progress);
+            let vj: &[(JobId, u32)] = if self.delta_on {
+                self.life.view()
+            } else {
+                &sc.view_jobs
+            };
+            self.obs.on_window(t, 1, vj, &sc.alloc, &sc.progress);
             for &(id, node) in &sc.node_done {
                 self.obs.on_node_complete(t, id, node);
+            }
+        }
+
+        // Patch the maintained view's ready counts: node completions in
+        // the execution loop above are the only thing that moves them, and
+        // only for allocated jobs. Jobs completing this step skip the patch
+        // — their removal in phase 7 covers it. (After the observer call:
+        // the window payload carries the view the *scheduler* saw.)
+        for &(id, _) in &sc.alloc {
+            let l = self.life.live[id.index()]
+                .as_ref()
+                .expect("validated alive");
+            if !l.state.is_complete() {
+                self.life.patch_ready(id);
             }
         }
 

@@ -47,9 +47,9 @@ pub use observe::{
     AdmissionDecision, AdmissionEvent, AdmissionReason, NullObserver, Observers, SimObserver,
 };
 pub use pick::NodePick;
-pub use reference::HorizonScan;
+pub use reference::{HorizonScan, ViewRebuild};
 pub use result::{JobStatus, SimResult};
 pub use runner::parallel_map;
-pub use sched_api::{Allocation, JobInfo, OnlineScheduler, TickView};
-pub use sim::{simulate, simulate_observed, SimConfig};
+pub use sched_api::{Allocation, JobInfo, OnlineScheduler, TickView, ViewDelta};
+pub use sim::{simulate, simulate_observed, HandoffMode, SimConfig};
 pub use trace::{Trace, TraceStats};

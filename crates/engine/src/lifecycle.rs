@@ -19,10 +19,13 @@
 
 use crate::observe::SimObserver;
 use crate::result::JobStatus;
-use crate::sched_api::{JobInfo, OnlineScheduler};
+use crate::sched_api::{JobInfo, OnlineScheduler, ViewDelta};
 use dagsched_core::{JobId, Time};
 use dagsched_dag::UnfoldState;
 use dagsched_workload::JobSpec;
+
+/// Sentinel slot index for "not in the view".
+const NO_SLOT: u32 = u32::MAX;
 
 /// Per-alive-job engine bookkeeping.
 pub(crate) struct Live {
@@ -62,6 +65,21 @@ pub struct Lifecycle {
     pub(crate) outcomes: Vec<JobStatus>,
     /// Arrived, unfinished, unexpired jobs — in arrival order.
     pub(crate) alive: Vec<JobId>,
+    /// The persistently-maintained scheduler view: `(id, ready_count)` per
+    /// alive job, always element-for-element parallel to `alive` (same
+    /// order — arrival order, which is ascending id order). Admissions
+    /// append, terminal transitions compact in order (never swap-remove:
+    /// [`TickView::ready_count`](crate::sched_api::TickView) binary-searches
+    /// ascending ids and the observer's window payload carries this slice
+    /// verbatim), and the driver patches ready counts after node
+    /// completions. The frozen per-step rebuild lives on as
+    /// [`ViewRebuild`](crate::reference::ViewRebuild).
+    view: Vec<(JobId, u32)>,
+    /// Dense id → view/alive position map (`NO_SLOT` = not in the view).
+    slot: Vec<u32>,
+    /// View changes accumulated since the scheduler last allocated. The
+    /// driver hands this to `allocate_delta` and clears it.
+    pub(crate) delta: ViewDelta,
     /// Index of the next not-yet-arrived job.
     pub(crate) next_arrival: usize,
     /// Σ profit of completed jobs.
@@ -82,6 +100,9 @@ impl Lifecycle {
             live,
             outcomes: vec![JobStatus::Unfinished; n],
             alive: Vec::new(),
+            view: Vec::new(),
+            slot: vec![NO_SLOT; n],
+            delta: ViewDelta::default(),
             next_arrival: 0,
             total_profit: 0,
             pool: Vec::new(),
@@ -98,6 +119,72 @@ impl Lifecycle {
     #[inline]
     pub fn alive(&self) -> &[JobId] {
         &self.alive
+    }
+
+    /// The maintained scheduler view: `(id, ready_count)` per alive job, in
+    /// arrival order — what [`ViewRebuild`](crate::reference::ViewRebuild)
+    /// would build from scratch, kept current incrementally.
+    #[inline]
+    pub fn view(&self) -> &[(JobId, u32)] {
+        &self.view
+    }
+
+    /// Re-read `id`'s ready count from its unfold state and patch the
+    /// maintained view (recording the change in the delta) if it moved.
+    /// The driver calls this after the reference execution path, the only
+    /// place a ready count can change (node completions unlock successors);
+    /// bulk fast-forward windows never complete a node, so they never need
+    /// a patch.
+    pub(crate) fn patch_ready(&mut self, id: JobId) {
+        let l = self.live[id.index()].as_ref().expect("patched job is live");
+        let rc = l.state.ready_count() as u32;
+        let pos = self.slot[id.index()] as usize;
+        debug_assert!(pos != NO_SLOT as usize, "patched job is in the view");
+        if self.view[pos].1 != rc {
+            self.view[pos].1 = rc;
+            self.delta.ready_changed.push((id, rc));
+        }
+    }
+
+    /// Remove `id` from the maintained view by ordered compaction (the
+    /// entries behind it shift left one slot), recording the removal in the
+    /// delta. O(tail behind the removed position).
+    fn remove_from_view(&mut self, id: JobId) {
+        let pos = self.slot[id.index()] as usize;
+        debug_assert_eq!(self.view[pos].0, id, "slot map points at its job");
+        self.view.remove(pos);
+        self.slot[id.index()] = NO_SLOT;
+        for j in pos..self.view.len() {
+            self.slot[self.view[j].0.index()] = j as u32;
+        }
+        self.delta.removed.push(id);
+    }
+
+    /// Remove an ascending batch of ids from the maintained view in one
+    /// compaction pass (the batched form of
+    /// [`remove_from_view`](Self::remove_from_view), used by the expiry
+    /// transitions which already collect their batch sorted).
+    fn remove_batch_from_view(&mut self, removed: &[JobId]) {
+        if removed.is_empty() {
+            return;
+        }
+        let first = self.slot[removed[0].index()] as usize;
+        let mut next = 0;
+        let mut w = first;
+        for r in first..self.view.len() {
+            let (id, rc) = self.view[r];
+            if next < removed.len() && removed[next] == id {
+                next += 1;
+                self.slot[id.index()] = NO_SLOT;
+                self.delta.removed.push(id);
+            } else {
+                self.slot[id.index()] = w as u32;
+                self.view[w] = (id, rc);
+                w += 1;
+            }
+        }
+        debug_assert_eq!(next, removed.len(), "every removed id was in the view");
+        self.view.truncate(w);
     }
 
     /// Profit earned so far.
@@ -154,8 +241,12 @@ impl Lifecycle {
             slot.armed_done.resize(nodes, Time::MAX);
             slot.claim_epoch.clear();
             slot.claim_epoch.resize(nodes, 0);
+            let ready0 = slot.state.ready_count() as u32;
             self.live[job.id.index()] = Some(slot);
             self.alive.push(job.id);
+            self.slot[job.id.index()] = self.view.len() as u32;
+            self.view.push((job.id, ready0));
+            self.delta.admitted.push((job.id, ready0));
             let info = JobInfo {
                 id: job.id,
                 arrival: job.arrival,
@@ -199,6 +290,7 @@ impl Lifecycle {
                 true
             }
         });
+        self.remove_batch_from_view(expired);
         for &id in expired.iter() {
             sched.on_expiry(id, t);
             obs.on_job_expired(t, id);
@@ -239,6 +331,7 @@ impl Lifecycle {
             }
         });
         debug_assert_eq!(next, expired.len(), "every due expiry must be alive");
+        self.remove_batch_from_view(expired);
         for &id in expired.iter() {
             self.outcomes[id.index()] = JobStatus::Expired { at: t };
             if let Some(slot) = self.live[id.index()].take() {
@@ -276,16 +369,6 @@ impl Lifecycle {
             .is_some_and(|l| l.armed_done.get(node as usize).copied() == Some(time))
     }
 
-    /// The scheduler's tick view: `(id, ready_count)` per alive job, in
-    /// arrival order.
-    pub(crate) fn build_view(&self, out: &mut Vec<(JobId, u32)>) {
-        out.clear();
-        for &id in &self.alive {
-            let l = self.live[id.index()].as_ref().expect("alive implies live");
-            out.push((id, l.state.ready_count() as u32));
-        }
-    }
-
     /// Retire `completions` at `t_done`, paying each job's profit function
     /// at its relative completion time and running the completion hooks.
     pub(crate) fn complete<O: SimObserver + ?Sized>(
@@ -305,7 +388,12 @@ impl Lifecycle {
             if let Some(slot) = self.live[id.index()].take() {
                 self.pool.push(slot);
             }
-            self.alive.retain(|&a| a != id);
+            // `alive` and `view` are parallel, so the slot map gives the
+            // position in both: an O(tail) positional remove where the old
+            // `retain(|&a| a != id)` rescanned the whole alive list.
+            let pos = self.slot[id.index()] as usize;
+            self.alive.remove(pos);
+            self.remove_from_view(id);
             sched.on_completion(id, t_done);
             obs.on_job_complete(t_done, id, profit);
         }
@@ -376,5 +464,55 @@ mod tests {
         assert_eq!(expired.len(), 2);
         assert!(lc.alive().is_empty());
         assert_eq!(lc.pool_len(), 2);
+    }
+
+    #[test]
+    fn maintained_view_compacts_in_arrival_order_and_records_deltas() {
+        let dag = gen::chain(3, 2).into_shared();
+        let jobs: Vec<JobSpec> = (0..4u32)
+            .map(|i| {
+                JobSpec::new(
+                    JobId(i),
+                    Time(0),
+                    dag.clone(),
+                    StepProfitFn::deadline(Time(1000), 10),
+                )
+            })
+            .collect();
+        let mut lc = Lifecycle::new(jobs.len());
+        let mut sched = NopSched;
+        let mut obs = NullObserver;
+
+        // All four admit at once: the view lists them in arrival (id) order
+        // with their initial ready counts, and the delta mirrors it.
+        assert!(lc.admit_arrivals(&jobs, Time(0), 1, &mut sched, &mut obs));
+        let expect: Vec<(JobId, u32)> = (0..4).map(|i| (JobId(i), 1)).collect();
+        assert_eq!(lc.view(), &expect[..]);
+        assert_eq!(lc.delta.admitted, expect);
+        assert!(lc.delta.removed.is_empty() && lc.delta.ready_changed.is_empty());
+        lc.delta.clear();
+
+        // Remove the middle job: ordered compaction, not swap-remove — the
+        // tail keeps arrival order, and the slot map follows it.
+        lc.complete(&jobs, Time(1), &[JobId(1)], &mut sched, &mut obs);
+        assert_eq!(
+            lc.view(),
+            &[(JobId(0), 1), (JobId(2), 1), (JobId(3), 1)],
+            "compaction preserves arrival order"
+        );
+        assert_eq!(lc.delta.removed, vec![JobId(1)]);
+        lc.delta.clear();
+
+        // Patch a ready count in place: recorded once, and only on change.
+        lc.patch_ready(JobId(2));
+        assert!(
+            lc.delta.ready_changed.is_empty(),
+            "unchanged ready count must not be recorded"
+        );
+
+        // Removing the head compacts the remaining two, again in order.
+        lc.complete(&jobs, Time(2), &[JobId(0)], &mut sched, &mut obs);
+        assert_eq!(lc.view(), &[(JobId(2), 1), (JobId(3), 1)]);
+        assert_eq!(lc.delta.removed, vec![JobId(0)]);
     }
 }

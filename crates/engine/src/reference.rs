@@ -9,9 +9,19 @@
 //! can hold the [`EventKernel`](crate::events::EventKernel) byte-identical
 //! to it on every corpus instance.
 //!
-//! Nothing here is deprecated: the scan is the *specification* the kernel
-//! is tested against, exactly as `dagsched_dag::reference` specifies the
-//! CSR arena and `dagsched_sched::bands::reference` the admission treap.
+//! [`ViewRebuild`] is the pre-delta scheduler handoff: rebuild the whole
+//! `(id, ready_count)` view from the alive list every step and hand it to
+//! a full `allocate_into`. It is verbatim the `Lifecycle::build_view` the
+//! engine shipped with through PR 7, now selectable via
+//! [`HandoffMode::Rebuild`](crate::sim::HandoffMode) so the
+//! `view_delta_differential` suite (and the `view_delta` bench group) can
+//! hold the maintained view and the incremental `allocate_delta` path
+//! byte-identical to it.
+//!
+//! Nothing here is deprecated: the scan and the rebuild are the
+//! *specification* the kernel and the delta path are tested against,
+//! exactly as `dagsched_dag::reference` specifies the CSR arena and
+//! `dagsched_sched::bands::reference` the admission treap.
 
 use crate::clock::Clock;
 use crate::lifecycle::Lifecycle;
@@ -63,5 +73,25 @@ impl HorizonScan {
         expired: &mut Vec<JobId>,
     ) -> bool {
         life.expire_hopeless(jobs, t, sched, obs, expired)
+    }
+}
+
+/// The full-rebuild scheduler-handoff twin: reconstruct the whole
+/// `(id, ready_count)` view from the alive list, every step. Stateless —
+/// exactly the O(alive) cost the maintained view
+/// ([`Lifecycle::view`]) amortizes away.
+pub struct ViewRebuild;
+
+impl ViewRebuild {
+    /// Rebuild the scheduler's tick view into `out`: `(id, ready_count)`
+    /// per alive job, in arrival order. Verbatim the pre-PR 8
+    /// `Lifecycle::build_view`; public so the engine's own test suites can
+    /// pin the maintained view against it.
+    pub fn build(life: &Lifecycle, out: &mut Vec<(JobId, u32)>) {
+        out.clear();
+        for &id in life.alive() {
+            let l = life.live[id.index()].as_ref().expect("alive implies live");
+            out.push((id, l.state.ready_count() as u32));
+        }
     }
 }

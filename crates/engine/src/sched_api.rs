@@ -86,6 +86,52 @@ impl<'a> TickView<'a> {
 /// where S always hands a job its full allotment `n_i`).
 pub type Allocation = Vec<(JobId, u32)>;
 
+/// What changed in the [`TickView`] since the scheduler last allocated.
+///
+/// The engine's lifecycle maintains the view persistently and accumulates
+/// every mutation here: admissions append, terminal transitions remove,
+/// node completions patch a job's ready count in place. The delta is
+/// handed to [`OnlineScheduler::allocate_delta`] together with the full
+/// (already-patched) view, then cleared — so **an empty delta means no
+/// scheduler hook fired and no ready count moved since the previous
+/// `allocate` call**, which for a scheduler honoring
+/// [`allocation_stable_between_events`](OnlineScheduler::allocation_stable_between_events)
+/// makes replaying the previous allocation byte-identical to recomputing
+/// it.
+///
+/// One job id appears in at most one of the three lists per delta, with a
+/// single exception: a job can be admitted and then expire (or a job can
+/// have its ready count patched and then complete) before the next
+/// allocate, in which case it appears in `removed` *as well*. Applying the
+/// lists in the order `admitted` → `ready_changed` → `removed` therefore
+/// always yields the correct net effect.
+#[derive(Debug, Clone, Default)]
+pub struct ViewDelta {
+    /// Jobs that entered the view: `(id, initial ready count)`, in
+    /// admission (= arrival = ascending id) order.
+    pub admitted: Vec<(JobId, u32)>,
+    /// Jobs that left the view (completed or expired), ascending per batch.
+    pub removed: Vec<JobId>,
+    /// Jobs whose ready count changed in place: `(id, new ready count)`.
+    pub ready_changed: Vec<(JobId, u32)>,
+}
+
+impl ViewDelta {
+    /// True iff nothing changed since the last allocate.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.admitted.is_empty() && self.removed.is_empty() && self.ready_changed.is_empty()
+    }
+
+    /// Forget every recorded change, keeping capacity.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.admitted.clear();
+        self.removed.clear();
+        self.ready_changed.clear();
+    }
+}
+
 /// An online scheduler driving the engine.
 ///
 /// The engine calls the three event hooks as the simulation unfolds and
@@ -122,6 +168,44 @@ pub trait OnlineScheduler {
         out.clear();
         let alloc = self.allocate(view);
         out.extend_from_slice(&alloc);
+    }
+
+    /// Incremental variant of [`allocate_into`](Self::allocate_into):
+    /// patch the previous allocation from a [`ViewDelta`] instead of
+    /// re-deriving it from the full view. Return `true` after writing the
+    /// allocation into `out`; return `false` (the default) to decline, in
+    /// which case the engine falls back to a full `allocate_into` on the
+    /// same view.
+    ///
+    /// The engine's contract with implementations:
+    ///
+    /// * `out` still holds **exactly what the previous `allocate_delta` /
+    ///   `allocate_into` call left in it** — the engine hoists one buffer
+    ///   per run and never writes to it between scheduler calls. On an
+    ///   empty `delta` an implementation may therefore return `true`
+    ///   without touching `out` at all (the cached-replay fast path).
+    /// * `delta` records every view change since that previous call (see
+    ///   [`ViewDelta`]); `view` is the full, already-patched view, so an
+    ///   implementation may consult either.
+    /// * Within one engine run the handoff mode is pinned: the engine
+    ///   either calls this method every step (falling back per-step when it
+    ///   returns `false`) or never calls it at all.
+    ///
+    /// Correctness bar: after returning `true`, `out` must be byte-identical
+    /// to what `allocate_into(view, out)` would have produced. Only
+    /// schedulers honoring
+    /// [`allocation_stable_between_events`](Self::allocation_stable_between_events)
+    /// can promise this for the empty-delta replay (a `now`-dependent
+    /// scheduler would re-decide differently); unstable schedulers keep the
+    /// default `false`.
+    fn allocate_delta(
+        &mut self,
+        delta: &ViewDelta,
+        view: &TickView<'_>,
+        out: &mut Allocation,
+    ) -> bool {
+        let _ = (delta, view, out);
+        false
     }
 
     /// Declare that this scheduler's allocation is *stable between events*,

@@ -35,6 +35,27 @@ use crate::sched_api::OnlineScheduler;
 use dagsched_core::{Result, Speed, Time};
 use dagsched_workload::Instance;
 
+/// How the per-step scheduler handoff (view construction + allocation) is
+/// performed. Both modes are byte-identical by contract — the
+/// `view_delta_differential` suite in `crates/verify` holds them so.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HandoffMode {
+    /// Incremental (default): the lifecycle maintains the view persistently
+    /// (admits append, terminal transitions compact, node completions patch
+    /// ready counts in place) and the scheduler is offered the accumulated
+    /// [`ViewDelta`](crate::sched_api::ViewDelta) via
+    /// [`allocate_delta`](crate::sched_api::OnlineScheduler::allocate_delta)
+    /// — O(changed) per step, with a full `allocate_into` fallback for
+    /// schedulers that decline.
+    #[default]
+    Delta,
+    /// The frozen full-rebuild twin
+    /// ([`ViewRebuild`](crate::reference::ViewRebuild)): rebuild the whole
+    /// view and call `allocate_into`, every step — O(alive). Kept for
+    /// differential testing and the perf harness.
+    Rebuild,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -63,6 +84,11 @@ pub struct SimConfig {
     /// [`WindowMode::ReferenceScan`] twin, kept for differential testing
     /// and the perf harness. Both are byte-identical by contract.
     pub window: WindowMode,
+    /// Per-step scheduler handoff: the incremental
+    /// [`HandoffMode::Delta`] path (default) or the frozen O(alive)
+    /// [`HandoffMode::Rebuild`] twin, kept for differential testing and the
+    /// perf harness. Both are byte-identical by contract.
+    pub handoff: HandoffMode,
 }
 
 impl Default for SimConfig {
@@ -75,6 +101,7 @@ impl Default for SimConfig {
             record_trace: false,
             fast_forward: true,
             window: WindowMode::EventKernel,
+            handoff: HandoffMode::Delta,
         }
     }
 }

@@ -1,0 +1,359 @@
+//! The maintained tick view against its frozen twin: after *every* step of
+//! *any* run, `Lifecycle::view()` must equal what
+//! [`ViewRebuild::build`] reconstructs from the alive list — same jobs,
+//! same ready counts, same (arrival) order. This is the engine-level half
+//! of the delta-handoff oracle; `view_delta_differential` in the verify
+//! crate pins the scheduler-facing half (full runs, byte-identical output).
+//!
+//! Also pins the `allocate_delta` contract from the engine side with a
+//! minimal delta-capable scheduler: on an empty delta the engine hands the
+//! scheduler the *same* buffer still holding the previous allocation, and a
+//! cached replay is indistinguishable from a recompute.
+
+use dagsched_core::{JobId, Time};
+use dagsched_dag::gen;
+use dagsched_engine::{
+    simulate, Allocation, HandoffMode, JobInfo, OnlineScheduler, SimConfig, SimDriver, TickView,
+    ViewDelta, ViewRebuild, WindowMode,
+};
+use dagsched_workload::{Instance, JobSpec, StepProfitFn, WorkloadGen};
+
+/// Greedy arrival-order scheduler with an `allocate_delta` that replays the
+/// cached allocation on empty deltas and otherwise recomputes from the
+/// view. Counts which branch ran so tests can assert replays happen.
+struct CountingGreedy {
+    cache_live: bool,
+    replays: u64,
+    recomputes: u64,
+    declines: bool,
+}
+
+impl CountingGreedy {
+    fn new() -> CountingGreedy {
+        CountingGreedy {
+            cache_live: false,
+            replays: 0,
+            recomputes: 0,
+            declines: false,
+        }
+    }
+
+    /// A variant that declines every delta call: exercises the engine's
+    /// fallback (maintained view + full `allocate_into`).
+    fn declining() -> CountingGreedy {
+        CountingGreedy {
+            declines: true,
+            ..CountingGreedy::new()
+        }
+    }
+}
+
+impl OnlineScheduler for CountingGreedy {
+    fn name(&self) -> String {
+        "counting-greedy".into()
+    }
+    fn on_arrival(&mut self, _info: &JobInfo, _now: Time) {}
+    fn on_completion(&mut self, _id: JobId, _now: Time) {}
+    fn on_expiry(&mut self, _id: JobId, _now: Time) {}
+    fn allocate(&mut self, view: &TickView<'_>) -> Allocation {
+        let mut out = Vec::new();
+        self.allocate_into(view, &mut out);
+        out
+    }
+    fn allocate_into(&mut self, view: &TickView<'_>, out: &mut Allocation) {
+        self.cache_live = false;
+        out.clear();
+        let mut left = view.m;
+        for &(id, r) in view.jobs() {
+            if left == 0 {
+                break;
+            }
+            let k = r.min(left);
+            if k > 0 {
+                out.push((id, k));
+                left -= k;
+            }
+        }
+    }
+    fn allocate_delta(
+        &mut self,
+        delta: &ViewDelta,
+        view: &TickView<'_>,
+        out: &mut Allocation,
+    ) -> bool {
+        if self.declines {
+            return false;
+        }
+        if self.cache_live && delta.is_empty() {
+            self.replays += 1;
+            return true;
+        }
+        self.recomputes += 1;
+        self.allocate_into(view, out);
+        self.cache_live = true;
+        true
+    }
+    fn allocation_stable_between_events(&self) -> bool {
+        true
+    }
+    fn reset(&mut self) -> bool {
+        self.cache_live = false;
+        self.replays = 0;
+        self.recomputes = 0;
+        true
+    }
+}
+
+/// Step `inst` to completion under `cfg`, asserting after every step that
+/// the maintained view equals a fresh rebuild. Returns (profit, steps).
+fn run_pinned(inst: &Instance, cfg: &SimConfig, sched: &mut dyn OnlineScheduler) -> (u64, u64) {
+    let mut driver = SimDriver::new(inst, sched, cfg);
+    let mut rebuilt: Vec<(JobId, u32)> = Vec::new();
+    loop {
+        let more = driver.step().expect("step succeeds");
+        ViewRebuild::build(driver.lifecycle(), &mut rebuilt);
+        assert_eq!(
+            driver.lifecycle().view(),
+            &rebuilt[..],
+            "maintained view diverged from rebuild at t={:?}",
+            driver.now()
+        );
+        if !more {
+            break;
+        }
+    }
+    let r = driver.finish().expect("finish succeeds");
+    (r.total_profit, r.steps_executed)
+}
+
+fn knob_grid() -> Vec<SimConfig> {
+    let mut cfgs = Vec::new();
+    for window in [WindowMode::EventKernel, WindowMode::ReferenceScan] {
+        for handoff in [HandoffMode::Delta, HandoffMode::Rebuild] {
+            for fast_forward in [true, false] {
+                cfgs.push(SimConfig {
+                    window,
+                    handoff,
+                    fast_forward,
+                    ..SimConfig::default()
+                });
+            }
+        }
+    }
+    cfgs
+}
+
+#[test]
+fn maintained_view_equals_rebuild_on_standard_workloads() {
+    for seed in [3u64, 41, 977] {
+        let m = 3 + (seed % 4) as u32;
+        let inst = WorkloadGen::standard(m, 25, seed)
+            .generate()
+            .expect("valid workload");
+        let mut outcomes = Vec::new();
+        for cfg in knob_grid() {
+            let mut s = CountingGreedy::new();
+            outcomes.push(run_pinned(&inst, &cfg, &mut s));
+        }
+        // Every knob combination also agrees on profit (steps legitimately
+        // differ between fast-forward and naive pacing).
+        assert!(
+            outcomes.windows(2).all(|w| w[0].0 == w[1].0),
+            "seed {seed}: profits diverge across knobs: {outcomes:?}"
+        );
+    }
+}
+
+#[test]
+fn declining_scheduler_rides_the_fallback_identically() {
+    let inst = WorkloadGen::standard(4, 30, 11)
+        .generate()
+        .expect("valid workload");
+    for cfg in knob_grid() {
+        let mut accepting = CountingGreedy::new();
+        let mut declining = CountingGreedy::declining();
+        let a = run_pinned(&inst, &cfg, &mut accepting);
+        let d = run_pinned(&inst, &cfg, &mut declining);
+        assert_eq!(a, d, "fallback diverges under {cfg:?}");
+    }
+}
+
+#[test]
+fn empty_deltas_actually_replay_on_a_parked_instance() {
+    // Forty parked jobs and one long-running foreground job: after the
+    // initial burst, steps between events see empty deltas, so the cached
+    // allocation must be replayed, not recomputed.
+    let mut jobs: Vec<JobSpec> = (0..40u32)
+        .map(|i| {
+            JobSpec::new(
+                JobId(i),
+                Time(0),
+                gen::single(10_000).into_shared(),
+                StepProfitFn::deadline(Time(500_000), 1),
+            )
+        })
+        .collect();
+    jobs.push(JobSpec::new(
+        JobId(40),
+        Time(0),
+        gen::single(2_000).into_shared(),
+        StepProfitFn::deadline(Time(500_000), 5),
+    ));
+    let inst = Instance::new(2, jobs).expect("valid parked instance");
+
+    // Naive pacing so every tick is a step: the replay branch must carry
+    // nearly the whole run.
+    let cfg = SimConfig {
+        fast_forward: false,
+        ..SimConfig::default()
+    };
+    let mut s = CountingGreedy::new();
+    let r = simulate(&inst, &mut s, &cfg).expect("run succeeds");
+    assert!(r.total_profit > 0);
+    assert!(
+        s.replays > 100 * s.recomputes.max(1),
+        "parked steady state should be replay-dominated: {} replays, {} recomputes",
+        s.replays,
+        s.recomputes
+    );
+}
+
+#[test]
+fn rebuild_mode_never_calls_allocate_delta() {
+    let inst = WorkloadGen::standard(4, 20, 5)
+        .generate()
+        .expect("valid workload");
+    let cfg = SimConfig {
+        handoff: HandoffMode::Rebuild,
+        ..SimConfig::default()
+    };
+    let mut s = CountingGreedy::new();
+    simulate(&inst, &mut s, &cfg).expect("run succeeds");
+    assert_eq!(s.replays + s.recomputes, 0, "rebuild mode is delta-free");
+}
+
+#[test]
+fn same_step_admit_and_expire_nets_out_of_the_view() {
+    // Job 1 arrives already hopeless (deadline 0 profit tail 0): it is
+    // admitted and expired within the same step, so the view never shows
+    // it and the delta the scheduler sees nets to absent. The maintained
+    // view must agree with the rebuild throughout (run_pinned asserts it).
+    let jobs = vec![
+        JobSpec::new(
+            JobId(0),
+            Time(0),
+            gen::chain(3, 4).into_shared(),
+            StepProfitFn::deadline(Time(100), 2),
+        ),
+        JobSpec::new(
+            JobId(1),
+            Time(2),
+            gen::single(50).into_shared(),
+            StepProfitFn::deadline(Time(1), 9),
+        ),
+    ];
+    let inst = Instance::new(2, jobs).expect("valid instance");
+    for cfg in knob_grid() {
+        let mut s = CountingGreedy::new();
+        let (profit, _) = run_pinned(&inst, &cfg, &mut s);
+        assert_eq!(profit, 2, "only job 0 can earn");
+    }
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Collision-dense instances: single-digit arrivals, works and
+    /// deadlines force same-step admit/expire/complete interleavings.
+    fn collision_instance(seed: u64, n: usize, m: u32) -> Instance {
+        let mut rng = dagsched_core::Rng64::seed_from(seed);
+        let mut arrivals: Vec<u64> = (0..n).map(|_| rng.gen_range(8)).collect();
+        arrivals.sort_unstable();
+        let jobs: Vec<JobSpec> = arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                let work = 1 + rng.gen_range(6);
+                let dag = if rng.gen_range(2) == 0 {
+                    gen::single(work).into_shared()
+                } else {
+                    gen::chain(2, work.max(1)).into_shared()
+                };
+                let deadline = 1 + rng.gen_range(9);
+                JobSpec::new(
+                    JobId(i as u32),
+                    Time(a),
+                    dag,
+                    StepProfitFn::deadline(Time(deadline), 1 + rng.gen_range(5)),
+                )
+            })
+            .collect();
+        Instance::new(m, jobs).expect("valid collision instance")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// After arbitrary admit/expire/complete interleavings, under every
+        /// knob combination, the maintained view equals a fresh rebuild at
+        /// every step and both handoffs agree on the outcome.
+        #[test]
+        fn maintained_view_equals_rebuild_under_ties(
+            seed in 0u64..2000,
+            n in 2usize..12,
+            m in 1u32..4,
+            ff in 0u8..2,
+            decline in 0u8..2,
+        ) {
+            let inst = collision_instance(seed, n, m);
+            let mut results = Vec::new();
+            for handoff in [HandoffMode::Delta, HandoffMode::Rebuild] {
+                let cfg = SimConfig {
+                    handoff,
+                    fast_forward: ff == 1,
+                    ..SimConfig::default()
+                };
+                let mut s = if decline == 1 {
+                    CountingGreedy::declining()
+                } else {
+                    CountingGreedy::new()
+                };
+                results.push(run_pinned(&inst, &cfg, &mut s));
+            }
+            prop_assert_eq!(
+                results[0], results[1],
+                "delta vs rebuild outcome diverged (seed {}, n {}, m {})",
+                seed, n, m
+            );
+        }
+
+        /// Pausing a delta run at arbitrary horizons leaves the maintained
+        /// view equal to a rebuild at every pause point and at the end.
+        #[test]
+        fn paused_runs_keep_the_view_pinned(
+            seed in 0u64..500,
+            hseed in 0u64..500,
+            n_pauses in 1usize..8,
+        ) {
+            let m = 2 + (seed % 3) as u32;
+            let inst = WorkloadGen::standard(m, 15, seed)
+                .generate()
+                .expect("valid workload");
+            let span = inst.stats().horizon.ticks() + 8;
+            let mut rng = dagsched_core::Rng64::seed_from(hseed);
+            let cfg = SimConfig::default();
+            let mut s = CountingGreedy::new();
+            let mut driver = SimDriver::new(&inst, &mut s, &cfg);
+            let mut rebuilt: Vec<(JobId, u32)> = Vec::new();
+            for _ in 0..n_pauses {
+                driver
+                    .run_until(Time(rng.gen_range(span.max(1))))
+                    .expect("run_until runs");
+                ViewRebuild::build(driver.lifecycle(), &mut rebuilt);
+                prop_assert_eq!(driver.lifecycle().view(), &rebuilt[..]);
+            }
+            driver.finish().expect("finish runs");
+        }
+    }
+}

@@ -10,7 +10,7 @@
 //!   (`fuzz-min-<i>.txt`) next to the working directory, each with its
 //!   one-line replay command.
 //! * `dagsched fuzz --replay <path|seed>` — re-judge a fixture file
-//!   through all three oracle heads (exit non-zero on failure), or, given
+//!   through all four oracle heads (exit non-zero on failure), or, given
 //!   a bare integer, re-run the bounded loop under that master seed.
 
 use crate::oracle::{run_exec, OracleSet, Subject};
@@ -23,9 +23,10 @@ pub const USAGE: &str = "\
 usage: dagsched fuzz [--seed N] [--execs N] [--json]
        dagsched fuzz --replay <path|seed>
 
-Coverage-guided adversarial workload fuzzing with three oracle heads:
-the invariant suite, kernel-vs-scan byte equality, and the
-paused-vs-one-shot differential. A fixed --seed reproduces the exact
+Coverage-guided adversarial workload fuzzing with four oracle heads:
+the invariant suite, kernel-vs-scan byte equality, the
+paused-vs-one-shot differential, and the delta-vs-rebuild handoff
+differential. A fixed --seed reproduces the exact
 corpus trajectory; failures are delta-debugged and written as replay
 fixtures (fuzz-min-<i>.txt).
 
@@ -138,36 +139,47 @@ fn run_summary(report: &FuzzReport) -> String {
     s
 }
 
-/// Judge one decoded instance through all three oracle heads; the replay
+/// Judge one decoded instance through all four oracle heads; the replay
 /// verdict text lists each head. Used by `--replay <path>` and the fixture
-/// regression test.
+/// regression test. Fixtures carry no engine-configuration axis, so replay
+/// always judges under the defaults (event kernel, delta handoff).
 pub fn replay_instance(text: &str) -> Result<String, String> {
     let inst = codec::decode(text).map_err(|e| format!("cannot decode fixture: {e}"))?;
     let salt = crate::ir::fnv1a(text.as_bytes());
     let subject = Subject::scheduler_s();
-    let heads: [(&str, OracleSet); 3] = [
+    let off = OracleSet {
+        invariants: false,
+        kernel_diff: false,
+        pause_diff: false,
+        handoff_diff: false,
+    };
+    let heads: [(&str, OracleSet); 4] = [
         (
             "invariants",
             OracleSet {
                 invariants: true,
-                kernel_diff: false,
-                pause_diff: false,
+                ..off
             },
         ),
         (
             "kernel-vs-scan",
             OracleSet {
-                invariants: false,
                 kernel_diff: true,
-                pause_diff: false,
+                ..off
             },
         ),
         (
             "paused-vs-oneshot",
             OracleSet {
-                invariants: false,
-                kernel_diff: false,
                 pause_diff: true,
+                ..off
+            },
+        ),
+        (
+            "delta-vs-rebuild",
+            OracleSet {
+                handoff_diff: true,
+                ..off
             },
         ),
     ];
@@ -188,7 +200,7 @@ pub fn replay_instance(text: &str) -> Result<String, String> {
     if failed {
         Err(format!("replay failed:\n{out}"))
     } else {
-        Ok(format!("replay clean under all three oracles:\n{out}"))
+        Ok(format!("replay clean under all four oracles:\n{out}"))
     }
 }
 
@@ -285,7 +297,8 @@ mod tests {
         let inst = crate::corpus::seed_corpus()[0].to_instance().unwrap();
         let text = codec::encode(&inst);
         let verdict = replay_instance(&text).expect("clean replay");
-        assert_eq!(verdict.matches("PASS").count(), 3);
+        assert_eq!(verdict.matches("PASS").count(), 4);
+        assert!(verdict.contains("delta-vs-rebuild"));
     }
 
     #[test]

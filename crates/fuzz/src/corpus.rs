@@ -16,9 +16,9 @@ use dagsched_workload::{Instance, WorkloadGen};
 /// processors, tick 10 carries a completion frontier, an expiry boundary
 /// and an arrival at once.
 fn triple_tie() -> FuzzInstance {
-    FuzzInstance {
-        m: 2,
-        jobs: vec![
+    FuzzInstance::new(
+        2,
+        vec![
             FuzzJob {
                 arrival: 0,
                 deadline: 100,
@@ -41,7 +41,7 @@ fn triple_tie() -> FuzzInstance {
                 edges: vec![],
             },
         ],
-    }
+    )
 }
 
 /// Collision-dense: single-digit arrivals, works and deadlines, so
@@ -61,7 +61,7 @@ fn collisions() -> FuzzInstance {
             }
         })
         .collect();
-    FuzzInstance { m: 2, jobs }
+    FuzzInstance::new(2, jobs)
 }
 
 /// Two Figure 1 lower-bound jobs with near-Brent deadlines.
@@ -79,10 +79,7 @@ fn fig1_family() -> FuzzInstance {
         job.deadline = (job.total_work() - job.span()).div_ceil(m as u64) + job.span();
         job
     };
-    FuzzInstance {
-        m,
-        jobs: vec![mk(0), mk(1)],
-    }
+    FuzzInstance::new(m, vec![mk(0), mk(1)])
 }
 
 /// An arrival burst of identical work with densities in three bands.
@@ -98,7 +95,7 @@ fn band_burst() -> FuzzInstance {
             edges: vec![],
         })
         .collect();
-    FuzzInstance { m: 2, jobs }
+    FuzzInstance::new(2, jobs)
 }
 
 /// A plain generated workload, to keep one unbiased starting point.

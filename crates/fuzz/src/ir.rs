@@ -11,6 +11,7 @@
 
 use dagsched_core::{JobId, NodeId, Result, SchedError, Time, Work};
 use dagsched_dag::{DagBuilder, DagJobSpec};
+use dagsched_engine::{HandoffMode, SimConfig, WindowMode};
 use dagsched_workload::{Instance, JobSpec, StepProfitFn};
 
 /// Upper bounds keeping mutated instances small enough that one fuzz exec
@@ -90,13 +91,23 @@ impl FuzzJob {
     }
 }
 
-/// A whole instance in mutable form.
+/// A whole instance in mutable form, plus the engine-configuration axis
+/// the candidate is judged under. The axis fields are *not* part of the
+/// workload — the codec neither writes nor reads them, so promoted replay
+/// fixtures always re-judge under the defaults (event kernel + delta
+/// handoff) — but they are mutable state the flip mutators toggle, which
+/// lets the coverage loop explore the scan window and the rebuild handoff
+/// without a separate fuzzing harness per configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FuzzInstance {
     /// Machine count.
     pub m: u32,
     /// The jobs, in no particular order (sorted at conversion).
     pub jobs: Vec<FuzzJob>,
+    /// Judge under [`WindowMode::ReferenceScan`] instead of the kernel.
+    pub scan_window: bool,
+    /// Judge under [`HandoffMode::Rebuild`] instead of the delta path.
+    pub rebuild_handoff: bool,
 }
 
 /// Extract `(works, edges)` from a built DAG, re-labeling nodes into
@@ -123,6 +134,34 @@ pub fn dag_to_ir(dag: &DagJobSpec) -> (Vec<u64>, Vec<(u32, u32)>) {
 }
 
 impl FuzzInstance {
+    /// A fresh IR under the default configuration axis (kernel + delta).
+    pub fn new(m: u32, jobs: Vec<FuzzJob>) -> FuzzInstance {
+        FuzzInstance {
+            m,
+            jobs,
+            scan_window: false,
+            rebuild_handoff: false,
+        }
+    }
+
+    /// The [`SimConfig`] this candidate is judged under: the instance's
+    /// configuration axis applied over the engine defaults.
+    pub fn base_config(&self) -> SimConfig {
+        SimConfig {
+            window: if self.scan_window {
+                WindowMode::ReferenceScan
+            } else {
+                WindowMode::EventKernel
+            },
+            handoff: if self.rebuild_handoff {
+                HandoffMode::Rebuild
+            } else {
+                HandoffMode::Delta
+            },
+            ..SimConfig::default()
+        }
+    }
+
     /// Build the IR from a validated instance. General profit functions are
     /// projected onto their deadline envelope (last useful time, max
     /// profit) — the adversarial families this fuzzer targets are all
@@ -147,7 +186,7 @@ impl FuzzInstance {
                 }
             })
             .collect();
-        FuzzInstance { m: inst.m(), jobs }
+        FuzzInstance::new(inst.m(), jobs)
     }
 
     /// Repair and convert into a validated [`Instance`].
@@ -244,9 +283,9 @@ mod tests {
 
     #[test]
     fn hostile_states_are_repaired() {
-        let fi = FuzzInstance {
-            m: 999,
-            jobs: vec![FuzzJob {
+        let fi = FuzzInstance::new(
+            999,
+            vec![FuzzJob {
                 arrival: u64::MAX,
                 deadline: 0,
                 profit: 0,
@@ -254,7 +293,7 @@ mod tests {
                 // Backward, self-loop, out-of-range and duplicate edges.
                 edges: vec![(2, 1), (1, 1), (0, 40), (0, 2), (0, 2), (1, 2)],
             }],
-        };
+        );
         let inst = fi.to_instance().expect("repairable");
         assert_eq!(inst.m(), limits::MAX_M);
         let j = &inst.jobs()[0];
@@ -267,7 +306,7 @@ mod tests {
 
     #[test]
     fn empty_job_list_is_the_only_failure() {
-        assert!(FuzzInstance { m: 2, jobs: vec![] }.to_instance().is_err());
+        assert!(FuzzInstance::new(2, vec![]).to_instance().is_err());
     }
 
     #[test]
@@ -282,12 +321,21 @@ mod tests {
         // Longest path 2 -> (3|4) -> 5 = 2 + 4 + 5.
         assert_eq!(fi.span(), 11);
         assert_eq!(fi.total_work(), 14);
-        let inst = FuzzInstance {
-            m: 2,
-            jobs: vec![fi],
-        }
-        .to_instance()
-        .unwrap();
+        let inst = FuzzInstance::new(2, vec![fi]).to_instance().unwrap();
         assert_eq!(inst.jobs()[0].span().units(), 11);
+    }
+
+    #[test]
+    fn config_axis_maps_onto_the_sim_config() {
+        use dagsched_engine::{HandoffMode, WindowMode};
+        let mut fi = FuzzInstance::new(2, vec![]);
+        let cfg = fi.base_config();
+        assert_eq!(cfg.window, WindowMode::EventKernel);
+        assert_eq!(cfg.handoff, HandoffMode::Delta);
+        fi.scan_window = true;
+        fi.rebuild_handoff = true;
+        let cfg = fi.base_config();
+        assert_eq!(cfg.window, WindowMode::ReferenceScan);
+        assert_eq!(cfg.handoff, HandoffMode::Rebuild);
     }
 }

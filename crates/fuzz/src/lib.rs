@@ -16,8 +16,9 @@
 //! * [`coverage`] — cheap execution features (bands touched, admission
 //!   reasons fired, event-collision masks, expiry-batch and window-width
 //!   buckets) driving corpus retention;
-//! * [`oracle`] — the three heads: invariant suite, kernel-vs-scan byte
-//!   equality, paused-vs-one-shot differential;
+//! * [`oracle`] — the four heads: invariant suite, kernel-vs-scan byte
+//!   equality, paused-vs-one-shot differential, delta-vs-rebuild handoff
+//!   differential;
 //! * [`minimize`] — bounded delta-debugging of failing instances;
 //! * [`run`] — the deterministic fuzz loop (fixed master seed ⇒
 //!   byte-identical corpus trajectory);
@@ -43,5 +44,7 @@ pub use coverage::{CoverageMap, CoverageObserver};
 pub use ir::{FuzzInstance, FuzzJob};
 pub use minimize::minimize;
 pub use mutate::{mutate, Mutator};
-pub use oracle::{run_exec, ExecOutcome, InvariantProfile, OracleFailure, OracleSet, Subject};
+pub use oracle::{
+    run_exec, run_exec_with, ExecOutcome, InvariantProfile, OracleFailure, OracleSet, Subject,
+};
 pub use run::{FailureReport, FuzzConfig, FuzzReport, FuzzSession};

@@ -9,7 +9,8 @@
 //! so minimization cost is bounded even on pathological instances.
 
 use crate::ir::{FuzzInstance, FuzzJob};
-use crate::oracle::{run_exec, OracleSet, Subject};
+use crate::oracle::{run_exec_with, OracleSet, Subject};
+use dagsched_engine::SimConfig;
 use dagsched_workload::Instance;
 
 /// Minimization driver state: the oracle configuration plus a shrinking
@@ -17,6 +18,7 @@ use dagsched_workload::Instance;
 struct Shrinker<'a> {
     subject: &'a Subject,
     set: &'a OracleSet,
+    base: &'a SimConfig,
     pause_salt: u64,
     budget: u32,
 }
@@ -31,9 +33,16 @@ impl Shrinker<'_> {
         }
         self.budget -= 1;
         match fi.to_instance() {
-            Ok(inst) => run_exec(&inst, self.subject, self.set, self.pause_salt, None)
-                .failure
-                .is_some(),
+            Ok(inst) => run_exec_with(
+                &inst,
+                self.subject,
+                self.set,
+                self.pause_salt,
+                None,
+                self.base,
+            )
+            .failure
+            .is_some(),
             Err(_) => false,
         }
     }
@@ -67,6 +76,11 @@ fn drop_node(job: &FuzzJob, node: usize) -> FuzzJob {
 
 /// Shrink `inst` while the oracle configuration keeps failing.
 ///
+/// `base` is the engine configuration the failure was found under — every
+/// shrink candidate is re-judged under the same configuration, so a
+/// failure specific to (say) the scan window or the rebuild handoff does
+/// not silently vanish during minimization.
+///
 /// Returns the smallest failing instance found within `max_checks` oracle
 /// calls (the original instance if nothing could be removed).
 pub fn minimize(
@@ -75,11 +89,13 @@ pub fn minimize(
     set: &OracleSet,
     pause_salt: u64,
     max_checks: u32,
+    base: &SimConfig,
 ) -> Instance {
     let mut cur = FuzzInstance::from_instance(inst);
     let mut sh = Shrinker {
         subject,
         set,
+        base,
         pause_salt,
         budget: max_checks,
     };
@@ -232,14 +248,20 @@ mod tests {
             invariants: true,
             kernel_diff: false,
             pause_diff: false,
+            handoff_diff: false,
         };
+        let base = SimConfig::default();
         assert!(
-            run_exec(&inst, &subject, &set, 0, None).failure.is_some(),
+            run_exec_with(&inst, &subject, &set, 0, None, &base)
+                .failure
+                .is_some(),
             "precondition: the mutant fails"
         );
-        let min = minimize(&inst, &subject, &set, 0, 400);
+        let min = minimize(&inst, &subject, &set, 0, 400, &base);
         assert!(
-            run_exec(&min, &subject, &set, 0, None).failure.is_some(),
+            run_exec_with(&min, &subject, &set, 0, None, &base)
+                .failure
+                .is_some(),
             "minimized instance still fails"
         );
         assert_eq!(min.len(), 1, "shrinks to a single job");

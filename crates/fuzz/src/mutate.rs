@@ -58,6 +58,12 @@ pub enum Mutator {
     DropEdge,
     /// Change the machine count.
     ScaleM,
+    /// Toggle the window mode the candidate is judged under (event kernel
+    /// vs reference scan) — a configuration-axis mutator.
+    FlipWindowMode,
+    /// Toggle the scheduler-handoff mode (delta vs full rebuild) — the
+    /// other configuration axis.
+    FlipHandoff,
 }
 
 /// All mutators with selection weights; the adversarial-family mutators
@@ -79,6 +85,8 @@ pub const MUTATORS: &[(u32, Mutator)] = &[
     (1, Mutator::AddEdge),
     (1, Mutator::DropEdge),
     (1, Mutator::ScaleM),
+    (1, Mutator::FlipWindowMode),
+    (1, Mutator::FlipHandoff),
 ];
 
 /// Pick a weighted random mutator and apply it in place.
@@ -249,6 +257,12 @@ pub fn apply(mutator: Mutator, rng: &mut Rng64, fi: &mut FuzzInstance) {
         Mutator::ScaleM => {
             fi.m = 1 + rng.gen_range(limits::MAX_M as u64) as u32;
         }
+        Mutator::FlipWindowMode => {
+            fi.scan_window = !fi.scan_window;
+        }
+        Mutator::FlipHandoff => {
+            fi.rebuild_handoff = !fi.rebuild_handoff;
+        }
     }
 }
 
@@ -294,22 +308,44 @@ mod tests {
     #[test]
     fn tighten_deadline_targets_brent_bound() {
         let mut rng = Rng64::seed_from(1);
-        let mut fi = FuzzInstance {
-            m: 3,
-            jobs: vec![FuzzJob {
+        let mut fi = FuzzInstance::new(
+            3,
+            vec![FuzzJob {
                 arrival: 0,
                 deadline: 500,
                 profit: 5,
                 works: vec![4, 4, 4, 4, 4],
                 edges: vec![(0, 1), (1, 2)],
             }],
-        };
+        );
         for _ in 0..32 {
             apply(Mutator::TightenDeadline, &mut rng, &mut fi);
             let job = &fi.jobs[0];
             let brent = (job.total_work() - job.span()).div_ceil(3) + job.span();
             assert!(job.deadline + 1 >= brent, "far below the bound");
             assert!(job.deadline <= brent + 1, "far above the bound");
+        }
+    }
+
+    /// The configuration-axis mutators toggle their flag and touch nothing
+    /// else, so a double application is the identity.
+    #[test]
+    fn flip_mutators_toggle_only_the_config_axis() {
+        let mut rng = Rng64::seed_from(9);
+        let base = seed_corpus().swap_remove(0);
+        for (m, read) in [
+            (
+                Mutator::FlipWindowMode,
+                (|fi: &FuzzInstance| fi.scan_window) as fn(&FuzzInstance) -> bool,
+            ),
+            (Mutator::FlipHandoff, |fi: &FuzzInstance| fi.rebuild_handoff),
+        ] {
+            let mut fi = base.clone();
+            apply(m, &mut rng, &mut fi);
+            assert!(read(&fi), "{m:?} sets its flag");
+            assert_eq!(fi.jobs, base.jobs, "{m:?} leaves the workload alone");
+            apply(m, &mut rng, &mut fi);
+            assert_eq!(fi, base, "{m:?} twice is the identity");
         }
     }
 }

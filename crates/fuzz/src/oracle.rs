@@ -1,6 +1,6 @@
-//! The three-headed oracle: what "the fuzzer found something" means.
+//! The four-headed oracle: what "the fuzzer found something" means.
 //!
-//! Every candidate instance is judged by up to three independent checks,
+//! Every candidate instance is judged by up to four independent checks,
 //! in order, stopping at the first failure:
 //!
 //! 1. **Invariants** — the `dagsched-verify` suite (band capacity per
@@ -16,18 +16,27 @@
 //! 3. **Paused vs one-shot** — a [`SimDriver`] paused at several
 //!    deterministically-derived horizons must finish byte-identical to the
 //!    one-shot kernel run (the pacing-invisibility contract).
+//! 4. **Delta vs rebuild** — the run repeated under
+//!    [`HandoffMode::Delta`] and [`HandoffMode::Rebuild`] must produce the
+//!    same outcome, step count and JSONL stream (the incremental-handoff
+//!    contract from DESIGN.md §4.8).
 //!
 //! A simulation error from any head is itself a failure (`sim-error`) —
 //! that is how scheduler mutants that emit invalid allocations are caught.
 //!
 //! The coverage features of head 1's run are returned alongside the
-//! verdict, so one exec yields both signals with at most four simulations.
+//! verdict, so one exec yields both signals with at most six simulations.
+//!
+//! All heads run over a caller-supplied *base* [`SimConfig`]
+//! ([`run_exec_with`]) so the fuzz loop can judge candidates under the
+//! mutated window/handoff configuration axis; the differential heads
+//! override only the knob they are comparing.
 
 use crate::coverage::CoverageObserver;
 use dagsched_core::{AlgoParams, Rng64, Time};
 use dagsched_engine::{
-    simulate_observed, Observers, OnlineScheduler, SimConfig, SimDriver, SimObserver, SimResult,
-    WindowMode,
+    simulate_observed, HandoffMode, Observers, OnlineScheduler, SimConfig, SimDriver, SimObserver,
+    SimResult, WindowMode,
 };
 use dagsched_sched::SchedulerS;
 use dagsched_verify::{EventLog, InvariantSuite, WorkConservationChecker};
@@ -100,6 +109,8 @@ pub struct OracleSet {
     pub kernel_diff: bool,
     /// Head 3: paused-vs-one-shot byte equality.
     pub pause_diff: bool,
+    /// Head 4: delta-vs-rebuild handoff byte equality.
+    pub handoff_diff: bool,
 }
 
 impl Default for OracleSet {
@@ -108,6 +119,7 @@ impl Default for OracleSet {
             invariants: true,
             kernel_diff: true,
             pause_diff: true,
+            handoff_diff: true,
         }
     }
 }
@@ -116,7 +128,7 @@ impl Default for OracleSet {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OracleFailure {
     /// Which head failed: `invariants`, `kernel-vs-scan`,
-    /// `paused-vs-oneshot`, or `sim-error`.
+    /// `paused-vs-oneshot`, `delta-vs-rebuild`, or `sim-error`.
     pub oracle: &'static str,
     /// Human-readable evidence (violation list or first diverging line).
     pub detail: String,
@@ -144,6 +156,23 @@ fn first_diff(label: &str, a: &str, b: &str) -> String {
     )
 }
 
+fn run_under(
+    inst: &Instance,
+    subject: &Subject,
+    cfg: &SimConfig,
+    label: &str,
+) -> Result<(SimResult, String), OracleFailure> {
+    let mut log = EventLog::new();
+    let mut sched = subject.instantiate(inst.m());
+    match simulate_observed(inst, sched.as_mut(), cfg, &mut log) {
+        Ok(r) => Ok((r, log.to_jsonl())),
+        Err(e) => Err(OracleFailure {
+            oracle: "sim-error",
+            detail: format!("{label}: {e}"),
+        }),
+    }
+}
+
 fn run_windowed(
     inst: &Instance,
     subject: &Subject,
@@ -154,24 +183,11 @@ fn run_windowed(
         window,
         ..cfg.clone()
     };
-    let mut log = EventLog::new();
-    let mut sched = subject.instantiate(inst.m());
-    match simulate_observed(inst, sched.as_mut(), &cfg, &mut log) {
-        Ok(r) => Ok((r, log.to_jsonl())),
-        Err(e) => Err(OracleFailure {
-            oracle: "sim-error",
-            detail: format!("{window:?}: {e}"),
-        }),
-    }
+    run_under(inst, subject, &cfg, &format!("{window:?}"))
 }
 
-/// Run one candidate through the enabled oracle heads.
-///
-/// `pause_salt` seeds head 3's pause schedule; the caller derives it
-/// deterministically (from the master RNG in the fuzz loop, from the
-/// instance's content hash on replay). `replay_seed`, when given, is
-/// published to `dagsched-verify`'s panic context so a strict-mode unwind
-/// prints a reproduction command.
+/// Run one candidate through the enabled oracle heads under the default
+/// [`SimConfig`] (event kernel, delta handoff). See [`run_exec_with`].
 pub fn run_exec(
     inst: &Instance,
     subject: &Subject,
@@ -179,8 +195,39 @@ pub fn run_exec(
     pause_salt: u64,
     replay_seed: Option<u64>,
 ) -> ExecOutcome {
+    run_exec_with(
+        inst,
+        subject,
+        set,
+        pause_salt,
+        replay_seed,
+        &SimConfig::default(),
+    )
+}
+
+/// Run one candidate through the enabled oracle heads over `base`.
+///
+/// `base` is the engine configuration the candidate is judged under — the
+/// fuzz loop passes [`FuzzInstance::base_config`](crate::ir::FuzzInstance)
+/// so the mutated window/handoff axis actually takes effect. Heads 2 and 4
+/// override the knob they compare (window resp. handoff) and inherit the
+/// rest.
+///
+/// `pause_salt` seeds head 3's pause schedule; the caller derives it
+/// deterministically (from the master RNG in the fuzz loop, from the
+/// instance's content hash on replay). `replay_seed`, when given, is
+/// published to `dagsched-verify`'s panic context so a strict-mode unwind
+/// prints a reproduction command.
+pub fn run_exec_with(
+    inst: &Instance,
+    subject: &Subject,
+    set: &OracleSet,
+    pause_salt: u64,
+    replay_seed: Option<u64>,
+    base: &SimConfig,
+) -> ExecOutcome {
     let params = AlgoParams::from_epsilon(1.0).expect("valid epsilon");
-    let cfg = SimConfig::default();
+    let cfg = base.clone();
     if let Some(seed) = replay_seed {
         dagsched_verify::context::set_replay_seed(seed);
     }
@@ -340,6 +387,45 @@ pub fn run_exec(
                 }
             }
             Err(f) => failure = Some(f),
+        }
+    }
+    if failure.is_some() {
+        return ExecOutcome {
+            features: cov.into_features(),
+            failure,
+        };
+    }
+
+    // Head 4: delta vs rebuild handoff byte equality.
+    if set.handoff_diff {
+        let run_handoff = |handoff: HandoffMode, label: &str| {
+            let cfg = SimConfig {
+                handoff,
+                ..cfg.clone()
+            };
+            run_under(inst, subject, &cfg, label)
+        };
+        let delta = run_handoff(HandoffMode::Delta, "delta handoff");
+        let rebuild = run_handoff(HandoffMode::Rebuild, "rebuild handoff");
+        match (delta, rebuild) {
+            (Ok(d), Ok(r)) => {
+                if !d.0.same_outcome(&r.0) || d.0.steps_executed != r.0.steps_executed {
+                    failure = Some(OracleFailure {
+                        oracle: "delta-vs-rebuild",
+                        detail: format!(
+                            "outcome diverges: delta profit {} steps {}, rebuild profit {} steps {}",
+                            d.0.total_profit, d.0.steps_executed, r.0.total_profit,
+                            r.0.steps_executed
+                        ),
+                    });
+                } else if d.1 != r.1 {
+                    failure = Some(OracleFailure {
+                        oracle: "delta-vs-rebuild",
+                        detail: first_diff("delta != rebuild", &d.1, &r.1),
+                    });
+                }
+            }
+            (Err(f), _) | (_, Err(f)) => failure = Some(f),
         }
     }
 

@@ -15,8 +15,9 @@ use crate::coverage::CoverageMap;
 use crate::ir::{fnv1a, FuzzInstance};
 use crate::minimize::minimize;
 use crate::mutate::mutate;
-use crate::oracle::{run_exec, OracleSet, Subject};
+use crate::oracle::{run_exec_with, OracleSet, Subject};
 use dagsched_core::Rng64;
+use dagsched_engine::SimConfig;
 use dagsched_workload::codec;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -197,17 +198,19 @@ impl FuzzSession {
         let mut invalid: u64 = 0;
 
         let judge = |inst: &dagsched_workload::Instance,
+                     base: &SimConfig,
                      exec_index: u64,
                      pause_salt: u64,
                      coverage: &mut CoverageMap,
                      failures: &mut Vec<FailureReport>|
          -> usize {
-            let outcome = run_exec(
+            let outcome = run_exec_with(
                 inst,
                 &self.subject,
                 &cfg.oracles,
                 pause_salt,
                 Some(cfg.master_seed),
+                base,
             );
             let new = coverage.merge(&outcome.features);
             if let Some(f) = outcome.failure {
@@ -219,6 +222,7 @@ impl FuzzSession {
                         &cfg.oracles,
                         pause_salt,
                         cfg.minimize_budget,
+                        base,
                     ))
                 } else {
                     text.clone()
@@ -242,7 +246,15 @@ impl FuzzSession {
             }
             let pause_salt = rng.next_u64();
             let inst = corpus[i].to_instance().expect("seed corpus is valid");
-            let new = judge(&inst, execs, pause_salt, &mut coverage, &mut failures);
+            let base = corpus[i].base_config();
+            let new = judge(
+                &inst,
+                &base,
+                execs,
+                pause_salt,
+                &mut coverage,
+                &mut failures,
+            );
             let failed = !failures.is_empty() && failures.last().unwrap().exec_index == execs;
             trajectory = step_digest(trajectory, execs, new, corpus.len(), failed);
             execs += 1;
@@ -261,7 +273,15 @@ impl FuzzSession {
             execs += 1;
             let (new, failed) = match cand.to_instance() {
                 Ok(inst) => {
-                    let new = judge(&inst, exec_index, pause_salt, &mut coverage, &mut failures);
+                    let base = cand.base_config();
+                    let new = judge(
+                        &inst,
+                        &base,
+                        exec_index,
+                        pause_salt,
+                        &mut coverage,
+                        &mut failures,
+                    );
                     let failed = failures.last().is_some_and(|f| f.exec_index == exec_index);
                     if new > 0 && corpus.len() < cfg.max_corpus {
                         corpus.push(cand);

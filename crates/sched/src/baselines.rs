@@ -27,7 +27,7 @@
 use crate::slab::DenseU32Map;
 use dagsched_core::{AlgoParams, JobId, Rng64, Time};
 use dagsched_engine::{
-    AdmissionDecision, AdmissionEvent, Allocation, JobInfo, OnlineScheduler, TickView,
+    AdmissionDecision, AdmissionEvent, Allocation, JobInfo, OnlineScheduler, TickView, ViewDelta,
 };
 
 /// Arrival-time facts a baseline keeps per alive job.
@@ -91,7 +91,8 @@ impl Base {
 }
 
 /// Work-conserving fill: walk `order`, give each job `min(ready, left)`.
-/// `lut` is caller-owned scratch; `out` is appended to.
+/// `lut` is caller-owned scratch, rebuilt from the view; `out` is appended
+/// to.
 fn fill_into(
     order: impl Iterator<Item = JobId>,
     view: &TickView<'_>,
@@ -102,7 +103,18 @@ fn fill_into(
     for &(id, r) in view.jobs() {
         lut.set(id, r);
     }
-    let mut left = view.m;
+    fill_with_lut(order, view.m, lut, out);
+}
+
+/// The fill walk against an already-current ready lut — the delta path's
+/// variant of [`fill_into`] with the O(alive) rebuild factored out.
+fn fill_with_lut(
+    order: impl Iterator<Item = JobId>,
+    m: u32,
+    lut: &DenseU32Map,
+    out: &mut Allocation,
+) {
+    let mut left = m;
     for id in order {
         if left == 0 {
             break;
@@ -123,13 +135,23 @@ macro_rules! baseline {
         pub struct $name {
             m: u32,
             base: Base,
+            /// Ready counts: per-call scratch on the rebuild path, kept
+            /// *persistent* across calls on the delta path (`lut_live`).
             ready_lut: DenseU32Map,
+            /// True while `ready_lut` mirrors the engine's maintained view
+            /// (delta path only; any full `allocate_into` invalidates it).
+            lut_live: bool,
         }
 
         impl $name {
             /// Create the scheduler for `m` processors.
             pub fn new(m: u32) -> $name {
-                $name { m, base: Base::default(), ready_lut: DenseU32Map::new() }
+                $name {
+                    m,
+                    base: Base::default(),
+                    ready_lut: DenseU32Map::new(),
+                    lut_live: false,
+                }
             }
         }
 
@@ -152,6 +174,7 @@ macro_rules! baseline {
                 out
             }
             fn allocate_into(&mut self, view: &TickView<'_>, out: &mut Allocation) {
+                self.lut_live = false;
                 out.clear();
                 fill_into(
                     self.base.alive.iter().map(|e| e.id),
@@ -159,6 +182,37 @@ macro_rules! baseline {
                     &mut self.ready_lut,
                     out,
                 );
+            }
+            fn allocate_delta(
+                &mut self,
+                delta: &ViewDelta,
+                view: &TickView<'_>,
+                out: &mut Allocation,
+            ) -> bool {
+                if self.lut_live && delta.is_empty() {
+                    // Nothing moved since the last call: `out` still holds
+                    // that call's allocation, and replaying it verbatim is
+                    // exactly what the full walk would recompute.
+                    return true;
+                }
+                if self.lut_live {
+                    self.ready_lut.apply_view_delta(delta);
+                } else {
+                    // First delta call of the run: seed the lut once.
+                    self.ready_lut.clear();
+                    for &(id, r) in view.jobs() {
+                        self.ready_lut.set(id, r);
+                    }
+                    self.lut_live = true;
+                }
+                out.clear();
+                fill_with_lut(
+                    self.base.alive.iter().map(|e| e.id),
+                    view.m,
+                    &self.ready_lut,
+                    out,
+                );
+                true
             }
             fn allocation_stable_between_events(&self) -> bool {
                 // Every baseline orders by keys fixed at arrival (seq,
@@ -169,6 +223,8 @@ macro_rules! baseline {
             }
             fn reset(&mut self) -> bool {
                 self.base.clear();
+                self.ready_lut.clear();
+                self.lut_live = false;
                 true
             }
         }
@@ -278,6 +334,10 @@ pub struct SNoAdmission {
     alive: Vec<(f64, u64, JobId, u32)>,
     seq: u64,
     report: Option<Vec<AdmissionEvent>>,
+    /// True while `out` from the previous allocate call is still current
+    /// (delta path: the walk ignores ready counts, so only hook-driven
+    /// queue changes can invalidate it).
+    cache_live: bool,
 }
 
 impl SNoAdmission {
@@ -289,6 +349,7 @@ impl SNoAdmission {
             alive: Vec::new(),
             seq: 0,
             report: None,
+            cache_live: false,
         }
     }
 }
@@ -339,6 +400,7 @@ impl OnlineScheduler for SNoAdmission {
         out
     }
     fn allocate_into(&mut self, view: &TickView<'_>, out: &mut Allocation) {
+        self.cache_live = false;
         out.clear();
         let mut left = view.m;
         for &(_, _, id, allot) in &self.alive {
@@ -350,6 +412,21 @@ impl OnlineScheduler for SNoAdmission {
                 left -= allot;
             }
         }
+    }
+    fn allocate_delta(
+        &mut self,
+        delta: &ViewDelta,
+        view: &TickView<'_>,
+        out: &mut Allocation,
+    ) -> bool {
+        if self.cache_live && delta.is_empty() {
+            return true;
+        }
+        // The walk never reads ready counts, so a non-empty delta just
+        // means "rerun the (cheap) allotment walk" — no lut to maintain.
+        self.allocate_into(view, out);
+        self.cache_live = true;
+        true
     }
     fn allocation_stable_between_events(&self) -> bool {
         // Pure walk over (density, seq, allot) tuples fixed at arrival.
@@ -370,6 +447,7 @@ impl OnlineScheduler for SNoAdmission {
         self.alive.clear();
         self.seq = 0;
         self.report = None;
+        self.cache_live = false;
         true
     }
 }

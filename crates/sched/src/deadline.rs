@@ -38,7 +38,7 @@ use crate::slab::{DenseU32Map, JobSlab};
 use dagsched_core::{AlgoParams, JobId, Time};
 use dagsched_engine::{
     AdmissionDecision, AdmissionEvent, AdmissionReason, Allocation, JobInfo, OnlineScheduler,
-    TickView,
+    TickView, ViewDelta,
 };
 
 /// Totally-ordered f64 key for the density-sorted queues.
@@ -157,10 +157,16 @@ pub struct SchedulerS {
     report: Option<Vec<AdmissionEvent>>,
     /// Scratch: candidate ids for the completion-event admission scan.
     admit_scratch: Vec<JobId>,
-    /// Scratch: ready counts of the current view, for backfill.
+    /// Ready counts of the current view, for backfill: per-call scratch on
+    /// the rebuild path, persistent across calls on the delta path.
     ready_lut: DenseU32Map,
     /// Scratch: job → slot position in the allocation being built.
     slot_lut: DenseU32Map,
+    /// True while `ready_lut` mirrors the engine's maintained view (delta
+    /// path only; a full `allocate_into` invalidates it).
+    lut_live: bool,
+    /// True while the previous allocate call's `out` is still current.
+    cache_live: bool,
 }
 
 impl SchedulerS {
@@ -183,6 +189,8 @@ impl SchedulerS {
             admit_scratch: Vec::new(),
             ready_lut: DenseU32Map::new(),
             slot_lut: DenseU32Map::new(),
+            lut_live: false,
+            cache_live: false,
         }
     }
 
@@ -289,6 +297,26 @@ impl SchedulerS {
         self.assert_invariant();
     }
 
+    /// The standard pass: walk `Q` highest-density-first, granting each
+    /// started job its full allotment while it fits. Clears `out`; returns
+    /// the processors left idle. Reads nothing but the queues, so both the
+    /// rebuild and the delta handoff share it verbatim.
+    fn standard_pass(&self, m: u32, out: &mut Allocation) -> u32 {
+        out.clear();
+        let mut left = m;
+        for &(_, id) in self.q.iter().rev() {
+            if left == 0 {
+                break;
+            }
+            let job = self.jobs.get(id).expect("queued job is known");
+            if job.allot <= left {
+                out.push((id, job.allot));
+                left -= job.allot;
+            }
+        }
+        left
+    }
+
     /// Work-conserving backfill over processors the standard pass left
     /// idle, in three stages of decreasing theoretical blessing:
     ///
@@ -305,11 +333,19 @@ impl SchedulerS {
     /// per-call hashing or allocation, and the grant merge that used to
     /// rescan `out` per grant (`out.iter_mut().find`) is now an O(1) slot
     /// lookup.
-    fn backfill(&mut self, view: &TickView<'_>, mut left: u32, out: &mut Allocation) {
+    fn backfill(&mut self, view: &TickView<'_>, left: u32, out: &mut Allocation) {
         self.ready_lut.clear();
         for &(id, r) in view.jobs() {
             self.ready_lut.set(id, r);
         }
+        self.backfill_with_lut(left, out);
+    }
+
+    /// The backfill walk against an already-current `ready_lut` — the delta
+    /// path's variant of [`backfill`](SchedulerS::backfill) with the
+    /// O(alive) ready-count rebuild factored out. The slot lut is still
+    /// rebuilt from `out` each call, which is O(|out|) ≤ O(m).
+    fn backfill_with_lut(&mut self, mut left: u32, out: &mut Allocation) {
         self.slot_lut.clear();
         for (slot, &(id, _)) in out.iter().enumerate() {
             self.slot_lut.set(id, slot as u32);
@@ -477,21 +513,45 @@ impl OnlineScheduler for SchedulerS {
     }
 
     fn allocate_into(&mut self, view: &TickView<'_>, out: &mut Allocation) {
-        out.clear();
-        let mut left = view.m;
-        for &(_, id) in self.q.iter().rev() {
-            if left == 0 {
-                break;
-            }
-            let job = self.jobs.get(id).expect("queued job is known");
-            if job.allot <= left {
-                out.push((id, job.allot));
-                left -= job.allot;
-            }
-        }
+        self.lut_live = false;
+        self.cache_live = false;
+        let left = self.standard_pass(view.m, out);
         if self.work_conserving && left > 0 {
             self.backfill(view, left, out);
         }
+    }
+
+    fn allocate_delta(
+        &mut self,
+        delta: &ViewDelta,
+        view: &TickView<'_>,
+        out: &mut Allocation,
+    ) -> bool {
+        if self.cache_live && delta.is_empty() {
+            // No hook fired and no ready count moved: the previous call's
+            // `out` (still in the buffer) is exactly what a full walk would
+            // recompute.
+            return true;
+        }
+        if self.work_conserving {
+            // Only the backfill reads ready counts; keep its lut current
+            // incrementally instead of rebuilding it O(alive) per step.
+            if self.lut_live {
+                self.ready_lut.apply_view_delta(delta);
+            } else {
+                self.ready_lut.clear();
+                for &(id, r) in view.jobs() {
+                    self.ready_lut.set(id, r);
+                }
+                self.lut_live = true;
+            }
+        }
+        let left = self.standard_pass(view.m, out);
+        if self.work_conserving && left > 0 {
+            self.backfill_with_lut(left, out);
+        }
+        self.cache_live = true;
+        true
     }
 
     fn allocation_stable_between_events(&self) -> bool {
@@ -523,6 +583,9 @@ impl OnlineScheduler for SchedulerS {
         self.bands.clear();
         self.metrics = SchedulerSMetrics::default();
         self.report = None;
+        self.ready_lut.clear();
+        self.lut_live = false;
+        self.cache_live = false;
         true
     }
 }

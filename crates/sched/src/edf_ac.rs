@@ -25,11 +25,11 @@
 //! test and the per-tick EDF sort run over hoisted scratch vectors, so the
 //! steady-state paths do not allocate.
 
-use crate::slab::JobSlab;
+use crate::slab::{DenseU32Map, JobSlab};
 use dagsched_core::{JobId, Time, Work};
 use dagsched_engine::{
     AdmissionDecision, AdmissionEvent, AdmissionReason, Allocation, JobInfo, OnlineScheduler,
-    TickView,
+    TickView, ViewDelta,
 };
 
 /// Per-admitted-job record.
@@ -51,8 +51,20 @@ pub struct EdfAc {
     report: Option<Vec<AdmissionEvent>>,
     /// Scratch: the sorted-deduped deadline horizon of the admission test.
     deadline_scratch: Vec<Time>,
-    /// Scratch: this tick's `(deadline, seq, id, ready)` EDF order.
+    /// Scratch: this tick's `(deadline, seq, id, ready)` EDF order, for the
+    /// rebuild path.
     order_scratch: Vec<(Time, u64, JobId, u32)>,
+    /// Admitted jobs kept sorted by `(deadline, seq)` — the EDF walk order
+    /// — maintained incrementally in the hooks. `(deadline, seq)` is a
+    /// unique key, so this order equals what the rebuild path's
+    /// `sort_unstable` produces every tick.
+    live_order: Vec<(Time, u64, JobId)>,
+    /// Ready counts, persistent across calls on the delta path.
+    ready_lut: DenseU32Map,
+    /// True while `ready_lut` mirrors the engine's maintained view.
+    lut_live: bool,
+    /// True while the previous allocate call's `out` is still current.
+    cache_live: bool,
 }
 
 impl EdfAc {
@@ -67,6 +79,10 @@ impl EdfAc {
             report: None,
             deadline_scratch: Vec::new(),
             order_scratch: Vec::new(),
+            live_order: Vec::new(),
+            ready_lut: DenseU32Map::new(),
+            lut_live: false,
+            cache_live: false,
         }
     }
 
@@ -116,6 +132,22 @@ impl EdfAc {
         self.deadline_scratch = deadlines;
         failure
     }
+
+    /// Forget an admitted job (completion or expiry). The record is taken
+    /// out of the slab first so its `(deadline, seq)` key is available for
+    /// the ordered-list removal; expiry can fire for jobs the admission
+    /// test rejected, which were never ordered — those are a no-op.
+    fn drop_admitted(&mut self, id: JobId) {
+        if let Some(j) = self.admitted.remove(id) {
+            let key = (j.abs_deadline, j.seq, id);
+            match self.live_order.binary_search(&key) {
+                Ok(at) => {
+                    self.live_order.remove(at);
+                }
+                Err(_) => debug_assert!(false, "admitted job is in the live order"),
+            }
+        }
+    }
 }
 
 impl OnlineScheduler for EdfAc {
@@ -137,6 +169,12 @@ impl OnlineScheduler for EdfAc {
         let decision = match self.admission_failure(&cand, info.span, now) {
             None => {
                 self.admitted.insert(info.id, cand);
+                let key = (cand.abs_deadline, cand.seq, info.id);
+                // `seq` is fresh and strictly larger than every prior one,
+                // but earlier deadlines can arrive later — a real insert
+                // position, not always the tail.
+                let at = self.live_order.partition_point(|e| e < &key);
+                self.live_order.insert(at, key);
                 AdmissionDecision::Admitted
             }
             Some(reason) => {
@@ -153,11 +191,11 @@ impl OnlineScheduler for EdfAc {
     }
 
     fn on_completion(&mut self, id: JobId, _now: Time) {
-        self.admitted.remove(id);
+        self.drop_admitted(id);
     }
 
     fn on_expiry(&mut self, id: JobId, _now: Time) {
-        self.admitted.remove(id);
+        self.drop_admitted(id);
     }
 
     fn allocate(&mut self, view: &TickView<'_>) -> Allocation {
@@ -167,6 +205,8 @@ impl OnlineScheduler for EdfAc {
     }
 
     fn allocate_into(&mut self, view: &TickView<'_>, out: &mut Allocation) {
+        self.lut_live = false;
+        self.cache_live = false;
         out.clear();
         let mut order = std::mem::take(&mut self.order_scratch);
         order.clear();
@@ -192,6 +232,47 @@ impl OnlineScheduler for EdfAc {
         self.order_scratch = order;
     }
 
+    fn allocate_delta(
+        &mut self,
+        delta: &ViewDelta,
+        view: &TickView<'_>,
+        out: &mut Allocation,
+    ) -> bool {
+        if self.cache_live && delta.is_empty() {
+            return true;
+        }
+        if self.lut_live {
+            self.ready_lut.apply_view_delta(delta);
+        } else {
+            self.ready_lut.clear();
+            for &(id, r) in view.jobs() {
+                self.ready_lut.set(id, r);
+            }
+            self.lut_live = true;
+        }
+        out.clear();
+        // Walk the maintained `(deadline, seq)` order instead of sorting
+        // the view: admitted ⊆ alive (terminal hooks always fire), so every
+        // ordered job has a lut entry, and the rebuild path's sort visits
+        // the same jobs in the same unique-key order.
+        let mut left = view.m;
+        for &(_, _, id) in &self.live_order {
+            if left == 0 {
+                break;
+            }
+            let Some(r) = self.ready_lut.get(id) else {
+                continue;
+            };
+            let k = r.min(left);
+            if k > 0 {
+                out.push((id, k));
+                left -= k;
+            }
+        }
+        self.cache_live = true;
+        true
+    }
+
     fn allocation_stable_between_events(&self) -> bool {
         // Pure (deadline, seq) sort over the admitted set + work-conserving
         // fill; admission happens only in the arrival hook.
@@ -213,6 +294,10 @@ impl OnlineScheduler for EdfAc {
         self.seq = 0;
         self.rejected = 0;
         self.report = None;
+        self.live_order.clear();
+        self.ready_lut.clear();
+        self.lut_live = false;
+        self.cache_live = false;
         true
     }
 }

@@ -2,10 +2,11 @@
 //!
 //! Each fixture under `tests/fixtures/` is a hand-minimized near-miss from
 //! the adversarial families (triple-tie instants, Figure 1 DAGs at the
-//! Brent bound, density-band burst ties). None currently violates an
-//! oracle — the regression is that they stay green under all three heads
-//! (invariants, kernel-vs-scan, paused-vs-one-shot) as the engine evolves,
-//! and that any future counterexample promoted here immediately fails CI.
+//! Brent bound, density-band burst ties, parked-majority delta churn).
+//! None currently violates an oracle — the regression is that they stay
+//! green under all four heads (invariants, kernel-vs-scan,
+//! paused-vs-one-shot, delta-vs-rebuild) as the engine evolves, and that
+//! any future counterexample promoted here immediately fails CI.
 
 use dagsched_fuzz::cli::replay_instance;
 
@@ -18,13 +19,18 @@ fn assert_replays_clean(name: &str) {
     let text = fixture(name);
     let verdict =
         replay_instance(&text).unwrap_or_else(|e| panic!("{name} fails an oracle head:\n{e}"));
-    // All three heads must have actually run and passed.
+    // All four heads must have actually run and passed.
     assert_eq!(
         verdict.matches("PASS").count(),
-        3,
-        "{name}: expected three PASS lines, got:\n{verdict}"
+        4,
+        "{name}: expected four PASS lines, got:\n{verdict}"
     );
-    for head in ["invariants", "kernel-vs-scan", "paused-vs-oneshot"] {
+    for head in [
+        "invariants",
+        "kernel-vs-scan",
+        "paused-vs-oneshot",
+        "delta-vs-rebuild",
+    ] {
         assert!(
             verdict.contains(head),
             "{name}: head {head} missing from verdict:\n{verdict}"
@@ -47,13 +53,23 @@ fn band_burst_fixture_replays_clean() {
     assert_replays_clean("band-burst.txt");
 }
 
+#[test]
+fn delta_parked_fixture_replays_clean() {
+    assert_replays_clean("delta-parked.txt");
+}
+
 /// The fixture texts round-trip through the codec — a fixture that decodes
 /// to something other than what it prints would make the replay command
 /// lie about what it tested.
 #[test]
 fn fixtures_round_trip_through_the_codec() {
     use dagsched_workload::codec;
-    for name in ["triple-tie.txt", "fig1-tight.txt", "band-burst.txt"] {
+    for name in [
+        "triple-tie.txt",
+        "fig1-tight.txt",
+        "band-burst.txt",
+        "delta-parked.txt",
+    ] {
         let text = fixture(name);
         let inst = codec::decode(&text).expect("fixture decodes");
         let reencoded = codec::encode(&inst);

@@ -303,6 +303,7 @@ fn kill_cfg(seed: u64) -> FuzzConfig {
             invariants: true,
             kernel_diff: false,
             pause_diff: false,
+            handoff_diff: false,
         },
         minimize: false,
         ..FuzzConfig::default()

@@ -1,0 +1,379 @@
+//! Differential oracle for the incremental scheduler handoff: with every
+//! other knob fixed, [`HandoffMode::Delta`] and [`HandoffMode::Rebuild`]
+//! must be **byte-identical** — same `SimResult` (including
+//! `steps_executed`), same JSONL event stream.
+//!
+//! `event_kernel_differential.rs` pins *which next-event selection* drove
+//! the windows; this file pins *how the scheduler saw the alive set*: the
+//! maintained `(id, ready_count)` view patched by `ViewDelta` (with each
+//! scheduler's `allocate_delta` — cached replay on empty deltas,
+//! incremental lut patching otherwise) against the frozen
+//! [`ViewRebuild`](dagsched_engine::ViewRebuild) twin that reconstructs the
+//! view and runs a full `allocate_into` every step. It runs the standard
+//! corpus and an overload corpus, collision-dense proptest instances,
+//! `run_until` at proptest-chosen pause horizons, and the whole corpus
+//! again under a multi-thread harness — all for every production
+//! scheduler, including the delta-declining `RandomOrder` (which exercises
+//! the maintained-view + full-`allocate_into` fallback).
+
+use dagsched_core::{AlgoParams, JobId, Speed, Time};
+use dagsched_engine::{
+    parallel_map, simulate_observed, HandoffMode, NodePick, OnlineScheduler, SimConfig, SimDriver,
+    SimObserver, SimResult, WindowMode,
+};
+use dagsched_sched::{
+    Edf, EdfAc, Fifo, GreedyDensity, LeastLaxity, RandomOrder, SNoAdmission, SchedulerS,
+};
+use dagsched_verify::EventLog;
+use dagsched_workload::{
+    ArrivalProcess, DeadlinePolicy, Instance, JobSpec, StepProfitFn, WorkloadGen,
+};
+
+type SchedFactory = Box<dyn Fn() -> Box<dyn OnlineScheduler> + Sync>;
+
+fn factories(m: u32) -> Vec<(&'static str, SchedFactory)> {
+    let params = AlgoParams::from_epsilon(1.0).expect("valid epsilon");
+    vec![
+        (
+            "S",
+            Box::new(move || Box::new(SchedulerS::with_epsilon(m, 1.0)) as _),
+        ),
+        (
+            "S-wc",
+            Box::new(move || Box::new(SchedulerS::with_epsilon(m, 1.0).work_conserving()) as _),
+        ),
+        (
+            "S-noadmit",
+            Box::new(move || Box::new(SNoAdmission::new(m, params)) as _),
+        ),
+        ("FIFO", Box::new(move || Box::new(Fifo::new(m)) as _)),
+        ("EDF", Box::new(move || Box::new(Edf::new(m)) as _)),
+        (
+            "HDF",
+            Box::new(move || Box::new(GreedyDensity::new(m)) as _),
+        ),
+        ("LLF", Box::new(move || Box::new(LeastLaxity::new(m)) as _)),
+        ("EDF-AC", Box::new(move || Box::new(EdfAc::new(m)) as _)),
+        (
+            // Declines `allocate_delta`: pins the engine's fallback, where
+            // the *maintained* view feeds a full `allocate_into` per step.
+            "RANDOM",
+            Box::new(move || Box::new(RandomOrder::new(m, 42)) as _),
+        ),
+    ]
+}
+
+/// One observed run under the given handoff mode.
+fn run_mode(
+    inst: &Instance,
+    mk: &dyn Fn() -> Box<dyn OnlineScheduler>,
+    cfg: &SimConfig,
+    handoff: HandoffMode,
+) -> (SimResult, String) {
+    let cfg = SimConfig {
+        handoff,
+        ..cfg.clone()
+    };
+    let mut log = EventLog::new();
+    let r = simulate_observed(inst, mk().as_mut(), &cfg, &mut log).expect("run succeeds");
+    (r, log.to_jsonl())
+}
+
+fn assert_matches(label: &str, delta: (SimResult, String), rebuild: &(SimResult, String)) {
+    assert!(
+        delta.0.same_outcome(&rebuild.0),
+        "{label}: delta outcome diverges from rebuild\n\
+         delta  : profit {} ticks {}\nrebuild: profit {} ticks {}",
+        delta.0.total_profit,
+        delta.0.ticks_simulated,
+        rebuild.0.total_profit,
+        rebuild.0.ticks_simulated,
+    );
+    assert_eq!(
+        delta.0.steps_executed, rebuild.0.steps_executed,
+        "{label}: step count diverges (an allocation changed a window)"
+    );
+    if delta.1 != rebuild.1 {
+        for (i, (d, r)) in delta.1.lines().zip(rebuild.1.lines()).enumerate() {
+            assert_eq!(d, r, "{label}: event streams diverge at line {i}");
+        }
+        panic!(
+            "{label}: streams are a prefix of each other ({} vs {} lines)",
+            delta.1.lines().count(),
+            rebuild.1.lines().count()
+        );
+    }
+}
+
+fn check_pair(
+    inst: &Instance,
+    mk: &dyn Fn() -> Box<dyn OnlineScheduler>,
+    cfg: &SimConfig,
+    label: &str,
+) {
+    let rebuild = run_mode(inst, mk, cfg, HandoffMode::Rebuild);
+    let delta = run_mode(inst, mk, cfg, HandoffMode::Delta);
+    assert_matches(label, delta, &rebuild);
+}
+
+fn check_all(inst: &Instance, m: u32, label: &str) {
+    for speed in [Speed::ONE, Speed::new(3, 2).expect("positive")] {
+        for pick in [NodePick::Fifo, NodePick::CriticalPathFirst] {
+            for window in [WindowMode::EventKernel, WindowMode::ReferenceScan] {
+                let cfg = SimConfig {
+                    speed,
+                    pick: pick.clone(),
+                    window,
+                    ..SimConfig::default()
+                };
+                for (name, mk) in &factories(m) {
+                    check_pair(
+                        inst,
+                        mk,
+                        &cfg,
+                        &format!(
+                            "{label}: {name} at speed {speed:?} pick {pick:?} window {window:?}"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    // The maintained view is patched on the naive path too: one
+    // representative naive configuration per instance.
+    let naive = SimConfig {
+        fast_forward: false,
+        ..SimConfig::default()
+    };
+    for (name, mk) in &factories(m) {
+        check_pair(inst, mk, &naive, &format!("{label}: {name} naive"));
+    }
+}
+
+#[test]
+fn delta_matches_rebuild_on_standard_workloads() {
+    for seed in [7u64, 191, 2024] {
+        let m = 4 + (seed % 5) as u32;
+        let inst = WorkloadGen::standard(m, 30, seed)
+            .generate()
+            .expect("valid workload");
+        check_all(&inst, m, &format!("standard seed {seed}"));
+    }
+}
+
+#[test]
+fn delta_matches_rebuild_under_overload() {
+    // Tight deadlines + hot arrivals: the view churns hardest — admits,
+    // expiries and ready-count patches on nearly every step.
+    let m = 6;
+    let inst = WorkloadGen {
+        arrivals: ArrivalProcess::poisson_for_load(4.0, 60.0, m),
+        deadlines: DeadlinePolicy::SlackFactor(1.2),
+        ..WorkloadGen::standard(m, 50, 99)
+    }
+    .generate()
+    .expect("valid workload");
+    check_all(&inst, m, "overload");
+}
+
+/// A parked majority: most jobs sit alive-but-idle for the whole run, so
+/// almost every step's delta is empty (or a handful of ready patches) and
+/// the cached-replay branch of every `allocate_delta` carries the run.
+#[test]
+fn delta_matches_rebuild_with_a_parked_majority() {
+    use dagsched_dag::gen;
+    let mut jobs: Vec<JobSpec> = (0..40u32)
+        .map(|i| {
+            JobSpec::new(
+                JobId(i),
+                Time(0),
+                gen::single(5_000).into_shared(),
+                StepProfitFn::deadline(Time(50_000), 1),
+            )
+        })
+        .collect();
+    // Foreground churn: short chains arriving over time.
+    for i in 0..20u32 {
+        jobs.push(JobSpec::new(
+            JobId(40 + i),
+            Time(2 * i as u64),
+            gen::chain(3, 2).into_shared(),
+            StepProfitFn::deadline(Time(40), 3),
+        ));
+    }
+    jobs.sort_by_key(|j| j.arrival);
+    let jobs = jobs
+        .into_iter()
+        .enumerate()
+        .map(|(i, j)| JobSpec::new(JobId(i as u32), j.arrival, j.dag.clone(), j.profit.clone()))
+        .collect();
+    let inst = Instance::new(4, jobs).expect("valid parked instance");
+    check_all(&inst, 4, "parked majority");
+}
+
+/// The whole standard corpus again, but driven through the multi-thread
+/// harness: each (instance, scheduler) pair runs both handoff modes on a
+/// worker thread. Byte-identity must hold at N threads exactly as at 1 —
+/// the delta path has no hidden shared state.
+#[test]
+fn delta_matches_rebuild_across_threads() {
+    let insts: Vec<(u64, Instance)> = [7u64, 191, 2024]
+        .iter()
+        .map(|&seed| {
+            let m = 4 + (seed % 5) as u32;
+            (
+                seed,
+                WorkloadGen::standard(m, 30, seed)
+                    .generate()
+                    .expect("valid workload"),
+            )
+        })
+        .collect();
+    let mut tasks: Vec<(usize, usize)> = Vec::new();
+    for i in 0..insts.len() {
+        for s in 0..factories(1).len() {
+            tasks.push((i, s));
+        }
+    }
+    let insts_ref = &insts;
+    let results = parallel_map(tasks, 4, |&(i, s)| {
+        let (seed, inst) = &insts_ref[i];
+        let mks = factories(inst.m());
+        let (name, mk) = &mks[s];
+        let rebuild = run_mode(inst, mk, &SimConfig::default(), HandoffMode::Rebuild);
+        let delta = run_mode(inst, mk, &SimConfig::default(), HandoffMode::Delta);
+        (format!("threaded seed {seed} {name}"), delta, rebuild)
+    });
+    for (label, delta, rebuild) in results {
+        assert_matches(&label, delta, &rebuild);
+    }
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Collision-dense random instances (same shape as the kernel suite):
+    /// single-digit arrivals, works and deadlines, so same-step
+    /// admit+expire, multi-removal batches and dense ready churn are the
+    /// norm.
+    fn collision_instance(seed: u64, n: usize, m: u32) -> Instance {
+        use dagsched_dag::gen;
+        let mut rng = dagsched_core::Rng64::seed_from(seed);
+        let mut arrivals: Vec<u64> = (0..n).map(|_| rng.gen_range(8)).collect();
+        arrivals.sort_unstable();
+        let jobs: Vec<JobSpec> = arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                let work = 1 + rng.gen_range(6);
+                let dag = if rng.gen_range(2) == 0 {
+                    gen::single(work).into_shared()
+                } else {
+                    gen::chain(2, work.max(1)).into_shared()
+                };
+                let deadline = 1 + rng.gen_range(9);
+                JobSpec::new(
+                    JobId(i as u32),
+                    Time(a),
+                    dag,
+                    StepProfitFn::deadline(Time(deadline), 1 + rng.gen_range(5)),
+                )
+            })
+            .collect();
+        Instance::new(m, jobs).expect("valid collision instance")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Delta == rebuild on collision-dense instances for every
+        /// production scheduler, fast-forward and naive.
+        #[test]
+        fn delta_matches_rebuild_under_adversarial_ties(
+            seed in 0u64..1000,
+            n in 3usize..14,
+            m in 1u32..4,
+            sched_idx in 0usize..9,
+            ff in 0u8..2,
+        ) {
+            let inst = collision_instance(seed, n, m);
+            let cfg = SimConfig {
+                fast_forward: ff == 1,
+                ..SimConfig::default()
+            };
+            let mks = factories(m);
+            let (name, mk) = &mks[sched_idx % mks.len()];
+            check_pair(
+                &inst,
+                mk,
+                &cfg,
+                &format!("ties seed {seed} n {n} m {m} {name} ff {ff}"),
+            );
+        }
+
+        /// Pausing a delta-mode driver at arbitrary horizons matches the
+        /// one-shot rebuild run: the delta accumulator survives `run_until`
+        /// boundaries without losing or duplicating changes.
+        #[test]
+        fn paused_delta_run_matches_one_shot_rebuild(
+            seed in 0u64..500,
+            hseed in 0u64..500,
+            n_pauses in 1usize..12,
+            sched_idx in 0usize..9,
+        ) {
+            let m = 4 + (seed % 5) as u32;
+            let inst = WorkloadGen::standard(m, 20, seed)
+                .generate()
+                .expect("valid workload");
+            let mks = factories(m);
+            let (name, mk) = &mks[sched_idx % mks.len()];
+            let rebuild = run_mode(&inst, mk, &SimConfig::default(), HandoffMode::Rebuild);
+
+            let span = inst.stats().horizon.ticks() + 8;
+            let mut rng = dagsched_core::Rng64::seed_from(hseed);
+            let delta_cfg = SimConfig {
+                handoff: HandoffMode::Delta,
+                ..SimConfig::default()
+            };
+            let mut log = EventLog::new();
+            let mut sched = mk();
+            let mut driver = SimDriver::with_observer(
+                &inst,
+                sched.as_mut(),
+                &delta_cfg,
+                &mut log as &mut dyn SimObserver,
+            );
+            for _ in 0..n_pauses {
+                driver
+                    .run_until(Time(rng.gen_range(span.max(1))))
+                    .expect("run_until runs");
+            }
+            let r = driver.finish().expect("finish runs");
+            assert_matches(
+                &format!("paused delta seed {seed} {name}"),
+                (r, log.to_jsonl()),
+                &rebuild,
+            );
+        }
+    }
+}
+
+/// The fuzzer's collision family one more time, via its shared generator:
+/// keeps this suite and the fuzzer's delta-vs-rebuild oracle head sampling
+/// the same distribution.
+#[test]
+fn delta_matches_rebuild_on_the_fuzz_collision_corpus() {
+    let corpus = dagsched_fuzz::collision_instances(0xDE17A, 16);
+    for (ci, inst) in corpus.iter().enumerate() {
+        let m = inst.m();
+        for (name, mk) in &factories(m) {
+            check_pair(
+                inst,
+                mk,
+                &SimConfig::default(),
+                &format!("fuzz collision #{ci} {name}"),
+            );
+        }
+    }
+}
