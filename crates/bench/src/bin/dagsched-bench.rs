@@ -1,15 +1,16 @@
 //! Perf-regression exporter: run the hot-path harness and write
-//! `BENCH_pr8.json`, optionally failing against a committed baseline.
+//! `BENCH_pr9.json`, optionally failing against a committed baseline.
 //!
 //! ```text
 //! dagsched-bench [--quick] [--out PATH] [--baseline PATH]
 //!                [--max-regress FRAC] [--min-sweep-speedup X]
 //!                [--min-kernel-speedup X] [--min-view-delta-speedup X]
+//!                [--min-related-gain X]
 //! ```
 //!
 //! * `--quick` — reduced sizes/iterations (the CI smoke configuration);
 //! * `--out PATH` — where to write the JSON report (default
-//!   `BENCH_pr8.json` in the current directory);
+//!   `BENCH_pr9.json` in the current directory);
 //! * `--baseline PATH` — compare this run's
 //!   admission/backfill/arrival/event-kernel/view-delta speedups against
 //!   the ones recorded in `PATH`; exit non-zero if any
@@ -28,7 +29,12 @@
 //! * `--min-view-delta-speedup X` — require the view-delta group's gated
 //!   minimum (delta handoff vs the frozen full rebuild, dense and combined
 //!   cases) to reach at least `X`. Same-process ratio, enforced
-//!   unconditionally.
+//!   unconditionally;
+//! * `--min-related-gain X` — require the related-machines group's
+//!   completed-profit gain (group-aware vs aggregate-blind placement on
+//!   the skewed platform) to reach at least `X`. Profit is deterministic
+//!   per (instance, scheduler, config), so this gate is machine-
+//!   independent and enforced unconditionally.
 //!
 //! Admission/backfill speedups are legacy-vs-optimized ratios measured in
 //! the same process, so the baseline comparison is machine-independent: a
@@ -42,12 +48,13 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut quick = false;
-    let mut out = String::from("BENCH_pr8.json");
+    let mut out = String::from("BENCH_pr9.json");
     let mut baseline: Option<String> = None;
     let mut max_regress = 0.25f64;
     let mut min_sweep_speedup: Option<f64> = None;
     let mut min_kernel_speedup: Option<f64> = None;
     let mut min_view_delta_speedup: Option<f64> = None;
+    let mut min_related_gain: Option<f64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -86,6 +93,14 @@ fn main() -> ExitCode {
                         .expect("--min-view-delta-speedup must be a number"),
                 )
             }
+            "--min-related-gain" => {
+                min_related_gain = Some(
+                    args.next()
+                        .expect("--min-related-gain needs a number")
+                        .parse()
+                        .expect("--min-related-gain must be a number"),
+                )
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 return ExitCode::from(2);
@@ -112,6 +127,12 @@ fn main() -> ExitCode {
             c.id, c.legacy_ns, c.new_ns, c.speedup
         );
     }
+    for c in &report.related {
+        eprintln!(
+            "  {:<24} aware profit {:>8}   blind profit {:>8}   gain {:>6.2}x",
+            c.id, c.aware_profit, c.blind_profit, c.gain
+        );
+    }
     for c in &report.sweep {
         eprintln!(
             "  {:<24} t1     {:>12.0} ns   t{} {:>12.0} ns   speedup {:>6.2}x",
@@ -124,18 +145,20 @@ fn main() -> ExitCode {
             c.id, c.execs, c.elapsed_ns, c.execs_per_sec, c.features
         );
     }
-    let (adm, bf, arr, ek, vd, sw) = (
+    let (adm, bf, arr, ek, vd, rg, sw) = (
         report.admission_speedup(),
         report.backfill_speedup(),
         report.arrival_speedup(),
         report.event_kernel_speedup(),
         report.view_delta_speedup(),
+        report.related_machines_gain(),
         report.sweep_speedup(),
     );
     eprintln!(
         "  admission_speedup {adm:.2}x, backfill_speedup {bf:.2}x, \
          arrival_speedup {arr:.2}x, event_kernel_speedup {ek:.2}x, \
-         view_delta_speedup {vd:.2}x, sweep_speedup {sw:.2}x, \
+         view_delta_speedup {vd:.2}x, related_machines_gain {rg:.2}x, \
+         sweep_speedup {sw:.2}x, \
          fuzz {:.0} execs/sec (host_cores {})",
         report.fuzz_execs_per_sec(),
         report.host_cores
@@ -162,6 +185,7 @@ fn main() -> ExitCode {
             ("arrival_speedup", arr),
             ("event_kernel_speedup", ek),
             ("view_delta_speedup", vd),
+            ("related_machines_gain", rg),
         ] {
             let Some(expected) = json_number(&base, key) else {
                 // An older baseline simply lacks keys added after its era
@@ -170,6 +194,7 @@ fn main() -> ExitCode {
                 if key == "arrival_speedup"
                     || key == "event_kernel_speedup"
                     || key == "view_delta_speedup"
+                    || key == "related_machines_gain"
                 {
                     eprintln!("note: baseline {path} has no {key} (skipping)");
                     continue;
@@ -234,6 +259,15 @@ fn main() -> ExitCode {
             failed = true;
         } else {
             eprintln!("ok: view_delta_speedup {vd:.2}x >= required {min:.2}x");
+        }
+    }
+
+    if let Some(min) = min_related_gain {
+        if rg < min {
+            eprintln!("FAIL: related_machines_gain {rg:.2}x is below the required {min:.2}x");
+            failed = true;
+        } else {
+            eprintln!("ok: related_machines_gain {rg:.2}x >= required {min:.2}x");
         }
     }
 

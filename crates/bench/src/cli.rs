@@ -24,6 +24,7 @@ pub const REQUIRED_KEYS: &[&str] = &[
     "arrival_speedup",
     "event_kernel_speedup",
     "view_delta_speedup",
+    "related_machines_gain",
     "sweep_speedup",
     "fuzz_execs_per_sec",
 ];
@@ -108,6 +109,12 @@ fn summarize(report: &BenchReport) -> String {
         ));
     }
     s.push_str(&format!(
+        "  {:<13} {} case(s), min profit gain {:.2}x (group-aware vs blind)\n",
+        "related",
+        report.related.len(),
+        report.related_machines_gain()
+    ));
+    s.push_str(&format!(
         "  {:<13} {} case(s), speedup {:.2}x\n",
         "sweep",
         report.sweep.len(),
@@ -170,6 +177,7 @@ mod tests {
         let summary = execute(&BenchCmd::Summary).expect("summary run succeeds");
         assert!(summary.contains("event-kernel"));
         assert!(summary.contains("view-delta"));
+        assert!(summary.contains("group-aware vs blind"));
         assert!(summary.contains("schema: all required keys present"));
         assert_eq!(execute(&BenchCmd::Help).unwrap(), USAGE);
     }

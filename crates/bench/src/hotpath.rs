@@ -49,6 +49,17 @@
 //!   the full legacy pipeline (horizon scan + rebuild); `steady/…` is
 //!   informational, exactly as in the event-kernel group.
 //!
+//! * **related-machines** — full EDF engine runs on a skewed heterogeneous
+//!   platform (`4x1,2x2`: four unit-speed processors declared before two
+//!   double-speed ones) over a deadline-wave workload where only the fast
+//!   group can meet the urgent deadlines. Group-aware placement (the
+//!   default for every baseline) is compared against the same scheduler
+//!   wrapped in [`AggregateBlind`], which forces declaration-order
+//!   placement and therefore fills the slow half first. The headline
+//!   number is the **completed-profit ratio** (aware / blind) — a
+//!   deterministic quantity, gated like the legacy-vs-optimized ratios —
+//!   with both runs' wall times recorded informationally.
+//!
 //! A further group measures **sweep throughput**: the B1 [`SweepGrid`] run
 //! sequentially vs sharded over 4 workers, in the same process. Unlike the
 //! legacy-vs-optimized ratios, this one is *hardware-dependent* — on a
@@ -57,7 +68,7 @@
 //! floor when the machine actually has ≥ 4 cores.
 //!
 //! A final group measures **fuzz-loop throughput**: a bounded
-//! coverage-guided run of `dagsched fuzz` (fixed master seed, all four
+//! coverage-guided run of `dagsched fuzz` (fixed master seed, all five
 //! oracle heads) timed end to end, reported as `fuzz_execs_per_sec`. Like
 //! the sweep ratio it is *hardware-dependent* — recorded for
 //! trend-watching, never gated against a baseline from a different box.
@@ -67,7 +78,7 @@
 //! machines; the CI smoke job re-runs the harness with `--quick` and fails
 //! when a ratio falls more than the allowed fraction below the baseline.
 
-use dagsched_core::{AlgoParams, JobId, Rng64, Time, Work};
+use dagsched_core::{AlgoParams, JobId, MachineGroups, Rng64, Time, Work};
 use dagsched_dag::reference::{ReferenceDag, ReferenceUnfold};
 use dagsched_dag::spec::DagJobSpec;
 use dagsched_dag::{gen, UnfoldState};
@@ -77,7 +88,7 @@ use dagsched_engine::{
 use dagsched_experiments::SweepGrid;
 use dagsched_sched::bands::{reference::ReferenceBands, DensityBands};
 use dagsched_sched::oracle::OracleSchedulerS;
-use dagsched_sched::{Edf, SchedulerS};
+use dagsched_sched::{AggregateBlind, Edf, SchedulerS};
 use dagsched_workload::{Instance, JobSpec, StepProfitFn, WorkloadGen};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -138,6 +149,28 @@ pub struct SweepCase {
     pub speedup: f64,
 }
 
+/// One related-machines placement measurement: the same scheduler run
+/// group-aware and aggregate-blind on the same skewed platform and
+/// workload. `gain` is `aware_profit / blind_profit` — completed profit is
+/// deterministic per (instance, scheduler, config), so unlike the timing
+/// ratios this one is exactly reproducible and gated as such; the wall
+/// times ride along informationally.
+#[derive(Debug, Clone)]
+pub struct RelatedCase {
+    /// Case id, e.g. `"related/waves-w40"`.
+    pub id: String,
+    /// Total profit with group-aware (fastest-first) placement.
+    pub aware_profit: u64,
+    /// Total profit with aggregate-blind (declaration-order) placement.
+    pub blind_profit: u64,
+    /// `aware_profit / blind_profit`.
+    pub gain: f64,
+    /// Median group-aware run time, nanoseconds (informational).
+    pub aware_ns: f64,
+    /// Median aggregate-blind run time, nanoseconds (informational).
+    pub blind_ns: f64,
+}
+
 /// One fuzz-throughput measurement: a bounded coverage-guided loop under a
 /// fixed master seed, timed end to end. Absolute throughput — hardware-
 /// dependent, recorded but never baseline-gated.
@@ -178,6 +211,10 @@ pub struct BenchReport {
     /// View-delta cases (incremental handoff vs the frozen full rebuild);
     /// `legacy_ns` is the rebuild, `new_ns` the delta path.
     pub view_delta: Vec<CaseResult>,
+    /// Related-machines placement cases (group-aware vs aggregate-blind
+    /// on a skewed heterogeneous platform); the gated number is the
+    /// completed-profit gain.
+    pub related: Vec<RelatedCase>,
     /// Sweep-throughput cases (sequential vs sharded grid runs).
     pub sweep: Vec<SweepCase>,
     /// Fuzz-loop throughput cases (bounded coverage-guided runs).
@@ -226,6 +263,16 @@ impl BenchReport {
         )
     }
 
+    /// Related-machines gain of record: the minimum completed-profit ratio
+    /// (group-aware / aggregate-blind) over the group's cases. Profit is
+    /// deterministic, so this gate is machine-independent.
+    pub fn related_machines_gain(&self) -> f64 {
+        self.related
+            .iter()
+            .map(|c| c.gain)
+            .fold(f64::INFINITY, f64::min)
+    }
+
     /// Sweep speedup of record: the minimum `t1/tN` ratio over sweep cases.
     /// Only meaningful as a parallel-speedup claim when `host_cores` is at
     /// least the case's thread count.
@@ -254,7 +301,7 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"pr\": 8,\n");
+        s.push_str("  \"pr\": 9,\n");
         s.push_str(&format!("  \"quick\": {},\n", self.quick));
         s.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
         s.push_str(&format!("  \"git_rev\": \"{}\",\n", self.git_rev));
@@ -284,6 +331,20 @@ impl BenchReport {
             }
             s.push_str("  ]},\n");
         }
+        s.push_str(&group_head("related"));
+        for (i, c) in self.related.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": \"{}\", \"aware_profit\": {}, \"blind_profit\": {}, \"gain\": {:.3}, \"aware_ns\": {:.0}, \"blind_ns\": {:.0}}}{}\n",
+                c.id,
+                c.aware_profit,
+                c.blind_profit,
+                c.gain,
+                c.aware_ns,
+                c.blind_ns,
+                if i + 1 < self.related.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]},\n");
         s.push_str(&group_head("sweep"));
         for (i, c) in self.sweep.iter().enumerate() {
             s.push_str(&format!(
@@ -329,6 +390,10 @@ impl BenchReport {
         s.push_str(&format!(
             "  \"view_delta_speedup\": {:.3},\n",
             self.view_delta_speedup()
+        ));
+        s.push_str(&format!(
+            "  \"related_machines_gain\": {:.3},\n",
+            self.related_machines_gain()
         ));
         s.push_str(&format!(
             "  \"sweep_speedup\": {:.3},\n",
@@ -757,6 +822,82 @@ pub fn run_view_delta(dense_sizes: &[usize], steady_jobs: usize, iters: usize) -
         .collect()
 }
 
+/// The skewed platform the related-machines group runs on: four unit-speed
+/// processors declared *before* two double-speed ones, so a placement
+/// cursor that ignores groups fills the slow half first.
+fn skewed_platform() -> MachineGroups {
+    "4x1,2x2".parse().expect("valid platform spec")
+}
+
+/// The deadline-wave workload for the related-machines group: every 15
+/// ticks, two *hard* single-node jobs (work 20, deadline 12 ticks out,
+/// profit 3) and two *easy* ones (work 5, deadline 30 ticks out, profit 1)
+/// arrive. A double-speed processor finishes a hard job in 10 ticks; a
+/// unit-speed one needs 20 and misses the deadline — so the urgent jobs are
+/// worth their profit only on the fast group, and every wave is worth 8
+/// profit to fastest-first placement versus 2 to slow-first.
+pub fn related_instance(waves: usize) -> Instance {
+    let mut jobs = Vec::with_capacity(waves * 4);
+    for i in 0..waves {
+        let t = (i as u64) * 15;
+        for j in 0..4u64 {
+            let (work, slack, profit) = if j < 2 { (20, 12, 3) } else { (5, 30, 1) };
+            jobs.push(JobSpec::new(
+                JobId((i * 4) as u32 + j as u32),
+                Time(t),
+                gen::single(work).into_shared(),
+                StepProfitFn::deadline(Time(slack), profit),
+            ));
+        }
+    }
+    Instance::new(6, jobs).expect("valid related-machines instance")
+}
+
+/// One full EDF run on the skewed platform, group-aware or wrapped in
+/// [`AggregateBlind`] (same allocations, declaration-order placement).
+fn related_run(inst: &Instance, blind: bool) -> u64 {
+    let cfg = SimConfig::on_groups(skewed_platform());
+    if blind {
+        let mut sched = AggregateBlind(Edf::new(inst.m()));
+        simulate(inst, &mut sched, &cfg)
+    } else {
+        let mut sched = Edf::new(inst.m());
+        simulate(inst, &mut sched, &cfg)
+    }
+    .expect("bench run succeeds")
+    .total_profit
+}
+
+/// Run the related-machines group at the given wave counts. The profit
+/// ratio is asserted strictly above 1 before anything is timed — a blind
+/// run matching the aware one would mean group-aware placement stopped
+/// doing its job, which is a correctness bug, not a perf result.
+pub fn run_related(wave_counts: &[usize], iters: usize) -> Vec<RelatedCase> {
+    wave_counts
+        .iter()
+        .map(|&waves| {
+            let inst = related_instance(waves);
+            let aware_profit = related_run(&inst, false);
+            let blind_profit = related_run(&inst, true);
+            assert!(
+                blind_profit > 0 && aware_profit > blind_profit,
+                "group-aware placement must beat aggregate-blind \
+                 (aware {aware_profit}, blind {blind_profit})"
+            );
+            let aware_ns = time_median_ns(iters, || related_run(&inst, false));
+            let blind_ns = time_median_ns(iters, || related_run(&inst, true));
+            RelatedCase {
+                id: format!("related/waves-w{waves}"),
+                aware_profit,
+                blind_profit,
+                gain: aware_profit as f64 / blind_profit as f64,
+                aware_ns,
+                blind_ns,
+            }
+        })
+        .collect()
+}
+
 /// Run the sweep-throughput group: the given grid sequentially vs sharded
 /// over `threads` workers, median over `iters` runs each. The two runs are
 /// asserted byte-identical before timing (sharding must be invisible).
@@ -785,7 +926,7 @@ pub fn run_sweep_grid(grid: &SweepGrid, threads: usize, iters: usize) -> Vec<Swe
 }
 
 /// Run the fuzz-throughput group: one bounded coverage-guided loop per
-/// exec budget, fixed master seed, all four oracle heads, minimization
+/// exec budget, fixed master seed, all five oracle heads, minimization
 /// off (a clean scheduler never reaches the minimizer anyway — keeping it
 /// off makes the timed work identical even if a future regression trips an
 /// oracle). The loop must find failures *never*: a failure here is a
@@ -856,6 +997,7 @@ pub fn run_all(quick: bool) -> BenchReport {
         arrival: run_arrival_storm(storm_sizes, iters),
         event_kernel: run_event_kernel(ek_sizes, ek_steady, ek_iters),
         view_delta: run_view_delta(ek_sizes, ek_steady, ek_iters),
+        related: run_related(if quick { &[40] } else { &[40, 120] }, ek_iters),
         sweep: run_sweep_grid(&SweepGrid::b1(), 4, sweep_iters),
         fuzz: run_fuzz_throughput(if quick { &[200] } else { &[1_000] }),
     }
@@ -876,6 +1018,7 @@ pub fn run_smoke() -> BenchReport {
         arrival: run_arrival_storm(&[1_000], 3),
         event_kernel: run_event_kernel(&[300], 60, 3),
         view_delta: run_view_delta(&[300], 60, 3),
+        related: run_related(&[10], 3),
         sweep: run_sweep_grid(&SweepGrid::smoke(), 2, 3),
         fuzz: run_fuzz_throughput(&[60]),
     }
@@ -943,6 +1086,14 @@ mod tests {
                     speedup: 0.9,
                 },
             ],
+            related: vec![RelatedCase {
+                id: "related/waves-w40".into(),
+                aware_profit: 320,
+                blind_profit: 80,
+                gain: 4.0,
+                aware_ns: 1500.0,
+                blind_ns: 1400.0,
+            }],
             sweep: vec![SweepCase {
                 id: "sweep/b1-t4".into(),
                 t1_ns: 7000.0,
@@ -972,6 +1123,7 @@ mod tests {
             Some(2.1),
             "the gated minimum spans dense and combined, never steady"
         );
+        assert_eq!(json_number(&json, "related_machines_gain"), Some(4.0));
         assert_eq!(json_number(&json, "sweep_speedup"), Some(3.5));
         assert_eq!(json_number(&json, "fuzz_execs_per_sec"), Some(300.0));
         assert_eq!(
@@ -982,14 +1134,15 @@ mod tests {
         assert!(json.contains("\"git_rev\": \"abc1234\""));
         assert_eq!(
             json.matches("\"host_cores\": 8").count(),
-            8,
+            9,
             "top level plus one per group"
         );
-        assert_eq!(json.matches("\"git_rev\": \"abc1234\"").count(), 8);
+        assert_eq!(json.matches("\"git_rev\": \"abc1234\"").count(), 9);
         assert!(json.contains("\"overload/p1000\""));
         assert!(json.contains("\"arrival-storm/j10000\""));
         assert!(json.contains("\"dense/parked-j1000\""));
         assert!(json.contains("\"combined/parked-j1000\""));
+        assert!(json.contains("\"related/waves-w40\""));
         assert!(json.contains("\"sweep/b1-t4\""));
     }
 
@@ -1021,6 +1174,7 @@ mod tests {
                 mk("combined/parked-j1000", 3.4),
                 mk("steady/standard-j400", 0.8),
             ],
+            related: vec![],
             sweep: vec![],
             fuzz: vec![],
         };
@@ -1034,6 +1188,23 @@ mod tests {
             "steady cases are informational, not gated"
         );
         assert_eq!(report.sweep_speedup(), f64::INFINITY);
+        assert_eq!(report.related_machines_gain(), f64::INFINITY);
+    }
+
+    /// The related-machines harness case: group-aware placement must beat
+    /// the aggregate-blind wrapper on profit, and by the designed margin —
+    /// each wave is worth 8 profit to fastest-first placement and 2 to
+    /// slow-first, so the gain is exactly 4.
+    #[test]
+    fn related_harness_shows_group_aware_beating_blind() {
+        let cases = run_related(&[10], 1);
+        assert_eq!(cases.len(), 1);
+        let c = &cases[0];
+        assert_eq!(c.id, "related/waves-w10");
+        assert_eq!(c.aware_profit, 80, "8 profit per wave, all deadlines met");
+        assert_eq!(c.blind_profit, 20, "only the easy jobs survive slow-first");
+        assert!((c.gain - 4.0).abs() < 1e-9, "{c:?}");
+        assert!(c.aware_ns > 0.0 && c.blind_ns > 0.0);
     }
 
     #[test]

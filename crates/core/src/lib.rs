@@ -14,6 +14,9 @@
 //!   At speed 1, one processor completes one work unit per tick, so the two
 //!   scales coincide (the paper's convention).
 //! * [`Speed`] — exact rational speed augmentation (`s`-speed analysis).
+//! * [`MachineGroups`] — related-machines platform descriptions (groups of
+//!   processors sharing a speed), with the exact lcm-scaled arithmetic that
+//!   keeps heterogeneous progress integral.
 //! * [`JobId`] / [`NodeId`] — lightweight identifiers.
 //! * [`AlgoParams`] — the constants of the paper's Tables 1–3
 //!   (`ε, δ, c, b, a`) together with the derived competitive-ratio constant,
@@ -24,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod groups;
 pub mod ids;
 pub mod params;
 pub mod rng;
@@ -31,6 +35,7 @@ pub mod speed;
 pub mod time;
 
 pub use error::SchedError;
+pub use groups::{scale_work, ticks_to_complete, MachineGroup, MachineGroups};
 pub use ids::{JobId, NodeId};
 pub use params::AlgoParams;
 pub use rng::Rng64;

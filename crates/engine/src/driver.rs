@@ -36,9 +36,9 @@ use crate::platform::Platform;
 use crate::reference::{HorizonScan, ViewRebuild};
 use crate::result::SimResult;
 use crate::sched_api::{Allocation, OnlineScheduler, TickView};
-use crate::sim::{HandoffMode, SimConfig};
+use crate::sim::{HandoffMode, PlatformMode, SimConfig};
 use crate::trace::Trace;
-use dagsched_core::{JobId, NodeId, Result, SchedError, Time};
+use dagsched_core::{ticks_to_complete, JobId, NodeId, Result, SchedError, Time};
 use dagsched_workload::Instance;
 
 /// Scratch buffers reused across every step (no per-tick allocation):
@@ -53,7 +53,9 @@ struct StepScratch {
     expired: Vec<JobId>,
     picked: Vec<NodeId>,
     continuations: Vec<NodeId>,
-    claimed: Vec<(JobId, NodeId)>,
+    /// Fast-forward claim list: `(job, node, units)` with the per-tick rate
+    /// of the processor each node is bound to.
+    claimed: Vec<(JobId, NodeId, u64)>,
     adm_events: Vec<AdmissionEvent>,
     node_done: Vec<(JobId, NodeId)>,
     progress: Vec<(JobId, u64)>,
@@ -87,6 +89,13 @@ pub struct SimDriver<'a, O: SimObserver = NullObserver> {
     /// path ([`HandoffMode::Delta`]). Otherwise every step rebuilds the
     /// view via the frozen [`ViewRebuild`] twin and calls `allocate_into`.
     delta_on: bool,
+    /// Whether the platform runs grouped arithmetic
+    /// ([`PlatformMode::Grouped`]). Governs the kernel's completion-entry
+    /// re-push rule: the grouped path re-pushes a node's entry after any
+    /// claim gap (frontiers are not monotone across groups — see
+    /// [`events`](crate::events)); the frozen scalar twin keeps the
+    /// pre-group moved-frontier-only rule.
+    grouped: bool,
     /// `obs.is_active()`, pinned at construction; a compile-time `false`
     /// for the [`NullObserver`] instantiation.
     observing: bool,
@@ -112,6 +121,13 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
     /// the run). When the observer is active, the scheduler is asked to
     /// record admission decisions, exactly as in
     /// [`simulate_observed`](crate::simulate_observed).
+    ///
+    /// # Panics
+    /// When the platform configuration is inconsistent with the instance
+    /// (group total ≠ `m`, or the scalar twin paired with a heterogeneous
+    /// platform). [`simulate`](crate::simulate) and
+    /// [`simulate_observed`](crate::simulate_observed) pre-validate via
+    /// [`SimConfig::resolve_groups`] and surface this as an error instead.
     pub fn with_observer(
         inst: &'a Instance,
         sched: &'a mut dyn OnlineScheduler,
@@ -127,7 +143,14 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
         if observing {
             sched.enable_admission_reporting();
         }
-        obs.on_start(inst.m(), cfg.speed, horizon);
+        let groups = cfg
+            .resolve_groups(inst.m())
+            .expect("platform configuration is inconsistent with the instance");
+        let platform = Platform::with_groups(groups, sched.group_aware(), n);
+        obs.on_start(inst.m(), platform.speed(), horizon);
+        if !platform.groups().is_uniform() {
+            obs.on_platform(platform.groups());
+        }
         // The fast-forward path needs every source of per-tick variation
         // pinned down: a scheduler whose allocation is stable between
         // events, a deterministic pick policy, and no per-tick trace.
@@ -149,7 +172,7 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
         }
         SimDriver {
             clock: Clock::new(jobs[0].arrival, horizon),
-            platform: Platform::new(inst.m(), cfg.speed, n),
+            platform,
             life: Lifecycle::new(n),
             picker: Picker::new(cfg.pick.clone()),
             kernel,
@@ -158,6 +181,7 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
             kernel_on,
             kernel_windows,
             delta_on,
+            grouped: matches!(cfg.platform, PlatformMode::Grouped),
             observing,
             done: false,
             poisoned: false,
@@ -242,7 +266,10 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
             }
         }
         let t = self.clock.now();
-        let units = self.platform.units_per_tick();
+        // `Some(units)` on a uniform platform — the scalar twin's (and the
+        // common case's) single hoisted rate. Heterogeneous platforms walk
+        // the per-processor rates with a placement cursor instead.
+        let uniform_units = self.platform.uniform_units();
 
         // 1. Arrivals.
         let first_arrival = self.life.next_arrival;
@@ -301,7 +328,8 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
         // if it declines. Rebuild handoff: the frozen twin reconstructs
         // the view from scratch into the hoisted buffer.
         if self.delta_on {
-            let view = TickView::new(self.platform.m(), t, self.life.view());
+            let view = TickView::new(self.platform.m(), t, self.life.view())
+                .with_groups(self.platform.groups());
             if !self
                 .sched
                 .allocate_delta(&self.life.delta, &view, &mut self.scratch.alloc)
@@ -313,7 +341,8 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
             ViewRebuild::build(&self.life, &mut self.scratch.view_jobs);
             self.life.delta.clear();
             self.sched.allocate_into(
-                &TickView::new(self.platform.m(), t, &self.scratch.view_jobs),
+                &TickView::new(self.platform.m(), t, &self.scratch.view_jobs)
+                    .with_groups(self.platform.groups()),
                 &mut self.scratch.alloc,
             );
         }
@@ -359,31 +388,50 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
             // same quantity lives in the heap as per-node completion
             // frontiers `t + q - 1` instead of a per-step fold.
             let mut min_q = u64::MAX;
+            let mut cursor = 0usize;
             for &(id, k) in &sc.alloc {
                 let l = self.life.live[id.index()]
                     .as_mut()
                     .expect("validated alive");
                 self.picker
                     .pick_into(&l.state, &l.busy, k as usize, &mut sc.picked);
-                for &node in &sc.picked {
+                for (i, &node) in sc.picked.iter().enumerate() {
                     l.busy[node.index()] = true;
                     l.dirty.push(node.0);
+                    // The i-th picked node binds to the i-th processor the
+                    // entry consumes — the same pairing the reference
+                    // path's per-processor loop realizes.
+                    let (pu, grp) = match uniform_units {
+                        Some(u) => (u, 0u32),
+                        None => (
+                            self.platform.proc_units()[cursor + i],
+                            self.platform.proc_group()[cursor + i],
+                        ),
+                    };
                     let rem = l.state.node_remaining(node).units();
-                    let q = rem.div_ceil(units);
+                    let q = ticks_to_complete(rem, pu);
                     if self.kernel_windows {
                         let frontier = t.after(q - 1);
                         let prev = l.armed_done[node.index()];
-                        if prev != frontier {
+                        // Grouped platforms additionally re-push after any
+                        // claim gap: a node re-claimed onto a faster group
+                        // can reproduce a frontier whose entry was already
+                        // discarded as epoch-stale (see `events`). The
+                        // scalar twin keeps the frozen moved-frontier-only
+                        // rule, sound under uniform monotonicity.
+                        let gap_repush = self.grouped && l.claim_epoch[node.index()] + 1 != epoch;
+                        if prev != frontier || gap_repush {
                             l.armed_done[node.index()] = frontier;
                             self.kernel
-                                .arm_completion(id, node, frontier, prev != Time::MAX);
+                                .arm_completion(id, node, grp, frontier, prev != Time::MAX);
                         }
                         l.claim_epoch[node.index()] = epoch;
                     } else {
                         min_q = min_q.min(q);
                     }
-                    sc.claimed.push((id, node));
+                    sc.claimed.push((id, node, pu));
                 }
+                cursor += k as usize;
             }
             // Window width in ticks. Every cap is ≥ 1 (after the idle
             // skip the next arrival is strictly in the future, after step 2
@@ -401,28 +449,30 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
                 };
                 if s > 0 {
                     // No claimed node completes within the window: each
-                    // consumes its full `units` per tick (remaining >
-                    // s·units), exactly as `s` reference ticks would, and
-                    // no carryover, completion or hook can fire.
-                    for &(id, node) in &sc.claimed {
+                    // consumes its processor's full rate per tick
+                    // (remaining > s·units of that processor), exactly as
+                    // `s` reference ticks would, and no carryover,
+                    // completion or hook can fire.
+                    let mut total = 0u64;
+                    for &(id, node, pu) in &sc.claimed {
                         let l = self.life.live[id.index()]
                             .as_mut()
                             .expect("claimed implies live");
-                        l.state.advance_bulk(node, s * units);
+                        l.state.advance_bulk(node, s * pu);
+                        total += s * pu;
                     }
-                    self.platform
-                        .record_units(sc.claimed.len() as u64 * s * units);
+                    self.platform.record_units(total);
                     if self.observing {
                         // `claimed` lists each alloc entry's nodes
-                        // contiguously, in alloc order: walk it once to get
-                        // per-job claim counts (= work rate per tick /
-                        // units).
+                        // contiguously, in alloc order: walk it once to sum
+                        // each job's per-tick rate over its claimed nodes.
                         sc.progress.clear();
                         let mut rest = sc.claimed.as_slice();
                         for &(id, _) in &sc.alloc {
-                            let cnt = rest.iter().take_while(|&&(j, _)| j == id).count();
+                            let cnt = rest.iter().take_while(|&&(j, _, _)| j == id).count();
+                            let rate: u64 = rest[..cnt].iter().map(|&(_, _, pu)| pu).sum();
                             rest = &rest[cnt..];
-                            sc.progress.push((id, cnt as u64 * s * units));
+                            sc.progress.push((id, s * rate));
                         }
                         let vj: &[(JobId, u32)] = if self.delta_on {
                             self.life.view()
@@ -460,6 +510,7 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
             sc.progress.clear();
             sc.node_done.clear();
         }
+        let mut cursor = 0usize;
         for &(id, k) in &sc.alloc {
             let l = self.life.live[id.index()]
                 .as_mut()
@@ -470,8 +521,11 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
             // any other processor has already spent this tick's time.
             // They are marked busy globally and kept in a per-processor
             // continuation list.
-            for _ in 0..k {
-                let mut budget = units;
+            for j in 0..k {
+                let mut budget = match uniform_units {
+                    Some(u) => u,
+                    None => self.platform.proc_units()[cursor + j as usize],
+                };
                 sc.continuations.clear();
                 while budget > 0 {
                     let node = match sc.continuations.pop() {
@@ -524,6 +578,7 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
             if l.state.is_complete() {
                 sc.completions.push(id);
             }
+            cursor += k as usize;
         }
         if self.observing {
             let vj: &[(JobId, u32)] = if self.delta_on {

@@ -18,51 +18,70 @@
 //! | expiry boundary (zero-tail job)  | at admission                       | disarmed when the job goes terminal     |
 //! | horizon (one global)             | at construction                    | never                                   |
 //!
-//! A claimed node's **completion frontier** is `t + ceil(rem/units) - 1`:
-//! the last tick of the widest window in which the node cannot yet have
-//! finished. Arming the frontier (not the completion tick itself) makes
-//! every source uniform — the window width is simply
-//! `min(valid entry times) - t` — and gives the kernel its key amortization:
-//! while a node stays claimed across a bulk window its *absolute* frontier
-//! is constant (`rem` drops by `s·units` exactly as `t` grows by `s`), so a
+//! A claimed node's **completion frontier** is `t + ceil(rem/units) - 1`,
+//! where `units` is the per-tick rate of the *processor the node is bound
+//! to* (uniform platforms have one rate; related-machines platforms one per
+//! group — each group is its own event source, keyed by its own rate and
+//! carrying its group index in the entry). It is the last tick of the
+//! widest window in which the node cannot yet have finished. Arming the
+//! frontier (not the completion tick itself) makes every source uniform —
+//! the window width is simply `min(valid entry times) - t` — and gives the
+//! kernel its key amortization: while a node stays claimed on the same
+//! group across a bulk window its *absolute* frontier is constant (`rem`
+//! drops by `s·units` exactly as `t` grows by `s`), so a
 //! continuously-running node is pushed **once**, not once per step.
 //!
-//! # Lazy deletion and permanent staleness
+//! # Lazy deletion and staleness
 //!
 //! Heap entries are never removed in place. Each source records its
 //! currently-armed key (`armed_arrival`, `armed_expiry[job]`,
 //! `Live::armed_done[node]`) and an entry is *valid* iff it matches; stale
 //! entries are discarded when they surface at the top. Discarding is safe
-//! because staleness is **permanent** for every source:
+//! because a discarded key is either gone for good or re-pushed before it
+//! can matter:
 //!
 //! * the arrival cursor only advances, so a superseded arrival time never
 //!   returns;
 //! * an expiry is armed once at admission and disarmed at the job's
 //!   terminal transition — never re-armed;
-//! * a node's frontier is non-decreasing over time: a node advances at most
-//!   `units` per tick (one processor per node per tick), so
-//!   `t + ceil(rem/units) - 1` can never move backwards to a superseded
-//!   value. Epoch-stale entries (see below) are likewise gone for good: a
-//!   node that was unclaimed for even one step advanced strictly less than
-//!   `units` on at least one elapsed tick (an unclaimed node is touched only
-//!   by a carry-over continuation, whose budget is already partly spent), so
-//!   its next frontier is strictly larger than the discarded one.
+//! * on a **uniform** platform a node's frontier is non-decreasing over
+//!   time: a node advances at most `units` per tick (one processor per node
+//!   per tick), so `t + ceil(rem/units) - 1` can never move backwards to a
+//!   superseded value, and epoch-stale entries (see below) are likewise
+//!   gone for good — a node that was unclaimed for even one step advanced
+//!   strictly less than `units` on at least one elapsed tick, so its next
+//!   frontier is strictly larger than the discarded one. The driver
+//!   therefore re-pushes only when the frontier value moves.
+//! * on a **related-machines** platform monotonicity fails: a node
+//!   re-claimed onto a *faster* group can reproduce a frontier time whose
+//!   entry was already discarded as epoch-stale (rem 10, 1 unit/tick at
+//!   `t` → frontier `t+9`; unclaimed, then re-claimed at `t+5` on a
+//!   2-unit group → frontier `t+9` again). The driver compensates by
+//!   re-pushing the entry whenever the node was **not claimed on the
+//!   immediately-preceding step**, even at an unchanged frontier value —
+//!   so every valid key always has at least one live entry. The price is
+//!   an occasional *duplicate* of an identical key, which is harmless:
+//!   validity is key-based, both copies match the same armed slot, and a
+//!   minimum is unchanged by duplication.
 //!
 //! Completion entries carry no per-step validity of their own; instead the
 //! driver stamps every node it claims with the current step's **epoch**
 //! ([`EventKernel::begin_step`]) and an entry is valid only when its node's
-//! stamp is current. The entry itself is *not* re-pushed for a node whose
-//! frontier did not move — the stamp check is what distinguishes "claimed
-//! this step" from "claimed long ago" without touching the heap.
+//! stamp is current. For a node continuously claimed at an unmoved frontier
+//! the entry is *not* re-pushed — the stamp check is what distinguishes
+//! "claimed this step" from "claimed long ago" without touching the heap.
 //!
 //! # Tie-break contract
 //!
-//! Entries order by `(time, kind, job, node)` with kinds in declaration
-//! order — completion < arrival < expiry < horizon at equal time. The
-//! window width is a *minimum over valid entry times*, so the tie order can
-//! never change a computed window; fixing it anyway keeps the pop sequence
-//! (and therefore the kernel's internal traversal) deterministic, which is
-//! what the differential suites pin down byte-for-byte.
+//! Entries order by `(time, kind, group, job, node)` with kinds in
+//! declaration order — completion < arrival < expiry < horizon at equal
+//! time, and at equal time and kind the *group index* orders before the job
+//! (per-group frontiers are distinct event sources; non-completion sources
+//! carry group 0). The window width is a *minimum over valid entry times*,
+//! so the tie order can never change a computed window; fixing it anyway
+//! keeps the pop sequence (and therefore the kernel's internal traversal)
+//! deterministic, which is what the differential suites pin down
+//! byte-for-byte.
 //!
 //! # Memory bound
 //!
@@ -107,11 +126,14 @@ enum SourceKind {
 }
 
 /// One heap entry. Derived `Ord` is lexicographic over the field order,
-/// which realizes the `(time, kind, job, node)` tie-break contract.
+/// which realizes the `(time, kind, group, job, node)` tie-break contract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct EventKey {
     time: Time,
     kind: SourceKind,
+    /// Machine-group index for completion frontiers; 0 for every other
+    /// source and on uniform platforms.
+    group: u32,
     job: u32,
     node: u32,
 }
@@ -167,6 +189,7 @@ impl EventKernel {
         self.heap.push(Reverse(EventKey {
             time: at,
             kind: SourceKind::Horizon,
+            group: 0,
             job: 0,
             node: 0,
         }));
@@ -190,6 +213,7 @@ impl EventKernel {
         self.heap.push(Reverse(EventKey {
             time: at,
             kind: SourceKind::Arrival,
+            group: 0,
             job: 0,
             node: 0,
         }));
@@ -212,6 +236,7 @@ impl EventKernel {
         self.heap.push(Reverse(EventKey {
             time: at,
             kind: SourceKind::Expiry,
+            group: 0,
             job: job.0,
             node: 0,
         }));
@@ -227,17 +252,25 @@ impl EventKernel {
         }
     }
 
-    /// Push a completion-frontier entry for `(job, node)`. The driver has
-    /// already written `frontier` into the node's `armed_done` slot;
-    /// `rekey` says a previous frontier was superseded (its entry is now a
-    /// lazy corpse).
-    pub(crate) fn arm_completion(&mut self, job: JobId, node: NodeId, frontier: Time, rekey: bool) {
+    /// Push a completion-frontier entry for `(job, node)` bound to machine
+    /// group `group` (0 on uniform platforms). The driver has already
+    /// written `frontier` into the node's `armed_done` slot; `rekey` says a
+    /// previous frontier was superseded (its entry is now a lazy corpse).
+    pub(crate) fn arm_completion(
+        &mut self,
+        job: JobId,
+        node: NodeId,
+        group: u32,
+        frontier: Time,
+        rekey: bool,
+    ) {
         if rekey {
             self.stale_hint += 1;
         }
         self.heap.push(Reverse(EventKey {
             time: frontier,
             kind: SourceKind::Completion,
+            group,
             job: job.0,
             node: node.0,
         }));
@@ -372,10 +405,11 @@ mod tests {
     }
 
     #[test]
-    fn tie_break_orders_kinds_then_job_then_node() {
+    fn tie_break_orders_kinds_then_group_then_job_then_node() {
         let key = |kind, job, node| EventKey {
             time: Time(5),
             kind,
+            group: 0,
             job,
             node,
         };
@@ -407,10 +441,27 @@ mod tests {
             EventKey {
                 time: Time(4),
                 kind: SourceKind::Horizon,
+                group: 0,
                 job: 0,
                 node: 0
             } < key(SourceKind::Completion, 0, 0)
         );
+    }
+
+    #[test]
+    fn group_index_orders_before_job_at_equal_time_and_kind() {
+        let key = |group, job| EventKey {
+            time: Time(5),
+            kind: SourceKind::Completion,
+            group,
+            job,
+            node: 0,
+        };
+        // A higher-job entry in an earlier group sorts first: per-group
+        // frontiers are distinct sources with their own sub-order.
+        let mut keys = vec![key(1, 0), key(0, 7), key(1, 2), key(0, 3)];
+        keys.sort();
+        assert_eq!(keys, vec![key(0, 3), key(0, 7), key(1, 0), key(1, 2)]);
     }
 
     #[test]
@@ -453,7 +504,7 @@ mod tests {
             l.armed_done[0] = Time(4);
             l.claim_epoch[0] = epoch;
         }
-        k.arm_completion(JobId(0), NodeId(0), Time(4), false);
+        k.arm_completion(JobId(0), NodeId(0), 0, Time(4), false);
         assert_eq!(k.window(Time(2), &lc), 2, "stamped entry is valid");
         // A new step without re-claiming the node: the stamp is stale and
         // the entry no longer bounds the window.
@@ -474,11 +525,11 @@ mod tests {
             l.armed_done[0] = Time(4);
             l.claim_epoch[0] = epoch;
         }
-        k.arm_completion(JobId(0), NodeId(0), Time(4), false);
+        k.arm_completion(JobId(0), NodeId(0), 0, Time(4), false);
         // The frontier moves to 9 (as after a width change): old entry
         // stale even though its epoch stamp is current.
         lc.live[0].as_mut().expect("admitted").armed_done[0] = Time(9);
-        k.arm_completion(JobId(0), NodeId(0), Time(9), true);
+        k.arm_completion(JobId(0), NodeId(0), 0, Time(9), true);
         assert_eq!(k.window(Time(2), &lc), 7);
     }
 
@@ -520,7 +571,7 @@ mod tests {
             l.armed_done[0] = Time(6);
             l.claim_epoch[0] = epoch;
         }
-        k.arm_completion(JobId(0), NodeId(0), Time(6), false);
+        k.arm_completion(JobId(0), NodeId(0), 0, Time(6), false);
         let mut due = Vec::new();
         // At t == 6 the frontier entry is the valid s == 0 signal: the pop
         // must put it back so `window` still sees it.

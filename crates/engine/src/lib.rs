@@ -15,6 +15,9 @@
 //!
 //! * one tick = one unit of time; a speed-`num/den` processor completes
 //!   `num` units of `den`-scaled work per tick — all arithmetic exact;
+//!   related-machines platforms ([`MachineGroups`](dagsched_core::MachineGroups)
+//!   via [`SimConfig::groups`]) scale every group to one common lcm
+//!   denominator so heterogeneous progress stays integral;
 //! * a node is executed by at most one processor per tick;
 //! * within a tick, a processor finishing a node may continue on another
 //!   ready node of the *same job* (configurable carry-over), which realizes
@@ -51,5 +54,5 @@ pub use reference::{HorizonScan, ViewRebuild};
 pub use result::{JobStatus, SimResult};
 pub use runner::parallel_map;
 pub use sched_api::{Allocation, JobInfo, OnlineScheduler, TickView, ViewDelta};
-pub use sim::{simulate, simulate_observed, HandoffMode, SimConfig};
+pub use sim::{simulate, simulate_observed, HandoffMode, PlatformMode, SimConfig};
 pub use trace::{Trace, TraceStats};

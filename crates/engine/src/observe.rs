@@ -48,7 +48,7 @@
 //! [`on_end`](SimObserver::on_end) closes it unconditionally.
 
 use crate::sched_api::JobInfo;
-use dagsched_core::{JobId, NodeId, Speed, Time};
+use dagsched_core::{JobId, MachineGroups, NodeId, Speed, Time};
 
 /// Why a scheduler declined (or deferred) starting a job.
 ///
@@ -126,9 +126,20 @@ pub trait SimObserver {
     }
 
     /// The run is starting on `m` processors at `speed`, with the given
-    /// horizon.
+    /// horizon. On a heterogeneous platform `speed` is the fastest group's
+    /// speed and [`on_platform`](Self::on_platform) follows with the full
+    /// group description.
     fn on_start(&mut self, m: u32, speed: Speed, horizon: Time) {
         let _ = (m, speed, horizon);
+    }
+
+    /// The run's platform is heterogeneous: the full machine-group
+    /// description, fired immediately after [`on_start`](Self::on_start).
+    /// **Never fires on a uniform platform** — uniform runs keep the exact
+    /// pre-group event stream, so byte-level stream equality against the
+    /// scalar-speed twin holds without observer awareness.
+    fn on_platform(&mut self, groups: &MachineGroups) {
+        let _ = groups;
     }
 
     /// A job arrived (the scheduler's arrival hook has already run).
@@ -223,6 +234,11 @@ impl SimObserver for Observers<'_> {
             o.on_start(m, speed, horizon);
         }
     }
+    fn on_platform(&mut self, groups: &MachineGroups) {
+        for o in &mut self.inner {
+            o.on_platform(groups);
+        }
+    }
     fn on_job_arrival(&mut self, now: Time, info: &JobInfo) {
         for o in &mut self.inner {
             o.on_job_arrival(now, info);
@@ -273,6 +289,9 @@ impl SimObserver for &mut dyn SimObserver {
     }
     fn on_start(&mut self, m: u32, speed: Speed, horizon: Time) {
         (**self).on_start(m, speed, horizon);
+    }
+    fn on_platform(&mut self, groups: &MachineGroups) {
+        (**self).on_platform(groups);
     }
     fn on_job_arrival(&mut self, now: Time, info: &JobInfo) {
         (**self).on_job_arrival(now, info);

@@ -7,7 +7,7 @@
 //! many ready nodes each has). The DAG structure itself is never exposed.
 
 use crate::observe::AdmissionEvent;
-use dagsched_core::{JobId, Time, Work};
+use dagsched_core::{JobId, MachineGroups, Time, Work};
 use dagsched_workload::StepProfitFn;
 
 /// What a semi-non-clairvoyant scheduler learns when a job arrives.
@@ -49,12 +49,31 @@ pub struct TickView<'a> {
     /// Current tick.
     pub now: Time,
     jobs: &'a [(JobId, u32)],
+    groups: Option<&'a MachineGroups>,
 }
 
 impl<'a> TickView<'a> {
     /// Construct a view (used by the engine and by scheduler unit tests).
     pub fn new(m: u32, now: Time, jobs: &'a [(JobId, u32)]) -> TickView<'a> {
-        TickView { m, now, jobs }
+        TickView {
+            m,
+            now,
+            jobs,
+            groups: None,
+        }
+    }
+
+    /// Attach the platform's machine-group description (engine-built views
+    /// always carry it; hand-built test views may omit it).
+    pub fn with_groups(mut self, groups: &'a MachineGroups) -> TickView<'a> {
+        self.groups = Some(groups);
+        self
+    }
+
+    /// The platform's machine groups, if attached. Aggregate-blind
+    /// schedulers never need this — `m` is the total over all groups.
+    pub fn groups(&self) -> Option<&'a MachineGroups> {
+        self.groups
     }
 
     /// Alive jobs as `(id, ready_node_count)`, in arrival order.
@@ -265,6 +284,22 @@ pub trait OnlineScheduler {
     /// event to the attached observer — on both execution paths, so the
     /// decisions land at identical stream positions. Default: none.
     fn drain_admission_events(&mut self, _out: &mut Vec<AdmissionEvent>) {}
+
+    /// Declare that this scheduler understands heterogeneous platforms.
+    ///
+    /// Returning `true` asks the engine for **fastest-first placement**: on
+    /// a platform with several machine groups, allocation entries consume
+    /// processors in descending-speed order (ties broken by ascending group
+    /// index), so the nodes a scheduler ranks highest land on the fastest
+    /// processors. The default `false` keeps declaration-order placement —
+    /// the scheduler transparently sees the aggregate `m` and need not know
+    /// groups exist. On a uniform platform the two orders coincide, so this
+    /// flag never changes uniform-run results. The engine samples the flag
+    /// once at construction; it must be constant for the scheduler's
+    /// lifetime.
+    fn group_aware(&self) -> bool {
+        false
+    }
 
     /// Return this scheduler to its freshly-constructed state, keeping any
     /// allocated capacity, and report whether that was done.

@@ -32,7 +32,7 @@ use crate::observe::SimObserver;
 use crate::pick::NodePick;
 use crate::result::SimResult;
 use crate::sched_api::OnlineScheduler;
-use dagsched_core::{Result, Speed, Time};
+use dagsched_core::{MachineGroups, Result, SchedError, Speed, Time};
 use dagsched_workload::Instance;
 
 /// How the per-step scheduler handoff (view construction + allocation) is
@@ -56,11 +56,39 @@ pub enum HandoffMode {
     Rebuild,
 }
 
+/// Which platform arithmetic drives per-tick progress. Both modes are
+/// byte-identical on uniform platforms by contract — the
+/// `scalar_twin_differential` suite in `crates/verify` holds them so.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlatformMode {
+    /// Machine-group arithmetic (default): per-processor unit rates from
+    /// the platform's [`MachineGroups`], walked by a placement cursor. The
+    /// only mode that supports heterogeneous platforms.
+    #[default]
+    Grouped,
+    /// The frozen pre-group scalar-speed twin: one hoisted `units` rate for
+    /// every processor, byte-for-byte the arithmetic the engine shipped
+    /// with through PR 8. Requires a uniform platform; kept for
+    /// differential testing and the perf harness.
+    Scalar,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
-    /// Processor speed (resource augmentation).
+    /// Processor speed (resource augmentation). Ignored when
+    /// [`groups`](SimConfig::groups) is set — the groups then define every
+    /// processor's speed.
     pub speed: Speed,
+    /// The machine-group platform: per-group processor counts and speeds.
+    /// `None` (default) means a uniform platform of `m` processors at
+    /// [`speed`](SimConfig::speed). When set, the total processor count
+    /// must equal the instance's `m`.
+    pub groups: Option<MachineGroups>,
+    /// Platform arithmetic: the grouped path (default) or the frozen
+    /// [`PlatformMode::Scalar`] twin (uniform platforms only), kept for
+    /// differential testing and the perf harness.
+    pub platform: PlatformMode,
     /// How ready nodes are chosen when a job gets processors.
     pub pick: NodePick,
     /// Whether a processor finishing a node mid-tick may continue on another
@@ -95,6 +123,8 @@ impl Default for SimConfig {
     fn default() -> SimConfig {
         SimConfig {
             speed: Speed::ONE,
+            groups: None,
+            platform: PlatformMode::Grouped,
             pick: NodePick::Fifo,
             carryover: true,
             horizon: None,
@@ -114,6 +144,43 @@ impl SimConfig {
             ..SimConfig::default()
         }
     }
+
+    /// Default configuration on the given platform.
+    pub fn on_groups(groups: MachineGroups) -> SimConfig {
+        SimConfig {
+            groups: Some(groups),
+            ..SimConfig::default()
+        }
+    }
+
+    /// Resolve the effective platform description for an instance of `m`
+    /// processors, validating it against this configuration.
+    ///
+    /// # Errors
+    /// [`SchedError::InvalidInstance`] when the group total disagrees with
+    /// `m`, or when [`PlatformMode::Scalar`] is paired with a heterogeneous
+    /// platform (the scalar twin has no per-group arithmetic).
+    pub fn resolve_groups(&self, m: u32) -> Result<MachineGroups> {
+        let groups = match &self.groups {
+            Some(g) => {
+                if g.total() != m {
+                    return Err(SchedError::InvalidInstance(format!(
+                        "platform {} has {} processors but the instance has m = {m}",
+                        g,
+                        g.total()
+                    )));
+                }
+                g.clone()
+            }
+            None => MachineGroups::uniform(m, self.speed)?,
+        };
+        if self.platform == PlatformMode::Scalar && !groups.is_uniform() {
+            return Err(SchedError::InvalidInstance(format!(
+                "the scalar platform twin requires a uniform platform, got {groups}"
+            )));
+        }
+        Ok(groups)
+    }
 }
 
 /// Run `sched` on `inst` under `cfg`.
@@ -122,12 +189,15 @@ impl SimConfig {
 /// [`SchedError`](dagsched_core::SchedError)`::InvalidAllocation` if the
 /// scheduler ever over-subscribes processors, allocates to a job that is not
 /// alive, allocates zero processors, or repeats a job within one tick.
+/// [`SchedError::InvalidInstance`] if the configured platform is
+/// inconsistent with the instance (see [`SimConfig::resolve_groups`]).
 /// Engine-model violations are bugs and surface as panics, not errors.
 pub fn simulate(
     inst: &Instance,
     sched: &mut dyn OnlineScheduler,
     cfg: &SimConfig,
 ) -> Result<SimResult> {
+    cfg.resolve_groups(inst.m())?;
     SimDriver::new(inst, sched, cfg).finish()
 }
 
@@ -150,6 +220,7 @@ pub fn simulate_observed(
     cfg: &SimConfig,
     obs: &mut dyn SimObserver,
 ) -> Result<SimResult> {
+    cfg.resolve_groups(inst.m())?;
     SimDriver::with_observer(inst, sched, cfg, obs).finish()
 }
 

@@ -21,6 +21,7 @@ fn cli_execute_is_thread_count_invariant() {
         execute(&SweepCommand::Run {
             grid: "smoke".into(),
             threads,
+            groups: vec![],
         })
         .unwrap()
     };

@@ -9,9 +9,9 @@
 //! construction, and [`FuzzInstance::to_instance`] clamps, sorts and
 //! re-labels so that the conversion cannot fail on any sanitizable state.
 
-use dagsched_core::{JobId, NodeId, Result, SchedError, Time, Work};
+use dagsched_core::{JobId, MachineGroups, NodeId, Result, SchedError, Speed, Time, Work};
 use dagsched_dag::{DagBuilder, DagJobSpec};
-use dagsched_engine::{HandoffMode, SimConfig, WindowMode};
+use dagsched_engine::{HandoffMode, NodePick, SimConfig, WindowMode};
 use dagsched_workload::{Instance, JobSpec, StepProfitFn};
 
 /// Upper bounds keeping mutated instances small enough that one fuzz exec
@@ -32,6 +32,11 @@ pub mod limits {
     pub const MAX_DEADLINE: u64 = 600;
     /// Maximum per-job profit.
     pub const MAX_PROFIT: u64 = 1 << 20;
+    /// Maximum machine groups on the platform axis.
+    pub const MAX_GROUPS: usize = 3;
+    /// Maximum speed numerator/denominator on the platform axis (keeps the
+    /// group lcm scale small).
+    pub const MAX_SPEED: u32 = 4;
 }
 
 /// One job in mutable form: a deadline-profit job with a forward-edge DAG.
@@ -91,13 +96,26 @@ impl FuzzJob {
     }
 }
 
+/// The deterministic [`NodePick`] policies the configuration axis cycles
+/// through. [`NodePick::Random`] is deliberately excluded — it forces the
+/// naive path, which would silently disable the differential heads'
+/// fast-forward coverage.
+pub const PICKS: &[NodePick] = &[
+    NodePick::Fifo,
+    NodePick::Lifo,
+    NodePick::CriticalPathFirst,
+    NodePick::AdversarialLowHeight,
+];
+
 /// A whole instance in mutable form, plus the engine-configuration axis
 /// the candidate is judged under. The axis fields are *not* part of the
 /// workload — the codec neither writes nor reads them, so promoted replay
 /// fixtures always re-judge under the defaults (event kernel + delta
-/// handoff) — but they are mutable state the flip mutators toggle, which
-/// lets the coverage loop explore the scan window and the rebuild handoff
-/// without a separate fuzzing harness per configuration.
+/// handoff, carry-over on, FIFO pick, uniform platform) — but they are
+/// mutable state the config mutators toggle, which lets the coverage loop
+/// explore the scan window, the rebuild handoff, carry-over, node-pick
+/// policies and related-machines group shapes without a separate fuzzing
+/// harness per configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FuzzInstance {
     /// Machine count.
@@ -108,6 +126,16 @@ pub struct FuzzInstance {
     pub scan_window: bool,
     /// Judge under [`HandoffMode::Rebuild`] instead of the delta path.
     pub rebuild_handoff: bool,
+    /// Judge with mid-tick carry-over disabled (node-granular progress).
+    pub no_carryover: bool,
+    /// Index into [`PICKS`]: the node-pick policy the candidate is judged
+    /// under (taken modulo the table length).
+    pub pick_idx: u8,
+    /// The related-machines platform shape as `(count, num, den)` triples;
+    /// empty means the legacy uniform platform. Sanitized by
+    /// [`FuzzInstance::platform_groups`] — counts are fit to `m`, speeds
+    /// clamped to [`limits::MAX_SPEED`].
+    pub speed_groups: Vec<(u32, u32, u32)>,
 }
 
 /// Extract `(works, edges)` from a built DAG, re-labeling nodes into
@@ -134,14 +162,49 @@ pub fn dag_to_ir(dag: &DagJobSpec) -> (Vec<u64>, Vec<(u32, u32)>) {
 }
 
 impl FuzzInstance {
-    /// A fresh IR under the default configuration axis (kernel + delta).
+    /// A fresh IR under the default configuration axis (kernel + delta,
+    /// carry-over on, FIFO pick, uniform platform).
     pub fn new(m: u32, jobs: Vec<FuzzJob>) -> FuzzInstance {
         FuzzInstance {
             m,
             jobs,
             scan_window: false,
             rebuild_handoff: false,
+            no_carryover: false,
+            pick_idx: 0,
+            speed_groups: Vec::new(),
         }
+    }
+
+    /// The sanitized platform for the current axis state, or `None` for the
+    /// legacy uniform platform (empty shape list).
+    ///
+    /// Repair mirrors [`to_instance`](FuzzInstance::to_instance)'s `m`
+    /// clamp so the group total always matches the converted instance:
+    /// counts are clamped into the remaining machine budget, speeds into
+    /// `1..=MAX_SPEED` on both sides of the fraction, and any leftover
+    /// machines become a trailing unit-speed group.
+    pub fn platform_groups(&self) -> Option<MachineGroups> {
+        if self.speed_groups.is_empty() {
+            return None;
+        }
+        let m = self.m.clamp(1, limits::MAX_M);
+        let mut remaining = m;
+        let mut pairs: Vec<(u32, Speed)> = Vec::new();
+        for &(count, num, den) in self.speed_groups.iter().take(limits::MAX_GROUPS) {
+            if remaining == 0 {
+                break;
+            }
+            let count = count.clamp(1, remaining);
+            let num = num.clamp(1, limits::MAX_SPEED);
+            let den = den.clamp(1, limits::MAX_SPEED);
+            pairs.push((count, Speed::new(num, den).expect("clamped positive")));
+            remaining -= count;
+        }
+        if remaining > 0 {
+            pairs.push((remaining, Speed::ONE));
+        }
+        Some(MachineGroups::new(pairs).expect("sanitized groups are valid"))
     }
 
     /// The [`SimConfig`] this candidate is judged under: the instance's
@@ -158,6 +221,9 @@ impl FuzzInstance {
             } else {
                 HandoffMode::Delta
             },
+            carryover: !self.no_carryover,
+            pick: PICKS[self.pick_idx as usize % PICKS.len()].clone(),
+            groups: self.platform_groups(),
             ..SimConfig::default()
         }
     }
@@ -332,10 +398,45 @@ mod tests {
         let cfg = fi.base_config();
         assert_eq!(cfg.window, WindowMode::EventKernel);
         assert_eq!(cfg.handoff, HandoffMode::Delta);
+        assert!(cfg.carryover);
+        assert_eq!(cfg.pick, NodePick::Fifo);
+        assert_eq!(cfg.groups, None);
         fi.scan_window = true;
         fi.rebuild_handoff = true;
+        fi.no_carryover = true;
+        fi.pick_idx = 2;
         let cfg = fi.base_config();
         assert_eq!(cfg.window, WindowMode::ReferenceScan);
         assert_eq!(cfg.handoff, HandoffMode::Rebuild);
+        assert!(!cfg.carryover);
+        assert_eq!(cfg.pick, NodePick::CriticalPathFirst);
+        // The pick index wraps around the table.
+        fi.pick_idx = PICKS.len() as u8;
+        assert_eq!(fi.base_config().pick, NodePick::Fifo);
+    }
+
+    #[test]
+    fn platform_axis_is_repaired_to_fit_m() {
+        let mut fi = FuzzInstance::new(4, vec![]);
+        assert_eq!(fi.platform_groups(), None, "empty shape is uniform");
+        // Oversized count, oversized speed, leftover machines.
+        fi.speed_groups = vec![(99, 200, 0), (1, 2, 1)];
+        let g = fi.platform_groups().expect("non-empty shape");
+        assert_eq!(g.total(), 4, "group total matches the clamped m");
+        assert_eq!(
+            g.groups()[0].speed,
+            Speed::new(limits::MAX_SPEED, 1).unwrap()
+        );
+        // First group swallowed the budget; the rest were dropped.
+        assert_eq!(g.len(), 1);
+        // A partial shape is padded with a unit-speed remainder group.
+        fi.speed_groups = vec![(1, 2, 1)];
+        let g = fi.platform_groups().expect("non-empty shape");
+        assert_eq!(g.total(), 4);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.groups()[1].count, 3);
+        assert_eq!(g.groups()[1].speed, Speed::ONE);
+        // The judged config carries the platform.
+        assert_eq!(fi.base_config().groups, fi.platform_groups());
     }
 }

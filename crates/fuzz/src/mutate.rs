@@ -64,6 +64,19 @@ pub enum Mutator {
     /// Toggle the scheduler-handoff mode (delta vs full rebuild) — the
     /// other configuration axis.
     FlipHandoff,
+    /// Toggle mid-tick carry-over (Observation 1's chain-progress knob) —
+    /// a configuration-axis mutator.
+    FlipCarryover,
+    /// Cycle to the next deterministic node-pick policy
+    /// ([`crate::ir::PICKS`]) — a configuration-axis mutator.
+    CyclePick,
+    /// Replace the platform shape with a random 2-way related-machines
+    /// split of `m` (distinct speeds) — a platform-axis mutator.
+    SplitSpeedGroup,
+    /// Perturb one platform group's speed; a no-op on a uniform platform.
+    PerturbGroupSpeed,
+    /// Collapse the platform back to the legacy uniform shape.
+    UniformizeGroups,
 }
 
 /// All mutators with selection weights; the adversarial-family mutators
@@ -87,6 +100,11 @@ pub const MUTATORS: &[(u32, Mutator)] = &[
     (1, Mutator::ScaleM),
     (1, Mutator::FlipWindowMode),
     (1, Mutator::FlipHandoff),
+    (1, Mutator::FlipCarryover),
+    (1, Mutator::CyclePick),
+    (1, Mutator::SplitSpeedGroup),
+    (1, Mutator::PerturbGroupSpeed),
+    (1, Mutator::UniformizeGroups),
 ];
 
 /// Pick a weighted random mutator and apply it in place.
@@ -263,6 +281,49 @@ pub fn apply(mutator: Mutator, rng: &mut Rng64, fi: &mut FuzzInstance) {
         Mutator::FlipHandoff => {
             fi.rebuild_handoff = !fi.rebuild_handoff;
         }
+        Mutator::FlipCarryover => {
+            fi.no_carryover = !fi.no_carryover;
+        }
+        Mutator::CyclePick => {
+            fi.pick_idx = (fi.pick_idx + 1) % crate::ir::PICKS.len() as u8;
+        }
+        Mutator::SplitSpeedGroup => {
+            let m = fi.m.clamp(1, limits::MAX_M);
+            if m < 2 {
+                return;
+            }
+            let fast = 1 + rng.gen_range((m - 1) as u64) as u32;
+            let mut num = 2 + rng.gen_range((limits::MAX_SPEED - 1) as u64) as u32;
+            let den = 1 + rng.gen_range(2) as u32;
+            if num == den {
+                // Keep the "fast" group genuinely faster than unit speed.
+                num += 1;
+            }
+            // Fast group first or last: both placements stress the
+            // fastest-first vs declaration-order distinction.
+            let fast_group = (fast, num, den);
+            let slow_group = (m - fast, 1, 1);
+            fi.speed_groups = if rng.gen_range(2) == 0 {
+                vec![fast_group, slow_group]
+            } else {
+                vec![slow_group, fast_group]
+            };
+        }
+        Mutator::PerturbGroupSpeed => {
+            if fi.speed_groups.is_empty() {
+                return;
+            }
+            let i = rng.gen_range(fi.speed_groups.len() as u64) as usize;
+            let (_, num, den) = &mut fi.speed_groups[i];
+            if rng.gen_range(2) == 0 {
+                *num = (*num % limits::MAX_SPEED) + 1;
+            } else {
+                *den = (*den % limits::MAX_SPEED) + 1;
+            }
+        }
+        Mutator::UniformizeGroups => {
+            fi.speed_groups.clear();
+        }
     }
 }
 
@@ -339,6 +400,7 @@ mod tests {
                 (|fi: &FuzzInstance| fi.scan_window) as fn(&FuzzInstance) -> bool,
             ),
             (Mutator::FlipHandoff, |fi: &FuzzInstance| fi.rebuild_handoff),
+            (Mutator::FlipCarryover, |fi: &FuzzInstance| fi.no_carryover),
         ] {
             let mut fi = base.clone();
             apply(m, &mut rng, &mut fi);
@@ -347,5 +409,43 @@ mod tests {
             apply(m, &mut rng, &mut fi);
             assert_eq!(fi, base, "{m:?} twice is the identity");
         }
+    }
+
+    /// The pick mutator cycles through the whole deterministic policy table
+    /// and returns to the start, touching nothing else.
+    #[test]
+    fn cycle_pick_visits_every_policy() {
+        let mut rng = Rng64::seed_from(3);
+        let base = seed_corpus().swap_remove(0);
+        let mut fi = base.clone();
+        let n = crate::ir::PICKS.len() as u8;
+        for step in 1..=n {
+            apply(Mutator::CyclePick, &mut rng, &mut fi);
+            assert_eq!(fi.pick_idx, step % n);
+            assert_eq!(fi.jobs, base.jobs, "workload untouched");
+        }
+        assert_eq!(fi, base, "a full cycle is the identity");
+    }
+
+    /// The platform-shape mutators always leave a shape the repair contract
+    /// can fit to `m`, and `UniformizeGroups` restores the legacy platform.
+    #[test]
+    fn group_mutators_produce_valid_platforms() {
+        let mut rng = Rng64::seed_from(11);
+        let mut fi = seed_corpus().swap_remove(0);
+        apply(Mutator::PerturbGroupSpeed, &mut rng, &mut fi);
+        assert!(fi.speed_groups.is_empty(), "perturb on uniform is a no-op");
+        for _ in 0..32 {
+            apply(Mutator::SplitSpeedGroup, &mut rng, &mut fi);
+            let g = fi.platform_groups().expect("split produces a shape");
+            assert_eq!(g.total(), fi.m.clamp(1, limits::MAX_M));
+            assert!(!g.is_uniform(), "split yields distinct speeds");
+            apply(Mutator::PerturbGroupSpeed, &mut rng, &mut fi);
+            let g = fi.platform_groups().expect("still shaped");
+            assert_eq!(g.total(), fi.m.clamp(1, limits::MAX_M));
+        }
+        apply(Mutator::UniformizeGroups, &mut rng, &mut fi);
+        assert_eq!(fi.platform_groups(), None);
+        assert_eq!(fi.base_config().groups, None);
     }
 }

@@ -1,6 +1,6 @@
-//! The four-headed oracle: what "the fuzzer found something" means.
+//! The five-headed oracle: what "the fuzzer found something" means.
 //!
-//! Every candidate instance is judged by up to four independent checks,
+//! Every candidate instance is judged by up to five independent checks,
 //! in order, stopping at the first failure:
 //!
 //! 1. **Invariants** — the `dagsched-verify` suite (band capacity per
@@ -20,12 +20,19 @@
 //!    [`HandoffMode::Delta`] and [`HandoffMode::Rebuild`] must produce the
 //!    same outcome, step count and JSONL stream (the incremental-handoff
 //!    contract from DESIGN.md §4.8).
+//! 5. **Grouped vs scalar** — a uniform single-group
+//!    [`MachineGroups`] platform at the base config's speed must be
+//!    byte-identical (outcome, step count, JSONL) to the frozen
+//!    [`PlatformMode::Scalar`] twin — the related-machines refactor's
+//!    scalar-twin contract (DESIGN.md §4.9). This head always compares the
+//!    *uniform* platform, whatever group shape the candidate is judged
+//!    under elsewhere.
 //!
 //! A simulation error from any head is itself a failure (`sim-error`) —
 //! that is how scheduler mutants that emit invalid allocations are caught.
 //!
 //! The coverage features of head 1's run are returned alongside the
-//! verdict, so one exec yields both signals with at most six simulations.
+//! verdict, so one exec yields both signals with at most eight simulations.
 //!
 //! All heads run over a caller-supplied *base* [`SimConfig`]
 //! ([`run_exec_with`]) so the fuzz loop can judge candidates under the
@@ -33,10 +40,10 @@
 //! override only the knob they are comparing.
 
 use crate::coverage::CoverageObserver;
-use dagsched_core::{AlgoParams, Rng64, Time};
+use dagsched_core::{AlgoParams, MachineGroups, Rng64, Time};
 use dagsched_engine::{
-    simulate_observed, HandoffMode, Observers, OnlineScheduler, SimConfig, SimDriver, SimObserver,
-    SimResult, WindowMode,
+    simulate_observed, HandoffMode, Observers, OnlineScheduler, PlatformMode, SimConfig, SimDriver,
+    SimObserver, SimResult, WindowMode,
 };
 use dagsched_sched::SchedulerS;
 use dagsched_verify::{EventLog, InvariantSuite, WorkConservationChecker};
@@ -111,6 +118,8 @@ pub struct OracleSet {
     pub pause_diff: bool,
     /// Head 4: delta-vs-rebuild handoff byte equality.
     pub handoff_diff: bool,
+    /// Head 5: uniform-grouped-vs-scalar-twin byte equality.
+    pub twin_diff: bool,
 }
 
 impl Default for OracleSet {
@@ -120,6 +129,7 @@ impl Default for OracleSet {
             kernel_diff: true,
             pause_diff: true,
             handoff_diff: true,
+            twin_diff: true,
         }
     }
 }
@@ -128,7 +138,8 @@ impl Default for OracleSet {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OracleFailure {
     /// Which head failed: `invariants`, `kernel-vs-scan`,
-    /// `paused-vs-oneshot`, `delta-vs-rebuild`, or `sim-error`.
+    /// `paused-vs-oneshot`, `delta-vs-rebuild`, `grouped-vs-scalar`, or
+    /// `sim-error`.
     pub oracle: &'static str,
     /// Human-readable evidence (violation list or first diverging line).
     pub detail: String,
@@ -422,6 +433,53 @@ pub fn run_exec_with(
                     failure = Some(OracleFailure {
                         oracle: "delta-vs-rebuild",
                         detail: first_diff("delta != rebuild", &d.1, &r.1),
+                    });
+                }
+            }
+            (Err(f), _) | (_, Err(f)) => failure = Some(f),
+        }
+    }
+    if failure.is_some() {
+        return ExecOutcome {
+            features: cov.into_features(),
+            failure,
+        };
+    }
+
+    // Head 5: uniform grouped platform vs the frozen scalar twin. Always
+    // compares the uniform platform at `cfg.speed` — a candidate judged
+    // under a heterogeneous shape elsewhere still pins the twin contract
+    // here, which is what keeps the refactored arithmetic honest on every
+    // exec.
+    if set.twin_diff {
+        let uniform = MachineGroups::uniform(inst.m(), cfg.speed).expect("m >= 1");
+        let grouped_cfg = SimConfig {
+            groups: Some(uniform),
+            platform: PlatformMode::Grouped,
+            ..cfg.clone()
+        };
+        let scalar_cfg = SimConfig {
+            groups: None,
+            platform: PlatformMode::Scalar,
+            ..cfg.clone()
+        };
+        let grouped = run_under(inst, subject, &grouped_cfg, "uniform grouped");
+        let scalar = run_under(inst, subject, &scalar_cfg, "scalar twin");
+        match (grouped, scalar) {
+            (Ok(g), Ok(s)) => {
+                if !g.0.same_outcome(&s.0) || g.0.steps_executed != s.0.steps_executed {
+                    failure = Some(OracleFailure {
+                        oracle: "grouped-vs-scalar",
+                        detail: format!(
+                            "outcome diverges: grouped profit {} steps {}, scalar profit {} steps {}",
+                            g.0.total_profit, g.0.steps_executed, s.0.total_profit,
+                            s.0.steps_executed
+                        ),
+                    });
+                } else if g.1 != s.1 {
+                    failure = Some(OracleFailure {
+                        oracle: "grouped-vs-scalar",
+                        detail: first_diff("grouped != scalar", &g.1, &s.1),
                     });
                 }
             }

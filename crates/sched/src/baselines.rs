@@ -221,6 +221,13 @@ macro_rules! baseline {
                 // alive set and ready counts, independent of `now`.
                 true
             }
+            fn group_aware(&self) -> bool {
+                // On a related-machines platform the baselines want their
+                // highest-ranked jobs on the fastest processors: the fill
+                // order is already priority order, so fastest-first
+                // placement is exactly right.
+                true
+            }
             fn reset(&mut self) -> bool {
                 self.base.clear();
                 self.ready_lut.clear();
@@ -449,6 +456,64 @@ impl OnlineScheduler for SNoAdmission {
         self.report = None;
         self.cache_live = false;
         true
+    }
+}
+
+/// Ablation wrapper: run any scheduler with group-aware placement forced
+/// **off**, so on a related-machines platform its allocation entries consume
+/// processors in declaration order instead of fastest-first.
+///
+/// Every other trait method delegates verbatim, so on a uniform platform the
+/// wrapper is behaviorally invisible. The `related-machines` bench group
+/// compares `Edf` against `AggregateBlind<Edf>` on a skewed platform to
+/// measure what fastest-first placement alone is worth.
+#[derive(Debug)]
+pub struct AggregateBlind<S>(pub S);
+
+impl<S: OnlineScheduler> OnlineScheduler for AggregateBlind<S> {
+    fn name(&self) -> String {
+        format!("{}-blind", self.0.name())
+    }
+    fn on_arrival(&mut self, info: &JobInfo, now: Time) {
+        self.0.on_arrival(info, now);
+    }
+    fn on_completion(&mut self, id: JobId, now: Time) {
+        self.0.on_completion(id, now);
+    }
+    fn on_expiry(&mut self, id: JobId, now: Time) {
+        self.0.on_expiry(id, now);
+    }
+    fn allocate(&mut self, view: &TickView<'_>) -> Allocation {
+        self.0.allocate(view)
+    }
+    fn allocate_into(&mut self, view: &TickView<'_>, out: &mut Allocation) {
+        self.0.allocate_into(view, out);
+    }
+    fn allocate_delta(
+        &mut self,
+        delta: &ViewDelta,
+        view: &TickView<'_>,
+        out: &mut Allocation,
+    ) -> bool {
+        self.0.allocate_delta(delta, view, out)
+    }
+    fn allocation_stable_between_events(&self) -> bool {
+        self.0.allocation_stable_between_events()
+    }
+    fn completion_keys_stable(&self) -> bool {
+        self.0.completion_keys_stable()
+    }
+    fn group_aware(&self) -> bool {
+        false
+    }
+    fn enable_admission_reporting(&mut self) {
+        self.0.enable_admission_reporting();
+    }
+    fn drain_admission_events(&mut self, out: &mut Vec<AdmissionEvent>) {
+        self.0.drain_admission_events(out);
+    }
+    fn reset(&mut self) -> bool {
+        self.0.reset()
     }
 }
 

@@ -562,6 +562,12 @@ impl OnlineScheduler for SchedulerS {
         true
     }
 
+    fn group_aware(&self) -> bool {
+        // S emits its running queue in density order; fastest-first
+        // placement puts the densest jobs' nodes on the fastest groups.
+        true
+    }
+
     fn enable_admission_reporting(&mut self) {
         self.report.get_or_insert_with(Vec::new);
     }

@@ -279,6 +279,12 @@ impl OnlineScheduler for EdfAc {
         true
     }
 
+    fn group_aware(&self) -> bool {
+        // Allocation order is (deadline, seq): fastest-first placement
+        // drives the most urgent admitted jobs on the fastest groups.
+        true
+    }
+
     fn enable_admission_reporting(&mut self) {
         self.report.get_or_insert_with(Vec::new);
     }

@@ -36,7 +36,9 @@ pub mod oracle;
 pub mod profit;
 pub mod slab;
 
-pub use baselines::{Edf, Fifo, GreedyDensity, LeastLaxity, RandomOrder, SNoAdmission};
+pub use baselines::{
+    AggregateBlind, Edf, Fifo, GreedyDensity, LeastLaxity, RandomOrder, SNoAdmission,
+};
 pub use deadline::{SchedulerS, SchedulerSMetrics};
 pub use edf_ac::EdfAc;
 pub use federated::{federated_assignment, FederatedAssignment, FederatedScheduler};

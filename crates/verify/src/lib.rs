@@ -44,7 +44,7 @@ pub use model::{job_model, JobModel};
 pub use violation::Violation;
 pub use work::WorkConservationChecker;
 
-use dagsched_core::{AlgoParams, JobId, NodeId, Speed, Time};
+use dagsched_core::{AlgoParams, JobId, MachineGroups, NodeId, Speed, Time};
 use dagsched_engine::{AdmissionEvent, JobInfo, SimObserver};
 
 /// All scheduler-S invariant checkers in one observer.
@@ -134,6 +134,13 @@ impl SimObserver for InvariantSuite {
         self.good.on_start(m, speed, horizon);
         self.work.on_start(m, speed, horizon);
     }
+    fn on_platform(&mut self, groups: &MachineGroups) {
+        context::bump_event_index();
+        self.band.on_platform(groups);
+        self.allot.on_platform(groups);
+        self.good.on_platform(groups);
+        self.work.on_platform(groups);
+    }
     fn on_job_arrival(&mut self, now: Time, info: &JobInfo) {
         context::bump_event_index();
         self.band.on_job_arrival(now, info);
@@ -189,5 +196,61 @@ impl SimObserver for InvariantSuite {
         self.allot.on_end(at);
         self.good.on_end(at);
         self.work.on_end(at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_core::Work;
+    use dagsched_workload::StepProfitFn;
+
+    /// Regression: the suite must forward `on_platform` to its members.
+    /// When it was swallowed, the work checker kept the reporting speed's
+    /// scale/units (here 2/1 → scale 1, 2 units/proc) and flagged a
+    /// legitimate fast-group window (4 units on the 1x2 processor, work
+    /// scaled by the group lcm 2) as a violation.
+    #[test]
+    fn suite_forwards_on_platform_to_the_work_checker() {
+        let groups: MachineGroups = "1x3/2,1x2".parse().unwrap();
+        let mut suite = InvariantSuite::for_scheduler_s(AlgoParams::from_epsilon(1.0).unwrap())
+            .allow_backfill()
+            .lenient();
+        suite.on_start(2, Speed::new(2, 1).unwrap(), Time(100));
+        suite.on_platform(&groups);
+        suite.on_job_arrival(
+            Time(0),
+            &JobInfo {
+                id: JobId(0),
+                arrival: Time(0),
+                work: Work(3),
+                span: Work(3),
+                profit: StepProfitFn::deadline(Time(50), 1),
+            },
+        );
+        suite.on_admission(
+            Time(0),
+            AdmissionEvent {
+                job: JobId(0),
+                decision: dagsched_engine::AdmissionDecision::Admitted,
+            },
+        );
+        // One tick on the double-speed processor: 4 scaled units against a
+        // scaled total of 3 · lcm = 6. Legitimate under the group rates,
+        // impossible under the un-forwarded scalar ones.
+        suite.on_window(
+            Time(0),
+            1,
+            &[(JobId(0), 1)],
+            &[(JobId(0), 1)],
+            &[(JobId(0), 4)],
+        );
+        let vs: Vec<String> = suite
+            .work
+            .violations()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        assert!(vs.is_empty(), "work checker misfired: {vs:?}");
     }
 }

@@ -15,7 +15,7 @@
 //! The format is deliberately dependency-free (hand-rolled JSON of integers
 //! and fixed token strings — nothing needs escaping).
 
-use dagsched_core::{JobId, NodeId, Speed, Time};
+use dagsched_core::{JobId, MachineGroups, NodeId, Speed, Time};
 use dagsched_engine::{AdmissionDecision, AdmissionEvent, JobInfo, SimObserver};
 use std::fmt::Write as _;
 
@@ -92,6 +92,23 @@ impl SimObserver for EventLog {
             speed.work_scale(),
             horizon.ticks()
         ));
+    }
+
+    fn on_platform(&mut self, groups: &MachineGroups) {
+        // Fires only on non-uniform platforms, so uniform streams (and the
+        // scalar-twin byte-identity contract) are untouched.
+        let mut line = format!(
+            r#"{{"ev":"platform","groups":"{groups}","scale":{},"units":["#,
+            groups.work_scale()
+        );
+        for (i, u) in groups.units_per_group().iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, "{u}");
+        }
+        line.push_str("]}");
+        self.lines.push(line);
     }
 
     fn on_job_arrival(&mut self, now: Time, info: &JobInfo) {

@@ -6,7 +6,7 @@
 //! *exactly* its work, and an expired job strictly less.
 
 use crate::violation::{Recorder, Violation};
-use dagsched_core::{JobId, Speed, Time};
+use dagsched_core::{JobId, MachineGroups, Speed, Time};
 use dagsched_engine::{JobInfo, SimObserver};
 use std::collections::HashMap;
 
@@ -56,6 +56,14 @@ impl SimObserver for WorkConservationChecker {
     fn on_start(&mut self, _m: u32, speed: Speed, _horizon: Time) {
         self.units = speed.units_per_tick();
         self.scale = speed.work_scale();
+    }
+
+    fn on_platform(&mut self, groups: &MachineGroups) {
+        // Related-machines run: all work is scaled by the group lcm (not the
+        // reporting speed's own denominator), and the tightest universal
+        // per-processor bound is the fastest group's units.
+        self.scale = groups.work_scale();
+        self.units = groups.units_per_group().iter().copied().max().unwrap_or(0);
     }
 
     fn on_job_arrival(&mut self, _now: Time, info: &JobInfo) {

@@ -2,13 +2,23 @@
 //!
 //! Each fixture under `tests/fixtures/` is a hand-minimized near-miss from
 //! the adversarial families (triple-tie instants, Figure 1 DAGs at the
-//! Brent bound, density-band burst ties, parked-majority delta churn).
+//! Brent bound, density-band burst ties, parked-majority delta churn,
+//! carry-over-sensitive chains, pick-sensitive forks).
 //! None currently violates an oracle — the regression is that they stay
-//! green under all four heads (invariants, kernel-vs-scan,
-//! paused-vs-one-shot, delta-vs-rebuild) as the engine evolves, and that
-//! any future counterexample promoted here immediately fails CI.
+//! green under all five heads (invariants, kernel-vs-scan,
+//! paused-vs-one-shot, delta-vs-rebuild, grouped-vs-scalar) as the engine
+//! evolves, and that any future counterexample promoted here immediately
+//! fails CI. The configuration-axis fixtures are additionally re-judged
+//! under the non-default flag they were promoted for, plus a sensitivity
+//! check proving the flag actually changes the outcome on that workload.
 
+use dagsched_core::Speed;
+use dagsched_engine::{simulate, NodePick, SimConfig};
 use dagsched_fuzz::cli::replay_instance;
+use dagsched_fuzz::ir::fnv1a;
+use dagsched_fuzz::oracle::{run_exec_with, OracleSet, Subject};
+use dagsched_sched::Fifo;
+use dagsched_workload::{codec, Instance};
 
 fn fixture(name: &str) -> String {
     let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -19,23 +29,52 @@ fn assert_replays_clean(name: &str) {
     let text = fixture(name);
     let verdict =
         replay_instance(&text).unwrap_or_else(|e| panic!("{name} fails an oracle head:\n{e}"));
-    // All four heads must have actually run and passed.
+    // All five heads must have actually run and passed.
     assert_eq!(
         verdict.matches("PASS").count(),
-        4,
-        "{name}: expected four PASS lines, got:\n{verdict}"
+        5,
+        "{name}: expected five PASS lines, got:\n{verdict}"
     );
     for head in [
         "invariants",
         "kernel-vs-scan",
         "paused-vs-oneshot",
         "delta-vs-rebuild",
+        "grouped-vs-scalar",
     ] {
         assert!(
             verdict.contains(head),
             "{name}: head {head} missing from verdict:\n{verdict}"
         );
     }
+}
+
+/// Judge a fixture through every oracle head under a non-default base
+/// config — how the fuzz loop sees candidates whose configuration axis was
+/// mutated.
+fn assert_heads_clean_under(name: &str, base: &SimConfig) {
+    let text = fixture(name);
+    let inst = codec::decode(&text).expect("fixture decodes");
+    let outcome = run_exec_with(
+        &inst,
+        &Subject::scheduler_s(),
+        &OracleSet::default(),
+        fnv1a(text.as_bytes()),
+        None,
+        base,
+    );
+    assert!(
+        outcome.failure.is_none(),
+        "{name} fails under {base:?}: {:?}",
+        outcome.failure
+    );
+}
+
+fn profit_under(inst: &Instance, cfg: &SimConfig) -> u64 {
+    let mut sched = Fifo::new(inst.m());
+    simulate(inst, &mut sched, cfg)
+        .expect("baseline run succeeds")
+        .total_profit
 }
 
 #[test]
@@ -58,17 +97,74 @@ fn delta_parked_fixture_replays_clean() {
     assert_replays_clean("delta-parked.txt");
 }
 
+#[test]
+fn carryover_fixture_replays_clean() {
+    assert_replays_clean("carryover-chain.txt");
+}
+
+#[test]
+fn pick_fixture_replays_clean() {
+    assert_replays_clean("pick-diamond.txt");
+}
+
+/// The carry-over fixture under its promoted flag: every head stays green
+/// with carry-over disabled at double speed, and the flag is load-bearing —
+/// a work-conserving baseline completes the chain by its deadline only with
+/// carry-over on.
+#[test]
+fn carryover_fixture_exercises_the_flag() {
+    let speed = Speed::integer(2).expect("positive");
+    let off = SimConfig {
+        carryover: false,
+        speed,
+        ..SimConfig::default()
+    };
+    assert_heads_clean_under("carryover-chain.txt", &off);
+    let inst = codec::decode(&fixture("carryover-chain.txt")).expect("decodes");
+    let on = SimConfig {
+        carryover: true,
+        speed,
+        ..SimConfig::default()
+    };
+    assert_eq!(profit_under(&inst, &on), 5, "carry-over makes the deadline");
+    assert_eq!(profit_under(&inst, &off), 0, "node granularity misses it");
+}
+
+/// The pick fixture under its promoted flag: every head stays green under
+/// critical-path-first, and the pick policy is load-bearing — the ally
+/// completes by the deadline, the adversarial low-height pick does not.
+#[test]
+fn pick_fixture_exercises_the_flag() {
+    let cpf = SimConfig {
+        pick: NodePick::CriticalPathFirst,
+        ..SimConfig::default()
+    };
+    assert_heads_clean_under("pick-diamond.txt", &cpf);
+    let inst = codec::decode(&fixture("pick-diamond.txt")).expect("decodes");
+    let alh = SimConfig {
+        pick: NodePick::AdversarialLowHeight,
+        ..SimConfig::default()
+    };
+    assert_eq!(profit_under(&inst, &cpf), 5, "critical path first makes it");
+    assert_eq!(
+        profit_under(&inst, &alh),
+        0,
+        "postponing the path misses it"
+    );
+}
+
 /// The fixture texts round-trip through the codec — a fixture that decodes
 /// to something other than what it prints would make the replay command
 /// lie about what it tested.
 #[test]
 fn fixtures_round_trip_through_the_codec() {
-    use dagsched_workload::codec;
     for name in [
         "triple-tie.txt",
         "fig1-tight.txt",
         "band-burst.txt",
         "delta-parked.txt",
+        "carryover-chain.txt",
+        "pick-diamond.txt",
     ] {
         let text = fixture(name);
         let inst = codec::decode(&text).expect("fixture decodes");
