@@ -3,13 +3,14 @@
 //! DAG generation + unfolding, and the PRNG.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use dagsched_bench::hotpath::{handoff_run, parked_instance};
+use dagsched_bench::hotpath::{handoff_run, parked_instance, profit_instance};
 use dagsched_core::{AlgoParams, JobId, Rng64, Speed, Time, Work};
 use dagsched_dag::{gen, UnfoldState};
 use dagsched_engine::{
     simulate, Allocation, HandoffMode, JobInfo, OnlineScheduler, SimConfig, TickView, WindowMode,
 };
-use dagsched_sched::{bands::DensityBands, GreedyDensity, SchedulerS};
+use dagsched_sched::oracle::OracleSProfit;
+use dagsched_sched::{bands::DensityBands, GreedyDensity, SchedulerS, SchedulerSProfit};
 use dagsched_workload::{DagFamily, StepProfitFn, WorkloadGen};
 
 fn bench_engine(c: &mut Criterion) {
@@ -266,6 +267,48 @@ fn bench_view_delta(c: &mut Criterion) {
     g.finish();
 }
 
+/// The PR10 slot-assignment comparison: the rewritten general-profit
+/// scheduler (incremental segment plan + bounded-stability fast-forward)
+/// vs its frozen per-tick twin on a parked-majority two-step-profit
+/// instance. The twin makes no stability claim, so the engine steps it
+/// through every tick of the long plan gap the rewrite crosses in O(1)
+/// windows; the printed `steps` line quantifies the reduction.
+fn bench_slot_assignment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slot-assignment");
+    g.sample_size(10);
+    let inst = profit_instance(200, 10_000);
+    {
+        let mut s = SchedulerSProfit::with_epsilon(inst.m(), 1.0);
+        let fast = simulate(&inst, &mut s, &SimConfig::default()).unwrap();
+        let mut s = OracleSProfit::with_epsilon(inst.m(), 1.0);
+        let frozen = simulate(&inst, &mut s, &SimConfig::default()).unwrap();
+        assert!(fast.same_outcome(&frozen), "paths must agree before timing");
+        println!(
+            "bench slot-assignment: steps {} (plan) vs {} (frozen), {:.0}x fewer",
+            fast.steps_executed,
+            frozen.steps_executed,
+            frozen.steps_executed as f64 / fast.steps_executed as f64
+        );
+    }
+    g.bench_function("frozen/parked-j200", |b| {
+        b.iter(|| {
+            let mut s = OracleSProfit::with_epsilon(inst.m(), 1.0);
+            simulate(&inst, &mut s, &SimConfig::default())
+                .unwrap()
+                .total_profit
+        })
+    });
+    g.bench_function("plan/parked-j200", |b| {
+        b.iter(|| {
+            let mut s = SchedulerSProfit::with_epsilon(inst.m(), 1.0);
+            simulate(&inst, &mut s, &SimConfig::default())
+                .unwrap()
+                .total_profit
+        })
+    });
+    g.finish();
+}
+
 fn bench_rng(c: &mut Criterion) {
     let mut g = c.benchmark_group("rng");
     g.throughput(Throughput::Elements(1));
@@ -284,6 +327,7 @@ criterion_group!(
     bench_backfill,
     bench_dag,
     bench_view_delta,
+    bench_slot_assignment,
     bench_rng
 );
 criterion_main!(benches);

@@ -1,16 +1,16 @@
 //! Perf-regression exporter: run the hot-path harness and write
-//! `BENCH_pr9.json`, optionally failing against a committed baseline.
+//! `BENCH_pr10.json`, optionally failing against a committed baseline.
 //!
 //! ```text
 //! dagsched-bench [--quick] [--out PATH] [--baseline PATH]
 //!                [--max-regress FRAC] [--min-sweep-speedup X]
 //!                [--min-kernel-speedup X] [--min-view-delta-speedup X]
-//!                [--min-related-gain X]
+//!                [--min-sprofit-speedup X] [--min-related-gain X]
 //! ```
 //!
 //! * `--quick` — reduced sizes/iterations (the CI smoke configuration);
 //! * `--out PATH` — where to write the JSON report (default
-//!   `BENCH_pr9.json` in the current directory);
+//!   `BENCH_pr10.json` in the current directory);
 //! * `--baseline PATH` — compare this run's
 //!   admission/backfill/arrival/event-kernel/view-delta speedups against
 //!   the ones recorded in `PATH`; exit non-zero if any
@@ -30,6 +30,10 @@
 //!   minimum (delta handoff vs the frozen full rebuild, dense and combined
 //!   cases) to reach at least `X`. Same-process ratio, enforced
 //!   unconditionally;
+//! * `--min-sprofit-speedup X` — require the profit group's gated minimum
+//!   (the rewritten general-profit scheduler's slot-plan fast path vs the
+//!   frozen per-tick twin, `parked/…` cases) to reach at least `X`.
+//!   Same-process ratio, enforced unconditionally;
 //! * `--min-related-gain X` — require the related-machines group's
 //!   completed-profit gain (group-aware vs aggregate-blind placement on
 //!   the skewed platform) to reach at least `X`. Profit is deterministic
@@ -48,12 +52,13 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut quick = false;
-    let mut out = String::from("BENCH_pr9.json");
+    let mut out = String::from("BENCH_pr10.json");
     let mut baseline: Option<String> = None;
     let mut max_regress = 0.25f64;
     let mut min_sweep_speedup: Option<f64> = None;
     let mut min_kernel_speedup: Option<f64> = None;
     let mut min_view_delta_speedup: Option<f64> = None;
+    let mut min_sprofit_speedup: Option<f64> = None;
     let mut min_related_gain: Option<f64> = None;
 
     let mut args = std::env::args().skip(1);
@@ -93,6 +98,14 @@ fn main() -> ExitCode {
                         .expect("--min-view-delta-speedup must be a number"),
                 )
             }
+            "--min-sprofit-speedup" => {
+                min_sprofit_speedup = Some(
+                    args.next()
+                        .expect("--min-sprofit-speedup needs a number")
+                        .parse()
+                        .expect("--min-sprofit-speedup must be a number"),
+                )
+            }
             "--min-related-gain" => {
                 min_related_gain = Some(
                     args.next()
@@ -121,6 +134,7 @@ fn main() -> ExitCode {
         .chain(report.arrival.iter())
         .chain(report.event_kernel.iter())
         .chain(report.view_delta.iter())
+        .chain(report.profit.iter())
     {
         eprintln!(
             "  {:<24} legacy {:>12.0} ns   new {:>12.0} ns   speedup {:>6.2}x",
@@ -145,20 +159,21 @@ fn main() -> ExitCode {
             c.id, c.execs, c.elapsed_ns, c.execs_per_sec, c.features
         );
     }
-    let (adm, bf, arr, ek, vd, rg, sw) = (
+    let (adm, bf, arr, ek, vd, sp, rg, sw) = (
         report.admission_speedup(),
         report.backfill_speedup(),
         report.arrival_speedup(),
         report.event_kernel_speedup(),
         report.view_delta_speedup(),
+        report.sprofit_speedup(),
         report.related_machines_gain(),
         report.sweep_speedup(),
     );
     eprintln!(
         "  admission_speedup {adm:.2}x, backfill_speedup {bf:.2}x, \
          arrival_speedup {arr:.2}x, event_kernel_speedup {ek:.2}x, \
-         view_delta_speedup {vd:.2}x, related_machines_gain {rg:.2}x, \
-         sweep_speedup {sw:.2}x, \
+         view_delta_speedup {vd:.2}x, sprofit_speedup {sp:.2}x, \
+         related_machines_gain {rg:.2}x, sweep_speedup {sw:.2}x, \
          fuzz {:.0} execs/sec (host_cores {})",
         report.fuzz_execs_per_sec(),
         report.host_cores
@@ -185,6 +200,7 @@ fn main() -> ExitCode {
             ("arrival_speedup", arr),
             ("event_kernel_speedup", ek),
             ("view_delta_speedup", vd),
+            ("sprofit_speedup", sp),
             ("related_machines_gain", rg),
         ] {
             let Some(expected) = json_number(&base, key) else {
@@ -194,6 +210,7 @@ fn main() -> ExitCode {
                 if key == "arrival_speedup"
                     || key == "event_kernel_speedup"
                     || key == "view_delta_speedup"
+                    || key == "sprofit_speedup"
                     || key == "related_machines_gain"
                 {
                     eprintln!("note: baseline {path} has no {key} (skipping)");
@@ -259,6 +276,15 @@ fn main() -> ExitCode {
             failed = true;
         } else {
             eprintln!("ok: view_delta_speedup {vd:.2}x >= required {min:.2}x");
+        }
+    }
+
+    if let Some(min) = min_sprofit_speedup {
+        if sp < min {
+            eprintln!("FAIL: sprofit_speedup {sp:.2}x is below the required {min:.2}x");
+            failed = true;
+        } else {
+            eprintln!("ok: sprofit_speedup {sp:.2}x >= required {min:.2}x");
         }
     }
 

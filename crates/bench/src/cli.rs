@@ -24,6 +24,7 @@ pub const REQUIRED_KEYS: &[&str] = &[
     "arrival_speedup",
     "event_kernel_speedup",
     "view_delta_speedup",
+    "sprofit_speedup",
     "related_machines_gain",
     "sweep_speedup",
     "fuzz_execs_per_sec",
@@ -103,6 +104,7 @@ fn summarize(report: &BenchReport) -> String {
             report.view_delta.len(),
             report.view_delta_speedup(),
         ),
+        ("profit", report.profit.len(), report.sprofit_speedup()),
     ] {
         s.push_str(&format!(
             "  {group:<13} {n} case(s), min speedup {speedup:.2}x (not gated at smoke sizes)\n"
@@ -177,6 +179,7 @@ mod tests {
         let summary = execute(&BenchCmd::Summary).expect("summary run succeeds");
         assert!(summary.contains("event-kernel"));
         assert!(summary.contains("view-delta"));
+        assert!(summary.contains("profit"));
         assert!(summary.contains("group-aware vs blind"));
         assert!(summary.contains("schema: all required keys present"));
         assert_eq!(execute(&BenchCmd::Help).unwrap(), USAGE);

@@ -49,6 +49,20 @@
 //!   the full legacy pipeline (horizon scan + rebuild); `steady/…` is
 //!   informational, exactly as in the event-kernel group.
 //!
+//! * **profit** — full engine runs of the general-profit scheduler, timed
+//!   as the PR-10 rewrite ([`SchedulerSProfit`]: incremental segment plan +
+//!   bounded-stability fast-forward + delta cached replay) vs its frozen
+//!   pre-rewrite twin ([`OracleSProfit`](dagsched_sched::oracle::OracleSProfit):
+//!   per-tick BTreeMap rescan, no stability claim, so the engine steps it
+//!   every tick). The gated `parked/…` cases are the slot-plan regime: a
+//!   majority of long two-step-profit jobs parks unallocated while a brief
+//!   foreground wave churns the plan, leaving a long plan gap the rewrite
+//!   crosses in O(1) windows and the twin grinds through tick by tick. The
+//!   two sides are asserted outcome-identical (`SimResult::same_outcome`,
+//!   which excludes `steps_executed` — the step reduction *is* the
+//!   speedup) before timing; `steady/…` is informational, as in the
+//!   event-kernel group.
+//!
 //! * **related-machines** — full EDF engine runs on a skewed heterogeneous
 //!   platform (`4x1,2x2`: four unit-speed processors declared before two
 //!   double-speed ones) over a deadline-wave workload where only the fast
@@ -87,8 +101,8 @@ use dagsched_engine::{
 };
 use dagsched_experiments::SweepGrid;
 use dagsched_sched::bands::{reference::ReferenceBands, DensityBands};
-use dagsched_sched::oracle::OracleSchedulerS;
-use dagsched_sched::{AggregateBlind, Edf, SchedulerS};
+use dagsched_sched::oracle::{OracleSProfit, OracleSchedulerS};
+use dagsched_sched::{AggregateBlind, Edf, SchedulerS, SchedulerSProfit};
 use dagsched_workload::{Instance, JobSpec, StepProfitFn, WorkloadGen};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -211,6 +225,10 @@ pub struct BenchReport {
     /// View-delta cases (incremental handoff vs the frozen full rebuild);
     /// `legacy_ns` is the rebuild, `new_ns` the delta path.
     pub view_delta: Vec<CaseResult>,
+    /// General-profit scheduler cases (the PR-10 slot-plan rewrite vs the
+    /// frozen per-tick twin); `legacy_ns` is [`OracleSProfit`], `new_ns`
+    /// the rewritten [`SchedulerSProfit`] on its default fast path.
+    pub profit: Vec<CaseResult>,
     /// Related-machines placement cases (group-aware vs aggregate-blind
     /// on a skewed heterogeneous platform); the gated number is the
     /// completed-profit gain.
@@ -263,6 +281,15 @@ impl BenchReport {
         )
     }
 
+    /// General-profit speedup of record: the minimum over the `parked/…`
+    /// cases — the slot-plan regime the rewrite targets. `steady/…` is
+    /// informational, exactly as in the event-kernel and view-delta
+    /// groups: on dense mixed streams the plan is rebuilt about as often
+    /// as the twin rescans, and parity is the expected result.
+    pub fn sprofit_speedup(&self) -> f64 {
+        min_speedup(self.profit.iter().filter(|c| !c.id.starts_with("steady/")))
+    }
+
     /// Related-machines gain of record: the minimum completed-profit ratio
     /// (group-aware / aggregate-blind) over the group's cases. Profit is
     /// deterministic, so this gate is machine-independent.
@@ -301,7 +328,7 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"pr\": 9,\n");
+        s.push_str("  \"pr\": 10,\n");
         s.push_str(&format!("  \"quick\": {},\n", self.quick));
         s.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
         s.push_str(&format!("  \"git_rev\": \"{}\",\n", self.git_rev));
@@ -317,6 +344,7 @@ impl BenchReport {
             ("arrival", &self.arrival),
             ("event_kernel", &self.event_kernel),
             ("view_delta", &self.view_delta),
+            ("profit", &self.profit),
         ] {
             s.push_str(&group_head(name));
             for (i, c) in cases.iter().enumerate() {
@@ -390,6 +418,10 @@ impl BenchReport {
         s.push_str(&format!(
             "  \"view_delta_speedup\": {:.3},\n",
             self.view_delta_speedup()
+        ));
+        s.push_str(&format!(
+            "  \"sprofit_speedup\": {:.3},\n",
+            self.sprofit_speedup()
         ));
         s.push_str(&format!(
             "  \"related_machines_gain\": {:.3},\n",
@@ -822,6 +854,115 @@ pub fn run_view_delta(dense_sizes: &[usize], steady_jobs: usize, iters: usize) -
         .collect()
 }
 
+/// The slot-plan regime the general-profit rewrite targets: `n` long
+/// background jobs (work 5 000, a two-step profit whose cliffs sit at
+/// `horizon / 2` and `horizon`) arrive at `t = 0` on an `m = 4` machine, so
+/// the band capacity admits a handful and parks the rest until their
+/// segments lapse; a brief foreground wave of small two-step chain jobs
+/// (one every other tick, cliffs at 40 and 90) churns the plan early on.
+/// Once the wave drains, the remaining run is one long plan gap: the
+/// rewritten scheduler declares it stable and the engine crosses it in
+/// O(1) bulk windows, while the frozen twin — no stability claim — is
+/// stepped through every tick of it.
+pub fn profit_instance(n: usize, horizon: u64) -> Instance {
+    let mid = (horizon / 2).max(2);
+    let background = StepProfitFn::steps(vec![(Time(mid), 4), (Time(horizon), 2)], 0)
+        .expect("valid background profit");
+    let wave =
+        StepProfitFn::steps(vec![(Time(40), 3), (Time(90), 1)], 0).expect("valid wave profit");
+    let mut jobs: Vec<JobSpec> = (0..n)
+        .map(|i| {
+            JobSpec::new(
+                JobId(i as u32),
+                Time(0),
+                gen::single(5_000).into_shared(),
+                background.clone(),
+            )
+        })
+        .collect();
+    for i in 0..n / 2 {
+        jobs.push(JobSpec::new(
+            JobId((n + i) as u32),
+            Time(2 * i as u64),
+            gen::chain(3, 2).into_shared(),
+            wave.clone(),
+        ));
+    }
+    Instance::new(4, jobs).expect("valid profit instance")
+}
+
+/// One full general-profit run, rewritten (`frozen = false`, the default
+/// fast path) or on the frozen pre-rewrite twin (`frozen = true`, stepped
+/// every tick). The checksum folds in `ticks_simulated` — identical on
+/// both sides by `same_outcome` — but deliberately not `steps_executed`,
+/// which differs by design.
+fn sprofit_run(inst: &Instance, frozen: bool) -> u64 {
+    let cfg = SimConfig::default();
+    let r = if frozen {
+        let mut sched = OracleSProfit::with_epsilon(inst.m(), 1.0);
+        simulate(inst, &mut sched, &cfg)
+    } else {
+        let mut sched = SchedulerSProfit::with_epsilon(inst.m(), 1.0);
+        simulate(inst, &mut sched, &cfg)
+    }
+    .expect("bench run succeeds");
+    r.total_profit
+        .wrapping_mul(1_000_003)
+        .wrapping_add(r.ticks_simulated)
+}
+
+/// Run the general-profit group: each case times complete engine runs of
+/// the rewritten [`SchedulerSProfit`] (`new_ns`) vs the frozen
+/// [`OracleSProfit`] twin (`legacy_ns`). Both sides are asserted
+/// outcome-identical before timing — `same_outcome` compares every
+/// `SimResult` field except `steps_executed`, the one the rewrite exists
+/// to shrink. `parked/…` cases are the gated ones; `steady/…` is
+/// informational (dense mixed streams, no long gaps to skip).
+pub fn run_profit(
+    sizes: &[usize],
+    horizon: u64,
+    steady_jobs: usize,
+    iters: usize,
+) -> Vec<CaseResult> {
+    let mut cases: Vec<(String, Instance)> = sizes
+        .iter()
+        .map(|&n| (format!("parked/j{n}"), profit_instance(n, horizon)))
+        .collect();
+    cases.push((
+        format!("steady/standard-j{steady_jobs}"),
+        WorkloadGen::standard(6, steady_jobs, 7)
+            .generate()
+            .expect("valid steady workload"),
+    ));
+    cases
+        .into_iter()
+        .map(|(id, inst)| {
+            {
+                let cfg = SimConfig::default();
+                let mut fast = SchedulerSProfit::with_epsilon(inst.m(), 1.0);
+                let mut twin = OracleSProfit::with_epsilon(inst.m(), 1.0);
+                let fast = simulate(&inst, &mut fast, &cfg).expect("bench run succeeds");
+                let twin = simulate(&inst, &mut twin, &cfg).expect("bench run succeeds");
+                assert!(
+                    fast.same_outcome(&twin),
+                    "rewrite and frozen twin diverged on {id} \
+                     (rewrite profit {}, twin profit {})",
+                    fast.total_profit,
+                    twin.total_profit
+                );
+            }
+            let legacy_ns = time_median_ns(iters, || sprofit_run(&inst, true));
+            let new_ns = time_median_ns(iters, || sprofit_run(&inst, false));
+            CaseResult {
+                id,
+                legacy_ns,
+                new_ns,
+                speedup: legacy_ns / new_ns,
+            }
+        })
+        .collect()
+}
+
 /// The skewed platform the related-machines group runs on: four unit-speed
 /// processors declared *before* two double-speed ones, so a placement
 /// cursor that ignores groups fills the slow half first.
@@ -985,6 +1126,13 @@ pub fn run_all(quick: bool) -> BenchReport {
     } else {
         (&[1_000, 3_000], 400, 9)
     };
+    // One frozen-twin profit iteration grinds the whole horizon tick by
+    // tick, so quick mode drops the large case — but keeps the full
+    // horizon: the measured ratio scales with the plan-gap length, so a
+    // shorter quick horizon would make the baseline comparison a workload
+    // mismatch, not a regression signal.
+    let profit_sizes: &[usize] = if quick { &[40] } else { &[40, 160] };
+    let profit_horizon = 50_000;
     // The B1 grid takes ~50 ms sequentially, so even the full sweep group
     // stays under a second.
     let sweep_iters = if quick { 5 } else { 11 };
@@ -997,6 +1145,7 @@ pub fn run_all(quick: bool) -> BenchReport {
         arrival: run_arrival_storm(storm_sizes, iters),
         event_kernel: run_event_kernel(ek_sizes, ek_steady, ek_iters),
         view_delta: run_view_delta(ek_sizes, ek_steady, ek_iters),
+        profit: run_profit(profit_sizes, profit_horizon, ek_steady, ek_iters),
         related: run_related(if quick { &[40] } else { &[40, 120] }, ek_iters),
         sweep: run_sweep_grid(&SweepGrid::b1(), 4, sweep_iters),
         fuzz: run_fuzz_throughput(if quick { &[200] } else { &[1_000] }),
@@ -1018,6 +1167,7 @@ pub fn run_smoke() -> BenchReport {
         arrival: run_arrival_storm(&[1_000], 3),
         event_kernel: run_event_kernel(&[300], 60, 3),
         view_delta: run_view_delta(&[300], 60, 3),
+        profit: run_profit(&[12], 3_000, 40, 3),
         related: run_related(&[10], 3),
         sweep: run_sweep_grid(&SweepGrid::smoke(), 2, 3),
         fuzz: run_fuzz_throughput(&[60]),
@@ -1086,6 +1236,20 @@ mod tests {
                     speedup: 0.9,
                 },
             ],
+            profit: vec![
+                CaseResult {
+                    id: "parked/j40".into(),
+                    legacy_ns: 9000.0,
+                    new_ns: 3000.0,
+                    speedup: 3.0,
+                },
+                CaseResult {
+                    id: "steady/standard-j400".into(),
+                    legacy_ns: 1000.0,
+                    new_ns: 1050.0,
+                    speedup: 0.95,
+                },
+            ],
             related: vec![RelatedCase {
                 id: "related/waves-w40".into(),
                 aware_profit: 320,
@@ -1123,6 +1287,11 @@ mod tests {
             Some(2.1),
             "the gated minimum spans dense and combined, never steady"
         );
+        assert_eq!(
+            json_number(&json, "sprofit_speedup"),
+            Some(3.0),
+            "the gated profit minimum covers parked cases, never steady"
+        );
         assert_eq!(json_number(&json, "related_machines_gain"), Some(4.0));
         assert_eq!(json_number(&json, "sweep_speedup"), Some(3.5));
         assert_eq!(json_number(&json, "fuzz_execs_per_sec"), Some(300.0));
@@ -1134,11 +1303,12 @@ mod tests {
         assert!(json.contains("\"git_rev\": \"abc1234\""));
         assert_eq!(
             json.matches("\"host_cores\": 8").count(),
-            9,
+            10,
             "top level plus one per group"
         );
-        assert_eq!(json.matches("\"git_rev\": \"abc1234\"").count(), 9);
+        assert_eq!(json.matches("\"git_rev\": \"abc1234\"").count(), 10);
         assert!(json.contains("\"overload/p1000\""));
+        assert!(json.contains("\"parked/j40\""));
         assert!(json.contains("\"arrival-storm/j10000\""));
         assert!(json.contains("\"dense/parked-j1000\""));
         assert!(json.contains("\"combined/parked-j1000\""));
@@ -1174,6 +1344,7 @@ mod tests {
                 mk("combined/parked-j1000", 3.4),
                 mk("steady/standard-j400", 0.8),
             ],
+            profit: vec![mk("parked/j40", 7.5), mk("steady/standard-j400", 0.9)],
             related: vec![],
             sweep: vec![],
             fuzz: vec![],
@@ -1186,6 +1357,11 @@ mod tests {
             report.view_delta_speedup(),
             1.9,
             "steady cases are informational, not gated"
+        );
+        assert_eq!(
+            report.sprofit_speedup(),
+            7.5,
+            "the profit gate tracks the parked cases only"
         );
         assert_eq!(report.sweep_speedup(), f64::INFINITY);
         assert_eq!(report.related_machines_gain(), f64::INFINITY);
@@ -1264,6 +1440,29 @@ mod tests {
                 "{c:?}"
             );
         }
+    }
+
+    /// The general-profit harness at tiny sizes: the embedded
+    /// rewrite-vs-twin `same_outcome` assert is the point, and even on a
+    /// short horizon the parked case must show the rewrite strictly
+    /// ahead — the frozen twin steps every tick of the plan gap.
+    #[test]
+    fn profit_harness_runs_and_covers_both_case_families() {
+        let cases = run_profit(&[12], 2_000, 30, 1);
+        assert_eq!(cases.len(), 2);
+        assert!(cases[0].id.starts_with("parked/"));
+        assert!(cases[1].id.starts_with("steady/"));
+        for c in &cases {
+            assert!(
+                c.legacy_ns > 0.0 && c.new_ns > 0.0 && c.speedup > 0.0,
+                "{c:?}"
+            );
+        }
+        assert!(
+            cases[0].speedup > 1.0,
+            "the parked case must favor the fast path: {:?}",
+            cases[0]
+        );
     }
 
     #[test]

@@ -76,6 +76,12 @@ pub struct SimDriver<'a, O: SimObserver = NullObserver> {
     /// Whether the event-driven fast-forward path is engaged (pinned at
     /// construction: scheduler opt-in, deterministic pick, no trace).
     fast_forward: bool,
+    /// Whether the scheduler's stability is *bounded*
+    /// ([`OnlineScheduler::bounded_stability`]): fast-forward windows are
+    /// additionally capped at [`OnlineScheduler::stable_until`], and
+    /// allocation-idle stretches may be bulk-skipped (the plan boundary —
+    /// not the per-tick re-decision — is what ends an idle stretch).
+    bounded: bool,
     /// Whether the [`EventKernel`] is maintained at all
     /// ([`SimConfig::window`] is [`WindowMode::EventKernel`]). Governs the
     /// expiry index and idle-skip source on *both* execution paths.
@@ -153,11 +159,15 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
         }
         // The fast-forward path needs every source of per-tick variation
         // pinned down: a scheduler whose allocation is stable between
-        // events, a deterministic pick policy, and no per-tick trace.
+        // events (fully, or boundedly with `stable_until` capping every
+        // window), a deterministic pick policy, and no per-tick trace.
+        let stable = sched.allocation_stable_between_events();
+        let bounded = !stable && sched.bounded_stability();
         let fast_forward = cfg.fast_forward
             && trace.is_none()
             && cfg.pick.fast_forward_safe()
-            && sched.allocation_stable_between_events();
+            && (stable || bounded);
+        let bounded = bounded && fast_forward;
         let kernel_on = matches!(cfg.window, WindowMode::EventKernel);
         // Kernel windows additionally need stable completion keys: a
         // claimed node's entry is re-keyed only when its frontier moves,
@@ -178,6 +188,7 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
             kernel,
             trace,
             fast_forward,
+            bounded,
             kernel_on,
             kernel_windows,
             delta_on,
@@ -433,6 +444,21 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
                 }
                 cursor += k as usize;
             }
+            // Bounded stability: the plan may change at the scheduler's
+            // next boundary even with no job event in between, so every
+            // window is additionally capped at `stable_until`. `None`
+            // means no further boundary (stable to the next event, like a
+            // fully stable scheduler); a boundary at or before `t` means a
+            // single-tick window.
+            let bound_cap = if self.bounded {
+                match self.sched.stable_until(t) {
+                    Some(until) if until > t => until.since(t),
+                    Some(_) => 1,
+                    None => u64::MAX,
+                }
+            } else {
+                u64::MAX
+            };
             // Window width in ticks. Every cap is ≥ 1 (after the idle
             // skip the next arrival is strictly in the future, after step 2
             // every zero-tail job is strictly before its expiry boundary,
@@ -446,7 +472,8 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
                     self.kernel.window(t, &self.life)
                 } else {
                     HorizonScan::window(min_q, jobs, &self.life, &self.clock, t)
-                };
+                }
+                .min(bound_cap);
                 if s > 0 {
                     // No claimed node completes within the window: each
                     // consumes its processor's full rate per tick
@@ -486,6 +513,40 @@ impl<'a, O: SimObserver> SimDriver<'a, O> {
                             .as_mut()
                             .expect("validated alive")
                             .release_claims();
+                    }
+                    self.clock.advance_window(s);
+                    return Ok(true);
+                }
+            } else if self.bounded && sc.alloc.is_empty() && !self.life.alive.is_empty() {
+                // Bounded schedulers idle *deliberately*: an empty
+                // allocation with alive jobs is a plan gap (no slot at this
+                // tick), and within `bound_cap` the per-tick re-decision
+                // cannot change it. Skip the whole gap in one window — the
+                // reference path would emit `s` identical empty-allocation
+                // ticks, which the event log coalesces into exactly this
+                // window, and `advance_window` charges the same
+                // `ticks_simulated`. Restricted to bounded schedulers so
+                // fully stable schedulers keep their frozen per-tick idle
+                // accounting. When the last alive job left during this
+                // step's own event phases the window has no job boundary
+                // left to cap it — fall through to the single reference
+                // tick the naive path charges before its run guard ends
+                // the run.
+                let s = if self.kernel_windows {
+                    self.kernel.window(t, &self.life)
+                } else {
+                    HorizonScan::window(u64::MAX, jobs, &self.life, &self.clock, t)
+                }
+                .min(bound_cap);
+                if s > 0 {
+                    if self.observing {
+                        sc.progress.clear();
+                        let vj: &[(JobId, u32)] = if self.delta_on {
+                            self.life.view()
+                        } else {
+                            &sc.view_jobs
+                        };
+                        self.obs.on_window(t, s, vj, &sc.alloc, &sc.progress);
                     }
                     self.clock.advance_window(s);
                     return Ok(true);

@@ -270,6 +270,43 @@ pub trait OnlineScheduler {
         self.allocation_stable_between_events()
     }
 
+    /// Declare *bounded* stability: the allocation is stable between events
+    /// **and** plan boundaries, with the boundaries reported per tick via
+    /// [`stable_until`](Self::stable_until).
+    ///
+    /// This is the weaker sibling of
+    /// [`allocation_stable_between_events`](Self::allocation_stable_between_events)
+    /// for schedulers whose plan is *piecewise*-constant in `view.now` — a
+    /// slot plan, a quantum rotation — rather than constant outright.
+    /// Returning `true` is a contract: for every tick `t`, with no event
+    /// hook firing in between, repeated `allocate` calls on views with
+    /// `now ∈ [t, stable_until(t))` must satisfy the same three points as
+    /// full stability (same allocation, no observable side effects, no
+    /// other `now` dependence). The engine then fast-forwards in windows
+    /// capped by `stable_until` instead of single ticks.
+    ///
+    /// Full stability subsumes this: schedulers returning `true` from
+    /// `allocation_stable_between_events` are never asked. The default
+    /// `false` keeps `now`-dependent schedulers on the per-tick path.
+    fn bounded_stability(&self) -> bool {
+        false
+    }
+
+    /// The end of the current stability window: the allocation decided at
+    /// `now` stays valid (absent events) for every tick in
+    /// `[now, stable_until(now))`.
+    ///
+    /// Only consulted when [`bounded_stability`](Self::bounded_stability)
+    /// returns `true`, once per engine step after the allocation. `None`
+    /// means *no further plan boundary* — stable until the next event, like
+    /// a fully stable scheduler. `Some(t)` with `t <= now` is treated as a
+    /// single-tick window. The default `None` pairs with the default
+    /// `bounded_stability` of `false` and is never reached.
+    fn stable_until(&self, now: Time) -> Option<Time> {
+        let _ = now;
+        None
+    }
+
     /// Ask the scheduler to start recording admission decisions for
     /// [`drain_admission_events`](Self::drain_admission_events). The engine
     /// calls this once at simulation start when an active

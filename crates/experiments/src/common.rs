@@ -3,8 +3,8 @@
 use dagsched_core::{AlgoParams, Speed};
 use dagsched_engine::{parallel_map, simulate, OnlineScheduler, SimConfig, SimResult};
 use dagsched_sched::{
-    baselines::SNoAdmission, Edf, Fifo, GreedyDensity, LeastLaxity, RandomOrder, SchedulerS,
-    SchedulerSProfit,
+    baselines::SNoAdmission, Edf, EquiPartition, Fifo, GreedyDensity, LeastLaxity, MoldableList,
+    RandomOrder, SchedulerS, SchedulerSProfit,
 };
 use dagsched_workload::Instance;
 
@@ -64,6 +64,11 @@ pub enum SchedKind {
         /// Shuffle seed.
         seed: u64,
     },
+    /// Moldable list scheduling (Perotin–Sun–Raghavan style): fixed
+    /// arrival-time allotments capped at `⌈m/2⌉`, arrival-order list.
+    MoldList,
+    /// Non-clairvoyant equipartition (Garg–Gupta–Kumar–Singla style).
+    Equi,
 }
 
 impl SchedKind {
@@ -82,6 +87,8 @@ impl SchedKind {
             SchedKind::Hdf => "HDF".into(),
             SchedKind::Llf => "LLF".into(),
             SchedKind::Random { .. } => "RANDOM".into(),
+            SchedKind::MoldList => "MOLD-LIST".into(),
+            SchedKind::Equi => "EQUI".into(),
         }
     }
 
@@ -110,6 +117,8 @@ impl SchedKind {
             SchedKind::Hdf => Box::new(GreedyDensity::new(m)),
             SchedKind::Llf => Box::new(LeastLaxity::new(m)),
             SchedKind::Random { seed } => Box::new(RandomOrder::new(m, seed)),
+            SchedKind::MoldList => Box::new(MoldableList::new(m)),
+            SchedKind::Equi => Box::new(EquiPartition::new(m)),
         }
     }
 }
@@ -172,6 +181,8 @@ mod tests {
             SchedKind::Hdf,
             SchedKind::Llf,
             SchedKind::Random { seed: 7 },
+            SchedKind::MoldList,
+            SchedKind::Equi,
         ] {
             let r = run_on(&inst, &kind);
             assert_eq!(r.outcomes.len(), 20, "{}", kind.label());

@@ -206,6 +206,8 @@ impl SweepGrid {
                 SchedKind::Fifo,
                 SchedKind::Hdf,
                 SchedKind::Llf,
+                SchedKind::MoldList,
+                SchedKind::Equi,
             ],
             speeds: vec![Speed::ONE, Speed::new(3, 2).expect("positive")],
             ms: vec![8, 16],

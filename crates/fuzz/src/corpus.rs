@@ -23,6 +23,8 @@ fn triple_tie() -> FuzzInstance {
                 arrival: 0,
                 deadline: 100,
                 profit: 7,
+                extra_steps: vec![],
+                tail: 0,
                 works: vec![11],
                 edges: vec![],
             },
@@ -30,6 +32,8 @@ fn triple_tie() -> FuzzInstance {
                 arrival: 0,
                 deadline: 10,
                 profit: 5,
+                extra_steps: vec![],
+                tail: 0,
                 works: vec![25, 25, 25, 25],
                 edges: vec![(0, 1), (1, 2), (2, 3)],
             },
@@ -37,6 +41,8 @@ fn triple_tie() -> FuzzInstance {
                 arrival: 10,
                 deadline: 20,
                 profit: 3,
+                extra_steps: vec![],
+                tail: 0,
                 works: vec![3],
                 edges: vec![],
             },
@@ -56,6 +62,8 @@ fn collisions() -> FuzzInstance {
                 arrival: rng.gen_range(8),
                 deadline: 1 + rng.gen_range(9),
                 profit: 1 + rng.gen_range(5),
+                extra_steps: vec![],
+                tail: 0,
                 works: if chain { vec![work, work] } else { vec![work] },
                 edges: if chain { vec![(0, 1)] } else { vec![] },
             }
@@ -73,6 +81,8 @@ fn fig1_family() -> FuzzInstance {
             arrival,
             deadline: 1,
             profit: 4,
+            extra_steps: vec![],
+            tail: 0,
             works: works.clone(),
             edges: edges.clone(),
         };
@@ -91,11 +101,54 @@ fn band_burst() -> FuzzInstance {
             arrival: 3,
             deadline: 6,
             profit: p,
+            extra_steps: vec![],
+            tail: 0,
             works: vec![4],
             edges: vec![],
         })
         .collect();
     FuzzInstance::new(2, jobs)
+}
+
+/// General-profit cliffs: step functions whose later, lower values and
+/// tails put the slot-assignment search (Section 5) under pressure — one
+/// job per shape: two-step, step+tail, and tail-only-survivor.
+fn profit_cliff() -> FuzzInstance {
+    FuzzInstance {
+        sprofit_subject: true,
+        ..FuzzInstance::new(
+            2,
+            vec![
+                FuzzJob {
+                    arrival: 0,
+                    deadline: 10,
+                    profit: 9,
+                    extra_steps: vec![(30, 4)],
+                    tail: 0,
+                    works: vec![10, 10],
+                    edges: vec![(0, 1)],
+                },
+                FuzzJob {
+                    arrival: 0,
+                    deadline: 5,
+                    profit: 8,
+                    extra_steps: vec![(12, 5)],
+                    tail: 1,
+                    works: vec![6],
+                    edges: vec![],
+                },
+                FuzzJob {
+                    arrival: 4,
+                    deadline: 6,
+                    profit: 3,
+                    extra_steps: vec![],
+                    tail: 2,
+                    works: vec![40],
+                    edges: vec![],
+                },
+            ],
+        )
+    }
 }
 
 /// A plain generated workload, to keep one unbiased starting point.
@@ -113,6 +166,7 @@ pub fn seed_corpus() -> Vec<FuzzInstance> {
         collisions(),
         fig1_family(),
         band_burst(),
+        profit_cliff(),
         standard(),
     ]
 }
@@ -149,7 +203,7 @@ mod tests {
     #[test]
     fn every_seed_converts() {
         let seeds = seed_corpus();
-        assert_eq!(seeds.len(), 5);
+        assert_eq!(seeds.len(), 6);
         for (i, s) in seeds.iter().enumerate() {
             let inst = s.to_instance().unwrap_or_else(|e| panic!("seed {i}: {e}"));
             assert!(inst.len() >= 2, "seed {i} too small");

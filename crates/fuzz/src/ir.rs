@@ -32,6 +32,9 @@ pub mod limits {
     pub const MAX_DEADLINE: u64 = 600;
     /// Maximum per-job profit.
     pub const MAX_PROFIT: u64 = 1 << 20;
+    /// Maximum *extra* profit steps past the first (general profit
+    /// functions; the first step is the deadline/profit pair).
+    pub const MAX_PROFIT_STEPS: usize = 4;
     /// Maximum machine groups on the platform axis.
     pub const MAX_GROUPS: usize = 3;
     /// Maximum speed numerator/denominator on the platform axis (keeps the
@@ -39,15 +42,27 @@ pub mod limits {
     pub const MAX_SPEED: u32 = 4;
 }
 
-/// One job in mutable form: a deadline-profit job with a forward-edge DAG.
+/// One job in mutable form: a general-profit job with a forward-edge DAG.
+///
+/// The common case is a pure deadline job (`extra_steps` empty, `tail`
+/// zero). The profit mutators grow a general step function from it: each
+/// `(bound, value)` in `extra_steps` is a later, lower profit step, and a
+/// nonzero `tail` keeps the job worth something forever (so it never
+/// expires). Sanitization in [`FuzzInstance::to_instance`] repairs any
+/// intermediate state into a valid strictly-decreasing step function.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FuzzJob {
     /// Arrival time.
     pub arrival: u64,
-    /// Relative deadline (single profit step at `arrival + deadline`).
+    /// Relative deadline (the first profit step, at `arrival + deadline`).
     pub deadline: u64,
     /// Profit for completing by the deadline.
     pub profit: u64,
+    /// Later profit steps `(relative bound, value)`; repaired to strictly
+    /// increasing bounds and strictly decreasing values below `profit`.
+    pub extra_steps: Vec<(u64, u64)>,
+    /// Profit for completing after the last step (0 = the job expires).
+    pub tail: u64,
     /// Node works, indexed by node id.
     pub works: Vec<u64>,
     /// DAG edges; only pairs with `from < to` survive sanitization, so any
@@ -90,7 +105,9 @@ impl FuzzJob {
         height.iter().copied().max().unwrap_or(1)
     }
 
-    /// Absolute expiry `arrival + deadline` (clamped).
+    /// Absolute instant of the *first* profit step `arrival + deadline`
+    /// (clamped) — the expiry for pure deadline jobs, and the cliff the
+    /// collision mutators aim at for general-profit jobs.
     pub fn expiry(&self) -> u64 {
         self.arrival.min(limits::MAX_ARRIVAL) + self.deadline.clamp(1, limits::MAX_DEADLINE)
     }
@@ -114,8 +131,8 @@ pub const PICKS: &[NodePick] = &[
 /// handoff, carry-over on, FIFO pick, uniform platform) — but they are
 /// mutable state the config mutators toggle, which lets the coverage loop
 /// explore the scan window, the rebuild handoff, carry-over, node-pick
-/// policies and related-machines group shapes without a separate fuzzing
-/// harness per configuration.
+/// policies, related-machines group shapes and the general-profit subject
+/// without a separate fuzzing harness per configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FuzzInstance {
     /// Machine count.
@@ -136,6 +153,10 @@ pub struct FuzzInstance {
     /// [`FuzzInstance::platform_groups`] — counts are fit to `m`, speeds
     /// clamped to [`limits::MAX_SPEED`].
     pub speed_groups: Vec<(u32, u32, u32)>,
+    /// Judge the general-profit scheduler S-profit instead of scheduler S —
+    /// a configuration-axis flag selecting the subject, so the differential
+    /// heads cover the slot-plan fast path without a separate harness.
+    pub sprofit_subject: bool,
 }
 
 /// Extract `(works, edges)` from a built DAG, re-labeling nodes into
@@ -173,6 +194,7 @@ impl FuzzInstance {
             no_carryover: false,
             pick_idx: 0,
             speed_groups: Vec::new(),
+            sprofit_subject: false,
         }
     }
 
@@ -228,25 +250,24 @@ impl FuzzInstance {
         }
     }
 
-    /// Build the IR from a validated instance. General profit functions are
-    /// projected onto their deadline envelope (last useful time, max
-    /// profit) — the adversarial families this fuzzer targets are all
-    /// deadline instances.
+    /// Build the IR from a validated instance. The full general profit
+    /// function is preserved: the first segment becomes the
+    /// (deadline, profit) pair, later segments become `extra_steps`, and
+    /// the tail carries over — so the minimizer's IR round-trip is faithful
+    /// on general-profit failures, not just deadline ones.
     pub fn from_instance(inst: &Instance) -> FuzzInstance {
         let jobs = inst
             .jobs()
             .iter()
             .map(|j| {
                 let (works, edges) = dag_to_ir(&j.dag);
-                let deadline = j
-                    .rel_deadline()
-                    .unwrap_or_else(|| j.profit.last_useful_time())
-                    .ticks()
-                    .max(1);
+                let segs = j.profit.segments();
                 FuzzJob {
                     arrival: j.arrival.ticks(),
-                    deadline,
-                    profit: j.max_profit().max(1),
+                    deadline: segs[0].0.ticks().max(1),
+                    profit: segs[0].1.max(1),
+                    extra_steps: segs[1..].iter().map(|&(b, v)| (b.ticks(), v)).collect(),
+                    tail: j.profit.tail_value(),
                     works,
                     edges,
                 }
@@ -300,10 +321,30 @@ impl FuzzInstance {
                     .build()
                     .expect("forward edges cannot form a cycle")
                     .into_shared();
-                let profit = StepProfitFn::deadline(
-                    Time(j.deadline.clamp(1, limits::MAX_DEADLINE)),
-                    j.profit.clamp(1, limits::MAX_PROFIT),
-                );
+                let deadline = j.deadline.clamp(1, limits::MAX_DEADLINE);
+                let top = j.profit.clamp(1, limits::MAX_PROFIT);
+                let profit = if j.extra_steps.is_empty() && j.tail == 0 {
+                    StepProfitFn::deadline(Time(deadline), top)
+                } else {
+                    // Repair the extra steps into a strictly-decreasing step
+                    // function: each bound is forced past the previous one
+                    // (capped at twice the deadline limit so horizons stay
+                    // small), each value strictly below the previous, and
+                    // steps stop once the value floor of 1 is reached.
+                    let mut segs = vec![(Time(deadline), top)];
+                    let (mut pb, mut pv) = (deadline, top);
+                    for &(b, v) in j.extra_steps.iter().take(limits::MAX_PROFIT_STEPS) {
+                        if pv <= 1 {
+                            break;
+                        }
+                        let b = b.clamp(pb + 1, (2 * limits::MAX_DEADLINE).max(pb + 1));
+                        let v = v.clamp(1, pv - 1);
+                        segs.push((Time(b), v));
+                        (pb, pv) = (b, v);
+                    }
+                    let tail = j.tail.min(pv - 1);
+                    StepProfitFn::steps(segs, tail).expect("sanitized steps are valid")
+                };
                 JobSpec::new(
                     JobId(i as u32),
                     Time(j.arrival.min(limits::MAX_ARRIVAL)),
@@ -355,6 +396,8 @@ mod tests {
                 arrival: u64::MAX,
                 deadline: 0,
                 profit: 0,
+                extra_steps: vec![],
+                tail: 0,
                 works: vec![0, u64::MAX, 3],
                 // Backward, self-loop, out-of-range and duplicate edges.
                 edges: vec![(2, 1), (1, 1), (0, 40), (0, 2), (0, 2), (1, 2)],
@@ -375,12 +418,65 @@ mod tests {
         assert!(FuzzInstance::new(2, vec![]).to_instance().is_err());
     }
 
+    /// General profit functions survive the IR round-trip segment for
+    /// segment (the minimizer depends on this being faithful).
+    #[test]
+    fn general_profit_round_trips() {
+        use dagsched_dag::gen;
+        let profit = StepProfitFn::steps(vec![(Time(10), 9), (Time(30), 4)], 1).unwrap();
+        let spec = JobSpec::new(JobId(0), Time(2), gen::single(6).into_shared(), profit);
+        let inst = Instance::new(2, vec![spec]).unwrap();
+        let ir = FuzzInstance::from_instance(&inst);
+        assert_eq!(ir.jobs[0].deadline, 10);
+        assert_eq!(ir.jobs[0].profit, 9);
+        assert_eq!(ir.jobs[0].extra_steps, vec![(30, 4)]);
+        assert_eq!(ir.jobs[0].tail, 1);
+        let back = ir.to_instance().unwrap();
+        assert_eq!(
+            back.jobs()[0].profit.segments(),
+            inst.jobs()[0].profit.segments()
+        );
+        assert_eq!(back.jobs()[0].profit.tail_value(), 1);
+    }
+
+    /// Hostile profit steps (non-increasing bounds, non-decreasing values,
+    /// oversized tails) are repaired into a valid strictly-decreasing step
+    /// function.
+    #[test]
+    fn hostile_profit_steps_are_repaired() {
+        let fi = FuzzInstance::new(
+            2,
+            vec![FuzzJob {
+                arrival: 0,
+                deadline: 20,
+                profit: 5,
+                // Bound before the deadline, value above the top, a
+                // duplicate bound, and a tail above everything.
+                extra_steps: vec![(3, 99), (3, 99), (u64::MAX, 0)],
+                tail: u64::MAX,
+                works: vec![2],
+                edges: vec![],
+            }],
+        );
+        let inst = fi.to_instance().expect("repairable");
+        let p = &inst.jobs()[0].profit;
+        let segs = p.segments();
+        assert_eq!(segs[0], (Time(20), 5));
+        for w in segs.windows(2) {
+            assert!(w[0].0 < w[1].0, "bounds strictly increase: {segs:?}");
+            assert!(w[0].1 > w[1].1, "values strictly decrease: {segs:?}");
+        }
+        assert!(p.tail_value() < segs.last().unwrap().1);
+    }
+
     #[test]
     fn span_matches_built_dag() {
         let fi = FuzzJob {
             arrival: 0,
             deadline: 10,
             profit: 1,
+            extra_steps: vec![],
+            tail: 0,
             works: vec![2, 3, 4, 5],
             edges: vec![(0, 1), (0, 2), (1, 3), (2, 3)],
         };

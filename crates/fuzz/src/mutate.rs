@@ -77,6 +77,20 @@ pub enum Mutator {
     PerturbGroupSpeed,
     /// Collapse the platform back to the legacy uniform shape.
     UniformizeGroups,
+    /// Append a later, lower profit step past a job's deadline — grows a
+    /// general step function (Section 5's setting) out of a deadline job.
+    AddProfitStep,
+    /// Nudge one extra profit step's bound or value by ± 1 (step-boundary
+    /// off-by-ones for the slot-assignment search).
+    PerturbProfitStep,
+    /// Give a job a nonzero tail value: it never expires, so parked it
+    /// stresses the plan-gap bulk-skip instead of the expiry machinery.
+    RaiseTail,
+    /// Collapse a job's profit back to the pure deadline form.
+    FlattenProfit,
+    /// Toggle which scheduler the candidate is judged against (S vs the
+    /// general-profit S-profit) — a configuration-axis mutator.
+    FlipSProfitSubject,
 }
 
 /// All mutators with selection weights; the adversarial-family mutators
@@ -105,6 +119,11 @@ pub const MUTATORS: &[(u32, Mutator)] = &[
     (1, Mutator::SplitSpeedGroup),
     (1, Mutator::PerturbGroupSpeed),
     (1, Mutator::UniformizeGroups),
+    (2, Mutator::AddProfitStep),
+    (1, Mutator::PerturbProfitStep),
+    (1, Mutator::RaiseTail),
+    (1, Mutator::FlattenProfit),
+    (1, Mutator::FlipSProfitSubject),
 ];
 
 /// Pick a weighted random mutator and apply it in place.
@@ -224,6 +243,8 @@ pub fn apply(mutator: Mutator, rng: &mut Rng64, fi: &mut FuzzInstance) {
                     arrival: (near + rng.gen_range(3)).min(limits::MAX_ARRIVAL),
                     deadline: 1 + rng.gen_range(12),
                     profit: 1 + rng.gen_range(9),
+                    extra_steps: vec![],
+                    tail: 0,
                     works: vec![1 + rng.gen_range(8)],
                     edges: vec![],
                 });
@@ -324,6 +345,49 @@ pub fn apply(mutator: Mutator, rng: &mut Rng64, fi: &mut FuzzInstance) {
         Mutator::UniformizeGroups => {
             fi.speed_groups.clear();
         }
+        Mutator::AddProfitStep => {
+            let job = &mut fi.jobs[pick];
+            if job.extra_steps.len() >= limits::MAX_PROFIT_STEPS {
+                return;
+            }
+            // Past the current last step, at a fraction of the current
+            // floor value; to_instance repairs whatever lands out of order.
+            let last_b = job
+                .extra_steps
+                .last()
+                .map_or(job.deadline, |&(b, _)| b.max(job.deadline));
+            let floor = job.extra_steps.last().map_or(job.profit, |&(_, v)| v);
+            job.extra_steps.push((
+                last_b + 1 + rng.gen_range(40),
+                1 + rng.gen_range(floor.max(2) - 1),
+            ));
+        }
+        Mutator::PerturbProfitStep => {
+            let job = &mut fi.jobs[pick];
+            if job.extra_steps.is_empty() {
+                return;
+            }
+            let i = rng.gen_range(job.extra_steps.len() as u64) as usize;
+            let (b, v) = &mut job.extra_steps[i];
+            match rng.gen_range(4) {
+                0 => *b = b.saturating_sub(1),
+                1 => *b += 1,
+                2 => *v = v.saturating_sub(1).max(1),
+                _ => *v += 1,
+            }
+        }
+        Mutator::RaiseTail => {
+            let job = &mut fi.jobs[pick];
+            job.tail = 1 + rng.gen_range(job.profit.max(2) - 1);
+        }
+        Mutator::FlattenProfit => {
+            let job = &mut fi.jobs[pick];
+            job.extra_steps.clear();
+            job.tail = 0;
+        }
+        Mutator::FlipSProfitSubject => {
+            fi.sprofit_subject = !fi.sprofit_subject;
+        }
     }
 }
 
@@ -375,6 +439,8 @@ mod tests {
                 arrival: 0,
                 deadline: 500,
                 profit: 5,
+                extra_steps: vec![],
+                tail: 0,
                 works: vec![4, 4, 4, 4, 4],
                 edges: vec![(0, 1), (1, 2)],
             }],
@@ -401,6 +467,9 @@ mod tests {
             ),
             (Mutator::FlipHandoff, |fi: &FuzzInstance| fi.rebuild_handoff),
             (Mutator::FlipCarryover, |fi: &FuzzInstance| fi.no_carryover),
+            (Mutator::FlipSProfitSubject, |fi: &FuzzInstance| {
+                fi.sprofit_subject
+            }),
         ] {
             let mut fi = base.clone();
             apply(m, &mut rng, &mut fi);
@@ -425,6 +494,38 @@ mod tests {
             assert_eq!(fi.jobs, base.jobs, "workload untouched");
         }
         assert_eq!(fi, base, "a full cycle is the identity");
+    }
+
+    /// The profit mutators grow valid general step functions: every state
+    /// they reach converts, and the converted profit is genuinely general
+    /// (multi-step or tailed) after an `AddProfitStep`/`RaiseTail`, while
+    /// `FlattenProfit` restores the pure deadline form.
+    #[test]
+    fn profit_mutators_grow_and_flatten_step_functions() {
+        let mut rng = Rng64::seed_from(13);
+        let mut fi = seed_corpus().swap_remove(0);
+        for _ in 0..16 {
+            apply(Mutator::AddProfitStep, &mut rng, &mut fi);
+            apply(Mutator::PerturbProfitStep, &mut rng, &mut fi);
+            apply(Mutator::RaiseTail, &mut rng, &mut fi);
+            let inst = fi.to_instance().expect("profit mutants convert");
+            assert!(
+                inst.jobs()
+                    .iter()
+                    .any(|j| j.profit.segments().len() > 1 || j.profit.tail_value() > 0),
+                "some job carries a general profit function"
+            );
+        }
+        for j in 0..fi.jobs.len() {
+            // FlattenProfit picks a random job; force-flatten all of them.
+            fi.jobs[j].extra_steps.clear();
+            fi.jobs[j].tail = 0;
+        }
+        let inst = fi.to_instance().expect("flattened converts");
+        assert!(
+            inst.jobs().iter().all(|j| j.rel_deadline().is_some()),
+            "flattened jobs are pure deadline jobs again"
+        );
     }
 
     /// The platform-shape mutators always leave a shape the repair contract

@@ -45,7 +45,7 @@ use dagsched_engine::{
     simulate_observed, HandoffMode, Observers, OnlineScheduler, PlatformMode, SimConfig, SimDriver,
     SimObserver, SimResult, WindowMode,
 };
-use dagsched_sched::SchedulerS;
+use dagsched_sched::{SchedulerS, SchedulerSProfit};
 use dagsched_verify::{EventLog, InvariantSuite, WorkConservationChecker};
 use dagsched_workload::Instance;
 use std::collections::BTreeSet;
@@ -92,6 +92,17 @@ impl Subject {
     pub fn scheduler_s() -> Subject {
         Subject::new("S", InvariantProfile::SchedulerS { backfill: false }, |m| {
             Box::new(SchedulerS::with_epsilon(m, 1.0))
+        })
+    }
+
+    /// The general-profit subject: S-profit at ε = 1. Its slot-assignment
+    /// admission deliberately breaks S's exact-allotment discipline, so only
+    /// the universal work-conservation invariant applies; the differential
+    /// heads (kernel/pause/handoff/twin) carry the byte-equality burden —
+    /// which is exactly where the slot-plan fast path would show a crack.
+    pub fn scheduler_s_profit() -> Subject {
+        Subject::new("S-profit", InvariantProfile::WorkOnly, |m| {
+            Box::new(SchedulerSProfit::with_epsilon(m, 1.0))
         })
     }
 

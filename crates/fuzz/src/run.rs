@@ -165,24 +165,43 @@ impl FuzzReport {
     }
 }
 
-/// A configured fuzzing session: config + subject scheduler.
+/// A configured fuzzing session: config + subject scheduler(s).
 pub struct FuzzSession {
     cfg: FuzzConfig,
     subject: Subject,
+    /// The alternate subject candidates flagged `sprofit_subject` are
+    /// judged against; `None` (custom-subject sessions) makes the flag
+    /// inert so mutant-kill tests always judge their mutant.
+    sprofit: Option<Subject>,
 }
 
 impl FuzzSession {
-    /// A session against the default subject (scheduler S, full suite).
+    /// A session against the default subjects: scheduler S (full suite),
+    /// with candidates on the S-profit configuration axis judged against
+    /// the general-profit scheduler instead.
     pub fn new(cfg: FuzzConfig) -> FuzzSession {
         FuzzSession {
             cfg,
             subject: Subject::scheduler_s(),
+            sprofit: Some(Subject::scheduler_s_profit()),
         }
     }
 
     /// A session against a custom subject (the mutant-kill tests).
     pub fn with_subject(cfg: FuzzConfig, subject: Subject) -> FuzzSession {
-        FuzzSession { cfg, subject }
+        FuzzSession {
+            cfg,
+            subject,
+            sprofit: None,
+        }
+    }
+
+    /// The subject a candidate selects via its configuration axis.
+    fn subject_for(&self, fi: &FuzzInstance) -> &Subject {
+        match &self.sprofit {
+            Some(alt) if fi.sprofit_subject => alt,
+            _ => &self.subject,
+        }
     }
 
     /// Run the loop to its exec or failure budget.
@@ -198,6 +217,7 @@ impl FuzzSession {
         let mut invalid: u64 = 0;
 
         let judge = |inst: &dagsched_workload::Instance,
+                     subject: &Subject,
                      base: &SimConfig,
                      exec_index: u64,
                      pause_salt: u64,
@@ -206,7 +226,7 @@ impl FuzzSession {
          -> usize {
             let outcome = run_exec_with(
                 inst,
-                &self.subject,
+                subject,
                 &cfg.oracles,
                 pause_salt,
                 Some(cfg.master_seed),
@@ -218,7 +238,7 @@ impl FuzzSession {
                 let minimized = if cfg.minimize {
                     codec::encode(&minimize(
                         inst,
-                        &self.subject,
+                        subject,
                         &cfg.oracles,
                         pause_salt,
                         cfg.minimize_budget,
@@ -249,6 +269,7 @@ impl FuzzSession {
             let base = corpus[i].base_config();
             let new = judge(
                 &inst,
+                self.subject_for(&corpus[i]),
                 &base,
                 execs,
                 pause_salt,
@@ -276,6 +297,7 @@ impl FuzzSession {
                     let base = cand.base_config();
                     let new = judge(
                         &inst,
+                        self.subject_for(&cand),
                         &base,
                         exec_index,
                         pause_salt,
@@ -377,6 +399,33 @@ mod tests {
         assert!(
             report.corpus_len > seed_corpus().len(),
             "retention keeps feature-discovering mutants"
+        );
+    }
+
+    /// The general-profit scheduler survives a bounded run as the sole
+    /// subject — every candidate (including general-profit mutants grown by
+    /// the profit mutators) is judged against S-profit's slot-plan fast
+    /// path under all five heads.
+    #[test]
+    fn general_profit_subject_survives_a_bounded_run() {
+        let report = FuzzSession::with_subject(
+            FuzzConfig {
+                master_seed: 0x5E65,
+                max_execs: 80,
+                ..FuzzConfig::default()
+            },
+            crate::oracle::Subject::scheduler_s_profit(),
+        )
+        .run();
+        assert_eq!(report.execs, 80);
+        assert!(
+            report.failures.is_empty(),
+            "unexpected failures: {:?}",
+            report
+                .failures
+                .iter()
+                .map(|f| (&f.oracle, &f.detail))
+                .collect::<Vec<_>>()
         );
     }
 

@@ -18,6 +18,15 @@
 //!   density order, but *every* job is admitted (no δ-good test, no band
 //!   condition). Quantifies what the admission machinery buys.
 //!
+//! Two literature baselines sit outside the work-conserving macro family:
+//!
+//! * [`MoldableList`] — a moldable list scheduler in the style of Perotin,
+//!   Sun & Raghavan: per-job allotments fixed at arrival and capped at
+//!   `⌈m/2⌉`, list scheduling in arrival order;
+//! * [`EquiPartition`] — a non-clairvoyant equipartition in the style of
+//!   Garg, Gupta, Kumar & Singla: the machine is split evenly among alive
+//!   jobs with no access to work, span, deadline, or profit.
+//!
 //! Every priority key here is fixed at arrival, so the alive list is kept
 //! *insertion-sorted* by `(key, seq)` instead of being cloned and re-sorted
 //! per tick: the unique ascending `seq` tiebreak makes the maintained order
@@ -320,8 +329,22 @@ impl OnlineScheduler for RandomOrder {
     }
     fn allocation_stable_between_events(&self) -> bool {
         // Deliberately NOT stable: each call consumes RNG state and may
-        // return a different order. Must stay on the naive engine path.
+        // return a different order.
         false
+    }
+    fn bounded_stability(&self) -> bool {
+        // ... but it IS *boundedly* stable with single-tick windows: the
+        // engine re-asks (and the RNG re-rolls) every tick, exactly as the
+        // naive path would, while keeping the claim/advance machinery.
+        true
+    }
+    fn stable_until(&self, now: Time) -> Option<Time> {
+        Some(now.after(1))
+    }
+    fn completion_keys_stable(&self) -> bool {
+        // Sound because every window is a single tick: the allocation
+        // cannot reshuffle *within* a window.
+        true
     }
     fn reset(&mut self) -> bool {
         self.base.clear();
@@ -459,6 +482,280 @@ impl OnlineScheduler for SNoAdmission {
     }
 }
 
+/// Moldable list scheduler after Perotin, Sun & Raghavan (multi-resource
+/// list scheduling of moldable jobs under precedence constraints, 2021),
+/// adapted to the single processor resource: each job's allotment is fixed
+/// at arrival to the value that balances its area against its critical path
+/// (`max(W/p, L)` is minimized at `p = ⌈W/L⌉`), then *limited* to `⌈m/2⌉` —
+/// the paper's μ-bounded allotment trick that keeps list scheduling from
+/// starving wide jobs — and jobs are list-scheduled in arrival order.
+///
+/// Unlike the work-conserving baselines above, a job never exceeds its
+/// fixed allotment (that is what makes it *moldable*: the size is chosen
+/// once, not re-negotiated per tick), but unused capacity still flows to
+/// later jobs in list order.
+#[derive(Debug)]
+pub struct MoldableList {
+    m: u32,
+    /// `(seq, id, allot)` in arrival order — the list.
+    alive: Vec<(u64, JobId, u32)>,
+    seq: u64,
+    ready_lut: DenseU32Map,
+    lut_live: bool,
+}
+
+impl MoldableList {
+    /// Create the scheduler for `m` processors.
+    pub fn new(m: u32) -> MoldableList {
+        MoldableList {
+            m,
+            alive: Vec::new(),
+            seq: 0,
+            ready_lut: DenseU32Map::new(),
+            lut_live: false,
+        }
+    }
+
+    fn fill(&self, m: u32, out: &mut Allocation) {
+        let mut left = m;
+        for &(_, id, allot) in &self.alive {
+            if left == 0 {
+                break;
+            }
+            let Some(r) = self.ready_lut.get(id) else {
+                continue;
+            };
+            let k = r.min(allot).min(left);
+            if k > 0 {
+                out.push((id, k));
+                left -= k;
+            }
+        }
+    }
+}
+
+impl OnlineScheduler for MoldableList {
+    fn name(&self) -> String {
+        "MOLD-LIST".into()
+    }
+    fn on_arrival(&mut self, info: &JobInfo, _now: Time) {
+        let w = info.work.as_f64();
+        let l = info.span.as_f64().max(1.0);
+        let cap = self.m.div_ceil(2).max(1);
+        let allot = ((w / l).ceil() as u32).clamp(1, cap);
+        self.alive.push((self.seq, info.id, allot));
+        self.seq += 1;
+    }
+    fn on_completion(&mut self, id: JobId, _now: Time) {
+        self.alive.retain(|e| e.1 != id);
+    }
+    fn on_expiry(&mut self, id: JobId, _now: Time) {
+        self.alive.retain(|e| e.1 != id);
+    }
+    fn allocate(&mut self, view: &TickView<'_>) -> Allocation {
+        let mut out = Vec::new();
+        self.allocate_into(view, &mut out);
+        out
+    }
+    fn allocate_into(&mut self, view: &TickView<'_>, out: &mut Allocation) {
+        self.lut_live = false;
+        out.clear();
+        self.ready_lut.clear();
+        for &(id, r) in view.jobs() {
+            self.ready_lut.set(id, r);
+        }
+        self.fill(view.m, out);
+    }
+    fn allocate_delta(
+        &mut self,
+        delta: &ViewDelta,
+        view: &TickView<'_>,
+        out: &mut Allocation,
+    ) -> bool {
+        if self.lut_live && delta.is_empty() {
+            return true;
+        }
+        if self.lut_live {
+            self.ready_lut.apply_view_delta(delta);
+        } else {
+            self.ready_lut.clear();
+            for &(id, r) in view.jobs() {
+                self.ready_lut.set(id, r);
+            }
+            self.lut_live = true;
+        }
+        out.clear();
+        self.fill(view.m, out);
+        true
+    }
+    fn allocation_stable_between_events(&self) -> bool {
+        // List order and allotments are fixed at arrival; the fill is a
+        // pure function of the alive set and ready counts.
+        true
+    }
+    fn group_aware(&self) -> bool {
+        true
+    }
+    fn reset(&mut self) -> bool {
+        self.alive.clear();
+        self.seq = 0;
+        self.ready_lut.clear();
+        self.lut_live = false;
+        true
+    }
+}
+
+/// Non-clairvoyant equipartition after Garg, Gupta, Kumar & Singla
+/// (non-clairvoyant precedence-constrained scheduling, 2019): the machine
+/// is split as evenly as possible among the alive jobs, ignoring work,
+/// span, deadline, *and* profit — the scheduler sees nothing but the alive
+/// set and each job's ready width, exactly the non-clairvoyant information
+/// model. Capacity a job cannot absorb (ready width below its share) flows
+/// to later jobs in arrival order, keeping the policy work-conserving.
+#[derive(Debug)]
+pub struct EquiPartition {
+    /// `(seq, id)` in arrival order.
+    alive: Vec<(u64, JobId)>,
+    seq: u64,
+    ready_lut: DenseU32Map,
+    lut_live: bool,
+}
+
+impl EquiPartition {
+    /// Create the scheduler (`m` comes from the view).
+    pub fn new(_m: u32) -> EquiPartition {
+        EquiPartition {
+            alive: Vec::new(),
+            seq: 0,
+            ready_lut: DenseU32Map::new(),
+            lut_live: false,
+        }
+    }
+
+    fn fill(&self, m: u32, out: &mut Allocation) {
+        let k = self.alive.len() as u32;
+        if k == 0 {
+            return;
+        }
+        // Even split first: job i gets ⌊m/k⌋ (+1 for the first m mod k
+        // jobs), capped by its ready width.
+        let (quota, rem) = (m / k, m % k);
+        let mut left = m;
+        for (i, &(_, id)) in self.alive.iter().enumerate() {
+            let share = quota + u32::from((i as u32) < rem);
+            let Some(r) = self.ready_lut.get(id) else {
+                continue;
+            };
+            let give = r.min(share).min(left);
+            if give > 0 {
+                out.push((id, give));
+                left -= give;
+            }
+        }
+        if left == 0 {
+            return;
+        }
+        // Work-conserving second pass: hand leftover capacity to jobs with
+        // ready width beyond their share, in arrival order. `out` entries
+        // are in arrival order too, so patching them keeps the invariant.
+        let mut at = 0;
+        for &(_, id) in &self.alive {
+            if left == 0 {
+                break;
+            }
+            let Some(r) = self.ready_lut.get(id) else {
+                continue;
+            };
+            match out.get_mut(at) {
+                Some(e) if e.0 == id => {
+                    let extra = (r - e.1).min(left);
+                    e.1 += extra;
+                    left -= extra;
+                    at += 1;
+                }
+                _ => {
+                    // Job got nothing in pass one (share rounded to zero
+                    // while ready > 0 can't happen — shares are ≥ ⌊m/k⌋ ≥ 0
+                    // and give > 0 whenever both share and ready are — but
+                    // ready == 0 jobs are skipped, so just insert).
+                    let give = r.min(left);
+                    if give > 0 {
+                        out.insert(at, (id, give));
+                        left -= give;
+                        at += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl OnlineScheduler for EquiPartition {
+    fn name(&self) -> String {
+        "EQUI".into()
+    }
+    fn on_arrival(&mut self, info: &JobInfo, _now: Time) {
+        self.alive.push((self.seq, info.id));
+        self.seq += 1;
+    }
+    fn on_completion(&mut self, id: JobId, _now: Time) {
+        self.alive.retain(|e| e.1 != id);
+    }
+    fn on_expiry(&mut self, id: JobId, _now: Time) {
+        self.alive.retain(|e| e.1 != id);
+    }
+    fn allocate(&mut self, view: &TickView<'_>) -> Allocation {
+        let mut out = Vec::new();
+        self.allocate_into(view, &mut out);
+        out
+    }
+    fn allocate_into(&mut self, view: &TickView<'_>, out: &mut Allocation) {
+        self.lut_live = false;
+        out.clear();
+        self.ready_lut.clear();
+        for &(id, r) in view.jobs() {
+            self.ready_lut.set(id, r);
+        }
+        self.fill(view.m, out);
+    }
+    fn allocate_delta(
+        &mut self,
+        delta: &ViewDelta,
+        view: &TickView<'_>,
+        out: &mut Allocation,
+    ) -> bool {
+        if self.lut_live && delta.is_empty() {
+            return true;
+        }
+        if self.lut_live {
+            self.ready_lut.apply_view_delta(delta);
+        } else {
+            self.ready_lut.clear();
+            for &(id, r) in view.jobs() {
+                self.ready_lut.set(id, r);
+            }
+            self.lut_live = true;
+        }
+        out.clear();
+        self.fill(view.m, out);
+        true
+    }
+    fn allocation_stable_between_events(&self) -> bool {
+        // The split depends only on the alive count and ready widths.
+        true
+    }
+    fn group_aware(&self) -> bool {
+        true
+    }
+    fn reset(&mut self) -> bool {
+        self.alive.clear();
+        self.seq = 0;
+        self.ready_lut.clear();
+        self.lut_live = false;
+        true
+    }
+}
+
 /// Ablation wrapper: run any scheduler with group-aware placement forced
 /// **off**, so on a related-machines platform its allocation entries consume
 /// processors in declaration order instead of fastest-first.
@@ -502,6 +799,12 @@ impl<S: OnlineScheduler> OnlineScheduler for AggregateBlind<S> {
     }
     fn completion_keys_stable(&self) -> bool {
         self.0.completion_keys_stable()
+    }
+    fn bounded_stability(&self) -> bool {
+        self.0.bounded_stability()
+    }
+    fn stable_until(&self, now: Time) -> Option<Time> {
+        self.0.stable_until(now)
     }
     fn group_aware(&self) -> bool {
         false
@@ -636,6 +939,52 @@ mod tests {
         for (name, profit) in &results {
             assert!(*profit > 0, "{name} earned nothing");
         }
+    }
+
+    #[test]
+    fn moldable_allotment_balances_area_against_span_and_is_capped() {
+        let mut s = MoldableList::new(8);
+        // W=40, L=10 → p* = ⌈40/10⌉ = 4, at the cap ⌈8/2⌉ = 4.
+        s.on_arrival(&info(0, 0, 40, 10, 90, 1), Time(0));
+        // W=100, L=2 → p* = 50, capped to 4.
+        s.on_arrival(&info(1, 0, 100, 2, 90, 1), Time(0));
+        let jobs = [(JobId(0), 8u32), (JobId(1), 8)];
+        let alloc = s.allocate(&TickView::new(8, Time(0), &jobs));
+        assert_eq!(
+            alloc,
+            vec![(JobId(0), 4), (JobId(1), 4)],
+            "fixed allotments, never the full ready width"
+        );
+    }
+
+    #[test]
+    fn equi_splits_evenly_and_redistributes_unused_shares() {
+        let mut s = EquiPartition::new(6);
+        for id in 0..3 {
+            s.on_arrival(&info(id, 0, 10, 1, 90, 1), Time(0));
+        }
+        // Job 0 can only absorb 1 of its 2-processor share; the spare
+        // processor flows to job 1 (first in arrival order with headroom).
+        let jobs = [(JobId(0), 1u32), (JobId(1), 6), (JobId(2), 2)];
+        let alloc = s.allocate(&TickView::new(6, Time(0), &jobs));
+        assert_eq!(alloc, vec![(JobId(0), 1), (JobId(1), 3), (JobId(2), 2)]);
+    }
+
+    #[test]
+    fn literature_baselines_run_clean_and_match_their_naive_twin() {
+        let inst = WorkloadGen::standard(6, 50, 17).generate().unwrap();
+        let naive_cfg = SimConfig {
+            fast_forward: false,
+            ..SimConfig::default()
+        };
+        let fast = simulate(&inst, &mut MoldableList::new(6), &SimConfig::default()).unwrap();
+        let naive = simulate(&inst, &mut MoldableList::new(6), &naive_cfg).unwrap();
+        assert!(fast.total_profit > 0);
+        assert!(fast.same_outcome(&naive), "MOLD-LIST fast path diverged");
+        let fast = simulate(&inst, &mut EquiPartition::new(6), &SimConfig::default()).unwrap();
+        let naive = simulate(&inst, &mut EquiPartition::new(6), &naive_cfg).unwrap();
+        assert!(fast.total_profit > 0);
+        assert!(fast.same_outcome(&naive), "EQUI fast path diverged");
     }
 
     #[test]

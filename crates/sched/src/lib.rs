@@ -37,7 +37,8 @@ pub mod profit;
 pub mod slab;
 
 pub use baselines::{
-    AggregateBlind, Edf, Fifo, GreedyDensity, LeastLaxity, RandomOrder, SNoAdmission,
+    AggregateBlind, Edf, EquiPartition, Fifo, GreedyDensity, LeastLaxity, MoldableList,
+    RandomOrder, SNoAdmission,
 };
 pub use deadline::{SchedulerS, SchedulerSMetrics};
 pub use edf_ac::EdfAc;

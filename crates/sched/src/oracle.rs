@@ -15,15 +15,15 @@
 //!
 //! Do not optimize this module; its value is being frozen.
 
-use crate::bands::reference::ReferenceBands;
+use crate::bands::{fits_population, reference::ReferenceBands};
 use crate::deadline::OrdF64;
-use dagsched_core::{AlgoParams, JobId, Time, Work};
+use dagsched_core::{AlgoParams, JobId, Rng64, Time, Work};
 use dagsched_engine::{
     AdmissionDecision, AdmissionEvent, AdmissionReason, Allocation, JobInfo, OnlineScheduler,
     TickView,
 };
-use std::collections::BTreeSet;
 use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-job quantities S computes at arrival.
 #[derive(Debug, Clone)]
@@ -365,6 +365,301 @@ impl OnlineScheduler for OracleSNoAdmission {
         if let Some(buf) = self.report.as_mut() {
             out.append(buf);
         }
+    }
+}
+
+/// One job's presence in one time slot of the general-profit oracle.
+#[derive(Debug, Clone, Copy)]
+struct OracleSlotEntry {
+    density: f64,
+    allot: u32,
+    id: JobId,
+}
+
+/// Assignment state of one job in the general-profit oracle: the absolute
+/// slot ticks it may still run in, ascending.
+#[derive(Debug, Clone)]
+struct OraclePJob {
+    slots: Vec<Time>,
+}
+
+/// The seed implementation of the Section 5 general-profit scheduler: a
+/// sparse `BTreeMap<Time, Vec<_>>` slot plan rebuilt per probe via
+/// `population`, pruned with `split_off` inside `allocate`, and therefore
+/// deliberately *unstable* between events — byte-for-byte the scheduler the
+/// crate shipped with through PR 9. The segment-plan rewrite in
+/// [`profit`](crate::profit) is held byte-identical to this oracle by
+/// `crates/verify/tests/profit_differential.rs`, and the `profit` bench
+/// group times the two against each other.
+#[derive(Debug)]
+pub struct OracleSProfit {
+    params: AlgoParams,
+    m: u32,
+    jobs: HashMap<JobId, OraclePJob>,
+    /// Sparse per-tick populations `J(t)` for ticks with assignments.
+    slots: BTreeMap<Time, Vec<OracleSlotEntry>>,
+}
+
+impl OracleSProfit {
+    /// Create the oracle for `m` processors with the given constants.
+    pub fn new(m: u32, params: AlgoParams) -> OracleSProfit {
+        assert!(m >= 1);
+        OracleSProfit {
+            params,
+            m,
+            jobs: HashMap::new(),
+            slots: BTreeMap::new(),
+        }
+    }
+
+    /// Oracle counterpart of `SchedulerSProfit::with_epsilon`.
+    pub fn with_epsilon(m: u32, epsilon: f64) -> OracleSProfit {
+        OracleSProfit::new(m, AlgoParams::from_epsilon(epsilon).expect("valid epsilon"))
+    }
+
+    /// Population of one tick as `(density, allot)` pairs.
+    fn population(&self, t: Time) -> Vec<(f64, u32)> {
+        self.slots
+            .get(&t)
+            .map(|v| v.iter().map(|e| (e.density, e.allot)).collect())
+            .unwrap_or_default()
+    }
+
+    fn search_segment(
+        &self,
+        arrival: Time,
+        bound: u64,
+        min_d: u64,
+        v: f64,
+        allot: u32,
+        k_needed: usize,
+    ) -> Option<(u64, Vec<Time>)> {
+        if min_d > bound {
+            return None;
+        }
+        let capacity = self.params.b() * self.m as f64;
+        if allot as f64 > capacity {
+            return None;
+        }
+        let mut found: Vec<Time> = Vec::with_capacity(k_needed);
+        let mut t = arrival;
+        let end = arrival.saturating_add(bound);
+        while t < end && found.len() < k_needed {
+            if self.slots.range(t..).next().is_none() {
+                while t < end && found.len() < k_needed {
+                    found.push(t);
+                    t = t.after(1);
+                }
+                break;
+            }
+            if fits_population(&self.population(t), v, allot, self.params.c(), capacity) {
+                found.push(t);
+            }
+            t = t.after(1);
+        }
+        if found.len() < k_needed {
+            return None;
+        }
+        let last = *found.last().expect("k_needed >= 1");
+        let d = (last.since(arrival) + 1).max(min_d);
+        debug_assert!(d <= bound);
+        Some((d, found))
+    }
+
+    fn release(&mut self, id: JobId, now: Time) {
+        let Some(job) = self.jobs.remove(&id) else {
+            return;
+        };
+        for t in job.slots {
+            if t < now {
+                continue;
+            }
+            if let Some(entries) = self.slots.get_mut(&t) {
+                entries.retain(|e| e.id != id);
+                if entries.is_empty() {
+                    self.slots.remove(&t);
+                }
+            }
+        }
+    }
+}
+
+impl OnlineScheduler for OracleSProfit {
+    fn name(&self) -> String {
+        format!("S-profit(eps={})", self.params.epsilon())
+    }
+
+    fn on_arrival(&mut self, info: &JobInfo, _now: Time) {
+        let w = info.work.as_f64();
+        let l = info.span.as_f64();
+        let brent = AlgoParams::brent_time(w, l, self.m);
+        let x_star = info
+            .profit
+            .flat_until()
+            .as_f64()
+            .max((1.0 + self.params.epsilon()) * brent);
+        let denom = x_star / self.params.good_factor() - l;
+        debug_assert!(denom > 0.0, "x* >= (1+eps)L makes the denominator positive");
+        let allot = ((((w - l) / denom).ceil() as u32).max(1)).min(self.m);
+        let x = AlgoParams::x_time(w, l, allot);
+        let k_needed = ((self.params.fresh_factor() * x).ceil() as usize).max(1);
+        let xn = x * allot as f64;
+        let min_d_floor = ((1.0 + self.params.epsilon()) * l).floor() as u64 + 1;
+
+        let mut candidates: Vec<(u64, u64)> = info
+            .profit
+            .segments()
+            .iter()
+            .map(|(b, v)| (b.ticks(), *v))
+            .collect();
+        if info.profit.tail_value() > 0 {
+            let horizon = self
+                .slots
+                .keys()
+                .next_back()
+                .map(|t| t.ticks())
+                .unwrap_or(0)
+                .max(info.arrival.ticks());
+            let cap = horizon - info.arrival.ticks().min(horizon) + k_needed as u64 + 2;
+            let last = candidates.last().map(|(b, _)| *b).unwrap_or(0);
+            candidates.push((last + cap, info.profit.tail_value()));
+        }
+
+        let mut prev_bound = 0u64;
+        for (bound, value) in candidates {
+            let v = value as f64 / xn;
+            let min_d = min_d_floor.max(prev_bound + 1);
+            if let Some((_, slots)) =
+                self.search_segment(info.arrival, bound, min_d, v, allot, k_needed)
+            {
+                for &t in &slots {
+                    self.slots.entry(t).or_default().push(OracleSlotEntry {
+                        density: v,
+                        allot,
+                        id: info.id,
+                    });
+                }
+                self.jobs.insert(info.id, OraclePJob { slots });
+                return;
+            }
+            prev_bound = bound;
+        }
+    }
+
+    fn on_completion(&mut self, id: JobId, now: Time) {
+        self.release(id, now);
+    }
+
+    fn on_expiry(&mut self, id: JobId, now: Time) {
+        self.release(id, now);
+    }
+
+    fn allocate(&mut self, view: &TickView<'_>) -> Allocation {
+        self.slots = self.slots.split_off(&view.now);
+        let Some(entries) = self.slots.get(&view.now) else {
+            return Vec::new();
+        };
+        let mut order: Vec<OracleSlotEntry> = entries.clone();
+        order.sort_by(|a, b| b.density.total_cmp(&a.density).then(a.id.0.cmp(&b.id.0)));
+        let alive: HashMap<JobId, u32> = view.jobs().iter().copied().collect();
+        let mut left = view.m;
+        let mut out = Vec::new();
+        for e in order {
+            if left == 0 {
+                break;
+            }
+            if !alive.contains_key(&e.id) {
+                continue;
+            }
+            if e.allot <= left {
+                out.push((e.id, e.allot));
+                left -= e.allot;
+            }
+        }
+        out
+    }
+
+    fn allocation_stable_between_events(&self) -> bool {
+        // The frozen value: the seed scheduler both reads `view.now` and
+        // mutates `self.slots` on every `allocate` call, so it must stay on
+        // the naive engine path.
+        false
+    }
+
+    fn reset(&mut self) -> bool {
+        self.jobs.clear();
+        self.slots.clear();
+        true
+    }
+}
+
+/// The seed implementation of the random work-conserving baseline: a fresh
+/// shuffle of the alive list per `allocate` call, fed through a `HashMap`
+/// ready-count walk — byte-for-byte the `RandomOrder` the crate shipped with
+/// through PR 9, pinned to the naive per-tick path. The width-1
+/// bounded-stability rewrite in [`baselines`](crate::baselines) is held
+/// byte-identical to this oracle by
+/// `crates/verify/tests/profit_differential.rs`.
+#[derive(Debug)]
+pub struct OracleRandomOrder {
+    seed: u64,
+    rng: Rng64,
+    /// Alive job ids in arrival order (the pre-shuffle order).
+    alive: Vec<JobId>,
+}
+
+impl OracleRandomOrder {
+    /// Create the oracle for the given seed (`m` comes from the view).
+    pub fn new(_m: u32, seed: u64) -> OracleRandomOrder {
+        OracleRandomOrder {
+            seed,
+            rng: Rng64::seed_from(seed),
+            alive: Vec::new(),
+        }
+    }
+}
+
+impl OnlineScheduler for OracleRandomOrder {
+    fn name(&self) -> String {
+        "RANDOM".into()
+    }
+    fn on_arrival(&mut self, info: &JobInfo, _now: Time) {
+        self.alive.push(info.id);
+    }
+    fn on_completion(&mut self, id: JobId, _now: Time) {
+        self.alive.retain(|&j| j != id);
+    }
+    fn on_expiry(&mut self, id: JobId, _now: Time) {
+        self.alive.retain(|&j| j != id);
+    }
+    fn allocate(&mut self, view: &TickView<'_>) -> Allocation {
+        let mut ids = self.alive.clone();
+        self.rng.shuffle(&mut ids);
+        let ready: HashMap<JobId, u32> = view.jobs().iter().copied().collect();
+        let mut left = view.m;
+        let mut out = Vec::new();
+        for id in ids {
+            if left == 0 {
+                break;
+            }
+            let Some(&r) = ready.get(&id) else { continue };
+            let k = r.min(left);
+            if k > 0 {
+                out.push((id, k));
+                left -= k;
+            }
+        }
+        out
+    }
+    fn allocation_stable_between_events(&self) -> bool {
+        // The frozen value: one RNG draw per call pins the oracle to the
+        // naive per-tick path.
+        false
+    }
+    fn reset(&mut self) -> bool {
+        self.alive.clear();
+        self.rng = Rng64::seed_from(self.seed);
+        true
     }
 }
 

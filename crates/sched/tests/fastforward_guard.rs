@@ -1,12 +1,15 @@
-//! Guards on the fast-forward opt-in: schedulers that are *not* stable
-//! between events must stay on the reference path, and trace recording must
-//! force it for everyone.
+//! Guards on the fast-forward opt-in: schedulers that are *boundedly*
+//! stable run the event path with `stable_until`-capped windows, schedulers
+//! with no stability claim at all stay on the reference path, and trace
+//! recording must force the reference path for everyone.
 //!
 //! On the reference path every simulated tick is one engine step, so
 //! `steps_executed == ticks_simulated` is the observable signature that no
-//! bulk window was taken.
+//! bulk window was taken — and for RandomOrder, whose windows are pinned to
+//! a single tick, the same equality proves the cap is honored (every tick
+//! still consumes exactly one RNG draw).
 
-use dagsched_core::Speed;
+use dagsched_core::{Speed, Time};
 use dagsched_engine::{simulate, OnlineScheduler, SimConfig};
 use dagsched_sched::{RandomOrder, SchedulerS, SchedulerSProfit};
 use dagsched_workload::{Instance, WorkloadGen};
@@ -18,30 +21,76 @@ fn workload(m: u32, seed: u64) -> Instance {
 }
 
 #[test]
-fn random_order_never_fast_forwards() {
+fn random_order_windows_are_single_ticks() {
     let m = 5;
-    let mut r = RandomOrder::new(m, 42);
+    let r = RandomOrder::new(m, 42);
     assert!(
         !r.allocation_stable_between_events(),
-        "RandomOrder consumes RNG state per call; it must not claim stability"
+        "RandomOrder consumes RNG state per call; it must not claim full stability"
     );
-    let res = simulate(&workload(m, 7), &mut r, &SimConfig::default()).expect("runs");
+    assert!(r.bounded_stability(), "but it is boundedly stable");
+    assert_eq!(
+        r.stable_until(Time(17)),
+        Some(Time(18)),
+        "every window is one tick wide"
+    );
+    let inst = workload(m, 7);
+    let res = simulate(&inst, &mut RandomOrder::new(m, 42), &SimConfig::default()).expect("runs");
     assert_eq!(
         res.steps_executed, res.ticks_simulated,
-        "fast-forward on an unstable scheduler would skip RNG draws"
+        "a wider window would skip RNG draws"
     );
+    // The single-tick windows replay the reference path's RNG sequence
+    // exactly: the outcome matches a run with fast-forward disabled.
+    let naive_cfg = SimConfig {
+        fast_forward: false,
+        ..SimConfig::default()
+    };
+    let naive = simulate(&inst, &mut RandomOrder::new(m, 42), &naive_cfg).expect("runs");
+    assert!(res.same_outcome(&naive), "window path changed the schedule");
 }
 
 #[test]
-fn general_profit_scheduler_never_fast_forwards() {
+fn general_profit_scheduler_fast_forwards_between_slot_boundaries() {
     let m = 5;
-    let mut s = SchedulerSProfit::with_epsilon(m, 1.0);
+    let s = SchedulerSProfit::with_epsilon(m, 1.0);
     assert!(
         !s.allocation_stable_between_events(),
-        "SProfit reassigns virtual slots per tick; it must not claim stability"
+        "SProfit's slot plan is keyed on absolute time; it must not claim full stability"
     );
-    let res = simulate(&workload(m, 7), &mut s, &SimConfig::default()).expect("runs");
-    assert_eq!(res.steps_executed, res.ticks_simulated);
+    assert!(s.bounded_stability(), "but it is piecewise constant");
+    let inst = workload(m, 7);
+    let fast = simulate(
+        &inst,
+        &mut SchedulerSProfit::with_epsilon(m, 1.0),
+        &SimConfig::default(),
+    )
+    .expect("runs");
+    assert!(
+        fast.steps_executed < fast.ticks_simulated,
+        "bounded stability must unlock bulk windows ({} steps / {} ticks)",
+        fast.steps_executed,
+        fast.ticks_simulated
+    );
+    let naive_cfg = SimConfig {
+        fast_forward: false,
+        ..SimConfig::default()
+    };
+    let naive = simulate(
+        &inst,
+        &mut SchedulerSProfit::with_epsilon(m, 1.0),
+        &naive_cfg,
+    )
+    .expect("runs");
+    assert_eq!(
+        naive.steps_executed, naive.ticks_simulated,
+        "fast_forward: false pins the reference path"
+    );
+    assert!(
+        fast.same_outcome(&naive),
+        "window path changed the schedule"
+    );
+    assert_eq!(fast.ticks_simulated, naive.ticks_simulated);
 }
 
 #[test]
@@ -84,6 +133,27 @@ fn trace_recording_forces_reference_path() {
 }
 
 #[test]
+fn trace_recording_forces_reference_path_for_bounded_schedulers() {
+    let m = 5;
+    let inst = workload(m, 11);
+    let cfg = SimConfig {
+        record_trace: true,
+        ..SimConfig::default()
+    };
+    let traced = simulate(&inst, &mut SchedulerSProfit::with_epsilon(m, 1.0), &cfg).expect("runs");
+    assert_eq!(traced.steps_executed, traced.ticks_simulated);
+    let plain = simulate(
+        &inst,
+        &mut SchedulerSProfit::with_epsilon(m, 1.0),
+        &SimConfig::default(),
+    )
+    .expect("runs");
+    assert_eq!(plain.outcomes, traced.outcomes);
+    assert_eq!(plain.total_profit, traced.total_profit);
+    assert_eq!(plain.ticks_simulated, traced.ticks_simulated);
+}
+
+#[test]
 fn stability_flag_is_honored_at_other_speeds() {
     let m = 4;
     let inst = workload(m, 23);
@@ -98,7 +168,17 @@ fn stability_flag_is_honored_at_other_speeds() {
         let res = simulate(&inst, &mut RandomOrder::new(m, 9), &cfg).expect("runs");
         assert_eq!(
             res.steps_executed, res.ticks_simulated,
-            "unstable scheduler fast-forwarded at speed {speed:?}"
+            "single-tick windows mean one step per tick at speed {speed:?}"
+        );
+        let naive_cfg = SimConfig {
+            fast_forward: false,
+            speed,
+            ..SimConfig::default()
+        };
+        let naive = simulate(&inst, &mut RandomOrder::new(m, 9), &naive_cfg).expect("runs");
+        assert!(
+            res.same_outcome(&naive),
+            "window path changed the schedule at speed {speed:?}"
         );
     }
 }

@@ -392,7 +392,10 @@ mod paused_at_ties {
     /// tie must exist across the corpus, or the family has lost its teeth.
     #[test]
     fn pausing_on_discovered_tie_instants_is_invisible() {
-        let corpus = dagsched_fuzz::collision_instances(0xC0111DE, 24);
+        // Seed re-rolled in PR 10: the profit-cliff entry widened the seed
+        // corpus, reshuffling the deterministic draw — this seed restores a
+        // triple tie (completion = arrival = expiry) within 24 instances.
+        let corpus = dagsched_fuzz::collision_instances(0xC0111DF, 24);
         let mut saw_triple = false;
         for (ci, inst) in corpus.iter().enumerate() {
             let m = inst.m();

@@ -20,6 +20,16 @@ use dagsched_fuzz::oracle::{run_exec_with, OracleSet, Subject};
 use dagsched_sched::Fifo;
 use dagsched_workload::{codec, Instance};
 
+const FIXTURES: &[&str] = &[
+    "triple-tie.txt",
+    "fig1-tight.txt",
+    "band-burst.txt",
+    "delta-parked.txt",
+    "carryover-chain.txt",
+    "pick-diamond.txt",
+    "profit-cliff.txt",
+];
+
 fn fixture(name: &str) -> String {
     let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
@@ -107,6 +117,36 @@ fn pick_fixture_replays_clean() {
     assert_replays_clean("pick-diamond.txt");
 }
 
+#[test]
+fn profit_cliff_fixture_replays_clean() {
+    assert_replays_clean("profit-cliff.txt");
+}
+
+/// Every fixture also stays green with the general-profit scheduler as the
+/// subject — the fuzz loop's `sprofit_subject` configuration axis judges
+/// candidates exactly this way, so a slot-plan fast-path regression on any
+/// promoted workload fails here first.
+#[test]
+fn fixtures_replay_clean_under_the_general_profit_subject() {
+    for name in FIXTURES {
+        let text = fixture(name);
+        let inst = codec::decode(&text).expect("fixture decodes");
+        let outcome = run_exec_with(
+            &inst,
+            &Subject::scheduler_s_profit(),
+            &OracleSet::default(),
+            fnv1a(text.as_bytes()),
+            None,
+            &SimConfig::default(),
+        );
+        assert!(
+            outcome.failure.is_none(),
+            "{name} fails under the S-profit subject: {:?}",
+            outcome.failure
+        );
+    }
+}
+
 /// The carry-over fixture under its promoted flag: every head stays green
 /// with carry-over disabled at double speed, and the flag is load-bearing —
 /// a work-conserving baseline completes the chain by its deadline only with
@@ -153,19 +193,37 @@ fn pick_fixture_exercises_the_flag() {
     );
 }
 
+/// The profit-cliff fixture's general steps are load-bearing: at unit speed
+/// a work-conserving baseline misses every *first* bound (a pure-deadline
+/// projection of these profit functions would score zero) yet still earns
+/// the later-step and tail values; doubling the speed makes some cliffs and
+/// raises the take.
+#[test]
+fn profit_cliff_fixture_exercises_the_steps() {
+    let inst = codec::decode(&fixture("profit-cliff.txt")).expect("decodes");
+    let unit = profit_under(&inst, &SimConfig::default());
+    assert!(unit > 0, "later steps and tails still pay out");
+    let all_first_steps: u64 = inst.jobs().iter().map(|j| j.profit.max_profit()).sum();
+    assert!(
+        unit < all_first_steps,
+        "unit speed misses at least one first bound ({unit} vs {all_first_steps})"
+    );
+    let fast = SimConfig {
+        speed: Speed::integer(2).expect("positive"),
+        ..SimConfig::default()
+    };
+    assert!(
+        profit_under(&inst, &fast) > unit,
+        "doubling the speed makes cliffs and raises the take"
+    );
+}
+
 /// The fixture texts round-trip through the codec — a fixture that decodes
 /// to something other than what it prints would make the replay command
 /// lie about what it tested.
 #[test]
 fn fixtures_round_trip_through_the_codec() {
-    for name in [
-        "triple-tie.txt",
-        "fig1-tight.txt",
-        "band-burst.txt",
-        "delta-parked.txt",
-        "carryover-chain.txt",
-        "pick-diamond.txt",
-    ] {
+    for name in FIXTURES {
         let text = fixture(name);
         let inst = codec::decode(&text).expect("fixture decodes");
         let reencoded = codec::encode(&inst);
